@@ -1,0 +1,120 @@
+//! Class Hierarchy Analysis (Dean, Grove, Chambers — ECOOP ’95).
+//!
+//! CHA links every virtual call site to every concrete method any type in
+//! the program resolves the selector to. The base language carries no static
+//! receiver types at call sites, so this is selector-cone CHA: the cone is
+//! computed over the whole hierarchy (the classical formulation restricted
+//! by the receiver's declared type degenerates to this when every receiver
+//! is typed as the root). It is the least precise comparator in §6 — the
+//! paper notes CHA is not even implemented in Native Image because RTA is
+//! already too imprecise.
+
+use crate::{body_calls, CallGraph};
+use skipflow_ir::{MethodId, Program, SelectorId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Runs CHA from the given roots.
+pub fn class_hierarchy_analysis(program: &Program, roots: &[MethodId]) -> CallGraph {
+    // Precompute the selector cones once: selector -> all concrete targets.
+    let mut cones: HashMap<SelectorId, BTreeSet<MethodId>> = HashMap::new();
+    for t in program.iter_types() {
+        if t.is_null() {
+            continue;
+        }
+        for sel in 0..program.selector_count() {
+            let sel = SelectorId::from_index(sel);
+            if let Some(m) = program.resolve(t, sel) {
+                cones.entry(sel).or_default().insert(m);
+            }
+        }
+    }
+
+    let mut reachable: BTreeSet<MethodId> = BTreeSet::new();
+    let mut worklist: Vec<MethodId> = roots.to_vec();
+    let mut call_edges = 0usize;
+    let mut poly_calls = 0usize;
+
+    while let Some(m) = worklist.pop() {
+        if !reachable.insert(m) {
+            continue;
+        }
+        let (virtuals, statics, _allocs) = body_calls(program, m);
+        for sel in virtuals {
+            let targets = cones.get(&sel).cloned().unwrap_or_default();
+            call_edges += targets.len();
+            if targets.len() >= 2 {
+                poly_calls += 1;
+            }
+            for t in targets {
+                if !reachable.contains(&t) {
+                    worklist.push(t);
+                }
+            }
+        }
+        for t in statics {
+            call_edges += 1;
+            if !reachable.contains(&t) {
+                worklist.push(t);
+            }
+        }
+    }
+
+    CallGraph {
+        reachable,
+        call_edges,
+        poly_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipflow_ir::frontend::compile;
+
+    #[test]
+    fn cha_reaches_all_overrides_even_without_allocation() {
+        let p = compile(
+            "abstract class I { abstract method go(): void; }
+             class A extends I { method go(): void { return; } }
+             class B extends I { method go(): void { return; } }
+             class Main {
+               static method main(): void {
+                 var x = null;
+                 Main.call(x);
+               }
+               static method call(i: I): void { i.go(); }
+             }",
+        )
+        .unwrap();
+        let main = p
+            .method_by_name(p.type_by_name("Main").unwrap(), "main")
+            .unwrap();
+        let cg = class_hierarchy_analysis(&p, &[main]);
+        // No allocation anywhere, yet CHA reaches both overrides.
+        let a = p.method_by_name(p.type_by_name("A").unwrap(), "go").unwrap();
+        let b = p.method_by_name(p.type_by_name("B").unwrap(), "go").unwrap();
+        assert!(cg.is_reachable(a));
+        assert!(cg.is_reachable(b));
+        assert_eq!(cg.poly_calls, 1);
+    }
+
+    #[test]
+    fn cha_follows_static_calls() {
+        let p = compile(
+            "class Main {
+               static method helper(): void { return; }
+               static method main(): void { Main.helper(); }
+             }",
+        )
+        .unwrap();
+        let main = p
+            .method_by_name(p.type_by_name("Main").unwrap(), "main")
+            .unwrap();
+        let helper = p
+            .method_by_name(p.type_by_name("Main").unwrap(), "helper")
+            .unwrap();
+        let cg = class_hierarchy_analysis(&p, &[main]);
+        assert!(cg.is_reachable(helper));
+        assert_eq!(cg.call_edges, 1);
+    }
+}

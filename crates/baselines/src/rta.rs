@@ -1,0 +1,185 @@
+//! Rapid Type Analysis (Bacon, Sweeney — OOPSLA ’96).
+//!
+//! RTA refines CHA by restricting virtual dispatch to classes that are
+//! *instantiated* somewhere in the reachable code. Reachability and the
+//! instantiated set grow together until a fixed point: a `new T` in a
+//! reachable method makes `T` live; a virtual site in a reachable method
+//! dispatches over all live types.
+
+use crate::{body_calls, CallGraph};
+use skipflow_ir::{BitSet, MethodId, Program, SelectorId, TypeId};
+use std::collections::{BTreeSet, HashSet};
+
+/// Runs RTA from the given roots.
+pub fn rapid_type_analysis(program: &Program, roots: &[MethodId]) -> CallGraph {
+    let mut reachable: BTreeSet<MethodId> = BTreeSet::new();
+    let mut instantiated = BitSet::new();
+    // Pending virtual sites: (selector) per reachable method, re-dispatched
+    // whenever a new type becomes live.
+    let mut pending_selectors: Vec<SelectorId> = Vec::new();
+    let mut linked: HashSet<(SelectorId, MethodId)> = HashSet::new();
+    let mut worklist: Vec<MethodId> = roots.to_vec();
+    let mut call_edges = 0usize;
+
+    // Iterate until neither reachability nor the instantiated set grows.
+    loop {
+        let mut changed = false;
+
+        while let Some(m) = worklist.pop() {
+            if !reachable.insert(m) {
+                continue;
+            }
+            changed = true;
+            let (virtuals, statics, allocs) = body_calls(program, m);
+            for t in allocs {
+                if instantiated.insert(t.index()) {
+                    changed = true;
+                }
+            }
+            for sel in virtuals {
+                pending_selectors.push(sel);
+            }
+            for t in statics {
+                call_edges += 1;
+                if !reachable.contains(&t) {
+                    worklist.push(t);
+                }
+            }
+        }
+
+        // Re-dispatch every known virtual site over the live types.
+        for &sel in &pending_selectors {
+            for ti in instantiated.iter() {
+                let t = TypeId::from_index(ti);
+                if let Some(target) = program.resolve(t, sel) {
+                    if linked.insert((sel, target)) {
+                        call_edges += 1;
+                        changed = true;
+                        if !reachable.contains(&target) {
+                            worklist.push(target);
+                        }
+                    }
+                }
+            }
+        }
+        // Drain any methods queued by the dispatch pass.
+        if !worklist.is_empty() {
+            continue;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // PolyCalls: count virtual sites whose selector resolves to ≥ 2 targets
+    // among the live types.
+    let mut poly_calls = 0usize;
+    for &m in &reachable {
+        let (virtuals, _, _) = body_calls(program, m);
+        for sel in virtuals {
+            let mut targets = BTreeSet::new();
+            for ti in instantiated.iter() {
+                if let Some(t) = program.resolve(TypeId::from_index(ti), sel) {
+                    targets.insert(t);
+                }
+            }
+            if targets.len() >= 2 {
+                poly_calls += 1;
+            }
+        }
+    }
+
+    CallGraph {
+        reachable,
+        call_edges,
+        poly_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipflow_ir::frontend::compile;
+
+    #[test]
+    fn rta_ignores_uninstantiated_overrides() {
+        let p = compile(
+            "abstract class I { abstract method go(): void; }
+             class A extends I { method go(): void { return; } }
+             class B extends I { method go(): void { return; } }
+             class Main {
+               static method main(): void {
+                 var a = new A();
+                 Main.call(a);
+               }
+               static method call(i: I): void { i.go(); }
+             }",
+        )
+        .unwrap();
+        let main = p
+            .method_by_name(p.type_by_name("Main").unwrap(), "main")
+            .unwrap();
+        let cg = rapid_type_analysis(&p, &[main]);
+        let a = p.method_by_name(p.type_by_name("A").unwrap(), "go").unwrap();
+        let b = p.method_by_name(p.type_by_name("B").unwrap(), "go").unwrap();
+        assert!(cg.is_reachable(a));
+        assert!(!cg.is_reachable(b));
+    }
+
+    #[test]
+    fn rta_finds_allocations_in_transitively_reached_code() {
+        // B is only instantiated inside a method that becomes reachable via
+        // dispatch — the fixpoint must pick it up.
+        let p = compile(
+            "abstract class I { abstract method go(): void; }
+             class A extends I {
+               method go(): void {
+                 var b = new B();
+                 Main.call(b);
+               }
+             }
+             class B extends I { method go(): void { return; } }
+             class Main {
+               static method main(): void {
+                 var a = new A();
+                 Main.call(a);
+               }
+               static method call(i: I): void { i.go(); }
+             }",
+        )
+        .unwrap();
+        let main = p
+            .method_by_name(p.type_by_name("Main").unwrap(), "main")
+            .unwrap();
+        let cg = rapid_type_analysis(&p, &[main]);
+        let b = p.method_by_name(p.type_by_name("B").unwrap(), "go").unwrap();
+        assert!(cg.is_reachable(b));
+    }
+
+    #[test]
+    fn rta_is_flow_insensitive_about_guards() {
+        // Unlike SkipFlow, RTA cannot see that the allocation is guarded by
+        // an impossible condition.
+        let p = compile(
+            "class Heavy { method run(): void { return; } }
+             class Main {
+               static method main(): void {
+                 var flag = 0;
+                 if (flag == 1) {
+                   var h = new Heavy();
+                   h.run();
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let main = p
+            .method_by_name(p.type_by_name("Main").unwrap(), "main")
+            .unwrap();
+        let cg = rapid_type_analysis(&p, &[main]);
+        let run = p
+            .method_by_name(p.type_by_name("Heavy").unwrap(), "run")
+            .unwrap();
+        assert!(cg.is_reachable(run));
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * predicate edges vs primitive tracking, separately and together;
+//! * declared-type parameter filtering on/off;
+//! * saturation on/off;
+//! * sequential vs deterministic-parallel solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipflow_core::{analyze, AnalysisConfig, SolverKind};
+use skipflow_synth::{build_benchmark, suites};
+
+fn bench_feature_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_features");
+    group.sample_size(15);
+    let spec = suites::by_name("sunflow").expect("sunflow spec");
+    let bench = build_benchmark(&spec);
+    let configs = [
+        ("PTA", AnalysisConfig::baseline_pta()),
+        ("predicates-only", AnalysisConfig::predicates_only()),
+        ("primitives-only", AnalysisConfig::primitives_only()),
+        ("SkipFlow", AnalysisConfig::skipflow()),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| analyze(&bench.program, &bench.roots, config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_declared_type_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_declared_type_filtering");
+    group.sample_size(15);
+    let spec = suites::by_name("xalan").expect("xalan spec");
+    let bench = build_benchmark(&spec);
+    for on in [true, false] {
+        let mut config = AnalysisConfig::skipflow();
+        config.declared_type_filtering = on;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &config,
+            |b, config| b.iter(|| analyze(&bench.program, &bench.roots, config)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_saturation");
+    group.sample_size(15);
+    let spec = suites::by_name("chi-square").expect("chi-square spec");
+    let bench = build_benchmark(&spec);
+    for threshold in [None, Some(8), Some(32)] {
+        let mut config = AnalysisConfig::skipflow();
+        config.saturation_threshold = threshold;
+        let label = threshold.map_or("off".to_string(), |t| t.to_string());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| analyze(&bench.program, &bench.roots, config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_solver");
+    group.sample_size(10);
+    let spec = suites::by_name("als").expect("als spec");
+    let bench = build_benchmark(&spec);
+    let mut configs = vec![("sequential".to_string(), AnalysisConfig::skipflow())];
+    for threads in [2, 4, 8] {
+        configs.push((
+            format!("parallel-{threads}"),
+            AnalysisConfig::skipflow().with_solver(SolverKind::Parallel { threads }),
+        ));
+    }
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| analyze(&bench.program, &bench.roots, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_ablation,
+    bench_declared_type_filtering,
+    bench_saturation,
+    bench_solvers
+);
+criterion_main!(benches);

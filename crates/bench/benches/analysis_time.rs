@@ -1,0 +1,26 @@
+//! Analysis-time comparison: PTA vs SkipFlow on representative benchmarks —
+//! the paper's §6 "Impact on Analysis Time" claim (SkipFlow's extra
+//! machinery is paid for by analyzing fewer methods).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipflow_core::{analyze, AnalysisConfig};
+use skipflow_synth::{build_benchmark, suites};
+
+fn bench_analysis_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_time");
+    group.sample_size(20);
+    for name in ["lusearch", "sunflow", "xalan", "quarkus-tika"] {
+        let spec = suites::by_name(name).expect("known benchmark");
+        let bench = build_benchmark(&spec);
+        group.bench_with_input(BenchmarkId::new("PTA", name), &bench, |b, bench| {
+            b.iter(|| analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta()))
+        });
+        group.bench_with_input(BenchmarkId::new("SkipFlow", name), &bench, |b, bench| {
+            b.iter(|| analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis_time);
+criterion_main!(benches);

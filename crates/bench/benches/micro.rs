@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the analysis building blocks: lattice joins, the
+//! `Compare` filter, type-set operations, and end-to-end graph construction
+//! for one benchmark program (generation + analysis of an empty root set).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skipflow_core::{analyze, compare, AnalysisConfig, TypeSet, ValueState};
+use skipflow_ir::{CmpOp, TypeId};
+use skipflow_synth::{build_benchmark, suites};
+
+fn big_typeset(n: usize, stride: usize) -> TypeSet {
+    (0..n).map(|i| TypeId::from_index(1 + i * stride)).collect()
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice");
+    let a = ValueState::Types(big_typeset(256, 2));
+    let b = ValueState::Types(big_typeset(256, 3));
+    group.bench_function("join_typesets_256", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.join(&b);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("join_constants", |bench| {
+        bench.iter_batched(
+            || ValueState::Const(1),
+            |mut x| {
+                x.join(&ValueState::Const(1));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("le_typesets_256", |bench| bench.iter(|| a.le(&b)));
+    group.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare");
+    let sets = (
+        ValueState::Types(big_typeset(128, 2)),
+        ValueState::Types(big_typeset(128, 3)),
+    );
+    group.bench_function("eq_typesets_128", |b| {
+        b.iter(|| compare(CmpOp::Eq, &sets.0, &sets.1))
+    });
+    group.bench_function("ne_null_check", |b| {
+        let nullable = {
+            let mut s = big_typeset(64, 2);
+            s.insert(TypeId::NULL);
+            ValueState::Types(s)
+        };
+        b.iter(|| compare(CmpOp::Ne, &nullable, &ValueState::null()))
+    });
+    group.bench_function("lt_constants", |b| {
+        b.iter(|| compare(CmpOp::Lt, &ValueState::Const(3), &ValueState::Const(5)))
+    });
+    group.finish();
+}
+
+fn bench_generation_and_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    let spec = suites::by_name("lusearch").expect("spec");
+    group.bench_function("generate_lusearch", |b| {
+        b.iter(|| build_benchmark(&spec))
+    });
+    let bench = build_benchmark(&spec);
+    group.bench_function("analyze_lusearch_skipflow", |b| {
+        b.iter(|| analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lattice, bench_compare, bench_generation_and_build);
+criterion_main!(benches);

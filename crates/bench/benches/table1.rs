@@ -1,0 +1,41 @@
+//! Per-suite Table 1 regeneration benches: measures the end-to-end cost of
+//! one benchmark-suite row (generation excluded; analysis of both
+//! configurations included), one group per Table 1 block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipflow_core::{analyze, AnalysisConfig};
+use skipflow_synth::{build_benchmark, suites, Benchmark};
+
+fn both_configs(bench: &Benchmark) -> (usize, usize) {
+    let pta = analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta());
+    let skf = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
+    (
+        pta.reachable_methods().len(),
+        skf.reachable_methods().len(),
+    )
+}
+
+fn bench_block(c: &mut Criterion, block: &str, specs: Vec<skipflow_synth::BenchmarkSpec>) {
+    let mut group = c.benchmark_group(format!("table1_{block}"));
+    group.sample_size(10);
+    // One representative per block keeps the bench suite fast; the table1
+    // binary covers every row.
+    for spec in specs.into_iter().take(3) {
+        let bench = build_benchmark(&spec);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.name),
+            &bench,
+            |b, bench| b.iter(|| both_configs(bench)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    bench_block(c, "dacapo", suites::dacapo());
+    bench_block(c, "microservices", suites::microservices());
+    bench_block(c, "renaissance", suites::renaissance());
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Figure 9: all metrics normalized to the PTA
+//! baseline, one panel per suite.
+//!
+//! ```text
+//! cargo run --release -p skipflow-bench --bin fig9
+//! ```
+
+use skipflow_bench::{normalize, render_fig9, run_suite};
+use skipflow_synth::suites;
+
+fn main() {
+    for (name, specs) in [
+        ("(a) Renaissance", suites::renaissance()),
+        ("(b) DaCapo", suites::dacapo()),
+        ("(c) Microservices", suites::microservices()),
+    ] {
+        let pairs = run_suite(&specs);
+        let rows = normalize(&pairs);
+        println!("{}", render_fig9(name, &rows));
+        // The paper's headline numbers: per-suite metric averages.
+        let avg_methods: f64 = rows.iter().map(|r| r.series[2]).sum::<f64>() / rows.len() as f64;
+        let avg_analysis: f64 = rows.iter().map(|r| r.series[0]).sum::<f64>() / rows.len() as f64;
+        println!(
+            "suite averages: reachable methods {avg_methods:.3}, analysis time {avg_analysis:.3}\n"
+        );
+    }
+}

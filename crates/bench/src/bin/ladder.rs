@@ -1,0 +1,72 @@
+//! The precision ladder across the whole corpus: CHA ⊇ RTA ⊇ PTA ⊇ SkipFlow
+//! reachable methods per benchmark — the comparator landscape the paper's
+//! §6 discusses (CHA/RTA precision is too low for Native Image; PTA is the
+//! production baseline; SkipFlow improves on it).
+//!
+//! ```text
+//! cargo run --release -p skipflow-bench --bin ladder [-- --suite quick]
+//! ```
+
+use skipflow_baselines::{class_hierarchy_analysis, rapid_type_analysis};
+use skipflow_core::{analyze, AnalysisConfig};
+use skipflow_synth::{build_benchmark, suites};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let suite = args
+        .iter()
+        .position(|a| a == "--suite")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let specs = match suite {
+        "quick" => suites::quick(),
+        "dacapo" => suites::dacapo(),
+        "renaissance" => suites::renaissance(),
+        "microservices" => suites::microservices(),
+        _ => suites::all(),
+    };
+
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "Benchmark", "CHA", "RTA", "PTA", "SkipFlow", "SkipFlow/CHA"
+    );
+    println!("{}", "-".repeat(80));
+    let mut totals = [0usize; 4];
+    for spec in specs {
+        let bench = build_benchmark(&spec);
+        let cha = class_hierarchy_analysis(&bench.program, &bench.roots);
+        let rta = rapid_type_analysis(&bench.program, &bench.roots);
+        let pta = analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta());
+        let skf = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
+        let row = [
+            cha.reachable_count(),
+            rta.reachable_count(),
+            pta.reachable_methods().len(),
+            skf.reachable_methods().len(),
+        ];
+        assert!(row[3] <= row[2] && row[2] <= row[1] && row[1] <= row[0], "ladder violated");
+        for (t, r) in totals.iter_mut().zip(row) {
+            *t += r;
+        }
+        println!(
+            "{:<28} {:>8} {:>8} {:>8} {:>10} {:>11.3}",
+            spec.name,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[3] as f64 / row[0] as f64
+        );
+    }
+    println!("{}", "-".repeat(80));
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>10} {:>11.3}",
+        "TOTAL",
+        totals[0],
+        totals[1],
+        totals[2],
+        totals[3],
+        totals[3] as f64 / totals[0] as f64
+    );
+}

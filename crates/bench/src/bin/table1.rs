@@ -1,0 +1,54 @@
+//! Regenerates the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release -p skipflow-bench --bin table1 -- [--suite all|dacapo|renaissance|microservices|quick]
+//! ```
+
+use skipflow_bench::{render_csv, render_real_sizes, render_table1, run_suite};
+use skipflow_synth::suites;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let real_size = args.iter().any(|a| a == "--real-size");
+    let suite = args
+        .iter()
+        .position(|a| a == "--suite")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let blocks: Vec<(&str, Vec<skipflow_synth::BenchmarkSpec>)> = match suite {
+        "dacapo" => vec![("DaCapo", suites::dacapo())],
+        "renaissance" => vec![("Renaissance", suites::renaissance())],
+        "microservices" => vec![("Microservices", suites::microservices())],
+        "quick" => vec![("Quick", suites::quick())],
+        "all" => vec![
+            ("DaCapo", suites::dacapo()),
+            ("Microservices", suites::microservices()),
+            ("Renaissance", suites::renaissance()),
+        ],
+        other => {
+            eprintln!("unknown suite {other:?}; use all|dacapo|renaissance|microservices|quick");
+            std::process::exit(2);
+        }
+    };
+
+    if csv {
+        // One CSV stream across all requested blocks.
+        for (_, specs) in blocks {
+            print!("{}", render_csv(&run_suite(&specs)));
+        }
+        return;
+    }
+    println!("Table 1 — results for all bench suites (lower is better)\n");
+    for (name, specs) in blocks {
+        println!("=== {name} ===");
+        let pairs = run_suite(&specs);
+        println!("{}", render_table1(&pairs));
+        if real_size {
+            println!("Real encoded binary sizes after shrinking:");
+            println!("{}", render_real_sizes(&specs));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The `Compare` auxiliary function of the Cond inference rule
+//! (paper Appendix C, Figure 15).
+//!
+//! `compare(op, vl, vr)` returns the portion of `vl` that can satisfy
+//! `vl op vr` for *some* value drawn from `vr`. The cases follow the paper's
+//! definition with one soundness guard: `≠`-difference is applied only when
+//! `vr` is a *singleton* (one constant, one type, or `null`). With a
+//! multi-element right operand, `x ≠ y` cannot exclude any value of `x`
+//! (`y` may be a different element), and for reference inequality two
+//! distinct objects of the same type compare unequal — so in both cases we
+//! return `vl` unfiltered. The paper's own evaluation exercises `≠` only
+//! against constants and `null`, where the definitions coincide.
+
+use crate::lattice::ValueState;
+use skipflow_ir::CmpOp;
+
+/// Filters `vl` with respect to `op` and `vr` (paper Figure 15).
+///
+/// # Examples
+///
+/// The paper's worked examples hold verbatim:
+///
+/// ```
+/// use skipflow_core::{compare, ValueState};
+/// use skipflow_ir::CmpOp;
+///
+/// // Compare('=', {Any}, {5}) = {5} — the key interprocedural refinement.
+/// assert_eq!(
+///     compare(CmpOp::Eq, &ValueState::Any, &ValueState::Const(5)),
+///     ValueState::Const(5)
+/// );
+/// // Compare('<', {3}, {1}) = {} — the branch is dead.
+/// assert_eq!(
+///     compare(CmpOp::Lt, &ValueState::Const(3), &ValueState::Const(1)),
+///     ValueState::Empty
+/// );
+/// ```
+pub fn compare(op: CmpOp, vl: &ValueState, vr: &ValueState) -> ValueState {
+    use ValueState::*;
+
+    // Both operands are needed to perform any filtering.
+    if vl.is_empty() || vr.is_empty() {
+        return Empty;
+    }
+
+    match op {
+        CmpOp::Eq => match (vl, vr) {
+            // If at least one operand is Any, the result is the lower of the
+            // two: Compare('=', {Any}, {5}) = {5}.
+            (Any, other) => other.clone(),
+            (this, Any) => this.clone(),
+            (Const(a), Const(b)) => {
+                if a == b {
+                    Const(*a)
+                } else {
+                    Empty
+                }
+            }
+            (Types(a), Types(b)) => ValueState::from_types(a.intersection(b)),
+            // Mixed primitive/reference equality cannot occur in well-typed
+            // code; conservatively keep vl.
+            _ => vl.clone(),
+        },
+        CmpOp::Ne => {
+            // Difference is only sound against a definite (singleton) right
+            // operand; see module docs.
+            if !vr.is_singleton() {
+                return vl.clone();
+            }
+            match (vl, vr) {
+                (Const(a), Const(b)) => {
+                    if a == b {
+                        Empty
+                    } else {
+                        Const(*a)
+                    }
+                }
+                (Types(a), Types(b)) => ValueState::from_types(a.difference(b)),
+                // `Any ≠ {c}` cannot be narrowed without intervals/sets.
+                (Any, _) => Any,
+                _ => vl.clone(),
+            }
+        }
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            // Relational operators are defined on primitives only.
+            match (vl, vr) {
+                // If one operand is Any no useful filtering is possible
+                // (intervals were deliberately left out for scalability).
+                (Any, _) | (_, Any) => vl.clone(),
+                (Const(l), Const(r)) => {
+                    if op.eval(*l, *r) {
+                        Const(*l)
+                    } else {
+                        Empty
+                    }
+                }
+                // Ill-typed (references under relational): keep vl.
+                _ => vl.clone(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::TypeSet;
+    use skipflow_ir::TypeId;
+
+    fn t(i: usize) -> TypeId {
+        TypeId::from_index(i)
+    }
+
+    fn types(ids: &[usize]) -> ValueState {
+        ValueState::Types(ids.iter().map(|&i| t(i)).collect::<TypeSet>())
+    }
+
+    #[test]
+    fn empty_operand_yields_empty() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            assert_eq!(compare(op, &ValueState::Empty, &ValueState::Const(1)), ValueState::Empty);
+            assert_eq!(compare(op, &ValueState::Const(1), &ValueState::Empty), ValueState::Empty);
+        }
+    }
+
+    #[test]
+    fn eq_with_any_returns_the_lower_operand() {
+        // Paper examples: Compare('=', {Any}, {5}) = {5};
+        // Compare('=', {Any}, {Any}) = {Any}.
+        assert_eq!(compare(CmpOp::Eq, &ValueState::Any, &ValueState::Const(5)), ValueState::Const(5));
+        assert_eq!(compare(CmpOp::Eq, &ValueState::Const(5), &ValueState::Any), ValueState::Const(5));
+        assert_eq!(compare(CmpOp::Eq, &ValueState::Any, &ValueState::Any), ValueState::Any);
+    }
+
+    #[test]
+    fn eq_intersects() {
+        // Paper examples: Compare('=', {A,B}, {B,C}) = {B};
+        // Compare('=', {3}, {3}) = {3}; Compare('=', {3}, {5}) = {}.
+        assert_eq!(compare(CmpOp::Eq, &types(&[1, 2]), &types(&[2, 3])), types(&[2]));
+        assert_eq!(compare(CmpOp::Eq, &ValueState::Const(3), &ValueState::Const(3)), ValueState::Const(3));
+        assert_eq!(compare(CmpOp::Eq, &ValueState::Const(3), &ValueState::Const(5)), ValueState::Empty);
+    }
+
+    #[test]
+    fn ne_subtracts_singletons() {
+        // Paper examples: Compare('≠', {0}, {0}) = {};
+        // Compare('≠', {5}, {3}) = {5}.
+        assert_eq!(compare(CmpOp::Ne, &ValueState::Const(0), &ValueState::Const(0)), ValueState::Empty);
+        assert_eq!(compare(CmpOp::Ne, &ValueState::Const(5), &ValueState::Const(3)), ValueState::Const(5));
+    }
+
+    #[test]
+    fn ne_null_check_filters_null() {
+        // x != null keeps the non-null part.
+        let x = {
+            let mut s = TypeSet::null_only();
+            s.insert(t(2));
+            ValueState::Types(s)
+        };
+        let filtered = compare(CmpOp::Ne, &x, &ValueState::null());
+        assert_eq!(filtered, types(&[2]));
+        // null-only x is filtered to empty.
+        assert_eq!(compare(CmpOp::Ne, &ValueState::null(), &ValueState::null()), ValueState::Empty);
+    }
+
+    #[test]
+    fn eq_null_check_keeps_only_null() {
+        let x = {
+            let mut s = TypeSet::null_only();
+            s.insert(t(2));
+            ValueState::Types(s)
+        };
+        assert_eq!(compare(CmpOp::Eq, &x, &ValueState::null()), ValueState::null());
+        assert_eq!(compare(CmpOp::Eq, &types(&[2]), &ValueState::null()), ValueState::Empty);
+    }
+
+    #[test]
+    fn ne_against_non_singleton_keeps_vl() {
+        // Soundness guard: x ≠ y with |vr| > 1 must not filter — two
+        // references of the same type can still be different objects.
+        assert_eq!(compare(CmpOp::Ne, &types(&[1, 2]), &types(&[2, 3])), types(&[1, 2]));
+        assert_eq!(compare(CmpOp::Ne, &ValueState::Const(5), &ValueState::Any), ValueState::Const(5));
+    }
+
+    #[test]
+    fn relational_on_constants() {
+        // Paper examples: Compare('<', {3}, {5}) = {3};
+        // Compare('<', {3}, {1}) = {}.
+        assert_eq!(compare(CmpOp::Lt, &ValueState::Const(3), &ValueState::Const(5)), ValueState::Const(3));
+        assert_eq!(compare(CmpOp::Lt, &ValueState::Const(3), &ValueState::Const(1)), ValueState::Empty);
+        assert_eq!(compare(CmpOp::Ge, &ValueState::Const(3), &ValueState::Const(3)), ValueState::Const(3));
+    }
+
+    #[test]
+    fn relational_with_any_keeps_vl() {
+        assert_eq!(compare(CmpOp::Lt, &ValueState::Any, &ValueState::Const(10)), ValueState::Any);
+        assert_eq!(compare(CmpOp::Lt, &ValueState::Const(42), &ValueState::Any), ValueState::Const(42));
+    }
+
+    #[test]
+    fn filtering_never_invents_values() {
+        // compare(op, vl, vr) ≤ vl for every op except the Eq-with-Any case,
+        // where the result is ≤ vr instead (paper: "the lower value").
+        let samples = [
+            ValueState::Const(0),
+            ValueState::Const(5),
+            types(&[1]),
+            types(&[1, 2]),
+            ValueState::null(),
+            ValueState::Any,
+            ValueState::Empty,
+        ];
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for vl in &samples {
+                for vr in &samples {
+                    let out = compare(op, vl, vr);
+                    assert!(
+                        out.le(vl) || out.le(vr),
+                        "compare({op:?}, {vl:?}, {vr:?}) = {out:?} escapes both operands"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Analysis configuration.
+//!
+//! SkipFlow is the baseline type-based points-to analysis *plus* two
+//! features — predicate edges and primitive tracking (paper §1) — so one
+//! engine serves every configuration in the evaluation: the `PTA` baseline,
+//! full SkipFlow, and the two single-feature ablations.
+
+use skipflow_ir::{FieldId, MethodId};
+
+/// Which fixpoint solver drives the analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Single-threaded worklist solver.
+    Sequential,
+    /// Deterministic bulk-synchronous parallel solver with the given number
+    /// of worker threads (results are bit-identical to sequential).
+    Parallel {
+        /// Worker thread count (≥ 1).
+        threads: usize,
+    },
+}
+
+/// Configuration of one analysis run.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Enable predicate edges: flows start disabled and only propagate once
+    /// their predicate has a non-empty state (paper §3 "Control Flow
+    /// Predicates"). Disabled for the baseline PTA, where every flow is
+    /// enabled at creation.
+    pub predicates: bool,
+    /// Track primitive constants through the lattice `P`. When disabled,
+    /// every primitive source evaluates to `Any` (the baseline PTA behaviour:
+    /// primitives are invisible).
+    pub primitives: bool,
+    /// Filter method parameters by their declared types during
+    /// interprocedural linking (the Native Image behaviour inherited from
+    /// Wimmer et al. \[60\]). On for all evaluated configurations; exposed for
+    /// ablation.
+    pub declared_type_filtering: bool,
+    /// Optional saturation threshold (Wimmer et al. \[60\]): an object value
+    /// state whose type set grows beyond the limit widens to `Any`, trading
+    /// precision for bounded state size. `None` disables saturation.
+    pub saturation_threshold: Option<usize>,
+    /// The paper's coarse exception policy (§5): any *instantiated* exception
+    /// subtype of a handler's type flows out of the handler. When `false`,
+    /// only actually-thrown values reach handlers (a more precise variant,
+    /// kept for ablation).
+    pub coarse_exceptions: bool,
+    /// Methods invokable via Reflection/JNI (§5): treated as additional
+    /// roots whose parameters receive every instantiated subtype of their
+    /// declared types.
+    pub reflective_roots: Vec<MethodId>,
+    /// Fields accessible via Reflection/JNI (§5): their value states receive
+    /// every instantiated subtype of their declared types.
+    pub reflective_fields: Vec<FieldId>,
+    /// Fields accessed via `Unsafe` (§5): every write into any such field may
+    /// flow out of every read of any such field.
+    pub unsafe_fields: Vec<FieldId>,
+    /// Solver selection.
+    pub solver: SolverKind,
+    /// Safety valve for the fixpoint iteration; `None` means unbounded.
+    /// The lattice has finite height so the analysis always terminates, but
+    /// tests use a bound to fail fast on engine bugs.
+    pub max_steps: Option<u64>,
+}
+
+impl AnalysisConfig {
+    /// Full SkipFlow: predicate edges + primitive tracking (the paper's
+    /// `SkipFlow` configuration of Table 1).
+    pub fn skipflow() -> Self {
+        AnalysisConfig {
+            predicates: true,
+            primitives: true,
+            declared_type_filtering: true,
+            saturation_threshold: None,
+            coarse_exceptions: true,
+            reflective_roots: Vec::new(),
+            reflective_fields: Vec::new(),
+            unsafe_fields: Vec::new(),
+            solver: SolverKind::Sequential,
+            max_steps: None,
+        }
+    }
+
+    /// The baseline: flow-insensitive, context-insensitive, type-based
+    /// points-to analysis (the paper's `PTA` configuration of Table 1 —
+    /// the Native Image default of Wimmer et al. \[60\]).
+    pub fn baseline_pta() -> Self {
+        AnalysisConfig {
+            predicates: false,
+            primitives: false,
+            ..Self::skipflow()
+        }
+    }
+
+    /// Ablation: predicate edges without primitive tracking.
+    pub fn predicates_only() -> Self {
+        AnalysisConfig {
+            primitives: false,
+            ..Self::skipflow()
+        }
+    }
+
+    /// Ablation: primitive tracking without predicate edges.
+    pub fn primitives_only() -> Self {
+        AnalysisConfig {
+            predicates: false,
+            ..Self::skipflow()
+        }
+    }
+
+    /// Builder-style: sets the solver.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Builder-style: sets the saturation threshold.
+    pub fn with_saturation(mut self, threshold: usize) -> Self {
+        self.saturation_threshold = Some(threshold);
+        self
+    }
+
+    /// A short human-readable label (used by the bench harness).
+    pub fn label(&self) -> &'static str {
+        match (self.predicates, self.primitives) {
+            (true, true) => "SkipFlow",
+            (false, false) => "PTA",
+            (true, false) => "SkipFlow-predicates-only",
+            (false, true) => "SkipFlow-primitives-only",
+        }
+    }
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self::skipflow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1_configurations() {
+        let sf = AnalysisConfig::skipflow();
+        assert!(sf.predicates && sf.primitives);
+        assert_eq!(sf.label(), "SkipFlow");
+
+        let pta = AnalysisConfig::baseline_pta();
+        assert!(!pta.predicates && !pta.primitives);
+        assert!(pta.declared_type_filtering, "baseline keeps type filtering on use edges");
+        assert_eq!(pta.label(), "PTA");
+    }
+
+    #[test]
+    fn ablation_labels() {
+        assert_eq!(AnalysisConfig::predicates_only().label(), "SkipFlow-predicates-only");
+        assert_eq!(AnalysisConfig::primitives_only().label(), "SkipFlow-primitives-only");
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = AnalysisConfig::skipflow()
+            .with_solver(SolverKind::Parallel { threads: 4 })
+            .with_saturation(32);
+        assert_eq!(c.solver, SolverKind::Parallel { threads: 4 });
+        assert_eq!(c.saturation_threshold, Some(32));
+    }
+}

@@ -1,0 +1,772 @@
+//! The fixpoint engine: value propagation over the PVPG
+//! (paper Appendix C, Figure 15).
+//!
+//! The inference rules map onto the engine as follows:
+//!
+//! * **Source** — [`Engine::enable`] evaluates constant/`Any`/`new`/`null`
+//!   sources when the flow is enabled; enabling a `new T` marks `T`
+//!   instantiated.
+//! * **Propagate** — [`Engine::process`] pushes the (filtered) output of an
+//!   enabled flow along its use edges.
+//! * **Predicate** — when an enabled flow's output becomes non-empty, its
+//!   predicate successors are enabled.
+//! * **Load/Store** — observe edges from receivers add use edges between
+//!   field sinks and access flows as receiver types appear.
+//! * **Invoke** — observe edges from receivers resolve and link callees:
+//!   argument flows to formal parameters, callee return to the invoke flow.
+//! * **TypeCheck/Cond/PassThrough** — [`Engine::compute_out`] filters the
+//!   input state according to the flow kind (`Cond` uses
+//!   [`crate::compare::compare`]).
+//!
+//! All states grow monotonically and the lattice has finite height, so the
+//! worklist loop terminates.
+
+use crate::build::{build_method_graph, BuildOutput};
+use crate::compare::compare;
+use crate::config::{AnalysisConfig, SolverKind};
+use crate::flow::{FlowId, FlowKind, SiteId};
+use crate::graph::Pvpg;
+use crate::lattice::{TypeSet, ValueState};
+use crate::report::{AnalysisResult, SolveStats};
+use skipflow_ir::{BitSet, MethodId, Program, TypeId, TypeRef};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Runs the analysis on `program`, starting from `roots`.
+///
+/// Root methods (and the configured reflective roots) have their parameters
+/// injected with every instantiated subtype of the declared parameter types
+/// (paper §5).
+///
+/// # Panics
+///
+/// Panics if `config.max_steps` is exceeded — that limit exists to fail fast
+/// on engine bugs in tests; production runs leave it `None`.
+pub fn analyze(program: &Program, roots: &[MethodId], config: &AnalysisConfig) -> AnalysisResult {
+    let start = std::time::Instant::now();
+    let mut engine = Engine::new(program, config.clone());
+    engine.init(roots);
+    match config.solver {
+        SolverKind::Sequential => engine.solve_sequential(),
+        SolverKind::Parallel { threads } => engine.solve_parallel(threads.max(1)),
+    }
+    engine.finish(start.elapsed())
+}
+
+pub(crate) struct Engine<'p> {
+    program: &'p Program,
+    config: AnalysisConfig,
+    g: Pvpg,
+    worklist: VecDeque<FlowId>,
+    queued: Vec<bool>,
+    reachable: BTreeSet<MethodId>,
+    instantiated: BitSet,
+    instantiated_order: Vec<TypeId>,
+    /// `(declared bound, target)`: target's input receives every
+    /// instantiated subtype of the bound (root params, reflective fields,
+    /// coarse exception handlers).
+    type_subscribers: Vec<(TypeId, FlowId)>,
+    /// Invoke sites whose receiver saturated to `Any`: re-dispatched on
+    /// every newly instantiated type.
+    saturated_sites: Vec<SiteId>,
+    /// Field sinks already seeded with their default value.
+    defaulted_fields: std::collections::HashSet<skipflow_ir::FieldId>,
+    steps: u64,
+}
+
+impl<'p> Engine<'p> {
+    pub(crate) fn new(program: &'p Program, config: AnalysisConfig) -> Self {
+        Engine {
+            program,
+            config,
+            g: Pvpg::new(),
+            worklist: VecDeque::new(),
+            queued: Vec::new(),
+            reachable: BTreeSet::new(),
+            instantiated: BitSet::new(),
+            instantiated_order: Vec::new(),
+            type_subscribers: Vec::new(),
+            saturated_sites: Vec::new(),
+            defaulted_fields: std::collections::HashSet::new(),
+            steps: 0,
+        }
+    }
+
+    /// The field sink for `field`, seeded once with the Java default value
+    /// (`null` for references, 0 for primitives): an unwritten field read
+    /// yields its default, so soundness requires it in the field's state.
+    fn field_sink(&mut self, field: skipflow_ir::FieldId) -> FlowId {
+        let sink = self.g.field_sink(field);
+        self.sync_queued();
+        if self.defaulted_fields.insert(field) {
+            let default = match self.program.field(field).ty {
+                TypeRef::Object(_) => ValueState::null(),
+                _ => {
+                    if self.config.primitives {
+                        ValueState::Const(0)
+                    } else {
+                        ValueState::Any
+                    }
+                }
+            };
+            self.join_in(sink, &default);
+        }
+        sink
+    }
+
+    pub(crate) fn init(&mut self, roots: &[MethodId]) {
+        // pred_on is enabled with a non-empty token state, so the flows it
+        // predicates are enabled transitively.
+        let pred_on = self.g.pred_on;
+        {
+            let f = self.g.flow_mut(pred_on);
+            f.enabled = true;
+            f.in_state = ValueState::Const(1);
+        }
+        // The global pools are always-enabled pass-throughs.
+        for sink in [self.g.thrown_sink, self.g.unsafe_sink] {
+            self.g.flow_mut(sink).enabled = true;
+        }
+        self.sync_queued();
+        self.enqueue(pred_on);
+
+        let mut all_roots: Vec<MethodId> = roots.to_vec();
+        all_roots.extend(self.config.reflective_roots.iter().copied());
+        for m in all_roots {
+            self.make_root(m);
+        }
+        let reflective_fields = self.config.reflective_fields.clone();
+        for field in reflective_fields {
+            let sink = self.field_sink(field);
+            let declared = self.program.field(field).ty;
+            self.inject(sink, declared);
+        }
+        self.sync_queued();
+    }
+
+    fn sync_queued(&mut self) {
+        if self.queued.len() < self.g.flow_count() {
+            self.queued.resize(self.g.flow_count(), false);
+        }
+    }
+
+    fn enqueue(&mut self, f: FlowId) {
+        if !self.queued[f.index()] {
+            self.queued[f.index()] = true;
+            self.worklist.push_back(f);
+        }
+    }
+
+    /// Creates an injection source for `declared` feeding `target`.
+    fn inject(&mut self, target: FlowId, declared: TypeRef) {
+        let rs = self.g.add_root_source(declared);
+        self.sync_queued();
+        self.g.add_use_dedup(rs, target);
+        match declared {
+            TypeRef::Prim | TypeRef::Void => {
+                self.g.flow_mut(rs).in_state = ValueState::Any;
+                self.enqueue(rs);
+            }
+            TypeRef::Object(bound) => {
+                self.subscribe(bound, rs);
+            }
+        }
+    }
+
+    /// Registers `target` to receive every instantiated subtype of `bound`,
+    /// past and future.
+    fn subscribe(&mut self, bound: TypeId, target: FlowId) {
+        let mut existing = TypeSet::new();
+        for t in self.program.subtypes(bound).iter() {
+            if self.instantiated.contains(t) {
+                existing.insert(TypeId::from_index(t));
+            }
+        }
+        if !existing.is_empty() {
+            let state = ValueState::Types(existing);
+            self.join_in(target, &state);
+        }
+        self.type_subscribers.push((bound, target));
+    }
+
+    fn join_in(&mut self, target: FlowId, state: &ValueState) {
+        let sat = self.config.saturation_threshold;
+        let flow = self.g.flow_mut(target);
+        if flow.in_state.join(state) {
+            maybe_saturate(&mut flow.in_state, sat);
+            self.enqueue(target);
+        }
+    }
+
+    /// Marks `m` reachable, building its PVPG fragment on first contact.
+    fn make_reachable(&mut self, m: MethodId) {
+        if !self.reachable.insert(m) {
+            return;
+        }
+        if self.program.method(m).body.is_none() {
+            return; // abstract targets are never resolved to, but be safe
+        }
+        let out: BuildOutput = build_method_graph(&mut self.g, self.program, &self.config, m);
+        self.sync_queued();
+        if self.config.predicates {
+            for f in out.enables.clone() {
+                self.enable(f);
+            }
+        } else {
+            // Baseline: every flow is enabled at creation.
+            for i in out.first_flow..self.g.flow_count() {
+                self.enable(FlowId::from_index(i));
+            }
+        }
+        for (s, t) in &out.pushes {
+            // Seed defaults for field sinks created during construction
+            // (static-field accesses wire their sink at build time).
+            for end in [*s, *t] {
+                if let FlowKind::FieldSink { field } = self.g.flow(end).kind {
+                    self.field_sink(field);
+                }
+            }
+            self.push_state(*s, *t);
+        }
+        for (ty, f) in &out.catch_subscribers {
+            self.subscribe(*ty, *f);
+        }
+        self.g.methods.insert(m, out.graph);
+    }
+
+    /// Marks `m` as a root: reachable, with parameters injected per the
+    /// reflection policy (paper §5).
+    fn make_root(&mut self, m: MethodId) {
+        self.make_reachable(m);
+        let Some(graph) = self.g.methods.get(&m) else { return };
+        let params = graph.params.clone();
+        let md = self.program.method(m);
+        for (i, p) in params.iter().enumerate() {
+            let declared = md.param_type(i);
+            self.inject(*p, declared);
+        }
+    }
+
+    /// Enables a flow (the Predicate rule's conclusion), evaluating source
+    /// kinds (the Source rule) and firing enable-time actions.
+    fn enable(&mut self, f: FlowId) {
+        if self.g.flow(f).enabled {
+            return;
+        }
+        self.g.flow_mut(f).enabled = true;
+        let kind = self.g.flow(f).kind.clone();
+        match kind {
+            FlowKind::Const(n) => {
+                let v = if self.config.primitives {
+                    ValueState::Const(n)
+                } else {
+                    ValueState::Any
+                };
+                self.g.flow_mut(f).in_state = v;
+            }
+            FlowKind::AnyPrim => {
+                self.g.flow_mut(f).in_state = ValueState::Any;
+            }
+            FlowKind::NullSource => {
+                self.g.flow_mut(f).in_state = ValueState::null();
+            }
+            FlowKind::PhiPred => {
+                // φ_pred joins predicates, not values: once any incoming
+                // predicate enables it, it carries an artificial token so its
+                // own predicate successors fire (paper §3 "Joining Values
+                // using φ Flows": the code after a join is executable iff the
+                // end of any of its predecessors is).
+                self.g.flow_mut(f).in_state = ValueState::Const(1);
+            }
+            FlowKind::New(t) => {
+                self.g.flow_mut(f).in_state = ValueState::of_type(t);
+                self.instantiate(t);
+            }
+            FlowKind::InvokeStatic { site } => {
+                let target = self.g.site(site).static_target.expect("static site");
+                self.link(site, target);
+            }
+            FlowKind::Invoke { .. } | FlowKind::Load { .. } | FlowKind::Store { .. } => {
+                self.handle_receiver_update(f);
+            }
+            _ => {}
+        }
+        self.enqueue(f);
+    }
+
+    /// Records a newly instantiated type and notifies subscribers and
+    /// saturated dispatch sites.
+    fn instantiate(&mut self, t: TypeId) {
+        if !self.instantiated.insert(t.index()) {
+            return;
+        }
+        self.instantiated_order.push(t);
+        let subscribers = self.type_subscribers.clone();
+        let state = ValueState::of_type(t);
+        for (bound, target) in subscribers {
+            if self.program.is_subtype(t, bound) {
+                self.join_in(target, &state);
+            }
+        }
+        let sites = self.saturated_sites.clone();
+        for site in sites {
+            self.dispatch_type(site, t);
+        }
+    }
+
+    /// One worklist step: recompute the flow's output and propagate
+    /// (Propagate + Predicate rules, plus observer notifications).
+    fn process(&mut self, f: FlowId) {
+        self.steps += 1;
+        if let Some(max) = self.config.max_steps {
+            assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
+        }
+        if !self.g.flow(f).enabled {
+            return;
+        }
+        let new_out = self.compute_out(f);
+        let sat = self.config.saturation_threshold;
+        let changed = {
+            let flow = self.g.flow_mut(f);
+            let changed = flow.out_state.join(&new_out);
+            if changed {
+                maybe_saturate(&mut flow.out_state, sat);
+            }
+            changed
+        };
+        if !changed {
+            return;
+        }
+        let flow = self.g.flow(f);
+        let out = flow.out_state.clone();
+        let uses = flow.uses.clone();
+        let pred_out = flow.pred_out.clone();
+        let observers = flow.observers.clone();
+        for t in uses {
+            self.join_in(t, &out);
+        }
+        if out.is_non_empty() {
+            for t in pred_out {
+                self.enable(t);
+            }
+        }
+        for o in observers {
+            self.notify_observer(o);
+        }
+    }
+
+    /// TypeCheck / Cond / PassThrough rules: the flow's output as a function
+    /// of its input (and, for comparisons, the observed operand).
+    fn compute_out(&self, f: FlowId) -> ValueState {
+        let flow = self.g.flow(f);
+        match &flow.kind {
+            FlowKind::TypeFilter { ty, negated } => {
+                filter_typecheck(self.program, &flow.in_state, *ty, *negated)
+            }
+            FlowKind::CatchAll { ty } => {
+                let mut out = filter_typecheck(self.program, &flow.in_state, *ty, false);
+                // Handlers may observe null under the coarse exception model
+                // (the reference interpreter yields null when no matching
+                // exception was thrown); keeping null here makes the two
+                // agree and is conservative.
+                out.join(&ValueState::null());
+                out
+            }
+            FlowKind::CmpFilter { op, other } => {
+                let vr = &self.g.flow(*other).out_state;
+                compare(*op, &flow.in_state, vr)
+            }
+            FlowKind::Param { declared, .. } if self.config.declared_type_filtering => {
+                declared_filter(self.program, &flow.in_state, *declared)
+            }
+            FlowKind::PredOn => ValueState::Const(1),
+            _ => flow.in_state.clone(),
+        }
+    }
+
+    /// Observer notification: comparisons re-filter; receivers of loads,
+    /// stores, and invokes trigger field wiring / method linking.
+    fn notify_observer(&mut self, o: FlowId) {
+        match self.g.flow(o).kind {
+            FlowKind::CmpFilter { .. } => self.enqueue(o),
+            FlowKind::Invoke { .. } | FlowKind::Load { .. } | FlowKind::Store { .. } => {
+                self.handle_receiver_update(o)
+            }
+            _ => {}
+        }
+    }
+
+    /// Load / Store / Invoke rules: react to the receiver's current value
+    /// state (requires the acting flow to be enabled).
+    fn handle_receiver_update(&mut self, f: FlowId) {
+        if !self.g.flow(f).enabled {
+            return;
+        }
+        match self.g.flow(f).kind.clone() {
+            FlowKind::Invoke { site } => {
+                let recv = self.g.site(site).receiver.expect("virtual site has receiver");
+                match self.g.flow(recv).out_state.clone() {
+                    ValueState::Types(s) => {
+                        for t in s.iter() {
+                            self.dispatch_type(site, t);
+                        }
+                    }
+                    ValueState::Any
+                        // Saturated receiver: dispatch over every
+                        // instantiated type, now and in the future.
+                        if !self.saturated_sites.contains(&site) => {
+                            self.saturated_sites.push(site);
+                            for t in self.instantiated_order.clone() {
+                                self.dispatch_type(site, t);
+                            }
+                        }
+                    _ => {}
+                }
+            }
+            FlowKind::Load { field, receiver }
+                if self.receiver_reaches_field(receiver, field) => {
+                    let sink = self.field_sink(field);
+                    if self.g.add_use_dedup(sink, f) {
+                        self.push_state(sink, f);
+                    }
+                }
+            FlowKind::Store { field, receiver }
+                if self.receiver_reaches_field(receiver, field) => {
+                    let sink = self.field_sink(field);
+                    if self.g.add_use_dedup(f, sink) {
+                        self.push_state(f, sink);
+                    }
+                }
+            _ => {}
+        }
+    }
+
+    /// The Load/Store rules' premise `t ∈ VSout(r), LookUp(t, x)` — whether
+    /// some receiver type declares/inherits the field. One flow exists per
+    /// field declaration, so a single positive answer wires the access.
+    fn receiver_reaches_field(&self, receiver: Option<FlowId>, field: skipflow_ir::FieldId) -> bool {
+        let Some(recv) = receiver else {
+            return false; // static accesses are wired at construction
+        };
+        match &self.g.flow(recv).out_state {
+            ValueState::Types(s) => s
+                .iter()
+                .any(|t| self.program.lookup_field(t, field).is_some()),
+            // Saturated receiver: connect conservatively.
+            ValueState::Any => true,
+            _ => false,
+        }
+    }
+
+    /// Virtual dispatch for one receiver type at one site (the Invoke rule).
+    fn dispatch_type(&mut self, site: SiteId, t: TypeId) {
+        if t.is_null() {
+            return;
+        }
+        {
+            let s = self.g.site_mut(site);
+            if !s.seen_receiver_types.insert(t.index()) {
+                return;
+            }
+        }
+        let selector = self.g.site(site).selector.expect("virtual site");
+        if let Some(target) = self.program.resolve(t, selector) {
+            self.link(site, target);
+        }
+    }
+
+    /// Links a call site to a resolved target: marks the target reachable and
+    /// wires arguments to parameters and the callee return to the invoke flow
+    /// (the Invoke rule's conclusion).
+    fn link(&mut self, site: SiteId, target: MethodId) {
+        if self.g.site(site).linked.contains(&target) {
+            return;
+        }
+        self.g.site_mut(site).linked.push(target);
+        if self.program.method(target).is_abstract {
+            return;
+        }
+        self.make_reachable(target);
+        let (args, invoke_flow) = {
+            let s = self.g.site(site);
+            (s.args.clone(), s.flow)
+        };
+        let Some(callee) = self.g.methods.get(&target) else { return };
+        let params = callee.params.clone();
+        let ret = callee.ret;
+        for (a, p) in args.iter().zip(params.iter()) {
+            if self.g.add_use_dedup(*a, *p) {
+                self.push_state(*a, *p);
+            }
+        }
+        if let Some(r) = ret {
+            if self.g.add_use_dedup(r, invoke_flow) {
+                self.push_state(r, invoke_flow);
+            }
+        }
+    }
+
+    /// Pushes `s`'s current output into `t`'s input, respecting the
+    /// only-enabled-flows-propagate rule.
+    fn push_state(&mut self, s: FlowId, t: FlowId) {
+        let src = self.g.flow(s);
+        if src.enabled && src.out_state.is_non_empty() {
+            let out = src.out_state.clone();
+            self.join_in(t, &out);
+        }
+    }
+
+    // ---- solvers ----------------------------------------------------------
+
+    pub(crate) fn solve_sequential(&mut self) {
+        while let Some(f) = self.worklist.pop_front() {
+            self.queued[f.index()] = false;
+            self.process(f);
+        }
+    }
+
+    /// Deterministic bulk-synchronous parallel solver: each round computes
+    /// the prospective outputs of the queued flows in parallel (a pure
+    /// function of the current states), then applies them in queue order.
+    /// Results are bit-identical to the sequential solver's fixpoint.
+    pub(crate) fn solve_parallel(&mut self, threads: usize) {
+        loop {
+            if self.worklist.is_empty() {
+                break;
+            }
+            let batch: Vec<FlowId> = self.worklist.drain(..).collect();
+            for f in &batch {
+                self.queued[f.index()] = false;
+            }
+            // Phase A: compute prospective outputs in parallel (read-only).
+            let outputs: Vec<(FlowId, ValueState)> = if threads <= 1 || batch.len() < 64 {
+                batch
+                    .iter()
+                    .filter(|f| self.g.flow(**f).enabled)
+                    .map(|f| (*f, self.compute_out(*f)))
+                    .collect()
+            } else {
+                let chunk = batch.len().div_ceil(threads);
+                let engine = &*self;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = batch
+                        .chunks(chunk)
+                        .map(|flows| {
+                            scope.spawn(move || {
+                                flows
+                                    .iter()
+                                    .filter(|f| engine.g.flow(**f).enabled)
+                                    .map(|f| (*f, engine.compute_out(*f)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+                })
+            };
+            // Phase B: apply sequentially in batch order.
+            for (f, new_out) in outputs {
+                self.apply_out(f, new_out);
+            }
+        }
+    }
+
+    /// Applies a prospective output (phase B of the parallel solver); the
+    /// same propagation logic as [`Engine::process`] after the computation.
+    fn apply_out(&mut self, f: FlowId, new_out: ValueState) {
+        self.steps += 1;
+        if let Some(max) = self.config.max_steps {
+            assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
+        }
+        let sat = self.config.saturation_threshold;
+        let changed = {
+            let flow = self.g.flow_mut(f);
+            let changed = flow.out_state.join(&new_out);
+            if changed {
+                maybe_saturate(&mut flow.out_state, sat);
+            }
+            changed
+        };
+        if !changed {
+            return;
+        }
+        let flow = self.g.flow(f);
+        let out = flow.out_state.clone();
+        let uses = flow.uses.clone();
+        let pred_out = flow.pred_out.clone();
+        let observers = flow.observers.clone();
+        for t in uses {
+            self.join_in(t, &out);
+        }
+        if out.is_non_empty() {
+            for t in pred_out {
+                self.enable(t);
+            }
+        }
+        for o in observers {
+            self.notify_observer(o);
+        }
+    }
+
+    pub(crate) fn finish(self, elapsed: std::time::Duration) -> AnalysisResult {
+        let (use_edges, pred_edges, obs_edges) = self.g.edge_counts();
+        AnalysisResult::new(
+            self.g,
+            self.reachable,
+            self.instantiated,
+            self.config,
+            SolveStats {
+                steps: self.steps,
+                flows: 0, // filled by the constructor from the graph
+                use_edges,
+                pred_edges,
+                obs_edges,
+                duration: elapsed,
+            },
+        )
+    }
+}
+
+/// The TypeCheck rule: keep (or remove, negated) subtypes of `ty`.
+/// `instanceof` is false for `null`, so the positive filter drops it and the
+/// negative filter keeps it.
+fn filter_typecheck(
+    program: &Program,
+    input: &ValueState,
+    ty: TypeId,
+    negated: bool,
+) -> ValueState {
+    match input {
+        ValueState::Empty => ValueState::Empty,
+        // Type tests on primitives are ill-typed; nothing flows.
+        ValueState::Const(_) => ValueState::Empty,
+        // A saturated object state cannot be narrowed without re-expanding
+        // it; Any is the sound over-approximation (only reachable when
+        // saturation is configured).
+        ValueState::Any => ValueState::Any,
+        ValueState::Types(s) => {
+            let mask = program.subtypes(ty);
+            let filtered = if negated {
+                s.difference_mask(mask)
+            } else {
+                s.intersect_mask(mask, false)
+            };
+            ValueState::from_types(filtered)
+        }
+    }
+}
+
+/// Declared-type filtering for parameters: object parameters admit subtypes
+/// of the declared type plus `null`; primitive parameters admit everything.
+fn declared_filter(program: &Program, input: &ValueState, declared: TypeRef) -> ValueState {
+    match (input, declared) {
+        (ValueState::Types(s), TypeRef::Object(t)) => {
+            ValueState::from_types(s.intersect_mask(program.subtypes(t), true))
+        }
+        _ => input.clone(),
+    }
+}
+
+/// Saturation (Wimmer et al. [60]): widen oversized type sets to `Any`.
+fn maybe_saturate(state: &mut ValueState, threshold: Option<usize>) {
+    if let (Some(k), ValueState::Types(s)) = (threshold, &*state) {
+        if s.len() > k {
+            *state = ValueState::Any;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::TypeSet;
+    use skipflow_ir::ProgramBuilder;
+
+    /// Object <- Animal <- Dog; Cat extends Animal.
+    fn hierarchy() -> (Program, TypeId, TypeId, TypeId) {
+        let mut pb = ProgramBuilder::new();
+        let animal = pb.add_class("Animal");
+        let dog = pb.class("Dog").extends(animal).build();
+        let cat = pb.class("Cat").extends(animal).build();
+        let m = pb.method(animal, "noop").static_().returns(TypeRef::Void).build();
+        pb.set_trivial_body(m, None);
+        (pb.finish().unwrap(), animal, dog, cat)
+    }
+
+    fn types_of(ids: &[TypeId]) -> ValueState {
+        ValueState::Types(ids.iter().copied().collect::<TypeSet>())
+    }
+
+    #[test]
+    fn typecheck_filter_keeps_subtypes_and_drops_null() {
+        let (p, animal, dog, cat) = hierarchy();
+        let mut input = TypeSet::null_only();
+        input.insert(dog);
+        input.insert(cat);
+        let input = ValueState::Types(input);
+
+        // instanceof Dog: only Dog survives; null is filtered (instanceof is
+        // false for null).
+        let out = filter_typecheck(&p, &input, dog, false);
+        assert_eq!(out, types_of(&[dog]));
+
+        // !instanceof Dog: Cat and null survive.
+        let out = filter_typecheck(&p, &input, dog, true);
+        let s = out.types().unwrap();
+        assert!(s.contains(cat) && s.contains_null() && !s.contains(dog));
+
+        // instanceof Animal admits both subclasses.
+        let out = filter_typecheck(&p, &input, animal, false);
+        assert_eq!(out, types_of(&[dog, cat]));
+    }
+
+    #[test]
+    fn typecheck_filter_edge_cases() {
+        let (p, _, dog, _) = hierarchy();
+        assert_eq!(filter_typecheck(&p, &ValueState::Empty, dog, false), ValueState::Empty);
+        // Primitives never pass a type test (ill-typed).
+        assert_eq!(filter_typecheck(&p, &ValueState::Const(3), dog, false), ValueState::Empty);
+        // Saturated input stays saturated (sound over-approximation).
+        assert_eq!(filter_typecheck(&p, &ValueState::Any, dog, false), ValueState::Any);
+        // Filtering to nothing normalizes to Empty.
+        let only_null = ValueState::null();
+        assert_eq!(filter_typecheck(&p, &only_null, dog, false), ValueState::Empty);
+    }
+
+    #[test]
+    fn declared_filter_keeps_null_but_drops_foreign_types() {
+        let (p, animal, dog, cat) = hierarchy();
+        let mut input = TypeSet::null_only();
+        input.insert(dog);
+        input.insert(cat);
+        let input = ValueState::Types(input);
+
+        // Declared Dog: null stays (a reference parameter may be null).
+        let out = declared_filter(&p, &input, TypeRef::Object(dog));
+        let s = out.types().unwrap();
+        assert!(s.contains(dog) && s.contains_null() && !s.contains(cat));
+
+        // Declared Animal keeps everything.
+        let out = declared_filter(&p, &input, TypeRef::Object(animal));
+        assert_eq!(out.types().unwrap().len(), 3);
+
+        // Primitive declarations pass anything through.
+        assert_eq!(declared_filter(&p, &ValueState::Const(7), TypeRef::Prim), ValueState::Const(7));
+        assert_eq!(declared_filter(&p, &input, TypeRef::Prim), input);
+    }
+
+    #[test]
+    fn saturation_widens_only_above_threshold() {
+        let (_, animal, dog, cat) = hierarchy();
+        let mut s = types_of(&[animal, dog, cat]);
+        maybe_saturate(&mut s, None);
+        assert!(matches!(s, ValueState::Types(_)), "no threshold, no widening");
+        maybe_saturate(&mut s, Some(3));
+        assert!(matches!(s, ValueState::Types(_)), "at the threshold, keep");
+        maybe_saturate(&mut s, Some(2));
+        assert_eq!(s, ValueState::Any, "above the threshold, widen");
+        // Primitives are never saturated.
+        let mut c = ValueState::Const(1);
+        maybe_saturate(&mut c, Some(0));
+        assert_eq!(c, ValueState::Const(1));
+    }
+}

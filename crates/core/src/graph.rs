@@ -1,0 +1,258 @@
+//! The predicated value propagation graph (PVPG): flow arena, the three
+//! edge kinds, call sites, field sinks, and per-method graph summaries.
+
+use crate::flow::{CallSite, Flow, FlowId, FlowKind, SiteId};
+use skipflow_ir::{BlockId, FieldId, MethodId, TypeRef};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The classification of a branching instruction, used by the paper's
+/// counter metrics (Type Checks / Null Checks / Prim Checks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckCategory {
+    /// `instanceof` conditions.
+    Type,
+    /// Comparisons against a `null` literal (and reference equality).
+    Null,
+    /// Primitive comparisons.
+    Prim,
+}
+
+/// Metrics/reporting record for one `if` instruction: the filtering flows
+/// whose emptiness decides whether each branch is dead.
+#[derive(Clone, Debug)]
+pub struct IfRecord {
+    /// Block ending with the `if`.
+    pub block: BlockId,
+    /// Metric category of the check.
+    pub category: CheckCategory,
+    /// Entry predicate of the then branch (last filter in its chain).
+    pub then_pred: FlowId,
+    /// Entry predicate of the else branch.
+    pub else_pred: FlowId,
+}
+
+/// The PVPG fragment of one method, plus reporting metadata.
+#[derive(Clone, Debug, Default)]
+pub struct MethodGraph {
+    /// Parameter flows, receiver first for instance methods.
+    pub params: Vec<FlowId>,
+    /// The method-return flow (joins all return sites).
+    pub ret: Option<FlowId>,
+    /// Call sites in source order.
+    pub sites: Vec<SiteId>,
+    /// All flows created for the method.
+    pub flows: Vec<FlowId>,
+    /// Per-`if` records for the counter metrics.
+    pub ifs: Vec<IfRecord>,
+    /// Entry predicate of each basic block (indexed by block id);
+    /// block-level liveness = that flow is active.
+    pub block_preds: Vec<FlowId>,
+    /// One flow per (block, statement) pair for instruction-level liveness,
+    /// aligned with the body's statement enumeration.
+    pub stmt_flows: Vec<Vec<FlowId>>,
+}
+
+/// The whole-program PVPG.
+#[derive(Clone, Debug)]
+pub struct Pvpg {
+    /// Flow arena.
+    pub flows: Vec<Flow>,
+    /// Call-site arena.
+    pub sites: Vec<CallSite>,
+    /// The always-enabled predicate.
+    pub pred_on: FlowId,
+    /// Global pool of thrown exception values.
+    pub thrown_sink: FlowId,
+    /// Global pool of unsafe-accessed field values.
+    pub unsafe_sink: FlowId,
+    /// Per-method graphs, created when a method becomes reachable.
+    pub methods: BTreeMap<MethodId, MethodGraph>,
+    /// Per-field sinks, created on first access.
+    field_sinks: HashMap<FieldId, FlowId>,
+    /// Dedup set for dynamically added use edges (field/invoke linking).
+    dynamic_use_edges: HashSet<(FlowId, FlowId)>,
+}
+
+impl Pvpg {
+    /// Creates a PVPG containing only the global flows.
+    pub fn new() -> Self {
+        let mut g = Pvpg {
+            flows: Vec::new(),
+            sites: Vec::new(),
+            pred_on: FlowId(0),
+            thrown_sink: FlowId(0),
+            unsafe_sink: FlowId(0),
+            methods: BTreeMap::new(),
+            field_sinks: HashMap::new(),
+            dynamic_use_edges: HashSet::new(),
+        };
+        g.pred_on = g.add_flow(Flow::new(FlowKind::PredOn, None, None));
+        g.thrown_sink = g.add_flow(Flow::new(FlowKind::ThrownSink, None, None));
+        g.unsafe_sink = g.add_flow(Flow::new(FlowKind::UnsafeSink, None, None));
+        g
+    }
+
+    /// Adds a flow and returns its id.
+    pub fn add_flow(&mut self, flow: Flow) -> FlowId {
+        let id = FlowId::from_index(self.flows.len());
+        self.flows.push(flow);
+        id
+    }
+
+    /// Immutable access to a flow.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.index()]
+    }
+
+    /// Mutable access to a flow.
+    pub fn flow_mut(&mut self, id: FlowId) -> &mut Flow {
+        &mut self.flows[id.index()]
+    }
+
+    /// Number of flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Adds a call site and returns its id.
+    pub fn add_site(&mut self, site: CallSite) -> SiteId {
+        let id = SiteId::from_index(self.sites.len());
+        self.sites.push(site);
+        id
+    }
+
+    /// Immutable access to a call site.
+    pub fn site(&self, id: SiteId) -> &CallSite {
+        &self.sites[id.index()]
+    }
+
+    /// Mutable access to a call site.
+    pub fn site_mut(&mut self, id: SiteId) -> &mut CallSite {
+        &mut self.sites[id.index()]
+    }
+
+    /// Adds a use edge `s ⇝use t` (construction-time; caller guarantees
+    /// no duplicates).
+    pub fn add_use(&mut self, s: FlowId, t: FlowId) {
+        self.flows[s.index()].uses.push(t);
+    }
+
+    /// Adds a use edge with deduplication (for edges discovered during
+    /// solving: field accesses and invoke linking). Returns `true` if the
+    /// edge is new.
+    pub fn add_use_dedup(&mut self, s: FlowId, t: FlowId) -> bool {
+        if self.dynamic_use_edges.insert((s, t)) {
+            self.flows[s.index()].uses.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds a predicate edge `s ⇝pred t`.
+    pub fn add_pred(&mut self, s: FlowId, t: FlowId) {
+        self.flows[s.index()].pred_out.push(t);
+    }
+
+    /// Adds an observe edge `s ⇝obs t`.
+    pub fn add_observe(&mut self, s: FlowId, t: FlowId) {
+        self.flows[s.index()].observers.push(t);
+    }
+
+    /// The field sink for `field`, created on first request (always enabled:
+    /// field state exists independently of any one access site).
+    pub fn field_sink(&mut self, field: FieldId) -> FlowId {
+        if let Some(&f) = self.field_sinks.get(&field) {
+            return f;
+        }
+        let mut flow = Flow::new(FlowKind::FieldSink { field }, None, None);
+        flow.enabled = true;
+        let id = self.add_flow(flow);
+        self.field_sinks.insert(field, id);
+        id
+    }
+
+    /// The field sink for `field` if it was ever accessed.
+    pub fn field_sink_opt(&self, field: FieldId) -> Option<FlowId> {
+        self.field_sinks.get(&field).copied()
+    }
+
+    /// The method graph of `m`, if the method has become reachable.
+    pub fn method_graph(&self, m: MethodId) -> Option<&MethodGraph> {
+        self.methods.get(&m)
+    }
+
+    /// Creates an always-enabled injection source bounded by `declared`.
+    pub fn add_root_source(&mut self, declared: TypeRef) -> FlowId {
+        let mut flow = Flow::new(FlowKind::RootSource { declared }, None, None);
+        flow.enabled = true;
+        self.add_flow(flow)
+    }
+
+    /// Total number of edges of each kind `(use, pred, observe)` — used by
+    /// statistics and sanity tests.
+    pub fn edge_counts(&self) -> (usize, usize, usize) {
+        let mut u = 0;
+        let mut p = 0;
+        let mut o = 0;
+        for f in &self.flows {
+            u += f.uses.len();
+            p += f.pred_out.len();
+            o += f.observers.len();
+        }
+        (u, p, o)
+    }
+}
+
+impl Default for Pvpg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_has_global_flows() {
+        let g = Pvpg::new();
+        assert_eq!(g.flow_count(), 3);
+        assert!(matches!(g.flow(g.pred_on).kind, FlowKind::PredOn));
+        assert!(matches!(g.flow(g.thrown_sink).kind, FlowKind::ThrownSink));
+        assert!(matches!(g.flow(g.unsafe_sink).kind, FlowKind::UnsafeSink));
+    }
+
+    #[test]
+    fn field_sinks_are_created_once() {
+        let mut g = Pvpg::new();
+        let f = FieldId::from_index(0);
+        let a = g.field_sink(f);
+        let b = g.field_sink(f);
+        assert_eq!(a, b);
+        assert!(g.flow(a).enabled);
+        assert_eq!(g.field_sink_opt(FieldId::from_index(1)), None);
+    }
+
+    #[test]
+    fn dynamic_use_edges_deduplicate() {
+        let mut g = Pvpg::new();
+        let a = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        assert!(g.add_use_dedup(a, b));
+        assert!(!g.add_use_dedup(a, b));
+        assert_eq!(g.flow(a).uses.len(), 1);
+    }
+
+    #[test]
+    fn edge_counts_sum_all_kinds() {
+        let mut g = Pvpg::new();
+        let a = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        g.add_use(a, b);
+        g.add_pred(a, b);
+        g.add_pred(b, a);
+        g.add_observe(a, b);
+        assert_eq!(g.edge_counts(), (1, 2, 1));
+    }
+}

@@ -1,0 +1,70 @@
+//! # skipflow-core
+//!
+//! SkipFlow (Kozak, Stancu, Vojnar, Wimmer — CGO 2025): a predicated
+//! points-to analysis that
+//!
+//! 1. tracks **primitive constant values** interprocedurally through the
+//!    lattice `Empty ⊑ {c} ⊑ Any`, and
+//! 2. models the branching structure of the program with **predicate
+//!    edges**: a flow only propagates values once the condition guarding it
+//!    has a non-empty value state.
+//!
+//! Both features ride on a **predicated value propagation graph** (PVPG)
+//! whose vertices ("flows") are connected by *use*, *predicate*, and
+//! *observe* edges (paper §4). The baseline type-based points-to analysis of
+//! GraalVM Native Image is the same engine with both features switched off —
+//! see [`AnalysisConfig::baseline_pta`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use skipflow_core::{analyze, AnalysisConfig};
+//! use skipflow_ir::frontend::compile;
+//!
+//! let program = compile(
+//!     "class Config { static method flag(): int { return 0; } }
+//!      class App {
+//!        static method used(): void { return; }
+//!        static method dead(): void { return; }
+//!        static method main(): void {
+//!          if (Config.flag()) { App.dead(); } else { App.used(); }
+//!        }
+//!      }",
+//! )?;
+//! let app = program.type_by_name("App").unwrap();
+//! let main = program.method_by_name(app, "main").unwrap();
+//!
+//! let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+//!
+//! // SkipFlow propagates the constant 0 out of Config.flag() and proves the
+//! // then-branch dead: App.dead is never analyzed.
+//! let dead = program.method_by_name(app, "dead").unwrap();
+//! let used = program.method_by_name(app, "used").unwrap();
+//! assert!(!result.is_reachable(dead));
+//! assert!(result.is_reachable(used));
+//! # Ok::<(), skipflow_ir::frontend::FrontendError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod build;
+pub mod compare;
+mod config;
+pub mod dot;
+mod engine;
+mod flow;
+mod graph;
+pub mod lattice;
+pub mod metrics;
+mod report;
+pub mod shrink;
+
+pub use compare::compare;
+pub use config::{AnalysisConfig, SolverKind};
+pub use engine::analyze;
+pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId};
+pub use graph::{CheckCategory, IfRecord, MethodGraph, Pvpg};
+pub use lattice::{TypeSet, ValueState};
+pub use metrics::{compute_metrics, Metrics};
+pub use report::{AnalysisResult, CallEdge, CallSiteInfo, SolveStats};

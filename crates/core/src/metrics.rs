@@ -1,0 +1,119 @@
+//! The paper's evaluation metrics (§6 "Counter Metrics"): per benchmark and
+//! configuration, the number of reachable methods, the branching
+//! instructions that cannot be removed or simplified using the analysis
+//! results (split into Type / Null / Prim checks), the virtual calls that
+//! could not be devirtualized (PolyCalls), and the binary-size proxy.
+
+use crate::flow::CallKind;
+use crate::graph::CheckCategory;
+use crate::report::AnalysisResult;
+use skipflow_ir::Program;
+use std::fmt;
+
+/// Bytes charged per surviving instruction by the binary-size proxy.
+pub const BYTES_PER_INSTRUCTION: usize = 16;
+/// Fixed per-method overhead (metadata, frames) charged by the proxy.
+pub const BYTES_PER_METHOD: usize = 48;
+
+/// The metric set of one (benchmark × configuration) cell of Table 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Methods marked reachable by the analysis.
+    pub reachable_methods: usize,
+    /// `instanceof` branches where both successors stay live.
+    pub type_checks: usize,
+    /// Null-comparison branches where both successors stay live.
+    pub null_checks: usize,
+    /// Primitive-comparison branches where both successors stay live.
+    pub prim_checks: usize,
+    /// Virtual call sites with two or more resolved targets.
+    pub poly_calls: usize,
+    /// Instructions in reachable methods whose flows are enabled (dead
+    /// branches excluded).
+    pub live_instructions: usize,
+    /// The binary-size proxy in bytes (see [`BYTES_PER_INSTRUCTION`]).
+    pub binary_size_bytes: usize,
+}
+
+impl Metrics {
+    /// Binary size in (fractional) megabytes.
+    pub fn binary_size_mb(&self) -> f64 {
+        self.binary_size_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "methods={} type={} null={} prim={} poly={} instrs={} size={}B",
+            self.reachable_methods,
+            self.type_checks,
+            self.null_checks,
+            self.prim_checks,
+            self.poly_calls,
+            self.live_instructions,
+            self.binary_size_bytes
+        )
+    }
+}
+
+/// Computes the counter metrics from a finished analysis.
+pub fn compute_metrics(result: &AnalysisResult, program: &Program) -> Metrics {
+    let g = result.graph();
+    let mut m = Metrics {
+        reachable_methods: result.reachable_methods().len(),
+        ..Metrics::default()
+    };
+
+    for (&method, mg) in &g.methods {
+        let body = match &program.method(method).body {
+            Some(b) => b,
+            None => continue,
+        };
+
+        // Branching-instruction counters: a check survives when the `if`
+        // itself is live and neither branch is proven dead.
+        for rec in &mg.ifs {
+            let if_live = g.flow(mg.block_preds[rec.block.index()]).is_active();
+            if !if_live {
+                continue;
+            }
+            let then_live = g.flow(rec.then_pred).is_active();
+            let else_live = g.flow(rec.else_pred).is_active();
+            if then_live && else_live {
+                match rec.category {
+                    CheckCategory::Type => m.type_checks += 1,
+                    CheckCategory::Null => m.null_checks += 1,
+                    CheckCategory::Prim => m.prim_checks += 1,
+                }
+            }
+        }
+
+        // PolyCalls: enabled virtual sites with ≥ 2 resolved targets.
+        for &site in &mg.sites {
+            let s = g.site(site);
+            if s.kind == CallKind::Virtual && g.flow(s.flow).enabled && s.linked.len() >= 2 {
+                m.poly_calls += 1;
+            }
+        }
+
+        // Live instructions: statements whose flows are enabled, plus one
+        // terminator per live block.
+        for (bi, _block) in body.iter_blocks() {
+            let block_live = g.flow(mg.block_preds[bi.index()]).is_active();
+            if block_live {
+                m.live_instructions += 1; // terminator
+            }
+            for &f in &mg.stmt_flows[bi.index()] {
+                if g.flow(f).enabled {
+                    m.live_instructions += 1;
+                }
+            }
+        }
+    }
+
+    m.binary_size_bytes =
+        m.live_instructions * BYTES_PER_INSTRUCTION + m.reachable_methods * BYTES_PER_METHOD;
+    m
+}

@@ -1,0 +1,292 @@
+//! The analysis result: reachability, value states, call-graph queries,
+//! liveness, and dead-code reports.
+
+use crate::config::AnalysisConfig;
+use crate::flow::{CallKind, FlowKind, SiteId};
+use crate::graph::Pvpg;
+use crate::lattice::ValueState;
+use crate::metrics::{compute_metrics, Metrics};
+use skipflow_ir::{BitSet, BlockId, MethodId, Program, TypeId};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Solver statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SolveStats {
+    /// Worklist steps executed.
+    pub steps: u64,
+    /// Flows in the final PVPG.
+    pub flows: usize,
+    /// Use edges.
+    pub use_edges: usize,
+    /// Predicate edges.
+    pub pred_edges: usize,
+    /// Observe edges.
+    pub obs_edges: usize,
+    /// Wall-clock analysis time.
+    pub duration: Duration,
+}
+
+/// The outcome of one analysis run (see [`crate::analyze`]).
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    graph: Pvpg,
+    reachable: BTreeSet<MethodId>,
+    instantiated: BitSet,
+    config: AnalysisConfig,
+    stats: SolveStats,
+}
+
+impl AnalysisResult {
+    pub(crate) fn new(
+        graph: Pvpg,
+        reachable: BTreeSet<MethodId>,
+        instantiated: BitSet,
+        config: AnalysisConfig,
+        mut stats: SolveStats,
+    ) -> Self {
+        stats.flows = graph.flow_count();
+        AnalysisResult {
+            graph,
+            reachable,
+            instantiated,
+            config,
+            stats,
+        }
+    }
+
+    /// The final PVPG (for advanced inspection and the bench harness).
+    pub fn graph(&self) -> &Pvpg {
+        &self.graph
+    }
+
+    /// The configuration the analysis ran under.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// The set of reachable methods (the paper's `R`).
+    pub fn reachable_methods(&self) -> &BTreeSet<MethodId> {
+        &self.reachable
+    }
+
+    /// Whether `m` was marked reachable.
+    pub fn is_reachable(&self, m: MethodId) -> bool {
+        self.reachable.contains(&m)
+    }
+
+    /// Whether any enabled `new T` for this exact type was reached.
+    pub fn is_instantiated(&self, t: TypeId) -> bool {
+        self.instantiated.contains(t.index())
+    }
+
+    /// The value state returned by `m` (the out-state of its method-return
+    /// flow). `None` if `m` is unreachable or never returns.
+    pub fn return_state(&self, m: MethodId) -> Option<&ValueState> {
+        let mg = self.graph.method_graph(m)?;
+        let ret = mg.ret?;
+        Some(&self.graph.flow(ret).out_state)
+    }
+
+    /// The value state of parameter `i` of `m` (receiver = 0 for instance
+    /// methods).
+    pub fn param_state(&self, m: MethodId, i: usize) -> Option<&ValueState> {
+        let mg = self.graph.method_graph(m)?;
+        let p = *mg.params.get(i)?;
+        Some(&self.graph.flow(p).out_state)
+    }
+
+    /// The resolved targets of each call site in `m`, in source order:
+    /// `(site, kind, linked targets, enabled)`.
+    pub fn call_sites(&self, m: MethodId) -> Vec<CallSiteInfo> {
+        let Some(mg) = self.graph.method_graph(m) else {
+            return Vec::new();
+        };
+        mg.sites
+            .iter()
+            .map(|&s| {
+                let site = self.graph.site(s);
+                CallSiteInfo {
+                    site: s,
+                    kind: site.kind,
+                    targets: site.linked.clone(),
+                    enabled: self.graph.flow(site.flow).enabled,
+                }
+            })
+            .collect()
+    }
+
+    /// Per-block liveness of `m`'s body (`true` = the block's entry
+    /// predicate is active). Empty if `m` is unreachable.
+    pub fn live_blocks(&self, m: MethodId) -> Vec<bool> {
+        let Some(mg) = self.graph.method_graph(m) else {
+            return Vec::new();
+        };
+        mg.block_preds
+            .iter()
+            .map(|&p| self.graph.flow(p).is_active())
+            .collect()
+    }
+
+    /// The blocks of `m` proven unreachable by the analysis — the dead-code
+    /// elimination opportunities of §6 "Impact on Compiler Optimizations".
+    pub fn dead_blocks(&self, m: MethodId) -> Vec<BlockId> {
+        self.live_blocks(m)
+            .iter()
+            .enumerate()
+            .filter(|(_, live)| !**live)
+            .map(|(i, _)| BlockId::from_index(i))
+            .collect()
+    }
+
+    /// Virtual call sites in `m` devirtualized to exactly one target.
+    pub fn devirtualized_sites(&self, m: MethodId) -> Vec<(SiteId, MethodId)> {
+        self.call_sites(m)
+            .into_iter()
+            .filter(|s| s.enabled && s.kind == CallKind::Virtual && s.targets.len() == 1)
+            .map(|s| (s.site, s.targets[0]))
+            .collect()
+    }
+
+    /// The out-state of the flow created for statement `stmt` of block
+    /// `block` in `m` (for fine-grained assertions in tests).
+    pub fn stmt_state(&self, m: MethodId, block: BlockId, stmt: usize) -> Option<&ValueState> {
+        let mg = self.graph.method_graph(m)?;
+        let f = *mg.stmt_flows.get(block.index())?.get(stmt)?;
+        Some(&self.graph.flow(f).out_state)
+    }
+
+    /// Whether the flow of statement `stmt` in `block` of `m` is enabled.
+    pub fn stmt_enabled(&self, m: MethodId, block: BlockId, stmt: usize) -> Option<bool> {
+        let mg = self.graph.method_graph(m)?;
+        let f = *mg.stmt_flows.get(block.index())?.get(stmt)?;
+        Some(self.graph.flow(f).enabled)
+    }
+
+    /// Computes the paper's counter metrics.
+    pub fn metrics(&self, program: &Program) -> Metrics {
+        compute_metrics(self, program)
+    }
+
+    /// Renders a human-readable dead-code report for one method.
+    pub fn dead_code_report(&self, program: &Program, m: MethodId) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let label = program.method_label(m);
+        if !self.is_reachable(m) {
+            let _ = writeln!(out, "{label}: unreachable (entire method removed)");
+            return out;
+        }
+        let dead = self.dead_blocks(m);
+        if dead.is_empty() {
+            let _ = writeln!(out, "{label}: fully live");
+        } else {
+            let _ = writeln!(out, "{label}: dead blocks {dead:?}");
+        }
+        for info in self.call_sites(m) {
+            if !info.enabled {
+                let _ = writeln!(out, "  call site {:?}: unreachable", info.site);
+            } else if info.kind == CallKind::Virtual {
+                let names: Vec<String> = info
+                    .targets
+                    .iter()
+                    .map(|t| program.method_label(*t))
+                    .collect();
+                let tag = match names.len() {
+                    0 => "no targets (dead receiver)".to_string(),
+                    1 => format!("devirtualized -> {}", names[0]),
+                    _ => format!("polymorphic -> {{{}}}", names.join(", ")),
+                };
+                let _ = writeln!(out, "  call site {:?}: {tag}", info.site);
+            }
+        }
+        out
+    }
+
+    /// Flow-level view used by debugging tests: the out-state of the `new T`
+    /// flows of a type, if any were created.
+    pub fn allocation_enabled(&self, t: TypeId) -> bool {
+        self.graph
+            .flows
+            .iter()
+            .any(|f| matches!(f.kind, FlowKind::New(ty) if ty == t) && f.enabled)
+    }
+
+    /// The call graph induced by the analysis: one `(caller, site, callee)`
+    /// edge per linked target of every enabled call site, in deterministic
+    /// order. This is the artifact consumed by the call-graph-construction
+    /// applications the paper's introduction cites.
+    pub fn call_graph_edges(&self) -> Vec<CallEdge> {
+        let mut edges = Vec::new();
+        for (&caller, mg) in &self.graph.methods {
+            for &site in &mg.sites {
+                let s = self.graph.site(site);
+                if !self.graph.flow(s.flow).enabled {
+                    continue;
+                }
+                for &callee in &s.linked {
+                    edges.push(CallEdge {
+                        caller,
+                        site,
+                        callee,
+                        kind: s.kind,
+                    });
+                }
+            }
+        }
+        edges
+    }
+
+    /// Renders the call graph as Graphviz `dot` (method-level nodes;
+    /// polymorphic sites produce multiple out-edges).
+    pub fn call_graph_dot(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph callgraph {\n  rankdir=LR;\n  node [shape=box];\n");
+        for &m in &self.reachable {
+            let _ = writeln!(out, "  m{} [label=\"{}\"];", m.index(), program.method_label(m));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for e in self.call_graph_edges() {
+            if seen.insert((e.caller, e.callee)) {
+                let style = match e.kind {
+                    CallKind::Virtual => "",
+                    CallKind::Static => " [style=dashed]",
+                };
+                let _ = writeln!(out, "  m{} -> m{}{style};", e.caller.index(), e.callee.index());
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// One edge of the computed call graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallEdge {
+    /// The calling method.
+    pub caller: MethodId,
+    /// The call site within the caller.
+    pub site: SiteId,
+    /// The resolved target.
+    pub callee: MethodId,
+    /// Virtual or static dispatch.
+    pub kind: CallKind,
+}
+
+/// Summary of one call site for reports.
+#[derive(Clone, Debug)]
+pub struct CallSiteInfo {
+    /// Site id.
+    pub site: SiteId,
+    /// Virtual or static.
+    pub kind: CallKind,
+    /// Targets linked by the analysis.
+    pub targets: Vec<MethodId>,
+    /// Whether the invoke flow was ever enabled.
+    pub enabled: bool,
+}

@@ -1,0 +1,263 @@
+//! A dense, growable bitset used for type sets and CFG analyses.
+//!
+//! The analysis engine manipulates sets of [`crate::TypeId`]s constantly
+//! (value states, subtype masks, filter results), so the representation is a
+//! plain `Vec<u64>` with word-level operations.
+
+use std::fmt;
+
+/// A dense bitset over `usize` indices.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+const BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bitset with capacity for `n` bits.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(BITS)],
+        }
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns the number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sets bit `i`, growing the storage as needed. Returns `true` if the bit
+    /// was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / BITS, i % BITS);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Clears bit `i`. Returns `true` if the bit was previously set.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / BITS, i % BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Returns `true` if bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / BITS, i % BITS);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Removes all bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Unions `other` into `self`. Returns `true` if any bit changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Intersects `self` with `other` in place. Returns `true` if any bit
+    /// changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (i, a) in self.words.iter_mut().enumerate() {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Removes all bits of `other` from `self`. Returns `true` if any bit
+    /// changed.
+    pub fn difference_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *a & !b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Returns `true` if every bit of `self` is also set in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &a)| {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            a & !b == 0
+        })
+    }
+
+    /// Returns `true` if `self` and `other` share no bit.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over set bit indices, produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * BITS + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_across_words() {
+        let mut s = BitSet::new();
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(1000);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 1000]);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a: BitSet = [1, 2, 3].into_iter().collect();
+        let b: BitSet = [2, 3, 4, 200].into_iter().collect();
+
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 200]);
+        assert!(!u.union_with(&b));
+
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+
+        let mut d = a.clone();
+        assert!(d.difference_with(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a: BitSet = [1, 2].into_iter().collect();
+        let b: BitSet = [1, 2, 3].into_iter().collect();
+        let c: BitSet = [9, 300].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        // Empty set is subset of everything and disjoint from everything.
+        let e = BitSet::new();
+        assert!(e.is_subset(&a));
+        assert!(e.is_disjoint(&a));
+    }
+
+    #[test]
+    fn intersect_with_shorter_other_truncates() {
+        let mut a: BitSet = [1, 100].into_iter().collect();
+        let b: BitSet = [1].into_iter().collect();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: BitSet = [1, 5].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 5}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Abstract syntax tree of the Java-like surface syntax.
+
+use crate::instr::CmpOp;
+
+/// A parsed program: a list of class/interface declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstProgram {
+    /// Declarations in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// The kind of a declared type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstTypeKind {
+    /// `class`
+    Class,
+    /// `abstract class`
+    AbstractClass,
+    /// `interface`
+    Interface,
+}
+
+/// A class or interface declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Type name.
+    pub name: String,
+    /// Class / abstract class / interface.
+    pub kind: AstTypeKind,
+    /// `extends` clause (superclass for classes, ignored-for-now list head
+    /// for interfaces is represented via `implements`).
+    pub extends: Option<String>,
+    /// `implements` clause (interfaces).
+    pub implements: Vec<String>,
+    /// Field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Method declarations.
+    pub methods: Vec<MethodDecl>,
+}
+
+/// A declared type annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstType {
+    /// `void` (return types only).
+    Void,
+    /// `int`.
+    Int,
+    /// A class or interface name.
+    Named(String),
+}
+
+/// A field declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AstType,
+    /// `static` flag.
+    pub is_static: bool,
+}
+
+/// A method declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// Method name.
+    pub name: String,
+    /// `static` flag.
+    pub is_static: bool,
+    /// `abstract` flag.
+    pub is_abstract: bool,
+    /// Parameters (name, declared type), receiver excluded.
+    pub params: Vec<(String, AstType)>,
+    /// Declared return type.
+    pub ret: AstType,
+    /// Body statements; `None` for abstract methods.
+    pub body: Option<Vec<AstStmt>>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstStmt {
+    /// `var name = expr;`
+    VarDecl {
+        /// Declared local name.
+        name: String,
+        /// Initializer.
+        init: AstExpr,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Assigned local name.
+        name: String,
+        /// New value.
+        value: AstExpr,
+    },
+    /// `recv.field = expr;` (instance) or `Class.field = expr;` (static).
+    FieldStore {
+        /// Receiver expression (a class name resolves to a static store).
+        recv: AstExpr,
+        /// Field name.
+        field: String,
+        /// Stored value.
+        value: AstExpr,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr(AstExpr),
+    /// `if (cond) { … } [else { … }]`
+    If {
+        /// Branch condition.
+        cond: AstCond,
+        /// Then branch.
+        then_body: Vec<AstStmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<AstStmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition.
+        cond: AstCond,
+        /// Loop body.
+        body: Vec<AstStmt>,
+    },
+    /// `return [expr];`
+    Return(Option<AstExpr>),
+    /// `throw expr;`
+    Throw(AstExpr),
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstExpr {
+    /// Integer literal.
+    Int(i64),
+    /// `null`.
+    Null,
+    /// `any()` — opaque arithmetic producing lattice `Any`.
+    Any,
+    /// `this`.
+    This,
+    /// `new Class()`.
+    New(String),
+    /// A name: local variable, parameter, or (as a receiver) a class name.
+    Var(String),
+    /// `recv.field` — instance load, or static load when `recv` names a class.
+    Load {
+        /// Receiver.
+        recv: Box<AstExpr>,
+        /// Field name.
+        field: String,
+    },
+    /// `recv.m(args)` — virtual call, or static call when `recv` names a class.
+    Call {
+        /// Receiver.
+        recv: Box<AstExpr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+    },
+    /// `catch (Class)` — exception-handler entry.
+    Catch(String),
+}
+
+/// A branch condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstCond {
+    /// `lhs op rhs`
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: AstExpr,
+        /// Right operand.
+        rhs: AstExpr,
+    },
+    /// `expr instanceof Class` (possibly negated).
+    InstanceOf {
+        /// Tested expression.
+        expr: AstExpr,
+        /// Tested class name.
+        class: String,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// A bare (or `!`-prefixed) expression used as a condition; desugars to
+    /// `expr != 0` (or `expr == 0`), matching the paper's boolean encoding.
+    Truthy {
+        /// Tested expression.
+        expr: AstExpr,
+        /// Negation flag (`!expr`).
+        negated: bool,
+    },
+    /// Short-circuit conjunction `a && b`; lowering duplicates the else
+    /// branch (the base language has no boolean values).
+    And(Box<AstCond>, Box<AstCond>),
+    /// Short-circuit disjunction `a || b`; lowering duplicates the then
+    /// branch.
+    Or(Box<AstCond>, Box<AstCond>),
+}

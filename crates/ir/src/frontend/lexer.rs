@@ -1,0 +1,281 @@
+//! Tokenizer for the Java-like surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal (optionally negative).
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+        }
+    }
+}
+
+/// A token together with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A tokenization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the failure.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. Line comments start with `//`.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            tokens.push(Spanned { token: $tok, line, col });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Token::LParen, 1),
+            ')' => push!(Token::RParen, 1),
+            '{' => push!(Token::LBrace, 1),
+            '}' => push!(Token::RBrace, 1),
+            ',' => push!(Token::Comma, 1),
+            ';' => push!(Token::Semi, 1),
+            ':' => push!(Token::Colon, 1),
+            '.' => push!(Token::Dot, 1),
+            '=' if bytes.get(i + 1) == Some(&b'=') => push!(Token::EqEq, 2),
+            '=' => push!(Token::Assign, 1),
+            '&' if bytes.get(i + 1) == Some(&b'&') => push!(Token::AndAnd, 2),
+            '|' if bytes.get(i + 1) == Some(&b'|') => push!(Token::OrOr, 2),
+            '!' if bytes.get(i + 1) == Some(&b'=') => push!(Token::NotEq, 2),
+            '!' => push!(Token::Bang, 1),
+            '<' if bytes.get(i + 1) == Some(&b'=') => push!(Token::Le, 2),
+            '<' => push!(Token::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'=') => push!(Token::Ge, 2),
+            '>' => push!(Token::Gt, 1),
+            '-' | '0'..='9' => {
+                let start = i;
+                let start_col = col;
+                if c == '-' {
+                    i += 1;
+                    col += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        return Err(LexError {
+                            message: "expected digits after '-'".to_string(),
+                            line,
+                            col: start_col,
+                        });
+                    }
+                }
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[start..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal {text:?} out of range"),
+                    line,
+                    col: start_col,
+                })?;
+                tokens.push(Spanned {
+                    token: Token::Int(value),
+                    line,
+                    col: start_col,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let start_col = col;
+                while matches!(bytes.get(i), Some(b) if (*b as char).is_ascii_alphanumeric() || *b == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(src[start..i].to_string()),
+                    line,
+                    col: start_col,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_operators() {
+        assert_eq!(
+            toks("(){};,.: = == != < <= > >= !"),
+            vec![
+                Token::LParen,
+                Token::RParen,
+                Token::LBrace,
+                Token::RBrace,
+                Token::Semi,
+                Token::Comma,
+                Token::Dot,
+                Token::Colon,
+                Token::Assign,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Bang,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_idents_and_ints() {
+        assert_eq!(
+            toks("foo _bar x1 42 -7"),
+            vec![
+                Token::Ident("foo".into()),
+                Token::Ident("_bar".into()),
+                Token::Ident("x1".into()),
+                Token::Int(42),
+                Token::Int(-7),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let spanned = tokenize("a // comment\n  b").unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[1].col, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn rejects_bare_minus() {
+        assert!(tokenize("x = - ;").is_err());
+    }
+}

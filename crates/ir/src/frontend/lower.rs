@@ -1,0 +1,688 @@
+//! Lowering from the structured AST to SSA [`crate::Body`] values — the
+//! stand-in for the paper's bytecode parsing phase.
+//!
+//! SSA construction uses the structured-control-flow algorithm: an
+//! environment maps each local to its current SSA definition; `if`/`else`
+//! branches are lowered under cloned environments and reconciled with φ
+//! instructions at the merge; `while` headers pre-create φs for every local
+//! assigned anywhere in the loop body.
+
+use super::ast::*;
+use crate::builder::{BodyBuilder, ProgramBuilder};
+use crate::ids::{FieldId, MethodId, TypeId, VarId};
+use crate::instr::{BlockEnd, CmpOp, Cond};
+use crate::program::Program;
+use crate::types::TypeRef;
+use std::collections::{BTreeMap, HashMap};
+
+/// A lowering failure (name resolution, structure, or typing problems the
+/// parser cannot see).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowerError {
+    /// Description, including the offending names.
+    pub message: String,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, LowerError> {
+    Err(LowerError {
+        message: message.into(),
+    })
+}
+
+/// Lowers a parsed program into a validated [`Program`].
+pub fn lower(ast: &AstProgram) -> Result<Program, super::FrontendError> {
+    let order = topo_order(ast).map_err(super::FrontendError::Lower)?;
+    let mut pb = ProgramBuilder::new();
+    let mut ctx = Ctx::default();
+
+    // Pass 1a: declare types in topological order.
+    for &ci in &order {
+        let c = &ast.classes[ci];
+        let id = match c.kind {
+            AstTypeKind::Interface => {
+                let exts = resolve_names(&ctx, &c.implements).map_err(super::FrontendError::Lower)?;
+                pb.add_interface(&c.name, &exts)
+            }
+            AstTypeKind::Class | AstTypeKind::AbstractClass => {
+                let mut cb = pb.class(&c.name);
+                if let Some(sup) = &c.extends {
+                    let sid = *ctx
+                        .classes
+                        .get(sup)
+                        .ok_or_else(|| super::FrontendError::Lower(LowerError {
+                            message: format!("unknown superclass {sup:?} of {:?}", c.name),
+                        }))?;
+                    cb = cb.extends(sid);
+                }
+                for i in &c.implements {
+                    let iid = *ctx.classes.get(i).ok_or_else(|| {
+                        super::FrontendError::Lower(LowerError {
+                            message: format!("unknown interface {i:?} implemented by {:?}", c.name),
+                        })
+                    })?;
+                    cb = cb.implements_(iid);
+                }
+                if c.kind == AstTypeKind::AbstractClass {
+                    cb = cb.abstract_();
+                }
+                cb.build()
+            }
+        };
+        ctx.classes.insert(c.name.clone(), id);
+        if let Some(sup) = &c.extends {
+            if let Some(&sid) = ctx.classes.get(sup) {
+                ctx.supers.insert(id, sid);
+            }
+        }
+    }
+
+    // Pass 1b: declare fields and methods.
+    for &ci in &order {
+        let c = &ast.classes[ci];
+        let owner = ctx.classes[&c.name];
+        for f in &c.fields {
+            let ty = ctx.type_ref(&f.ty).map_err(super::FrontendError::Lower)?;
+            let fid = if f.is_static {
+                pb.add_static_field(owner, &f.name, ty)
+            } else {
+                pb.add_field(owner, &f.name, ty)
+            };
+            ctx.fields.entry(f.name.clone()).or_default().push(fid);
+            ctx.fields_by_owner.insert((owner, f.name.clone()), fid);
+        }
+        for m in &c.methods {
+            let params: Result<Vec<TypeRef>, _> =
+                m.params.iter().map(|(_, t)| ctx.type_ref(t)).collect();
+            let params = params.map_err(super::FrontendError::Lower)?;
+            let ret = ctx.ret_type_ref(&m.ret).map_err(super::FrontendError::Lower)?;
+            let mut mb = pb.method(owner, &m.name).params(params).returns(ret);
+            if m.is_static {
+                mb = mb.static_();
+            }
+            if m.is_abstract {
+                mb = mb.abstract_();
+            }
+            let mid = mb.build();
+            ctx.methods.insert((owner, m.name.clone()), mid);
+        }
+    }
+
+    // Pass 2: lower bodies.
+    for &ci in &order {
+        let c = &ast.classes[ci];
+        let owner = ctx.classes[&c.name];
+        for m in &c.methods {
+            let Some(body_ast) = &m.body else { continue };
+            let mid = ctx.methods[&(owner, m.name.clone())];
+            let body = lower_body(&mut pb, &ctx, m, body_ast)
+                .map_err(super::FrontendError::Lower)?;
+            pb.set_body(mid, body);
+        }
+    }
+
+    pb.finish().map_err(super::FrontendError::Validation)
+}
+
+/// Shared name-resolution context.
+#[derive(Default)]
+struct Ctx {
+    classes: HashMap<String, TypeId>,
+    /// Superclass edges, for static-member lookup along the chain.
+    supers: HashMap<TypeId, TypeId>,
+    /// All declared fields per (unqualified) name — instance field access is
+    /// resolved by unique name because the frontend performs no type
+    /// inference.
+    fields: HashMap<String, Vec<FieldId>>,
+    fields_by_owner: HashMap<(TypeId, String), FieldId>,
+    methods: HashMap<(TypeId, String), MethodId>,
+}
+
+impl Ctx {
+    fn type_ref(&self, t: &AstType) -> Result<TypeRef, LowerError> {
+        match t {
+            AstType::Void => err("void is only valid as a return type"),
+            AstType::Int => Ok(TypeRef::Prim),
+            AstType::Named(n) => {
+                let id = self
+                    .classes
+                    .get(n)
+                    .ok_or_else(|| LowerError {
+                        message: format!("unknown type {n:?}"),
+                    })?;
+                Ok(TypeRef::Object(*id))
+            }
+        }
+    }
+
+    fn ret_type_ref(&self, t: &AstType) -> Result<TypeRef, LowerError> {
+        match t {
+            AstType::Void => Ok(TypeRef::Void),
+            other => self.type_ref(other),
+        }
+    }
+
+    fn class(&self, name: &str) -> Result<TypeId, LowerError> {
+        self.classes.get(name).copied().ok_or_else(|| LowerError {
+            message: format!("unknown class {name:?}"),
+        })
+    }
+}
+
+fn resolve_names(ctx: &Ctx, names: &[String]) -> Result<Vec<TypeId>, LowerError> {
+    names.iter().map(|n| ctx.class(n)).collect()
+}
+
+/// Orders class declarations so that supertypes precede subtypes.
+fn topo_order(ast: &AstProgram) -> Result<Vec<usize>, LowerError> {
+    let index: HashMap<&str, usize> = ast
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+    if index.len() != ast.classes.len() {
+        return err("duplicate class name");
+    }
+    let mut state = vec![0u8; ast.classes.len()]; // 0 unvisited, 1 visiting, 2 done
+    let mut order = Vec::with_capacity(ast.classes.len());
+
+    fn visit(
+        i: usize,
+        ast: &AstProgram,
+        index: &HashMap<&str, usize>,
+        state: &mut [u8],
+        order: &mut Vec<usize>,
+    ) -> Result<(), LowerError> {
+        match state[i] {
+            2 => return Ok(()),
+            1 => {
+                return err(format!(
+                    "inheritance cycle involving {:?}",
+                    ast.classes[i].name
+                ))
+            }
+            _ => {}
+        }
+        state[i] = 1;
+        let c = &ast.classes[i];
+        let mut parents: Vec<&String> = c.implements.iter().collect();
+        if let Some(e) = &c.extends {
+            parents.push(e);
+        }
+        for p in parents {
+            let &pi = index.get(p.as_str()).ok_or_else(|| LowerError {
+                message: format!("unknown supertype {p:?} of {:?}", c.name),
+            })?;
+            visit(pi, ast, index, state, order)?;
+        }
+        state[i] = 2;
+        order.push(i);
+        Ok(())
+    }
+
+    for i in 0..ast.classes.len() {
+        visit(i, ast, &index, &mut state, &mut order)?;
+    }
+    Ok(order)
+}
+
+/// Collects the names assigned (rebound, not declared) anywhere inside a
+/// statement list, recursively.
+fn assigned_names(stmts: &[AstStmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            AstStmt::Assign { name, .. }
+                if !out.contains(name) => {
+                    out.push(name.clone());
+                }
+            AstStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assigned_names(then_body, out);
+                assigned_names(else_body, out);
+            }
+            AstStmt::While { body, .. } => assigned_names(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Whether the straight-line path through these statements terminates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Flow {
+    FallThrough,
+    Terminated,
+}
+
+struct FnLowerer<'a, 'pb> {
+    pb: &'pb mut ProgramBuilder,
+    ctx: &'a Ctx,
+    bb: BodyBuilder,
+    /// Current SSA definition of each local in scope (BTreeMap for
+    /// deterministic φ ordering).
+    env: BTreeMap<String, VarId>,
+    method_name: String,
+    ret_void: bool,
+}
+
+fn lower_body(
+    pb: &mut ProgramBuilder,
+    ctx: &Ctx,
+    m: &MethodDecl,
+    stmts: &[AstStmt],
+) -> Result<crate::body::Body, LowerError> {
+    let mut names: Vec<&str> = Vec::new();
+    if !m.is_static {
+        names.push("this");
+    }
+    for (n, _) in &m.params {
+        names.push(n);
+    }
+    let bb = BodyBuilder::new(&names);
+    let mut env = BTreeMap::new();
+    for (i, n) in names.iter().enumerate() {
+        env.insert((*n).to_string(), bb.param(i));
+    }
+    let mut lw = FnLowerer {
+        pb,
+        ctx,
+        bb,
+        env,
+        method_name: m.name.clone(),
+        ret_void: m.ret == AstType::Void,
+    };
+    let flow = lw.lower_stmts(stmts)?;
+    if flow == Flow::FallThrough {
+        if lw.ret_void {
+            lw.bb.ret(None);
+        } else {
+            return err(format!(
+                "method {:?}: control can fall off the end of a non-void method",
+                m.name
+            ));
+        }
+    }
+    Ok(lw.bb.finish())
+}
+
+impl FnLowerer<'_, '_> {
+    fn lower_stmts(&mut self, stmts: &[AstStmt]) -> Result<Flow, LowerError> {
+        let mut declared: Vec<String> = Vec::new();
+        for (i, s) in stmts.iter().enumerate() {
+            let flow = self.lower_stmt(s, &mut declared)?;
+            if flow == Flow::Terminated {
+                if i + 1 != stmts.len() {
+                    return err(format!(
+                        "method {:?}: unreachable code after return/throw",
+                        self.method_name
+                    ));
+                }
+                return Ok(Flow::Terminated);
+            }
+        }
+        for d in declared {
+            self.env.remove(&d);
+        }
+        Ok(Flow::FallThrough)
+    }
+
+    fn lower_stmt(&mut self, s: &AstStmt, declared: &mut Vec<String>) -> Result<Flow, LowerError> {
+        match s {
+            AstStmt::VarDecl { name, init } => {
+                if self.env.contains_key(name) {
+                    return err(format!("redeclaration of {name:?} in {:?}", self.method_name));
+                }
+                let v = self.lower_expr(init)?;
+                self.env.insert(name.clone(), v);
+                declared.push(name.clone());
+                Ok(Flow::FallThrough)
+            }
+            AstStmt::Assign { name, value } => {
+                if !self.env.contains_key(name) {
+                    return err(format!(
+                        "assignment to undeclared variable {name:?} in {:?}",
+                        self.method_name
+                    ));
+                }
+                let v = self.lower_expr(value)?;
+                self.env.insert(name.clone(), v);
+                Ok(Flow::FallThrough)
+            }
+            AstStmt::FieldStore { recv, field, value } => {
+                match self.static_class_of(recv) {
+                    Some(class) => {
+                        let fid = self.static_field(class, field)?;
+                        let v = self.lower_expr(value)?;
+                        let obj = self.bb.null_();
+                        self.bb.store(obj, fid, v);
+                    }
+                    None => {
+                        let obj = self.lower_expr(recv)?;
+                        let fid = self.unique_field(field)?;
+                        let v = self.lower_expr(value)?;
+                        self.bb.store(obj, fid, v);
+                    }
+                }
+                Ok(Flow::FallThrough)
+            }
+            AstStmt::Expr(e) => {
+                let _ = self.lower_expr(e)?;
+                Ok(Flow::FallThrough)
+            }
+            AstStmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.lower_expr(e)?),
+                    None => None,
+                };
+                self.bb.ret(v);
+                Ok(Flow::Terminated)
+            }
+            AstStmt::Throw(e) => {
+                let v = self.lower_expr(e)?;
+                self.bb.throw(v);
+                Ok(Flow::Terminated)
+            }
+            AstStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => self.lower_if(cond, then_body, else_body),
+            AstStmt::While { cond, body } => self.lower_while(cond, body),
+        }
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &AstCond,
+        then_body: &[AstStmt],
+        else_body: &[AstStmt],
+    ) -> Result<Flow, LowerError> {
+        // Short-circuit operators desugar to nested ifs with a duplicated
+        // branch (the base language has no boolean values):
+        //   if (A && B) T else E  ≡  if (A) { if (B) T else E } else E
+        //   if (A || B) T else E  ≡  if (A) T else { if (B) T else E }
+        match cond {
+            AstCond::And(a, b) => {
+                let inner = AstStmt::If {
+                    cond: (**b).clone(),
+                    then_body: then_body.to_vec(),
+                    else_body: else_body.to_vec(),
+                };
+                return self.lower_if(a, &[inner], else_body);
+            }
+            AstCond::Or(a, b) => {
+                let inner = AstStmt::If {
+                    cond: (**b).clone(),
+                    then_body: then_body.to_vec(),
+                    else_body: else_body.to_vec(),
+                };
+                return self.lower_if(a, then_body, &[inner]);
+            }
+            _ => {}
+        }
+        let ir_cond = self.lower_cond(cond)?;
+        let then_b = self.bb.raw_label_block();
+        let else_b = self.bb.raw_label_block();
+        self.bb.raw_end(BlockEnd::If {
+            cond: ir_cond,
+            then_block: then_b,
+            else_block: else_b,
+        });
+        let env0 = self.env.clone();
+
+        self.bb.raw_switch_to(then_b);
+        let tflow = self.lower_stmts(then_body)?;
+        let tenv = self.env.clone();
+        let tend = self.bb.current_block();
+
+        self.env = env0.clone();
+        self.bb.raw_switch_to(else_b);
+        let eflow = self.lower_stmts(else_body)?;
+        let eenv = self.env.clone();
+        let eend = self.bb.current_block();
+
+        match (tflow, eflow) {
+            (Flow::Terminated, Flow::Terminated) => Ok(Flow::Terminated),
+            (Flow::FallThrough, Flow::Terminated) => {
+                let pred = tend.expect("fall-through branch has a block");
+                let merge = self.bb.raw_merge_block(Vec::new(), vec![pred]);
+                self.bb.raw_end_block(pred, BlockEnd::Jump(merge));
+                self.bb.raw_switch_to(merge);
+                self.env = tenv;
+                Ok(Flow::FallThrough)
+            }
+            (Flow::Terminated, Flow::FallThrough) => {
+                let pred = eend.expect("fall-through branch has a block");
+                let merge = self.bb.raw_merge_block(Vec::new(), vec![pred]);
+                self.bb.raw_end_block(pred, BlockEnd::Jump(merge));
+                self.bb.raw_switch_to(merge);
+                self.env = eenv;
+                Ok(Flow::FallThrough)
+            }
+            (Flow::FallThrough, Flow::FallThrough) => {
+                let tpred = tend.expect("fall-through branch has a block");
+                let epred = eend.expect("fall-through branch has a block");
+                let mut phis = Vec::new();
+                let mut new_env = BTreeMap::new();
+                for name in env0.keys() {
+                    let tv = tenv[name];
+                    let ev = eenv[name];
+                    if tv == ev {
+                        new_env.insert(name.clone(), tv);
+                    } else {
+                        let def = self.bb.raw_var(name);
+                        phis.push(crate::body::Phi {
+                            def,
+                            args: vec![tv, ev],
+                        });
+                        new_env.insert(name.clone(), def);
+                    }
+                }
+                let merge = self.bb.raw_merge_block(phis, vec![tpred, epred]);
+                self.bb.raw_end_block(tpred, BlockEnd::Jump(merge));
+                self.bb.raw_end_block(epred, BlockEnd::Jump(merge));
+                self.bb.raw_switch_to(merge);
+                self.env = new_env;
+                Ok(Flow::FallThrough)
+            }
+        }
+    }
+
+    fn lower_while(&mut self, cond: &AstCond, body: &[AstStmt]) -> Result<Flow, LowerError> {
+        let mut assigned = Vec::new();
+        assigned_names(body, &mut assigned);
+        let carried: Vec<String> = self
+            .env
+            .keys()
+            .filter(|k| assigned.contains(k))
+            .cloned()
+            .collect();
+
+        let mut phis = Vec::new();
+        let mut phi_defs = Vec::new();
+        for name in &carried {
+            let def = self.bb.raw_var(name);
+            phis.push(crate::body::Phi {
+                def,
+                args: vec![self.env[name]],
+            });
+            phi_defs.push(def);
+        }
+        let preheader = self
+            .bb
+            .current_block()
+            .expect("loop lowered on a live path");
+        let header = self.bb.raw_merge_block(phis, vec![preheader]);
+        self.bb.raw_end_block(preheader, BlockEnd::Jump(header));
+        self.bb.raw_switch_to(header);
+        for (name, def) in carried.iter().zip(&phi_defs) {
+            self.env.insert(name.clone(), *def);
+        }
+
+        let ir_cond = self.lower_cond(cond)?;
+        let body_b = self.bb.raw_label_block();
+        let exit_b = self.bb.raw_label_block();
+        self.bb.raw_end(BlockEnd::If {
+            cond: ir_cond,
+            then_block: body_b,
+            else_block: exit_b,
+        });
+        let header_env = self.env.clone();
+
+        self.bb.raw_switch_to(body_b);
+        let bflow = self.lower_stmts(body)?;
+        if bflow == Flow::FallThrough {
+            let bend = self.bb.current_block().expect("fall-through body has a block");
+            let back_args: Vec<VarId> = carried.iter().map(|n| self.env[n]).collect();
+            self.bb.raw_end_block(bend, BlockEnd::Jump(header));
+            self.bb.patch_merge(header, bend, &back_args);
+        }
+
+        self.env = header_env;
+        self.bb.raw_switch_to(exit_b);
+        Ok(Flow::FallThrough)
+    }
+
+    fn lower_cond(&mut self, c: &AstCond) -> Result<Cond, LowerError> {
+        match c {
+            AstCond::Cmp { op, lhs, rhs } => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                Ok(Cond::Cmp { op: *op, lhs: l, rhs: r })
+            }
+            AstCond::InstanceOf {
+                expr,
+                class,
+                negated,
+            } => {
+                let v = self.lower_expr(expr)?;
+                let ty = self.ctx.class(class)?;
+                Ok(Cond::InstanceOf {
+                    var: v,
+                    ty,
+                    negated: *negated,
+                })
+            }
+            AstCond::Truthy { expr, negated } => {
+                // Boolean encoding per the paper (§5): `e` ⇒ `e != 0`,
+                // `!e` ⇒ `e == 0`.
+                let v = self.lower_expr(expr)?;
+                let zero = self.bb.const_(0);
+                let op = if *negated { CmpOp::Eq } else { CmpOp::Ne };
+                Ok(Cond::Cmp { op, lhs: v, rhs: zero })
+            }
+            AstCond::And(..) | AstCond::Or(..) => err(format!(
+                "method {:?}: && / || are only supported in `if` conditions \
+                 (while conditions must be simple)",
+                self.method_name
+            )),
+        }
+    }
+
+    /// If `e` is a bare name that is *not* a local but *is* a class, returns
+    /// the class (static member access).
+    fn static_class_of(&self, e: &AstExpr) -> Option<TypeId> {
+        match e {
+            AstExpr::Var(name) if !self.env.contains_key(name) => {
+                self.ctx.classes.get(name).copied()
+            }
+            _ => None,
+        }
+    }
+
+    fn static_field(&self, class: TypeId, name: &str) -> Result<FieldId, LowerError> {
+        // Walk the superclass chain of the access site.
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(&f) = self.ctx.fields_by_owner.get(&(c, name.to_string())) {
+                return Ok(f);
+            }
+            cur = self.ctx.supers.get(&c).copied();
+        }
+        err(format!("unknown static field {name:?}"))
+    }
+
+    fn unique_field(&self, name: &str) -> Result<FieldId, LowerError> {
+        match self.ctx.fields.get(name).map(Vec::as_slice) {
+            Some([f]) => Ok(*f),
+            Some(_) => err(format!(
+                "field name {name:?} is ambiguous; the frontend requires unique instance field names"
+            )),
+            None => err(format!("unknown field {name:?}")),
+        }
+    }
+
+    fn static_method(&self, class: TypeId, name: &str) -> Result<MethodId, LowerError> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(&m) = self.ctx.methods.get(&(c, name.to_string())) {
+                return Ok(m);
+            }
+            cur = self.ctx.supers.get(&c).copied();
+        }
+        err(format!("unknown static method {name:?}"))
+    }
+
+    fn lower_expr(&mut self, e: &AstExpr) -> Result<VarId, LowerError> {
+        match e {
+            AstExpr::Int(n) => Ok(self.bb.const_(*n)),
+            AstExpr::Null => Ok(self.bb.null_()),
+            AstExpr::Any => Ok(self.bb.any_prim()),
+            AstExpr::This => self.env.get("this").copied().ok_or_else(|| LowerError {
+                message: format!("`this` used in static method {:?}", self.method_name),
+            }),
+            AstExpr::New(class) => {
+                let ty = self.ctx.class(class)?;
+                Ok(self.bb.new_obj(ty))
+            }
+            AstExpr::Var(name) => self.env.get(name).copied().ok_or_else(|| LowerError {
+                message: format!("unknown variable {name:?} in {:?}", self.method_name),
+            }),
+            AstExpr::Load { recv, field } => match self.static_class_of(recv) {
+                Some(class) => {
+                    let fid = self.static_field(class, field)?;
+                    let obj = self.bb.null_();
+                    Ok(self.bb.load(obj, fid))
+                }
+                None => {
+                    let obj = self.lower_expr(recv)?;
+                    let fid = self.unique_field(field)?;
+                    Ok(self.bb.load(obj, fid))
+                }
+            },
+            AstExpr::Call { recv, method, args } => match self.static_class_of(recv) {
+                Some(class) => {
+                    let target = self.static_method(class, method)?;
+                    let mut a = Vec::with_capacity(args.len());
+                    for arg in args {
+                        a.push(self.lower_expr(arg)?);
+                    }
+                    Ok(self.bb.invoke_static(target, &a))
+                }
+                None => {
+                    let obj = self.lower_expr(recv)?;
+                    let mut a = Vec::with_capacity(args.len());
+                    for arg in args {
+                        a.push(self.lower_expr(arg)?);
+                    }
+                    let sel = self.pb.selector(method, args.len());
+                    Ok(self.bb.invoke(obj, sel, &a))
+                }
+            },
+            AstExpr::Catch(class) => {
+                let ty = self.ctx.class(class)?;
+                Ok(self.bb.catch_(ty))
+            }
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! Recursive-descent parser for the Java-like surface syntax.
+
+use super::ast::*;
+use super::lexer::{Spanned, Token};
+use crate::instr::CmpOp;
+use std::fmt;
+
+/// A parse failure with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line (0 when at end of input).
+    pub line: u32,
+    /// 1-based column (0 when at end of input).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a token stream into an AST.
+pub fn parse(tokens: Vec<Spanned>) -> Result<AstProgram, ParseError> {
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|s| s.token.clone())
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(found) if found == t => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(found) => Err(self.error(format!("expected {t:?}, found {found:?}"))),
+            None => Err(self.error(format!("expected {t:?}, found end of input"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump()? {
+            Token::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.error(format!("expected identifier, found {other:?}")))
+            }
+        }
+    }
+
+    // ---- declarations ----------------------------------------------------
+
+    fn program(&mut self) -> Result<AstProgram, ParseError> {
+        let mut classes = Vec::new();
+        while self.peek().is_some() {
+            classes.push(self.class_decl()?);
+        }
+        Ok(AstProgram { classes })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, ParseError> {
+        let kind = if self.eat_keyword("abstract") {
+            self.expect_keyword("class")?;
+            AstTypeKind::AbstractClass
+        } else if self.eat_keyword("class") {
+            AstTypeKind::Class
+        } else if self.eat_keyword("interface") {
+            AstTypeKind::Interface
+        } else {
+            return Err(self.error("expected `class`, `abstract class`, or `interface`"));
+        };
+        let name = self.ident()?;
+        let mut extends = None;
+        let mut implements = Vec::new();
+        if self.eat_keyword("extends") {
+            if kind == AstTypeKind::Interface {
+                // Interfaces may extend several interfaces.
+                implements.push(self.ident()?);
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.bump()?;
+                    implements.push(self.ident()?);
+                }
+            } else {
+                extends = Some(self.ident()?);
+            }
+        }
+        if self.eat_keyword("implements") {
+            implements.push(self.ident()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.bump()?;
+                implements.push(self.ident()?);
+            }
+        }
+        self.expect(&Token::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !matches!(self.peek(), Some(Token::RBrace)) {
+            let is_static = self.eat_keyword("static");
+            if self.eat_keyword("var") {
+                let fname = self.ident()?;
+                self.expect(&Token::Colon)?;
+                let ty = self.type_annotation()?;
+                self.expect(&Token::Semi)?;
+                fields.push(FieldDecl {
+                    name: fname,
+                    ty,
+                    is_static,
+                });
+            } else {
+                let is_abstract = self.eat_keyword("abstract");
+                self.expect_keyword("method")?;
+                methods.push(self.method_decl(is_static, is_abstract, kind)?);
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(ClassDecl {
+            name,
+            kind,
+            extends,
+            implements,
+            fields,
+            methods,
+        })
+    }
+
+    fn method_decl(
+        &mut self,
+        is_static: bool,
+        is_abstract: bool,
+        owner_kind: AstTypeKind,
+    ) -> Result<MethodDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Some(Token::RParen)) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Token::Colon)?;
+                let ty = self.type_annotation()?;
+                params.push((pname, ty));
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.bump()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let ret = if matches!(self.peek(), Some(Token::Colon)) {
+            self.bump()?;
+            self.type_annotation_or_void()?
+        } else {
+            AstType::Void
+        };
+        // Interface methods without a body are implicitly abstract.
+        let implicit_abstract = owner_kind == AstTypeKind::Interface
+            && matches!(self.peek(), Some(Token::Semi));
+        let body = if is_abstract || implicit_abstract {
+            self.expect(&Token::Semi)?;
+            None
+        } else {
+            Some(self.block()?)
+        };
+        Ok(MethodDecl {
+            name,
+            is_static,
+            is_abstract: is_abstract || implicit_abstract,
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn type_annotation(&mut self) -> Result<AstType, ParseError> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "int" => AstType::Int,
+            _ => AstType::Named(name),
+        })
+    }
+
+    fn type_annotation_or_void(&mut self) -> Result<AstType, ParseError> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "void" => AstType::Void,
+            "int" => AstType::Int,
+            _ => AstType::Named(name),
+        })
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<AstStmt>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Some(Token::RBrace)) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<AstStmt, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(kw)) if kw == "var" => {
+                self.bump()?;
+                let name = self.ident()?;
+                self.expect(&Token::Assign)?;
+                let init = self.expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(AstStmt::VarDecl { name, init })
+            }
+            Some(Token::Ident(kw)) if kw == "if" => {
+                self.bump()?;
+                self.expect(&Token::LParen)?;
+                let cond = self.cond()?;
+                self.expect(&Token::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat_keyword("else") {
+                    // `else if` chains: the else branch is the nested if.
+                    if matches!(self.peek(), Some(Token::Ident(k)) if k == "if") {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(AstStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Some(Token::Ident(kw)) if kw == "while" => {
+                self.bump()?;
+                self.expect(&Token::LParen)?;
+                let cond = self.cond()?;
+                self.expect(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(AstStmt::While { cond, body })
+            }
+            Some(Token::Ident(kw)) if kw == "return" => {
+                self.bump()?;
+                let value = if matches!(self.peek(), Some(Token::Semi)) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Token::Semi)?;
+                Ok(AstStmt::Return(value))
+            }
+            Some(Token::Ident(kw)) if kw == "throw" => {
+                self.bump()?;
+                let e = self.expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(AstStmt::Throw(e))
+            }
+            _ => {
+                // Assignment, field store, or expression statement.
+                let e = self.expr()?;
+                if matches!(self.peek(), Some(Token::Assign)) {
+                    self.bump()?;
+                    let value = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    match e {
+                        AstExpr::Var(name) => Ok(AstStmt::Assign { name, value }),
+                        AstExpr::Load { recv, field } => Ok(AstStmt::FieldStore {
+                            recv: *recv,
+                            field,
+                            value,
+                        }),
+                        other => Err(self.error(format!(
+                            "invalid assignment target: {other:?}"
+                        ))),
+                    }
+                } else {
+                    self.expect(&Token::Semi)?;
+                    Ok(AstStmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    // ---- conditions -----------------------------------------------------------
+
+    /// `cond := and_cond ('||' and_cond)*` — `&&` binds tighter than `||`.
+    fn cond(&mut self) -> Result<AstCond, ParseError> {
+        let mut left = self.and_cond()?;
+        while matches!(self.peek(), Some(Token::OrOr)) {
+            self.bump()?;
+            let right = self.and_cond()?;
+            left = AstCond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `and_cond := atom_cond ('&&' atom_cond)*`
+    fn and_cond(&mut self) -> Result<AstCond, ParseError> {
+        let mut left = self.atom_cond()?;
+        while matches!(self.peek(), Some(Token::AndAnd)) {
+            self.bump()?;
+            let right = self.atom_cond()?;
+            left = AstCond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn atom_cond(&mut self) -> Result<AstCond, ParseError> {
+        if matches!(self.peek(), Some(Token::Bang)) {
+            // `!(cond)` or `!expr`.
+            self.bump()?;
+            if matches!(self.peek(), Some(Token::LParen)) {
+                // Try `!(cond)`: parse a full condition in parens.
+                self.bump()?;
+                let inner = self.cond()?;
+                self.expect(&Token::RParen)?;
+                return Ok(negate(inner));
+            }
+            let e = self.expr()?;
+            return Ok(AstCond::Truthy {
+                expr: e,
+                negated: true,
+            });
+        }
+        // Parenthesized sub-condition: `(a < b) && c`. A parenthesized
+        // *expression* parses to a Truthy condition, which is equivalent, so
+        // no backtracking is needed — but a trailing comparison after a
+        // Truthy group (`(x) != 0`) re-reads the group as its expression.
+        if matches!(self.peek(), Some(Token::LParen)) {
+            let save = self.pos;
+            self.bump()?;
+            if let Ok(inner) = self.cond() {
+                if matches!(self.peek(), Some(Token::RParen)) {
+                    self.bump()?;
+                    // `(x).f()` is an expression postfix, not a grouped
+                    // condition; re-parse through the expression path.
+                    if matches!(self.peek(), Some(Token::Dot)) {
+                        self.pos = save;
+                    } else {
+                        if let AstCond::Truthy { expr, negated: false } = &inner {
+                            if let Some(rest) = self.trailing_comparison(expr.clone())? {
+                                return Ok(rest);
+                            }
+                        }
+                        return Ok(inner);
+                    }
+                } else {
+                    self.pos = save;
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let lhs = self.expr()?;
+        if let Some(c) = self.trailing_comparison(lhs.clone())? {
+            return Ok(c);
+        }
+        if self.eat_keyword("instanceof") {
+            let class = self.ident()?;
+            return Ok(AstCond::InstanceOf {
+                expr: lhs,
+                class,
+                negated: false,
+            });
+        }
+        Ok(AstCond::Truthy {
+            expr: lhs,
+            negated: false,
+        })
+    }
+
+    /// Parses `op rhs` after an already-parsed left expression, if present.
+    fn trailing_comparison(&mut self, lhs: AstExpr) -> Result<Option<AstCond>, ParseError> {
+        let op = match self.peek() {
+            Some(Token::EqEq) => Some(CmpOp::Eq),
+            Some(Token::NotEq) => Some(CmpOp::Ne),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump()?;
+                let rhs = self.expr()?;
+                Ok(Some(AstCond::Cmp { op, lhs, rhs }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut e = self.atom()?;
+        // Postfix chains: `.field` and `.method(args)`.
+        while matches!(self.peek(), Some(Token::Dot)) {
+            self.bump()?;
+            let name = self.ident()?;
+            if matches!(self.peek(), Some(Token::LParen)) {
+                self.bump()?;
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Some(Token::RParen)) {
+                    loop {
+                        args.push(self.expr()?);
+                        if matches!(self.peek(), Some(Token::Comma)) {
+                            self.bump()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                e = AstExpr::Call {
+                    recv: Box::new(e),
+                    method: name,
+                    args,
+                };
+            } else {
+                e = AstExpr::Load {
+                    recv: Box::new(e),
+                    field: name,
+                };
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<AstExpr, ParseError> {
+        match self.bump()? {
+            Token::Int(n) => Ok(AstExpr::Int(n)),
+            Token::Ident(name) => match name.as_str() {
+                "null" => Ok(AstExpr::Null),
+                "this" => Ok(AstExpr::This),
+                "new" => {
+                    let class = self.ident()?;
+                    self.expect(&Token::LParen)?;
+                    self.expect(&Token::RParen)?;
+                    Ok(AstExpr::New(class))
+                }
+                "any" => {
+                    self.expect(&Token::LParen)?;
+                    self.expect(&Token::RParen)?;
+                    Ok(AstExpr::Any)
+                }
+                "catch" => {
+                    self.expect(&Token::LParen)?;
+                    let class = self.ident()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(AstExpr::Catch(class))
+                }
+                _ => Ok(AstExpr::Var(name)),
+            },
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            other => {
+                self.pos -= 1;
+                Err(self.error(format!("expected expression, found {other:?}")))
+            }
+        }
+    }
+}
+
+/// Logical negation of a parsed condition.
+fn negate(c: AstCond) -> AstCond {
+    match c {
+        AstCond::Cmp { op, lhs, rhs } => AstCond::Cmp {
+            op: op.invert(),
+            lhs,
+            rhs,
+        },
+        AstCond::InstanceOf {
+            expr,
+            class,
+            negated,
+        } => AstCond::InstanceOf {
+            expr,
+            class,
+            negated: !negated,
+        },
+        AstCond::Truthy { expr, negated } => AstCond::Truthy {
+            expr,
+            negated: !negated,
+        },
+        // De Morgan.
+        AstCond::And(a, b) => AstCond::Or(Box::new(negate(*a)), Box::new(negate(*b))),
+        AstCond::Or(a, b) => AstCond::And(Box::new(negate(*a)), Box::new(negate(*b))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::tokenize;
+    use super::*;
+
+    fn parse_src(src: &str) -> AstProgram {
+        parse(tokenize(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_class_with_field_and_method() {
+        let p = parse_src(
+            "class A extends B implements I, J {
+               var x: int;
+               static var y: A;
+               method m(p: int): int { return p; }
+             }",
+        );
+        assert_eq!(p.classes.len(), 1);
+        let c = &p.classes[0];
+        assert_eq!(c.extends.as_deref(), Some("B"));
+        assert_eq!(c.implements, vec!["I".to_string(), "J".to_string()]);
+        assert_eq!(c.fields.len(), 2);
+        assert!(c.fields[1].is_static);
+        assert_eq!(c.methods.len(), 1);
+        assert_eq!(c.methods[0].params.len(), 1);
+    }
+
+    #[test]
+    fn parses_interface_with_implicitly_abstract_methods() {
+        let p = parse_src("interface I { method m(): int; }");
+        assert!(p.classes[0].methods[0].is_abstract);
+        assert!(p.classes[0].methods[0].body.is_none());
+    }
+
+    #[test]
+    fn parses_if_else_and_while() {
+        let p = parse_src(
+            "class A { static method m(x: int): void {
+                var i = 0;
+                while (i < x) { i = any(); }
+                if (i == 0) { return; } else { i = 1; }
+                return;
+             } }",
+        );
+        let body = p.classes[0].methods[0].body.as_ref().unwrap();
+        assert!(matches!(body[1], AstStmt::While { .. }));
+        assert!(matches!(body[2], AstStmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_calls_loads_and_stores() {
+        let p = parse_src(
+            "class A { method m(o: A): void {
+                var v = o.f;
+                o.f = v;
+                var r = o.g(1, null);
+                this.h(r);
+                var s = Config.get();
+                return;
+             } }",
+        );
+        let body = p.classes[0].methods[0].body.as_ref().unwrap();
+        assert!(matches!(&body[0], AstStmt::VarDecl { init: AstExpr::Load { .. }, .. }));
+        assert!(matches!(&body[1], AstStmt::FieldStore { .. }));
+        match &body[2] {
+            AstStmt::VarDecl { init: AstExpr::Call { args, .. }, .. } => assert_eq!(args.len(), 2),
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_conditions() {
+        let p = parse_src(
+            "class A { static method m(x: int, o: A): void {
+                if (x <= 3) { return; }
+                if (o instanceof A) { return; }
+                if (!(o instanceof A)) { return; }
+                if (o.test()) { return; }
+                if (!x) { return; }
+                return;
+             } }",
+        );
+        let body = p.classes[0].methods[0].body.as_ref().unwrap();
+        assert!(matches!(&body[0], AstStmt::If { cond: AstCond::Cmp { op: CmpOp::Le, .. }, .. }));
+        assert!(matches!(
+            &body[1],
+            AstStmt::If { cond: AstCond::InstanceOf { negated: false, .. }, .. }
+        ));
+        assert!(matches!(
+            &body[2],
+            AstStmt::If { cond: AstCond::InstanceOf { negated: true, .. }, .. }
+        ));
+        assert!(matches!(
+            &body[3],
+            AstStmt::If { cond: AstCond::Truthy { negated: false, .. }, .. }
+        ));
+        assert!(matches!(
+            &body[4],
+            AstStmt::If { cond: AstCond::Truthy { negated: true, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_throw_and_catch() {
+        let p = parse_src(
+            "class A { static method m(): void {
+                var e = catch (A);
+                throw e;
+             } }",
+        );
+        let body = p.classes[0].methods[0].body.as_ref().unwrap();
+        assert!(matches!(&body[0], AstStmt::VarDecl { init: AstExpr::Catch(_), .. }));
+        assert!(matches!(&body[1], AstStmt::Throw(_)));
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        let toks = tokenize("class A { static method m(): void { 3 = 4; } }").unwrap();
+        assert!(parse(toks).is_err());
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let toks = tokenize("class A {\n  junk\n}").unwrap();
+        let err = parse(toks).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

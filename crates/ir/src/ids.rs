@@ -1,0 +1,139 @@
+//! Newtype identifiers for every IR entity.
+//!
+//! All IR containers are arenas indexed by dense `u32` ids. The newtypes keep
+//! the indices from being mixed up (C-NEWTYPE) while staying `Copy` and cheap.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id overflow");
+                Self(index as u32)
+            }
+
+            /// Returns the dense arena index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a type (class or interface) in a [`crate::Program`].
+    ///
+    /// `TypeId::NULL` is the reserved pseudo-type used to model `null`
+    /// references inside value states (the paper treats `null` as "a special
+    /// type that can be part of any value state").
+    TypeId, "t"
+);
+
+define_id!(
+    /// Identifier of a method in a [`crate::Program`].
+    MethodId, "m"
+);
+
+define_id!(
+    /// Identifier of a field declaration in a [`crate::Program`].
+    FieldId, "f"
+);
+
+define_id!(
+    /// Identifier of a method selector (name + arity) used for virtual
+    /// dispatch.
+    SelectorId, "sel"
+);
+
+define_id!(
+    /// Identifier of an SSA variable inside one method body.
+    VarId, "v"
+);
+
+define_id!(
+    /// Identifier of a basic block inside one method body.
+    BlockId, "b"
+);
+
+impl TypeId {
+    /// The reserved pseudo-type for `null`.
+    pub const NULL: TypeId = TypeId(0);
+
+    /// Returns `true` if this is the `null` pseudo-type.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+}
+
+impl BlockId {
+    /// The entry block of every method body.
+    pub const ENTRY: BlockId = BlockId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = TypeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_u32(), 42);
+    }
+
+    #[test]
+    fn null_is_zero() {
+        assert_eq!(TypeId::NULL.index(), 0);
+        assert!(TypeId::NULL.is_null());
+        assert!(!TypeId::from_index(1).is_null());
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TypeId::from_index(3).to_string(), "t3");
+        assert_eq!(MethodId::from_index(7).to_string(), "m7");
+        assert_eq!(BlockId::ENTRY.to_string(), "b0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VarId::from_index(1) < VarId::from_index(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = TypeId::from_index(u32::MAX as usize + 1);
+    }
+}

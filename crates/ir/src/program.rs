@@ -1,0 +1,360 @@
+//! The whole-program container: types, methods, fields, selectors, and the
+//! frozen hierarchy caches (subtype masks and virtual-dispatch tables).
+//!
+//! SkipFlow is a closed-world analysis (it ships inside an ahead-of-time
+//! compiler), so the program is immutable once built: [`Program`] values are
+//! only produced by [`crate::builder::ProgramBuilder::finish`], which
+//! validates the IR and precomputes the caches.
+
+use crate::bitset::BitSet;
+use crate::ids::{FieldId, MethodId, SelectorId, TypeId};
+use crate::types::{FieldData, MethodData, SelectorData, TypeData};
+use std::collections::HashMap;
+
+/// An immutable, validated whole program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub(crate) types: Vec<TypeData>,
+    pub(crate) methods: Vec<MethodData>,
+    pub(crate) fields: Vec<FieldData>,
+    pub(crate) selectors: Vec<SelectorData>,
+    pub(crate) type_by_name: HashMap<String, TypeId>,
+    /// For each type `t`: the set of types `s` with `s <: t` (including `t`
+    /// itself; `null` is never included — nullness is tracked separately in
+    /// value states).
+    pub(crate) subtype_mask: Vec<BitSet>,
+    /// Virtual-dispatch tables: for each type, the concrete method reached by
+    /// each selector (`None` entries mark selectors made abstract again).
+    pub(crate) dispatch: Vec<HashMap<SelectorId, Option<MethodId>>>,
+}
+
+impl Program {
+    // ---- basic accessors -------------------------------------------------
+
+    /// The data of type `t`.
+    pub fn type_data(&self, t: TypeId) -> &TypeData {
+        &self.types[t.index()]
+    }
+
+    /// The data of method `m`.
+    pub fn method(&self, m: MethodId) -> &MethodData {
+        &self.methods[m.index()]
+    }
+
+    /// The data of field `f`.
+    pub fn field(&self, f: FieldId) -> &FieldData {
+        &self.fields[f.index()]
+    }
+
+    /// The data of selector `s`.
+    pub fn selector(&self, s: SelectorId) -> &SelectorData {
+        &self.selectors[s.index()]
+    }
+
+    /// Number of declared types, including the `null` pseudo-type.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of declared methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of declared fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Number of selectors.
+    pub fn selector_count(&self) -> usize {
+        self.selectors.len()
+    }
+
+    /// Iterates over all type ids (including [`TypeId::NULL`]).
+    pub fn iter_types(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.types.len()).map(TypeId::from_index)
+    }
+
+    /// Iterates over all method ids.
+    pub fn iter_methods(&self) -> impl Iterator<Item = MethodId> {
+        (0..self.methods.len()).map(MethodId::from_index)
+    }
+
+    /// Iterates over all field ids.
+    pub fn iter_fields(&self) -> impl Iterator<Item = FieldId> {
+        (0..self.fields.len()).map(FieldId::from_index)
+    }
+
+    /// Looks a type up by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.type_by_name.get(name).copied()
+    }
+
+    /// Looks a method up by `owner` and name (first match in declaration
+    /// order; convenient for tests and examples).
+    pub fn method_by_name(&self, owner: TypeId, name: &str) -> Option<MethodId> {
+        self.types[owner.index()]
+            .methods
+            .iter()
+            .copied()
+            .find(|&m| self.methods[m.index()].name == name)
+    }
+
+    /// Looks a field up by `owner` and name (declared fields only).
+    pub fn field_by_name(&self, owner: TypeId, name: &str) -> Option<FieldId> {
+        self.types[owner.index()]
+            .fields
+            .iter()
+            .copied()
+            .find(|&f| self.fields[f.index()].name == name)
+    }
+
+    /// A human-readable `Owner.name` label for a method.
+    pub fn method_label(&self, m: MethodId) -> String {
+        let md = self.method(m);
+        format!("{}.{}", self.type_data(md.owner).name, md.name)
+    }
+
+    // ---- hierarchy queries -----------------------------------------------
+
+    /// Returns `true` if `sub <: sup` (reflexive; considers superclass chains
+    /// and transitively implemented interfaces). The `null` pseudo-type is a
+    /// subtype of nothing and has no subtypes.
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        self.subtype_mask[sup.index()].contains(sub.index())
+    }
+
+    /// The set of subtypes of `t` (including `t`; excluding `null`).
+    pub fn subtypes(&self, t: TypeId) -> &BitSet {
+        &self.subtype_mask[t.index()]
+    }
+
+    /// Returns `true` if `t` can be instantiated with `new`.
+    pub fn is_instantiable(&self, t: TypeId) -> bool {
+        !t.is_null() && self.types[t.index()].kind.is_instantiable()
+    }
+
+    /// JVM-style virtual method resolution: the concrete method invoked when
+    /// calling `selector` on a receiver of *runtime* type `t`.
+    ///
+    /// Returns `None` when `t` is `null`, the selector is not understood by
+    /// `t`, or resolution reaches an abstract declaration.
+    pub fn resolve(&self, t: TypeId, selector: SelectorId) -> Option<MethodId> {
+        if t.is_null() {
+            return None;
+        }
+        self.dispatch[t.index()].get(&selector).copied().flatten()
+    }
+
+    /// The field named like `field` reached from runtime type `t`, walking
+    /// the superclass chain (the paper's `LookUp : T × F ⇀ N`, resolved to
+    /// the declaring class so one flow exists per declaration).
+    pub fn lookup_field(&self, t: TypeId, field: FieldId) -> Option<FieldId> {
+        let owner = self.fields[field.index()].owner;
+        if self.is_subtype(t, owner) {
+            Some(field)
+        } else {
+            None
+        }
+    }
+
+    /// All concrete methods any subtype of `declared` resolves `selector` to
+    /// — the dispatch cone used by CHA and by devirtualization reports.
+    pub fn dispatch_cone(&self, declared: TypeId, selector: SelectorId) -> Vec<MethodId> {
+        let mut out = Vec::new();
+        for sub in self.subtypes(declared).iter() {
+            let t = TypeId::from_index(sub);
+            if let Some(m) = self.resolve(t, selector) {
+                if !out.contains(&m) {
+                    out.push(m);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    // ---- construction helpers (crate-internal) ----------------------------
+
+    /// Builds the subtype masks and dispatch tables. Called by the builder
+    /// after all declarations are in place; `types` must be topologically
+    /// ordered (supertypes before subtypes), which the builder guarantees.
+    pub(crate) fn freeze(&mut self) {
+        let n = self.types.len();
+        // Direct supertypes of each type.
+        let mut supers: Vec<Vec<TypeId>> = vec![Vec::new(); n];
+        for (i, td) in self.types.iter().enumerate() {
+            if let Some(s) = td.superclass {
+                supers[i].push(s);
+            }
+            supers[i].extend(td.interfaces.iter().copied());
+        }
+        // subtype_mask[t] = { s | s <: t }. Every non-null type is a subtype
+        // of itself; propagate memberships upward. Since supertypes have
+        // smaller ids, a single pass over increasing ids suffices when we add
+        // each type to the masks of all its (transitive) supertypes via its
+        // direct supertypes' already-complete *supertype sets*. We instead
+        // compute supertype closures first, then invert.
+        let mut supertype_closure: Vec<BitSet> = vec![BitSet::with_capacity(n); n];
+        for i in 0..n {
+            if TypeId::from_index(i).is_null() {
+                continue;
+            }
+            supertype_closure[i].insert(i);
+            let direct = supers[i].clone();
+            for s in direct {
+                let closure = supertype_closure[s.index()].clone();
+                supertype_closure[i].union_with(&closure);
+            }
+        }
+        let mut masks = vec![BitSet::with_capacity(n); n];
+        for (i, closure) in supertype_closure.iter().enumerate() {
+            for sup in closure.iter() {
+                masks[sup].insert(i);
+            }
+        }
+        self.subtype_mask = masks;
+
+        // Dispatch tables: inherit from the superclass, then overlay own
+        // declarations (concrete => Some, abstract => None).
+        let mut dispatch: Vec<HashMap<SelectorId, Option<MethodId>>> = vec![HashMap::new(); n];
+        for i in 0..n {
+            if TypeId::from_index(i).is_null() {
+                continue;
+            }
+            if let Some(sup) = self.types[i].superclass {
+                dispatch[i] = dispatch[sup.index()].clone();
+            }
+            for &m in &self.types[i].methods {
+                let md = &self.methods[m.index()];
+                if md.is_static {
+                    continue;
+                }
+                let entry = if md.is_abstract { None } else { Some(m) };
+                dispatch[i].insert(md.selector, entry);
+            }
+        }
+        self.dispatch = dispatch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::{Signature, TypeRef};
+
+    /// Object <- A <- B; interface I implemented by B; A.m concrete,
+    /// B overrides m; A.n concrete, B re-abstracts? (covered separately)
+    fn sample() -> (Program, TypeId, TypeId, TypeId, TypeId, SelectorId) {
+        let mut pb = ProgramBuilder::new();
+        let object = pb.add_class("Object");
+        let i = pb.add_interface("I", &[]);
+        let a = pb.class("A").extends(object).build();
+        let b = pb.class("B").extends(a).implements_(i).build();
+        let sel = pb.selector("m", 0);
+        let ma = pb.method(a, "m").returns(TypeRef::Prim).build();
+        pb.set_trivial_body(ma, Some(1));
+        let mb = pb.method(b, "m").returns(TypeRef::Prim).build();
+        pb.set_trivial_body(mb, Some(2));
+        let p = pb.finish().expect("valid program");
+        (p, object, i, a, b, sel)
+    }
+
+    #[test]
+    fn subtyping_reflexive_and_transitive() {
+        let (p, object, i, a, b, _) = sample();
+        assert!(p.is_subtype(a, a));
+        assert!(p.is_subtype(b, a));
+        assert!(p.is_subtype(b, object));
+        assert!(p.is_subtype(b, i));
+        assert!(!p.is_subtype(a, i));
+        assert!(!p.is_subtype(a, b));
+        assert!(!p.is_subtype(TypeId::NULL, object));
+    }
+
+    #[test]
+    fn subtypes_sets() {
+        let (p, object, _, a, b, _) = sample();
+        let subs: Vec<_> = p.subtypes(a).iter().map(TypeId::from_index).collect();
+        assert_eq!(subs, vec![a, b]);
+        assert_eq!(p.subtypes(object).len(), 3); // Object, A, B
+    }
+
+    #[test]
+    fn resolve_walks_overrides() {
+        let (p, _, _, a, b, sel) = sample();
+        let ma = p.method_by_name(a, "m").unwrap();
+        let mb = p.method_by_name(b, "m").unwrap();
+        assert_eq!(p.resolve(a, sel), Some(ma));
+        assert_eq!(p.resolve(b, sel), Some(mb));
+        assert_eq!(p.resolve(TypeId::NULL, sel), None);
+    }
+
+    #[test]
+    fn resolve_inherits_from_superclass() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A");
+        let b = pb.class("B").extends(a).build();
+        let m = pb.method(a, "m").returns(TypeRef::Void).build();
+        pb.set_trivial_body(m, None);
+        let sel = pb.selector("m", 0);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.resolve(b, sel), Some(p.method_by_name(a, "m").unwrap()));
+    }
+
+    #[test]
+    fn abstract_declaration_masks_inherited_concrete() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A");
+        let b = pb.class("B").extends(a).abstract_().build();
+        let c = pb.class("C").extends(b).build();
+        let m = pb.method(a, "m").returns(TypeRef::Void).build();
+        pb.set_trivial_body(m, None);
+        // B re-declares m abstract.
+        pb.method(b, "m").returns(TypeRef::Void).abstract_().build();
+        let sel = pb.selector("m", 0);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.resolve(b, sel), None);
+        // C inherits the abstract entry, not A's concrete one.
+        assert_eq!(p.resolve(c, sel), None);
+        assert!(p.resolve(a, sel).is_some());
+    }
+
+    #[test]
+    fn dispatch_cone_collects_targets() {
+        let (p, _, _, a, _, sel) = sample();
+        let cone = p.dispatch_cone(a, sel);
+        assert_eq!(cone.len(), 2);
+    }
+
+    #[test]
+    fn lookup_field_requires_subtype() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A");
+        let b = pb.class("B").extends(a).build();
+        let c = pb.add_class("C");
+        let f = pb.add_field(a, "x", TypeRef::Prim);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.lookup_field(a, f), Some(f));
+        assert_eq!(p.lookup_field(b, f), Some(f));
+        assert_eq!(p.lookup_field(c, f), None);
+    }
+
+    #[test]
+    fn method_signature_helpers() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A");
+        let m = pb
+            .method(a, "f")
+            .params(vec![TypeRef::Prim, TypeRef::Object(a)])
+            .returns(TypeRef::Prim)
+            .build();
+        pb.set_trivial_body(m, Some(0));
+        let p = pb.finish().unwrap();
+        let md = p.method(m);
+        assert_eq!(md.sig, Signature::new(vec![TypeRef::Prim, TypeRef::Object(a)], TypeRef::Prim));
+        assert_eq!(md.param_count(), 3);
+    }
+}

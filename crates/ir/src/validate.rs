@@ -1,0 +1,675 @@
+//! Whole-program validation: block discipline, SSA invariants, and
+//! declaration consistency.
+//!
+//! The checks enforce the base-language constraints of Appendix B.1:
+//! `jump` targets are merges, `if` targets are labels with a single
+//! predecessor, the CFG is critical-edge free (implied by the previous two),
+//! every use is dominated by its definition, and every variable has exactly
+//! one definition.
+
+use crate::bitset::BitSet;
+use crate::body::{Block, BlockBegin, Body};
+use crate::ids::{BlockId, MethodId, TypeId, VarId};
+use crate::instr::{BlockEnd, Cond, Expr, Stmt};
+use crate::program::Program;
+use crate::types::{TypeKind, TypeRef};
+use std::fmt;
+
+/// A single validation failure. The `method` field holds a human-readable
+/// `Owner.name` label where applicable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ValidationError {
+    /// The entry block of a body does not begin with `start`.
+    EntryNotStart { method: String },
+    /// A non-entry block begins with `start`.
+    MisplacedStart { method: String, block: BlockId },
+    /// The entry block has incoming edges.
+    EntryHasPredecessors { method: String },
+    /// A `jump` targets a block that is not a merge.
+    JumpToNonMerge { method: String, from: BlockId, to: BlockId },
+    /// An `if` successor is not a label block.
+    IfToNonLabel { method: String, from: BlockId, to: BlockId },
+    /// A label block has a predecessor count other than one.
+    LabelPredCount { method: String, block: BlockId, count: usize },
+    /// A label block's predecessor does not end with `if`.
+    LabelPredNotIf { method: String, block: BlockId },
+    /// A merge block's declared predecessor list disagrees with the CFG.
+    MergePredMismatch { method: String, block: BlockId },
+    /// A φ has a different argument count than the merge has predecessors.
+    PhiArgCount { method: String, block: BlockId, phi_index: usize },
+    /// A variable has more than one definition.
+    DuplicateDefinition { method: String, var: VarId },
+    /// A use is not dominated by its definition (or the variable is never
+    /// defined).
+    UseBeforeDef { method: String, block: BlockId, var: VarId },
+    /// `return` arity disagrees with the declared return type.
+    BadReturnArity { method: String, block: BlockId },
+    /// `new T` on a non-instantiable type (interface / abstract / null).
+    NewNotInstantiable { method: String, ty: TypeId },
+    /// `instanceof null` or `catch null`.
+    NullTypeTest { method: String },
+    /// A virtual invoke's argument count disagrees with the selector arity.
+    InvokeArityMismatch { method: String, block: BlockId },
+    /// A static invoke targets an instance or abstract method, or the
+    /// argument count disagrees.
+    BadStaticInvoke { method: String, block: BlockId },
+    /// An abstract method has a body.
+    AbstractWithBody { method: String },
+    /// A concrete method has no body.
+    MissingBody { method: String },
+    /// A static method is marked abstract.
+    StaticAbstract { method: String },
+    /// A body's parameter count disagrees with the declared signature.
+    BodyParamMismatch { method: String },
+    /// A superclass reference is not a class, or not declared earlier.
+    BadSuperclass { ty: String },
+    /// An entry in an `interfaces` list is not an interface.
+    NotAnInterface { ty: String },
+    /// An interface declares an instance field.
+    InterfaceInstanceField { field: String },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ValidationError::*;
+        match self {
+            EntryNotStart { method } => write!(f, "{method}: entry block must begin with start"),
+            MisplacedStart { method, block } => {
+                write!(f, "{method}: non-entry block {block} begins with start")
+            }
+            EntryHasPredecessors { method } => {
+                write!(f, "{method}: entry block has incoming edges")
+            }
+            JumpToNonMerge { method, from, to } => {
+                write!(f, "{method}: jump {from} -> {to} targets a non-merge block")
+            }
+            IfToNonLabel { method, from, to } => {
+                write!(f, "{method}: if {from} -> {to} targets a non-label block")
+            }
+            LabelPredCount { method, block, count } => {
+                write!(f, "{method}: label block {block} has {count} predecessors (expected 1)")
+            }
+            LabelPredNotIf { method, block } => {
+                write!(f, "{method}: label block {block}'s predecessor does not end with if")
+            }
+            MergePredMismatch { method, block } => {
+                write!(f, "{method}: merge block {block} predecessor list disagrees with the CFG")
+            }
+            PhiArgCount { method, block, phi_index } => {
+                write!(f, "{method}: φ #{phi_index} in {block} has the wrong argument count")
+            }
+            DuplicateDefinition { method, var } => {
+                write!(f, "{method}: variable {var} has multiple definitions")
+            }
+            UseBeforeDef { method, block, var } => {
+                write!(f, "{method}: use of {var} in {block} is not dominated by a definition")
+            }
+            BadReturnArity { method, block } => {
+                write!(f, "{method}: return arity in {block} disagrees with the signature")
+            }
+            NewNotInstantiable { method, ty } => {
+                write!(f, "{method}: new of non-instantiable type {ty}")
+            }
+            NullTypeTest { method } => write!(f, "{method}: type test against the null pseudo-type"),
+            InvokeArityMismatch { method, block } => {
+                write!(f, "{method}: invoke argument count disagrees with selector arity in {block}")
+            }
+            BadStaticInvoke { method, block } => {
+                write!(f, "{method}: malformed static invoke in {block}")
+            }
+            AbstractWithBody { method } => write!(f, "{method}: abstract method has a body"),
+            MissingBody { method } => write!(f, "{method}: concrete method has no body"),
+            StaticAbstract { method } => write!(f, "{method}: static method marked abstract"),
+            BodyParamMismatch { method } => {
+                write!(f, "{method}: body parameter count disagrees with the signature")
+            }
+            BadSuperclass { ty } => write!(f, "type {ty}: malformed superclass reference"),
+            NotAnInterface { ty } => write!(f, "type {ty}: implements a non-interface"),
+            InterfaceInstanceField { field } => {
+                write!(f, "field {field}: interfaces cannot declare instance fields")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates an entire program; returns all failures found.
+pub fn validate_program(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    validate_hierarchy(program, &mut errors);
+    for m in program.iter_methods() {
+        validate_method(program, m, &mut errors);
+    }
+    errors
+}
+
+fn validate_hierarchy(program: &Program, errors: &mut Vec<ValidationError>) {
+    for t in program.iter_types() {
+        if t.is_null() {
+            continue;
+        }
+        let td = program.type_data(t);
+        if let Some(sup) = td.superclass {
+            let ok = !sup.is_null()
+                && sup.index() < t.index()
+                && matches!(
+                    program.type_data(sup).kind,
+                    TypeKind::Class | TypeKind::AbstractClass
+                );
+            if !ok {
+                errors.push(ValidationError::BadSuperclass { ty: td.name.clone() });
+            }
+        }
+        for &i in &td.interfaces {
+            if i.is_null()
+                || i.index() >= t.index()
+                || program.type_data(i).kind != TypeKind::Interface
+            {
+                errors.push(ValidationError::NotAnInterface { ty: td.name.clone() });
+            }
+        }
+        if td.kind == TypeKind::Interface {
+            for &fid in td.declared_fields() {
+                if !program.field(fid).is_static {
+                    errors.push(ValidationError::InterfaceInstanceField {
+                        field: program.field(fid).name.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn validate_method(program: &Program, m: MethodId, errors: &mut Vec<ValidationError>) {
+    let md = program.method(m);
+    let label = program.method_label(m);
+    if md.is_static && md.is_abstract {
+        errors.push(ValidationError::StaticAbstract { method: label.clone() });
+    }
+    match (&md.body, md.is_abstract) {
+        (Some(_), true) => {
+            errors.push(ValidationError::AbstractWithBody { method: label.clone() });
+        }
+        (None, false) => {
+            errors.push(ValidationError::MissingBody { method: label.clone() });
+        }
+        _ => {}
+    }
+    let Some(body) = &md.body else { return };
+
+    // Entry-block discipline.
+    match &body.blocks[0].begin {
+        BlockBegin::Start { params } => {
+            if params.len() != md.param_count() {
+                errors.push(ValidationError::BodyParamMismatch { method: label.clone() });
+            }
+        }
+        _ => errors.push(ValidationError::EntryNotStart { method: label.clone() }),
+    }
+    for (id, block) in body.iter_blocks().skip(1) {
+        if matches!(block.begin, BlockBegin::Start { .. }) {
+            errors.push(ValidationError::MisplacedStart {
+                method: label.clone(),
+                block: id,
+            });
+        }
+    }
+
+    validate_cfg(body, &label, errors);
+    validate_ssa(program, md.sig.ret, body, &label, errors);
+    validate_instructions(program, body, &label, errors);
+}
+
+fn validate_cfg(body: &Body, label: &str, errors: &mut Vec<ValidationError>) {
+    let preds = body.predecessors();
+    if !preds[0].is_empty() {
+        errors.push(ValidationError::EntryHasPredecessors { method: label.to_string() });
+    }
+    for (id, block) in body.iter_blocks() {
+        match &block.end {
+            BlockEnd::Jump(t) => {
+                if t.index() >= body.blocks.len()
+                    || !matches!(body.block(*t).begin, BlockBegin::Merge { .. })
+                {
+                    errors.push(ValidationError::JumpToNonMerge {
+                        method: label.to_string(),
+                        from: id,
+                        to: *t,
+                    });
+                }
+            }
+            BlockEnd::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                for t in [*then_block, *else_block] {
+                    if t.index() >= body.blocks.len()
+                        || !matches!(body.block(t).begin, BlockBegin::Label)
+                    {
+                        errors.push(ValidationError::IfToNonLabel {
+                            method: label.to_string(),
+                            from: id,
+                            to: t,
+                        });
+                    }
+                }
+            }
+            BlockEnd::Return(_) | BlockEnd::Throw(_) => {}
+        }
+        match &block.begin {
+            BlockBegin::Label => {
+                let ps = &preds[id.index()];
+                if ps.len() != 1 {
+                    errors.push(ValidationError::LabelPredCount {
+                        method: label.to_string(),
+                        block: id,
+                        count: ps.len(),
+                    });
+                } else if !matches!(body.block(ps[0]).end, BlockEnd::If { .. }) {
+                    errors.push(ValidationError::LabelPredNotIf {
+                        method: label.to_string(),
+                        block: id,
+                    });
+                }
+            }
+            BlockBegin::Merge { phis, preds: declared } => {
+                let mut actual = preds[id.index()].clone();
+                let mut listed = declared.clone();
+                actual.sort_unstable();
+                listed.sort_unstable();
+                if actual != listed {
+                    errors.push(ValidationError::MergePredMismatch {
+                        method: label.to_string(),
+                        block: id,
+                    });
+                }
+                for (i, phi) in phis.iter().enumerate() {
+                    if phi.args.len() != declared.len() {
+                        errors.push(ValidationError::PhiArgCount {
+                            method: label.to_string(),
+                            block: id,
+                            phi_index: i,
+                        });
+                    }
+                }
+            }
+            BlockBegin::Start { .. } => {}
+        }
+    }
+}
+
+fn block_defs(block: &Block) -> Vec<VarId> {
+    let mut defs = Vec::new();
+    match &block.begin {
+        BlockBegin::Start { params } => defs.extend_from_slice(params),
+        BlockBegin::Merge { phis, .. } => defs.extend(phis.iter().map(|p| p.def)),
+        BlockBegin::Label => {}
+    }
+    defs.extend(block.stmts.iter().filter_map(|s| s.def()));
+    defs
+}
+
+/// Definite-assignment dataflow: `OUT[b] = IN[b] ∪ defs(b)`,
+/// `IN[b] = ∩ preds OUT[p]` (optimistic initialization with the universe,
+/// iterated to the greatest fixpoint). Equivalent to checking that every use
+/// is dominated by its definition.
+fn validate_ssa(
+    program: &Program,
+    ret: TypeRef,
+    body: &Body,
+    label: &str,
+    errors: &mut Vec<ValidationError>,
+) {
+    let _ = program;
+    let n_vars = body.vars.len();
+    let n_blocks = body.blocks.len();
+
+    // Unique definitions.
+    let mut seen = vec![false; n_vars];
+    for def in body.definitions() {
+        if def.index() >= n_vars || seen[def.index()] {
+            errors.push(ValidationError::DuplicateDefinition {
+                method: label.to_string(),
+                var: def,
+            });
+        } else {
+            seen[def.index()] = true;
+        }
+    }
+
+    let preds = body.predecessors();
+    let universe: BitSet = (0..n_vars).collect();
+    let mut out: Vec<BitSet> = vec![universe.clone(); n_blocks];
+    // Iterate to fixpoint (sets only shrink).
+    loop {
+        let mut changed = false;
+        for (id, block) in body.iter_blocks() {
+            let mut in_set = if id == BlockId::ENTRY {
+                BitSet::with_capacity(n_vars)
+            } else if preds[id.index()].is_empty() {
+                // Unreachable block: keep optimistic (its uses are vacuous),
+                // but still flag locally-undefined vars below via the final
+                // per-block walk using the universe as IN.
+                universe.clone()
+            } else {
+                let mut s = universe.clone();
+                for p in &preds[id.index()] {
+                    s.intersect_with(&out[p.index()]);
+                }
+                s
+            };
+            for def in block_defs(block) {
+                if def.index() < n_vars {
+                    in_set.insert(def.index());
+                }
+            }
+            if in_set != out[id.index()] {
+                out[id.index()] = in_set;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: check each use against the flow-in set at its position.
+    for (id, block) in body.iter_blocks() {
+        let mut live = if id == BlockId::ENTRY {
+            BitSet::with_capacity(n_vars)
+        } else if preds[id.index()].is_empty() {
+            universe.clone()
+        } else {
+            let mut s = universe.clone();
+            for p in &preds[id.index()] {
+                s.intersect_with(&out[p.index()]);
+            }
+            s
+        };
+        let check = |v: VarId, live: &BitSet, errors: &mut Vec<ValidationError>| {
+            if v.index() >= n_vars || !live.contains(v.index()) {
+                errors.push(ValidationError::UseBeforeDef {
+                    method: label.to_string(),
+                    block: id,
+                    var: v,
+                });
+            }
+        };
+        // φ arguments are checked against the corresponding predecessor.
+        if let BlockBegin::Merge { phis, preds: declared } = &block.begin {
+            for phi in phis {
+                for (arg, p) in phi.args.iter().zip(declared.iter()) {
+                    if p.index() < n_blocks && !out[p.index()].contains(arg.index()) {
+                        errors.push(ValidationError::UseBeforeDef {
+                            method: label.to_string(),
+                            block: id,
+                            var: *arg,
+                        });
+                    }
+                }
+            }
+        }
+        for def in block_defs(block) {
+            // Defs from the header become visible before statements run; for
+            // statements we interleave below, so only add header defs here.
+            if block.stmts.iter().all(|s| s.def() != Some(def)) {
+                live.insert(def.index());
+            }
+        }
+        for stmt in &block.stmts {
+            for u in stmt.uses() {
+                check(u, &live, errors);
+            }
+            if let Some(d) = stmt.def() {
+                live.insert(d.index());
+            }
+        }
+        for u in block.end.uses() {
+            check(u, &live, errors);
+        }
+        // Return arity.
+        if let BlockEnd::Return(v) = &block.end {
+            let ok = match ret {
+                TypeRef::Void => v.is_none(),
+                _ => v.is_some(),
+            };
+            if !ok {
+                errors.push(ValidationError::BadReturnArity {
+                    method: label.to_string(),
+                    block: id,
+                });
+            }
+        }
+    }
+}
+
+fn validate_instructions(
+    program: &Program,
+    body: &Body,
+    label: &str,
+    errors: &mut Vec<ValidationError>,
+) {
+    for (id, block) in body.iter_blocks() {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Assign { expr: Expr::New(t), .. }
+                    if !program.is_instantiable(*t) => {
+                        errors.push(ValidationError::NewNotInstantiable {
+                            method: label.to_string(),
+                            ty: *t,
+                        });
+                    }
+                Stmt::Invoke { selector, args, .. }
+                    if program.selector(*selector).arity != args.len() => {
+                        errors.push(ValidationError::InvokeArityMismatch {
+                            method: label.to_string(),
+                            block: id,
+                        });
+                    }
+                Stmt::InvokeStatic { target, args, .. } => {
+                    let td = program.method(*target);
+                    if !td.is_static || td.is_abstract || td.sig.params.len() != args.len() {
+                        errors.push(ValidationError::BadStaticInvoke {
+                            method: label.to_string(),
+                            block: id,
+                        });
+                    }
+                }
+                Stmt::Catch { ty, .. }
+                    if ty.is_null() => {
+                        errors.push(ValidationError::NullTypeTest { method: label.to_string() });
+                    }
+                _ => {}
+            }
+        }
+        if let BlockEnd::If { cond: Cond::InstanceOf { ty, .. }, .. } = &block.end {
+            if ty.is_null() {
+                errors.push(ValidationError::NullTypeTest { method: label.to_string() });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, BranchExit, ProgramBuilder};
+    use crate::instr::CmpOp;
+
+    fn one_method_program(body_f: impl FnOnce(&mut BodyBuilder)) -> Result<Program, crate::builder::ValidationErrors> {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A");
+        let m = pb.method(a, "run").static_().returns(TypeRef::Prim).build();
+        let mut bb = BodyBuilder::new(&[]);
+        body_f(&mut bb);
+        pb.set_body(m, bb.finish());
+        pb.finish()
+    }
+
+    #[test]
+    fn accepts_well_formed_diamond() {
+        let result = one_method_program(|bb| {
+            let zero = bb.const_(0);
+            let x = bb.any_prim();
+            let j = bb.if_else(
+                Cond::Cmp { op: CmpOp::Lt, lhs: x, rhs: zero },
+                |bb| BranchExit::value(bb.const_(1)),
+                |bb| BranchExit::value(bb.const_(2)),
+            );
+            bb.ret(Some(j[0]));
+        });
+        assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn accepts_loops() {
+        let result = one_method_program(|bb| {
+            let zero = bb.const_(0);
+            let hundred = bb.const_(100);
+            let after = bb.while_loop(
+                &[zero],
+                |_, p| Cond::Cmp { op: CmpOp::Lt, lhs: p[0], rhs: hundred },
+                |bb, _| BranchExit::Values(vec![bb.any_prim()]),
+            );
+            bb.ret(Some(after[0]));
+        });
+        assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn rejects_use_before_def_across_branches() {
+        // Define x only in the then-branch, use it after the merge.
+        let result = one_method_program(|bb| {
+            let zero = bb.const_(0);
+            let c = bb.any_prim();
+            let mut leaked = None;
+            bb.if_else(
+                Cond::Cmp { op: CmpOp::Eq, lhs: c, rhs: zero },
+                |bb| {
+                    leaked = Some(bb.const_(7));
+                    BranchExit::fallthrough()
+                },
+                |_| BranchExit::fallthrough(),
+            );
+            bb.ret(Some(leaked.unwrap()));
+        });
+        let errs = result.err().expect("must be rejected").0;
+        assert!(
+            errs.iter().any(|e| matches!(e, ValidationError::UseBeforeDef { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let result = one_method_program(|bb| {
+            let x = bb.const_(1);
+            // Manually emit a second definition of the same var.
+            bb.push_stmt(Stmt::Assign { def: x, expr: Expr::Const(2) });
+            bb.ret(Some(x));
+        });
+        let errs = result.err().expect("must be rejected").0;
+        assert!(
+            errs.iter().any(|e| matches!(e, ValidationError::DuplicateDefinition { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_new_of_abstract_class() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("Abstract").abstract_().build();
+        let host = pb.add_class("Host");
+        let m = pb.method(host, "run").static_().returns(TypeRef::Void).build();
+        let mut bb = BodyBuilder::new(&[]);
+        let _ = bb.new_obj(a);
+        bb.ret(None);
+        pb.set_body(m, bb.finish());
+        let errs = pb.finish().err().expect("must be rejected").0;
+        assert!(
+            errs.iter().any(|e| matches!(e, ValidationError::NewNotInstantiable { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_missing_body() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A");
+        pb.method(a, "m").returns(TypeRef::Void).build();
+        let errs = pb.finish().err().expect("must be rejected").0;
+        assert!(
+            errs.iter().any(|e| matches!(e, ValidationError::MissingBody { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_return_arity_mismatch() {
+        let result = one_method_program(|bb| {
+            bb.ret(None); // method declared to return Prim
+        });
+        let errs = result.err().expect("must be rejected").0;
+        assert!(
+            errs.iter().any(|e| matches!(e, ValidationError::BadReturnArity { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_invoke_arity() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A");
+        let callee = pb.method(a, "f").params(vec![TypeRef::Prim]).returns(TypeRef::Void).build();
+        pb.set_trivial_body(callee, None);
+        let sel_wrong = pb.selector("f", 1);
+        let m = pb.method(a, "run").returns(TypeRef::Void).build();
+        pb.build_body(m, |bb| {
+            let this = bb.param(0);
+            let def = bb.raw_var("r");
+            // Pass zero args to an arity-1 selector.
+            bb.push_stmt(Stmt::Invoke {
+                def,
+                receiver: this,
+                selector: sel_wrong,
+                args: vec![],
+            });
+            bb.ret(None);
+        });
+        let errs = pb.finish().err().expect("must be rejected").0;
+        assert!(
+            errs.iter().any(|e| matches!(e, ValidationError::InvokeArityMismatch { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_interface_instance_field() {
+        let mut pb = ProgramBuilder::new();
+        let i = pb.add_interface("I", &[]);
+        pb.add_field(i, "x", TypeRef::Prim);
+        let errs = pb.finish().err().expect("must be rejected").0;
+        assert!(
+            errs.iter().any(|e| matches!(e, ValidationError::InterfaceInstanceField { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_instanceof_null() {
+        let result = one_method_program(|bb| {
+            let x = bb.null_();
+            let j = bb.if_else(
+                Cond::InstanceOf { var: x, ty: TypeId::NULL, negated: false },
+                |bb| BranchExit::value(bb.const_(1)),
+                |bb| BranchExit::value(bb.const_(0)),
+            );
+            bb.ret(Some(j[0]));
+        });
+        let errs = result.err().expect("must be rejected").0;
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::NullTypeTest { .. })), "{errs:?}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Tests for the frontend's structured-condition extensions: `else if`
+//! chains and short-circuit `&&` / `||` (desugared to nested ifs with
+//! duplicated branches, since the base language has no boolean values).
+
+use skipflow_ir::frontend::compile;
+use skipflow_ir::interp::{run, InterpConfig, ObservedValue, Outcome};
+use skipflow_ir::{MethodId, Program};
+
+fn main_of(p: &Program) -> MethodId {
+    let c = p.type_by_name("Main").unwrap();
+    p.method_by_name(c, "main").unwrap()
+}
+
+fn run_main(src: &str) -> (Program, Outcome) {
+    let p = compile(src).expect("compiles");
+    let main = main_of(&p);
+    let t = run(&p, main, &[], &InterpConfig::default());
+    (p, t.outcome)
+}
+
+#[test]
+fn else_if_chains_parse_and_execute() {
+    let (_, out) = run_main(
+        "class Main {
+           static method classify(x: int): int {
+             if (x < 0) { return 0; }
+             else if (x == 0) { return 1; }
+             else if (x < 10) { return 2; }
+             else { return 3; }
+           }
+           static method main(): int {
+             return Main.classify(5);
+           }
+         }",
+    );
+    assert_eq!(out, Outcome::Returned(Some(ObservedValue::Int(2))));
+}
+
+#[test]
+fn and_requires_both_conditions() {
+    for (a, b, expected) in [(1, 1, 1), (1, 0, 0), (0, 1, 0), (0, 0, 0)] {
+        let src = format!(
+            "class Main {{
+               static method test(x: int, y: int): int {{
+                 if (x == 1 && y == 1) {{ return 1; }}
+                 return 0;
+               }}
+               static method main(): int {{ return Main.test({a}, {b}); }}
+             }}"
+        );
+        let (_, out) = run_main(&src);
+        assert_eq!(
+            out,
+            Outcome::Returned(Some(ObservedValue::Int(expected))),
+            "{a} && {b}"
+        );
+    }
+}
+
+#[test]
+fn or_requires_either_condition() {
+    for (a, b, expected) in [(1, 1, 1), (1, 0, 1), (0, 1, 1), (0, 0, 0)] {
+        let src = format!(
+            "class Main {{
+               static method test(x: int, y: int): int {{
+                 if (x == 1 || y == 1) {{ return 1; }}
+                 return 0;
+               }}
+               static method main(): int {{ return Main.test({a}, {b}); }}
+             }}"
+        );
+        let (_, out) = run_main(&src);
+        assert_eq!(
+            out,
+            Outcome::Returned(Some(ObservedValue::Int(expected))),
+            "{a} || {b}"
+        );
+    }
+}
+
+#[test]
+fn and_short_circuits() {
+    // The right operand must not be evaluated when the left is false:
+    // here the right operand would null-dereference.
+    let (_, out) = run_main(
+        "class Box { var flag: int; }
+         class Main {
+           static method main(): int {
+             var b = null;
+             var ok = 0;
+             if (ok == 1 && b.flag == 1) { return 9; }
+             return 7;
+           }
+         }",
+    );
+    assert_eq!(out, Outcome::Returned(Some(ObservedValue::Int(7))));
+}
+
+#[test]
+fn or_short_circuits() {
+    let (_, out) = run_main(
+        "class Box { var flag: int; }
+         class Main {
+           static method main(): int {
+             var b = null;
+             var ok = 1;
+             if (ok == 1 || b.flag == 1) { return 9; }
+             return 7;
+           }
+         }",
+    );
+    assert_eq!(out, Outcome::Returned(Some(ObservedValue::Int(9))));
+}
+
+#[test]
+fn negated_conjunction_uses_de_morgan() {
+    for (a, b, expected) in [(1, 1, 0), (1, 0, 1), (0, 0, 1)] {
+        let src = format!(
+            "class Main {{
+               static method test(x: int, y: int): int {{
+                 if (!(x == 1 && y == 1)) {{ return 1; }}
+                 return 0;
+               }}
+               static method main(): int {{ return Main.test({a}, {b}); }}
+             }}"
+        );
+        let (_, out) = run_main(&src);
+        assert_eq!(
+            out,
+            Outcome::Returned(Some(ObservedValue::Int(expected))),
+            "!({a} && {b})"
+        );
+    }
+}
+
+#[test]
+fn precedence_and_binds_tighter_than_or() {
+    // a || b && c  ≡  a || (b && c)
+    for (a, b, c, expected) in [(1, 0, 0, 1), (0, 1, 1, 1), (0, 1, 0, 0)] {
+        let src = format!(
+            "class Main {{
+               static method test(a: int, b: int, c: int): int {{
+                 if (a == 1 || b == 1 && c == 1) {{ return 1; }}
+                 return 0;
+               }}
+               static method main(): int {{ return Main.test({a}, {b}, {c}); }}
+             }}"
+        );
+        let (_, out) = run_main(&src);
+        assert_eq!(out, Outcome::Returned(Some(ObservedValue::Int(expected))));
+    }
+}
+
+#[test]
+fn parenthesized_groups_override_precedence() {
+    // (a || b) && c
+    for (a, b, c, expected) in [(1, 0, 1, 1), (1, 0, 0, 0), (0, 0, 1, 0)] {
+        let src = format!(
+            "class Main {{
+               static method test(a: int, b: int, c: int): int {{
+                 if ((a == 1 || b == 1) && c == 1) {{ return 1; }}
+                 return 0;
+               }}
+               static method main(): int {{ return Main.test({a}, {b}, {c}); }}
+             }}"
+        );
+        let (_, out) = run_main(&src);
+        assert_eq!(out, Outcome::Returned(Some(ObservedValue::Int(expected))));
+    }
+}
+
+#[test]
+fn mixed_instanceof_and_comparison() {
+    let (_, out) = run_main(
+        "class A { }
+         class B extends A { }
+         class Main {
+           static method main(): int {
+             var x = new B();
+             var n = 5;
+             if (x instanceof B && n > 3) { return 1; }
+             return 0;
+           }
+         }",
+    );
+    assert_eq!(out, Outcome::Returned(Some(ObservedValue::Int(1))));
+}
+
+#[test]
+fn while_with_short_circuit_is_rejected_cleanly() {
+    let e = compile(
+        "class Main {
+           static method main(): void {
+             var i = 0;
+             while (i < 3 && i > -1) { i = any(); }
+           }
+         }",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("while"), "{e}");
+}
+
+#[test]
+fn analysis_folds_through_short_circuits() {
+    // Both operands constant-false: the then branch is dead under SkipFlow
+    // even through the desugared nesting.
+    use skipflow_core::{analyze, AnalysisConfig};
+    let p = compile(
+        "class Main {
+           static method dead(): void { return; }
+           static method main(): void {
+             var a = 0;
+             var b = 1;
+             if (a == 1 && b == 1) { Main.dead(); }
+           }
+         }",
+    )
+    .unwrap();
+    let main = main_of(&p);
+    let result = analyze(&p, &[main], &AnalysisConfig::skipflow());
+    let dead = p
+        .method_by_name(p.type_by_name("Main").unwrap(), "dead")
+        .unwrap();
+    assert!(!result.is_reachable(dead));
+}

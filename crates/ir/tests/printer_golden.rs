@@ -1,0 +1,76 @@
+//! Golden-output test for the SSA printer: the printed form is part of the
+//! debugging contract (tests and the `skipflow print` subcommand compare
+//! it), so changes must be deliberate.
+
+use skipflow_ir::frontend::compile;
+use skipflow_ir::printer::print_program;
+
+#[test]
+fn printed_form_is_stable() {
+    let program = compile(
+        "class Box { var item: Box; }
+         class Main {
+           static method main(): int {
+             var b = new Box();
+             b.item = b;
+             var i = 0;
+             while (i < 3) { i = any(); }
+             if (b == null) { return 0; }
+             return i;
+           }
+         }",
+    )
+    .unwrap();
+    let printed = print_program(&program);
+    let expected = "\
+class Box {
+  var item: Box;
+}
+
+class Main {
+  static method main(): int {
+    b0: start()
+      v0 <- new Box
+      v0.item <- v0
+      v1 <- 0
+      jump b1
+    b1: merge [i2 <- phi(v1, v4)] from [b0, b2]
+      v3 <- 3
+      if i2 < v3 then b2 else b3
+    b2: label
+      v4 <- any
+      jump b1
+    b3: label
+      v5 <- null
+      if v0 == v5 then b4 else b5
+    b4: label
+      v6 <- 0
+      return v6
+    b5: label
+      jump b6
+    b6: merge [] from [b5]
+      return i2
+  }
+}
+
+";
+    assert_eq!(printed, expected, "printer output changed:\n{printed}");
+}
+
+#[test]
+fn field_store_prints_before_loop() {
+    // A second, smaller golden focused on statements the first one misses.
+    let program = compile(
+        "class A {
+           var x: int;
+           method set(v: int): void { this.x = v; }
+           method get(): int { return this.x; }
+         }",
+    )
+    .unwrap();
+    let printed = print_program(&program);
+    assert!(printed.contains("this0.x <- v1"), "{printed}");
+    assert!(printed.contains("v1 <- this0.x"), "{printed}");
+    assert!(printed.contains("method set(int): void"), "{printed}");
+    assert!(printed.contains("method get(): int"), "{printed}");
+}

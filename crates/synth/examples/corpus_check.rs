@@ -1,0 +1,53 @@
+//! Full-corpus verification sweep: for every benchmark, compare PTA and
+//! SkipFlow reductions against calibration, and differentially validate the
+//! analysis against the reference interpreter and the shrinker.
+
+use skipflow_core::shrink::shrink;
+use skipflow_core::{analyze, AnalysisConfig};
+use skipflow_ir::interp::{run, InterpConfig};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut failures = 0;
+    for spec in skipflow_synth::suites::all() {
+        let b = skipflow_synth::build_benchmark(&spec);
+        let pta = analyze(&b.program, &b.roots, &AnalysisConfig::baseline_pta());
+        let skf = analyze(&b.program, &b.roots, &AnalysisConfig::skipflow());
+        let red = 1.0
+            - skf.reachable_methods().len() as f64 / pta.reachable_methods().len() as f64;
+
+        // Differential: interpreter traces covered; shrunk program identical.
+        let shrunk = shrink(&b.program, &skf).expect("shrink validates");
+        let new_main = shrunk.method_map[&b.roots[0]];
+        let mut diff_ok = true;
+        for seed in [0u64, 1, 2] {
+            let cfg = InterpConfig { seed, max_steps: 60_000, ..Default::default() };
+            let t = run(&b.program, b.roots[0], &[], &cfg);
+            for m in &t.executed_methods {
+                if !skf.is_reachable(*m) {
+                    println!("  !! {}: executed {} unreachable", spec.name, b.program.method_label(*m));
+                    diff_ok = false;
+                }
+            }
+            let t2 = run(&shrunk.program, new_main, &[], &cfg);
+            if t.outcome != t2.outcome || t.steps != t2.steps {
+                println!("  !! {}: shrink changed behaviour (seed {seed})", spec.name);
+                diff_ok = false;
+            }
+        }
+        if !diff_ok {
+            failures += 1;
+        }
+        println!(
+            "{:28} pta={:5} skf={:5} red={:5.1}% target={:5.1}% diff={}",
+            spec.name,
+            pta.reachable_methods().len(),
+            skf.reachable_methods().len(),
+            red * 100.0,
+            spec.dead_fraction * 100.0,
+            if diff_ok { "ok" } else { "FAIL" }
+        );
+    }
+    println!("total {:?}, failures {failures}", t0.elapsed());
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,132 @@
+//! The 35-benchmark corpus: 8 DaCapo-shaped, 9 microservice-shaped, and 18
+//! Renaissance-shaped programs.
+//!
+//! Sizes are the paper's PTA-reachable method counts at 1/100 scale;
+//! `dead_fraction` is the paper's per-benchmark reachable-method reduction
+//! (Table 1). The guard *mix* follows each suite's character: Sunflow is
+//! dominated by the guarded-default pattern (the paper explains its 52 %
+//! outlier through Figure 1), microservice frameworks lean on build-time
+//! configuration flags, and the rest use a balanced mix.
+
+use crate::spec::{BenchmarkSpec, GuardMix, Suite};
+
+/// The DaCapo-shaped block of Table 1.
+pub fn dacapo() -> Vec<BenchmarkSpec> {
+    use Suite::DaCapo as S;
+    vec![
+        BenchmarkSpec::new("fop", S, 961, 0.071),
+        BenchmarkSpec::new("h2", S, 433, 0.076),
+        BenchmarkSpec::new("jython", S, 749, 0.060),
+        BenchmarkSpec::new("luindex", S, 312, 0.039),
+        BenchmarkSpec::new("lusearch", S, 292, 0.035),
+        BenchmarkSpec::new("pmd", S, 640, 0.093),
+        BenchmarkSpec::new("sunflow", S, 567, 0.523)
+            .with_guard_mix(GuardMix::null_default_heavy()),
+        BenchmarkSpec::new("xalan", S, 490, 0.170),
+    ]
+}
+
+/// The microservices block of Table 1 (Spring, Micronaut, Quarkus shapes).
+pub fn microservices() -> Vec<BenchmarkSpec> {
+    use Suite::Microservices as S;
+    let cfg = GuardMix::const_flag_heavy();
+    vec![
+        BenchmarkSpec::new("micronaut-helloworld", S, 760, 0.033).with_guard_mix(cfg),
+        BenchmarkSpec::new("micronaut-mushop-order", S, 1670, 0.073).with_guard_mix(cfg),
+        BenchmarkSpec::new("micronaut-mushop-payment", S, 830, 0.042).with_guard_mix(cfg),
+        BenchmarkSpec::new("micronaut-mushop-user", S, 1130, 0.067).with_guard_mix(cfg),
+        BenchmarkSpec::new("quarkus-helloworld", S, 596, 0.060).with_guard_mix(cfg),
+        BenchmarkSpec::new("quarkus-registry", S, 1342, 0.068).with_guard_mix(cfg),
+        BenchmarkSpec::new("quarkus-tika", S, 1091, 0.092).with_guard_mix(cfg),
+        BenchmarkSpec::new("spring-helloworld", S, 852, 0.056).with_guard_mix(cfg),
+        BenchmarkSpec::new("spring-petclinic", S, 2102, 0.081).with_guard_mix(cfg),
+    ]
+}
+
+/// The Renaissance block of Table 1.
+pub fn renaissance() -> Vec<BenchmarkSpec> {
+    use Suite::Renaissance as S;
+    vec![
+        BenchmarkSpec::new("akka-uct", S, 388, 0.064),
+        BenchmarkSpec::new("als", S, 3816, 0.158),
+        BenchmarkSpec::new("chi-square", S, 2178, 0.172),
+        BenchmarkSpec::new("dec-tree", S, 3854, 0.157),
+        BenchmarkSpec::new("finagle-chirper", S, 949, 0.127),
+        BenchmarkSpec::new("finagle-http", S, 939, 0.128),
+        BenchmarkSpec::new("fj-kmeans", S, 280, 0.055),
+        BenchmarkSpec::new("future-genetic", S, 288, 0.056),
+        BenchmarkSpec::new("log-regression", S, 3947, 0.153),
+        BenchmarkSpec::new("mnemonics", S, 282, 0.055),
+        BenchmarkSpec::new("par-mnemonics", S, 282, 0.055),
+        BenchmarkSpec::new("philosophers", S, 309, 0.041),
+        BenchmarkSpec::new("reactors", S, 314, 0.037),
+        BenchmarkSpec::new("rx-scrabble", S, 290, 0.052),
+        BenchmarkSpec::new("scala-doku", S, 290, 0.055),
+        BenchmarkSpec::new("scala-kmeans", S, 279, 0.055),
+        BenchmarkSpec::new("scala-stm-bench7", S, 328, 0.040),
+        BenchmarkSpec::new("scrabble", S, 283, 0.055),
+    ]
+}
+
+/// All 35 benchmarks, DaCapo first (the paper's Table 1 order).
+pub fn all() -> Vec<BenchmarkSpec> {
+    let mut v = dacapo();
+    v.extend(microservices());
+    v.extend(renaissance());
+    v
+}
+
+/// A small, fast subset for smoke tests and quick iteration: the smallest
+/// program of each suite plus the Sunflow outlier.
+pub fn quick() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec::new("lusearch", Suite::DaCapo, 292, 0.035),
+        BenchmarkSpec::new("sunflow", Suite::DaCapo, 567, 0.523)
+            .with_guard_mix(GuardMix::null_default_heavy()),
+        BenchmarkSpec::new("micronaut-helloworld", Suite::Microservices, 760, 0.033)
+            .with_guard_mix(GuardMix::const_flag_heavy()),
+        BenchmarkSpec::new("scrabble", Suite::Renaissance, 283, 0.055),
+    ]
+}
+
+/// Looks a spec up by name across all suites.
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_35_benchmarks() {
+        assert_eq!(dacapo().len(), 8);
+        assert_eq!(microservices().len(), 9);
+        assert_eq!(renaissance().len(), 18);
+        assert_eq!(all().len(), 35);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            all().into_iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 35);
+    }
+
+    #[test]
+    fn by_name_finds_specs() {
+        assert!(by_name("sunflow").is_some());
+        assert!(by_name("spring-petclinic").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn dead_fractions_match_the_paper_bands() {
+        // DaCapo: max 52.3 %, min 3.5 % (Table 1).
+        let d = dacapo();
+        let max = d.iter().map(|s| s.dead_fraction).fold(0.0, f64::max);
+        let min = d.iter().map(|s| s.dead_fraction).fold(1.0, f64::min);
+        assert!((max - 0.523).abs() < 1e-9);
+        assert!((min - 0.035).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! The call-graph precision ladder: CHA ⊇ RTA ⊇ PTA ⊇ SkipFlow on one
+//! generated benchmark (the comparators discussed in the paper's §6).
+//!
+//! ```text
+//! cargo run --release --example callgraph_ladder [benchmark-name]
+//! ```
+
+use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::baselines::{class_hierarchy_analysis, rapid_type_analysis};
+use skipflow::synth::{build_benchmark, suites};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "xalan".to_string());
+    let spec = suites::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name:?}");
+        std::process::exit(2);
+    });
+    let bench = build_benchmark(&spec);
+    let p = &bench.program;
+
+    let cha = class_hierarchy_analysis(p, &bench.roots);
+    let rta = rapid_type_analysis(p, &bench.roots);
+    let pta = analyze(p, &bench.roots, &AnalysisConfig::baseline_pta());
+    let skf = analyze(p, &bench.roots, &AnalysisConfig::skipflow());
+
+    println!("benchmark {name}: {} concrete methods generated\n", bench.total_methods());
+    println!("{:<36} {:>10} {:>10}", "analysis", "reachable", "polycalls");
+    println!("{}", "-".repeat(60));
+    println!("{:<36} {:>10} {:>10}", "CHA (Dean et al. 1995)", cha.reachable_count(), cha.poly_calls);
+    println!("{:<36} {:>10} {:>10}", "RTA (Bacon & Sweeney 1996)", rta.reachable_count(), rta.poly_calls);
+    let pm = pta.metrics(p);
+    println!(
+        "{:<36} {:>10} {:>10}",
+        "PTA (Wimmer et al. 2024)",
+        pta.reachable_methods().len(),
+        pm.poly_calls
+    );
+    let sm = skf.metrics(p);
+    println!(
+        "{:<36} {:>10} {:>10}",
+        "SkipFlow (this paper)",
+        skf.reachable_methods().len(),
+        sm.poly_calls
+    );
+
+    // The ladder must hold.
+    assert!(rta.reachable.is_subset(&cha.reachable));
+    assert!(pta.reachable_methods().is_subset(&rta.reachable));
+    assert!(skf.reachable_methods().is_subset(pta.reachable_methods()));
+    println!("\nladder verified: SkipFlow ⊆ PTA ⊆ RTA ⊆ CHA");
+}

@@ -1,0 +1,84 @@
+//! The paper's Figure 2 / 7 / 8: the JDK `SharedThreadContainer.onExit`
+//! example, including the fixed-point value states of Figure 8.
+//!
+//! The condition (`thread.isVirtual()`) and the type check it depends on
+//! live in *different methods* — proving the `remove()` call dead needs an
+//! interprocedural analysis that tracks types (the check always fails),
+//! primitive values (the constant `false` flows back), and enough
+//! flow-sensitivity to use the fact (the predicate edge on the branch).
+//!
+//! ```text
+//! cargo run --example jdk_isvirtual
+//! ```
+
+use skipflow::analysis::{analyze, AnalysisConfig, ValueState};
+use skipflow::ir::frontend::compile;
+
+const SRC: &str = "
+    abstract class BaseVirtualThread extends Thread { }
+    class Thread {
+      method isVirtual(): int {
+        if (this instanceof BaseVirtualThread) { return 1; }
+        return 0;
+      }
+    }
+    class VirtualThread extends BaseVirtualThread { }
+    class PlatformThread extends Thread { }
+
+    class ThreadSet {
+      method remove(t: Thread): void { return; }
+    }
+
+    class SharedThreadContainer {
+      var virtualThreads: ThreadSet;
+      method onExit(thread: Thread): void {
+        if (thread.isVirtual()) {
+          var s = this.virtualThreads;
+          s.remove(thread);
+        }
+      }
+    }
+
+    class Main {
+      static method main(): void {
+        var c = new SharedThreadContainer();
+        c.virtualThreads = new ThreadSet();
+        var t = new PlatformThread();   // the app never uses virtual threads
+        c.onExit(t);
+      }
+    }
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(SRC)?;
+    let main_cls = program.type_by_name("Main").unwrap();
+    let main = program.method_by_name(main_cls, "main").unwrap();
+
+    let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+
+    let thread = program.type_by_name("Thread").unwrap();
+    let is_virtual = program.method_by_name(thread, "isVirtual").unwrap();
+    let stc = program.type_by_name("SharedThreadContainer").unwrap();
+    let on_exit = program.method_by_name(stc, "onExit").unwrap();
+    let set = program.type_by_name("ThreadSet").unwrap();
+    let remove = program.method_by_name(set, "remove").unwrap();
+
+    // The Figure 8 fixed-point facts.
+    println!("VS(Return of isVirtual) = {:?}", result.return_state(is_virtual));
+    println!("VS(p_thread of onExit)  = {:?}", result.param_state(on_exit, 1));
+    println!("ThreadSet.remove reachable? {}", result.is_reachable(remove));
+    println!();
+    println!("{}", result.dead_code_report(&program, on_exit));
+
+    assert_eq!(result.return_state(is_virtual), Some(&ValueState::Const(0)));
+    assert!(!result.is_reachable(remove));
+
+    // The baseline cannot prove it.
+    let baseline = analyze(&program, &[main], &AnalysisConfig::baseline_pta());
+    println!(
+        "baseline PTA: ThreadSet.remove reachable? {}",
+        baseline.is_reachable(remove)
+    );
+    assert!(baseline.is_reachable(remove));
+    Ok(())
+}

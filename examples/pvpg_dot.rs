@@ -1,0 +1,55 @@
+//! Dumps the PVPG of the paper's `isVirtual` example as Graphviz `dot`,
+//! using the figure conventions of the paper (solid = use, dashed =
+//! predicate, dotted = observe; red = enabled, grey = disabled) — compare
+//! with Figures 7 and 8.
+//!
+//! ```text
+//! cargo run --example pvpg_dot > isvirtual.dot && dot -Tpng isvirtual.dot -o isvirtual.png
+//! ```
+
+use skipflow::analysis::dot::method_pvpg_dot;
+use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::ir::frontend::compile;
+
+const SRC: &str = "
+    abstract class BaseVirtualThread extends Thread { }
+    class Thread {
+      method isVirtual(): int {
+        if (this instanceof BaseVirtualThread) { return 1; }
+        return 0;
+      }
+    }
+    class PlatformThread extends Thread { }
+    class ThreadSet { method remove(t: Thread): void { return; } }
+    class SharedThreadContainer {
+      var virtualThreads: ThreadSet;
+      method onExit(thread: Thread): void {
+        if (thread.isVirtual()) {
+          var s = this.virtualThreads;
+          s.remove(thread);
+        }
+      }
+    }
+    class Main {
+      static method main(): void {
+        var c = new SharedThreadContainer();
+        c.virtualThreads = new ThreadSet();
+        c.onExit(new PlatformThread());
+      }
+    }
+";
+
+fn main() {
+    let program = compile(SRC).expect("example compiles");
+    let main_cls = program.type_by_name("Main").unwrap();
+    let main = program.method_by_name(main_cls, "main").unwrap();
+    let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+
+    for (class, method) in [("SharedThreadContainer", "onExit"), ("Thread", "isVirtual")] {
+        let c = program.type_by_name(class).unwrap();
+        let m = program.method_by_name(c, method).unwrap();
+        let dot = method_pvpg_dot(&result, &program, m).expect("reachable");
+        println!("// === {class}.{method} (paper Figures 7/8) ===");
+        println!("{dot}");
+    }
+}

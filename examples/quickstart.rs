@@ -1,0 +1,77 @@
+//! Quickstart: compile a small program from source, run SkipFlow, and
+//! inspect the results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::ir::frontend::compile;
+
+const SRC: &str = "
+    class Config {
+      // A build-time feature flag, disabled in this build.
+      static method tracingEnabled(): int { return 0; }
+    }
+    class Tracer {
+      static method init(): void { return; }
+      static method record(x: int): void { return; }
+    }
+    class App {
+      static method work(): int {
+        var total = 0;
+        var i = 0;
+        while (i < 10) {
+          total = any();
+          if (Config.tracingEnabled()) {
+            Tracer.record(total);
+          }
+          i = any();
+        }
+        return total;
+      }
+      static method main(): void {
+        if (Config.tracingEnabled()) {
+          Tracer.init();
+        }
+        App.work();
+      }
+    }
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(SRC)?;
+    let app = program.type_by_name("App").expect("App exists");
+    let main = program.method_by_name(app, "main").expect("main exists");
+
+    println!("== SkipFlow ==");
+    let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+    for m in result.reachable_methods() {
+        println!("  reachable: {}", program.method_label(*m));
+    }
+    let metrics = result.metrics(&program);
+    println!("  {metrics}");
+
+    println!("\n== Baseline PTA ==");
+    let baseline = analyze(&program, &[main], &AnalysisConfig::baseline_pta());
+    for m in baseline.reachable_methods() {
+        println!("  reachable: {}", program.method_label(*m));
+    }
+
+    let tracer = program.type_by_name("Tracer").unwrap();
+    let init = program.method_by_name(tracer, "init").unwrap();
+    let record = program.method_by_name(tracer, "record").unwrap();
+    println!(
+        "\nSkipFlow proves the tracer dead: init reachable = {}, record reachable = {}",
+        result.is_reachable(init),
+        result.is_reachable(record)
+    );
+    println!(
+        "The baseline cannot: init reachable = {}, record reachable = {}",
+        baseline.is_reachable(init),
+        baseline.is_reachable(record)
+    );
+    assert!(!result.is_reachable(init) && !result.is_reachable(record));
+    assert!(baseline.is_reachable(init) && baseline.is_reachable(record));
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! The paper's Figure 1: the DaCapo Sunflow guarded-default pattern.
+//!
+//! `Scene.render` assigns `new FrameDisplay()` to its parameter only when it
+//! is null — and it never is. SkipFlow's predicate edge keeps the allocation
+//! disabled, so the entire GUI stack behind `FrameDisplay` is proven
+//! unreachable; the flow-insensitive baseline drags it in through the
+//! spurious path `new FrameDisplay() ⇝ display ⇝ imageBegin()`.
+//!
+//! ```text
+//! cargo run --example sunflow_pattern
+//! ```
+
+use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::ir::frontend::compile;
+
+const SRC: &str = "
+    abstract class Display { abstract method imageBegin(): void; }
+
+    class FileDisplay extends Display {
+      method imageBegin(): void { return; }
+    }
+
+    // The GUI display: its imageBegin transitively initializes the AWT and
+    // Swing stand-ins below.
+    class FrameDisplay extends Display {
+      method imageBegin(): void {
+        Awt.init();
+        Swing.init();
+      }
+    }
+    class Awt {
+      static method init(): void { Awt.loadToolkit(); }
+      static method loadToolkit(): void { return; }
+    }
+    class Swing {
+      static method init(): void { Swing.installLaf(); }
+      static method installLaf(): void { return; }
+    }
+
+    class Scene {
+      method render(display: Display): void {
+        var d = display;
+        if (d == null) {
+          d = new FrameDisplay();
+        }
+        d.imageBegin();
+      }
+    }
+
+    class BucketRenderer {
+      method render(display: Display): void {
+        display.imageBegin();
+      }
+    }
+
+    class Main {
+      static method main(): void {
+        var scene = new Scene();
+        var display = new FileDisplay();   // never null
+        scene.render(display);
+        var bucket = new BucketRenderer();
+        bucket.render(display);
+      }
+    }
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(SRC)?;
+    let main_cls = program.type_by_name("Main").unwrap();
+    let main = program.method_by_name(main_cls, "main").unwrap();
+
+    let skipflow = analyze(&program, &[main], &AnalysisConfig::skipflow());
+    let baseline = analyze(&program, &[main], &AnalysisConfig::baseline_pta());
+
+    println!(
+        "reachable methods: baseline PTA = {}, SkipFlow = {}",
+        baseline.reachable_methods().len(),
+        skipflow.reachable_methods().len()
+    );
+
+    let frame_display = program.type_by_name("FrameDisplay").unwrap();
+    println!(
+        "\nFrameDisplay instantiated?  baseline: {:<5}  SkipFlow: {}",
+        baseline.is_instantiated(frame_display),
+        skipflow.is_instantiated(frame_display)
+    );
+    for (cls, m) in [("Awt", "loadToolkit"), ("Swing", "installLaf")] {
+        let c = program.type_by_name(cls).unwrap();
+        let mid = program.method_by_name(c, m).unwrap();
+        println!(
+            "{cls}.{m} reachable?       baseline: {:<5}  SkipFlow: {}",
+            baseline.is_reachable(mid),
+            skipflow.is_reachable(mid)
+        );
+    }
+
+    // Dead-code report for Scene.render: the then-branch (the default
+    // allocation) is the dead block.
+    let scene = program.type_by_name("Scene").unwrap();
+    let render = program.method_by_name(scene, "render").unwrap();
+    println!("\n{}", skipflow.dead_code_report(&program, render));
+
+    assert!(!skipflow.is_instantiated(frame_display));
+    assert!(baseline.is_instantiated(frame_display));
+    Ok(())
+}

@@ -1,0 +1,291 @@
+//! The `skipflow` command-line tool: compile, analyze, interpret, and
+//! visualize base-language programs.
+//!
+//! ```text
+//! skipflow compile  <src.sf> -o <out.sfbc>          # frontend → binary format
+//! skipflow analyze  <src.sf|prog.sfbc> [options]    # run the analysis, print a report
+//! skipflow run      <src.sf|prog.sfbc> [--seed N]   # interpret the program
+//! skipflow dot      <src.sf|prog.sfbc> --method Cls.m
+//! skipflow print    <src.sf|prog.sfbc>              # SSA dump
+//! ```
+//!
+//! `analyze` options:
+//!   --config skipflow|pta|predicates-only|primitives-only   (default skipflow)
+//!   --root Cls.m          (repeatable; default: every static `main`)
+//!   --compare             also run the PTA baseline and print deltas
+//!   --metrics             print the Table 1 counter metrics
+//!   --dead-code           print per-method dead-code reports
+
+use skipflow::analysis::{analyze, AnalysisConfig, AnalysisResult};
+use skipflow::ir::{encode, frontend, printer, MethodId, Program};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  skipflow compile <src> -o <out.sfbc>
+  skipflow analyze <src|sfbc> [--config skipflow|pta|predicates-only|primitives-only]
+                              [--root Cls.m]... [--compare] [--metrics] [--dead-code]
+  skipflow shrink  <src|sfbc> -o <out.sfbc> [--root Cls.m]...
+  skipflow run      <src|sfbc> [--seed N] [--max-steps N]
+  skipflow dot      <src|sfbc> --method Cls.m
+  skipflow callgraph <src|sfbc> [--root Cls.m]...
+  skipflow print    <src|sfbc>";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "compile" => cmd_compile(rest),
+        "analyze" => cmd_analyze(rest),
+        "shrink" => cmd_shrink(rest),
+        "run" => cmd_run(rest),
+        "dot" => cmd_dot(rest),
+        "callgraph" => cmd_callgraph(rest),
+        "print" => cmd_print(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_callgraph(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("callgraph: missing input path")?;
+    let program = load_program(input)?;
+    let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
+    let result = analyze(&program, &roots, &AnalysisConfig::skipflow());
+    println!("{}", result.call_graph_dot(&program));
+    Ok(())
+}
+
+/// Loads a program from either surface syntax (by extension or content
+/// sniffing) or the binary `SFBC` format.
+fn load_program(path: &str) -> Result<Program, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(b"SFBC") {
+        return encode::decode(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let src = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8 source"))?;
+    frontend::compile(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.as_str());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Resolves `Cls.method` names; with no names given, collects every static
+/// method called `main`.
+fn resolve_roots(program: &Program, names: &[&str]) -> Result<Vec<MethodId>, String> {
+    if names.is_empty() {
+        let mains: Vec<MethodId> = program
+            .iter_methods()
+            .filter(|&m| {
+                let md = program.method(m);
+                md.is_static && md.name == "main"
+            })
+            .collect();
+        if mains.is_empty() {
+            return Err("no static `main` method found; pass --root Cls.m".to_string());
+        }
+        return Ok(mains);
+    }
+    names
+        .iter()
+        .map(|n| {
+            let (cls, m) = n
+                .split_once('.')
+                .ok_or_else(|| format!("root {n:?} must be Cls.method"))?;
+            let c = program
+                .type_by_name(cls)
+                .ok_or_else(|| format!("unknown class {cls:?}"))?;
+            program
+                .method_by_name(c, m)
+                .ok_or_else(|| format!("unknown method {n:?}"))
+        })
+        .collect()
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("compile: missing input path")?;
+    let output = flag_value(args, "-o").ok_or("compile: missing -o <out>")?;
+    let program = load_program(input)?;
+    let bytes = encode::encode(&program);
+    std::fs::write(output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "wrote {output}: {} bytes, {} types, {} methods",
+        bytes.len(),
+        program.type_count(),
+        program.method_count()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("analyze: missing input path")?;
+    let program = load_program(input)?;
+    let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
+
+    let config = match flag_value(args, "--config").unwrap_or("skipflow") {
+        "skipflow" => AnalysisConfig::skipflow(),
+        "pta" => AnalysisConfig::baseline_pta(),
+        "predicates-only" => AnalysisConfig::predicates_only(),
+        "primitives-only" => AnalysisConfig::primitives_only(),
+        other => return Err(format!("unknown config {other:?}")),
+    };
+
+    let result = analyze(&program, &roots, &config);
+    print_analysis(&program, &result, args);
+
+    if has_flag(args, "--compare") && config.label() != "PTA" {
+        let baseline = analyze(&program, &roots, &AnalysisConfig::baseline_pta());
+        let b = baseline.reachable_methods().len();
+        let s = result.reachable_methods().len();
+        println!();
+        println!(
+            "baseline PTA reaches {b} methods; {} reaches {s} ({:+.1}%)",
+            config.label(),
+            (s as f64 / b as f64 - 1.0) * 100.0
+        );
+        for m in baseline.reachable_methods() {
+            if !result.is_reachable(*m) {
+                println!("  removed: {}", program.method_label(*m));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_analysis(program: &Program, result: &AnalysisResult, args: &[String]) {
+    let stats = result.stats();
+    println!(
+        "{}: {} reachable methods ({} flows, {} use / {} pred / {} observe edges, {} steps, {:?})",
+        result.config().label(),
+        result.reachable_methods().len(),
+        stats.flows,
+        stats.use_edges,
+        stats.pred_edges,
+        stats.obs_edges,
+        stats.steps,
+        stats.duration
+    );
+    if has_flag(args, "--metrics") {
+        println!("metrics: {}", result.metrics(program));
+    }
+    if has_flag(args, "--dead-code") {
+        for &m in result.reachable_methods() {
+            if !result.dead_blocks(m).is_empty() {
+                print!("{}", result.dead_code_report(program, m));
+            }
+        }
+    }
+}
+
+fn cmd_shrink(args: &[String]) -> Result<(), String> {
+    use skipflow::analysis::shrink::{encoded_sizes, shrink};
+    let input = args.first().ok_or("shrink: missing input path")?;
+    let output = flag_value(args, "-o").ok_or("shrink: missing -o <out>")?;
+    let program = load_program(input)?;
+    let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
+    let result = analyze(&program, &roots, &AnalysisConfig::skipflow());
+    let shrunk = shrink(&program, &result).map_err(|e| format!("shrink produced invalid IR: {e}"))?;
+    let (before, after) = encoded_sizes(&program, &shrunk);
+    let bytes = skipflow::ir::encode::encode(&shrunk.program);
+    std::fs::write(output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "wrote {output}: methods {} -> {}, blocks stubbed {}, bytes {} -> {} ({:+.1}%)",
+        shrunk.stats.methods_before,
+        shrunk.stats.methods_after,
+        shrunk.stats.blocks_stubbed,
+        before,
+        after,
+        (after as f64 / before as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    use skipflow::ir::interp::{run, InterpConfig};
+    let input = args.first().ok_or("run: missing input path")?;
+    let program = load_program(input)?;
+    let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
+    let seed = flag_value(args, "--seed")
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0);
+    let max_steps = flag_value(args, "--max-steps")
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --max-steps"))
+        .transpose()?
+        .unwrap_or(1_000_000);
+
+    let root = roots[0];
+    if program.method(root).param_count() != 0 {
+        return Err("run: the root method must take no parameters".to_string());
+    }
+    let config = InterpConfig {
+        seed,
+        max_steps,
+        ..Default::default()
+    };
+    let trace = run(&program, root, &[], &config);
+    println!(
+        "outcome: {:?} ({} steps, {} methods executed, {} types instantiated)",
+        trace.outcome,
+        trace.steps,
+        trace.executed_methods.len(),
+        trace.instantiated.len()
+    );
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("dot: missing input path")?;
+    let program = load_program(input)?;
+    let method_name = flag_value(args, "--method").ok_or("dot: missing --method Cls.m")?;
+    let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
+    let target = resolve_roots(&program, &[method_name])?[0];
+    let result = analyze(&program, &roots, &AnalysisConfig::skipflow());
+    match skipflow::analysis::dot::method_pvpg_dot(&result, &program, target) {
+        Some(dot) => {
+            println!("{dot}");
+            Ok(())
+        }
+        None => Err(format!("{method_name} is not reachable; no PVPG fragment exists")),
+    }
+}
+
+fn cmd_print(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("print: missing input path")?;
+    let program = load_program(input)?;
+    print!("{}", printer::print_program(&program));
+    Ok(())
+}

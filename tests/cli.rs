@@ -1,0 +1,198 @@
+//! End-to-end tests of the `skipflow` command-line tool: compile a source
+//! file to the binary format, analyze both forms, interpret, and dump dot.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const SRC: &str = "
+    class Config { static method flag(): int { return 0; } }
+    class Tracer { static method go(): void { return; } }
+    class Main {
+      static method main(): int {
+        if (Config.flag()) { Tracer.go(); }
+        return 41;
+      }
+    }
+";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_skipflow"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skipflow-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn compile_analyze_run_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let src_path = dir.join("app.sf");
+    let bin_path = dir.join("app.sfbc");
+    std::fs::write(&src_path, SRC).unwrap();
+
+    // compile → .sfbc
+    let out = bin()
+        .args(["compile", src_path.to_str().unwrap(), "-o", bin_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(bin_path.exists());
+    let bytes = std::fs::read(&bin_path).unwrap();
+    assert!(bytes.starts_with(b"SFBC"));
+
+    // analyze both the source and the binary form; results agree.
+    let mut reports = Vec::new();
+    for p in [&src_path, &bin_path] {
+        let out = bin()
+            .args(["analyze", p.to_str().unwrap(), "--metrics"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(text.contains("SkipFlow:"), "{text}");
+        assert!(text.contains("reachable methods"), "{text}");
+        // Strip the timing part, which differs between runs.
+        let stable: String = text
+            .lines()
+            .map(|l| l.split(" steps").next().unwrap_or(l))
+            .collect();
+        reports.push(stable);
+    }
+    assert_eq!(reports[0], reports[1]);
+
+    // run: the interpreter returns 41.
+    let out = bin()
+        .args(["run", src_path.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Returned(Some(Int(41)))"), "{text}");
+}
+
+#[test]
+fn analyze_compare_lists_removed_methods() {
+    let dir = tmpdir("compare");
+    let src_path = dir.join("app.sf");
+    std::fs::write(&src_path, SRC).unwrap();
+    let out = bin()
+        .args(["analyze", src_path.to_str().unwrap(), "--compare"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("removed: Tracer.go"), "{text}");
+}
+
+#[test]
+fn analyze_pta_config_keeps_tracer() {
+    let dir = tmpdir("pta");
+    let src_path = dir.join("app.sf");
+    std::fs::write(&src_path, SRC).unwrap();
+    let skipflow_out = bin()
+        .args(["analyze", src_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let pta_out = bin()
+        .args(["analyze", src_path.to_str().unwrap(), "--config", "pta"])
+        .output()
+        .unwrap();
+    let s = String::from_utf8_lossy(&skipflow_out.stdout).to_string();
+    let p = String::from_utf8_lossy(&pta_out.stdout).to_string();
+    let count = |t: &str| -> usize {
+        t.split(": ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap()
+    };
+    assert!(count(&s) < count(&p), "skipflow: {s} pta: {p}");
+}
+
+#[test]
+fn dot_subcommand_emits_graphviz() {
+    let dir = tmpdir("dot");
+    let src_path = dir.join("app.sf");
+    std::fs::write(&src_path, SRC).unwrap();
+    let out = bin()
+        .args(["dot", src_path.to_str().unwrap(), "--method", "Main.main"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("digraph pvpg"), "{text}");
+    assert!(text.contains("style=dashed"), "{text}");
+}
+
+#[test]
+fn print_subcommand_dumps_ssa() {
+    let dir = tmpdir("print");
+    let src_path = dir.join("app.sf");
+    std::fs::write(&src_path, SRC).unwrap();
+    let out = bin()
+        .args(["print", src_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("class Main"), "{text}");
+    assert!(text.contains("start("), "{text}");
+}
+
+#[test]
+fn shrink_subcommand_produces_a_smaller_runnable_program() {
+    let dir = tmpdir("shrink");
+    let src_path = dir.join("app.sf");
+    let out_path = dir.join("app-shrunk.sfbc");
+    std::fs::write(&src_path, SRC).unwrap();
+
+    let out = bin()
+        .args([
+            "shrink",
+            src_path.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("methods 3 -> 2"), "{text}");
+
+    // The shrunk binary still runs and returns the same value.
+    let out = bin()
+        .args(["run", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Returned(Some(Int(41)))"), "{text}");
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    // Unknown subcommand.
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Missing file.
+    let out = bin().args(["analyze", "/nonexistent.sf"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Parse error in source.
+    let dir = tmpdir("err");
+    let bad = dir.join("bad.sf");
+    std::fs::write(&bad, "class { oops").unwrap();
+    let out = bin().args(["analyze", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    // Unreachable dot target.
+    let src = dir.join("app.sf");
+    std::fs::write(&src, SRC).unwrap();
+    let out = bin()
+        .args(["dot", src.to_str().unwrap(), "--method", "Tracer.go"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not reachable"));
+}

@@ -1,0 +1,82 @@
+//! Round-trip properties of the `SFBC` binary program format, driven by the
+//! workload generator: encode → decode must preserve structure, printed
+//! form, interpreter behaviour, and analysis results.
+
+use proptest::prelude::*;
+use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::ir::encode::{decode, encode};
+use skipflow::ir::interp::{run, InterpConfig};
+use skipflow::ir::printer::print_program;
+use skipflow::synth::{build_benchmark, BenchmarkSpec, Suite};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn roundtrip_preserves_everything(
+        seed in 0u64..1_000_000,
+        methods in 40usize..140,
+        dead in 0.0f64..0.5,
+    ) {
+        let mut spec = BenchmarkSpec::new("rt", Suite::DaCapo, methods, dead);
+        spec.seed = seed;
+        let bench = build_benchmark(&spec);
+        let original = &bench.program;
+
+        let bytes = encode(original);
+        let decoded = decode(&bytes).expect("valid bytes decode");
+
+        // Structure and printed form.
+        prop_assert_eq!(original.type_count(), decoded.type_count());
+        prop_assert_eq!(original.method_count(), decoded.method_count());
+        prop_assert_eq!(print_program(original), print_program(&decoded));
+
+        // Interpreter behaviour.
+        let main = bench.roots[0];
+        let cfg = InterpConfig { seed: 5, max_steps: 20_000, ..Default::default() };
+        let a = run(original, main, &[], &cfg);
+        let b = run(&decoded, main, &[], &cfg);
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(&a.executed_methods, &b.executed_methods);
+
+        // Analysis results.
+        let ra = analyze(original, &bench.roots, &AnalysisConfig::skipflow());
+        let rb = analyze(&decoded, &bench.roots, &AnalysisConfig::skipflow());
+        prop_assert_eq!(ra.reachable_methods(), rb.reachable_methods());
+        prop_assert_eq!(ra.metrics(original), rb.metrics(&decoded));
+    }
+
+    /// Mutated streams never panic the decoder.
+    #[test]
+    fn decoder_is_panic_free_under_mutation(
+        seed in 0u64..10_000,
+        mutation_byte in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let mut spec = BenchmarkSpec::new("fuzz", Suite::DaCapo, 40, 0.2);
+        spec.seed = seed;
+        let bench = build_benchmark(&spec);
+        let mut bytes = encode(&bench.program);
+        if bytes.is_empty() { return Ok(()); }
+        let idx = mutation_byte % bytes.len();
+        bytes[idx] ^= xor;
+        let _ = decode(&bytes); // must not panic; Err is fine
+    }
+}
+
+#[test]
+fn encoding_is_deterministic_and_compact() {
+    let spec = BenchmarkSpec::new("det", Suite::DaCapo, 100, 0.3);
+    let bench = build_benchmark(&spec);
+    let a = encode(&bench.program);
+    let b = encode(&bench.program);
+    assert_eq!(a, b, "same program, same bytes");
+    // Sanity: the binary form is smaller than the printed form.
+    let printed = print_program(&bench.program).len();
+    assert!(
+        a.len() < printed,
+        "binary ({}) should beat text ({printed})",
+        a.len()
+    );
+}

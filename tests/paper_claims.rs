@@ -1,0 +1,81 @@
+//! The paper's suite-level claims, asserted as bands over the DaCapo-shaped
+//! block (the fastest suite that contains the headline outlier):
+//!
+//! * reachable methods reduced by max ≈ 52.3 %, min ≈ 3.5 %, avg ≈ 13.3 %;
+//! * every counter metric improves on every benchmark;
+//! * SkipFlow's reachable set is always a subset of PTA's.
+
+use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::synth::{build_benchmark, suites};
+
+#[test]
+fn dacapo_reduction_bands_match_the_paper() {
+    let mut reductions = Vec::new();
+    for spec in suites::dacapo() {
+        let bench = build_benchmark(&spec);
+        let pta = analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta());
+        let skf = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
+        assert!(skf.reachable_methods().is_subset(pta.reachable_methods()));
+        let r = 1.0
+            - skf.reachable_methods().len() as f64 / pta.reachable_methods().len() as f64;
+        reductions.push((spec.name.clone(), r));
+    }
+    let max = reductions.iter().map(|(_, r)| *r).fold(0.0, f64::max);
+    let min = reductions.iter().map(|(_, r)| *r).fold(1.0, f64::min);
+    let avg = reductions.iter().map(|(_, r)| *r).sum::<f64>() / reductions.len() as f64;
+
+    // Paper (Table 1, DaCapo block): max 52.3 %, min 3.5 %, avg 13.3 %.
+    assert!((max - 0.523).abs() < 0.05, "max {max:.3} vs paper 0.523");
+    assert!((min - 0.035).abs() < 0.03, "min {min:.3} vs paper 0.035");
+    assert!((avg - 0.133).abs() < 0.03, "avg {avg:.3} vs paper 0.133");
+
+    // The outlier is Sunflow, as in the paper.
+    let (outlier, _) = reductions
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    assert_eq!(outlier, "sunflow");
+}
+
+#[test]
+fn every_metric_improves_on_every_dacapo_benchmark() {
+    // Table 1's caption: "Even for the grey rows, SkipFlow still improves
+    // over the baseline in all metrics apart from analysis time."
+    for spec in suites::dacapo() {
+        let bench = build_benchmark(&spec);
+        let p = analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta())
+            .metrics(&bench.program);
+        let s = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow())
+            .metrics(&bench.program);
+        assert!(s.reachable_methods < p.reachable_methods, "{}", spec.name);
+        assert!(s.type_checks <= p.type_checks, "{}", spec.name);
+        assert!(s.null_checks <= p.null_checks, "{}", spec.name);
+        assert!(s.prim_checks <= p.prim_checks, "{}", spec.name);
+        assert!(s.poly_calls <= p.poly_calls, "{}", spec.name);
+        assert!(s.binary_size_bytes < p.binary_size_bytes, "{}", spec.name);
+    }
+}
+
+#[test]
+fn counter_metrics_track_reachable_methods() {
+    // §6: "The counter metrics follow a similar trend."
+    for spec in [suites::by_name("sunflow").unwrap(), suites::by_name("xalan").unwrap()] {
+        let bench = build_benchmark(&spec);
+        let p = analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta())
+            .metrics(&bench.program);
+        let s = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow())
+            .metrics(&bench.program);
+        let method_red = 1.0 - s.reachable_methods as f64 / p.reachable_methods as f64;
+        for (name, before, after) in [
+            ("null", p.null_checks, s.null_checks),
+            ("prim", p.prim_checks, s.prim_checks),
+        ] {
+            let red = 1.0 - after as f64 / before as f64;
+            assert!(
+                (red - method_red).abs() < 0.25,
+                "{}: {name}-check reduction {red:.2} far from method reduction {method_red:.2}",
+                spec.name
+            );
+        }
+    }
+}
