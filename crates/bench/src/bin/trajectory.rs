@@ -1,0 +1,64 @@
+//! The perf-trajectory binary: runs the synth ladder and the table1 corpus
+//! and writes a `BENCH_PR<n>.json` record for the repository's performance
+//! history.
+//!
+//! ```text
+//! cargo run --release -p skipflow-bench --bin trajectory -- \
+//!     [--out BENCH_PR1.json] [--pr PR1] [--ladder-only] \
+//!     [--baseline BENCH_PR1_prechange.json]
+//! ```
+//!
+//! `--baseline` points at a previous run of this same harness (typically
+//! captured before a perf change); the summary then records the wall-time
+//! reduction on the largest ladder rung against it.
+
+use skipflow_bench::trajectory::{render_json, run_ladder, run_table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let pr = get("--pr").unwrap_or_else(|| "PR1".to_string());
+    let ladder_only = args.iter().any(|a| a == "--ladder-only");
+    let baseline = get("--baseline").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}"))
+    });
+
+    eprintln!("running ladder…");
+    let mut workloads = run_ladder();
+    if !ladder_only {
+        eprintln!("running table1 corpus…");
+        workloads.extend(run_table1());
+    }
+
+    let json = render_json(&pr, &workloads, baseline.as_deref());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    // Human-readable recap of the ladder on stderr-free stdout.
+    println!(
+        "{:<12} {:>9} {:<10} {:<12} {:>10} {:>10} {:>12} {:>9} {:>7}",
+        "workload", "methods", "config", "solver", "wall[ms]", "steps", "joins", "reach", "dead"
+    );
+    for w in workloads.iter().filter(|w| w.kind == "ladder") {
+        for r in &w.runs {
+            println!(
+                "{:<12} {:>9} {:<10} {:<12} {:>10.2} {:>10} {:>12} {:>9} {:>7}",
+                w.name,
+                w.generated_methods,
+                r.config,
+                r.solver,
+                r.wall_ms,
+                r.steps,
+                r.state_joins,
+                r.reachable_methods,
+                r.dead_blocks
+            );
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //!
 //! * `cargo run -p skipflow-bench --bin table1 -- --suite all`
 //! * `cargo run -p skipflow-bench --bin fig9`
+//! * `cargo run --release -p skipflow-bench --bin trajectory` — the perf
+//!   trajectory record (`BENCH_PR<n>.json`; see [`trajectory`])
 //!
 //! Criterion benches (`cargo bench -p skipflow-bench`) measure analysis
 //! time for both configurations, the ablations, and the lattice/graph
@@ -15,6 +17,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod trajectory;
 
 use skipflow_core::{analyze, AnalysisConfig, Metrics};
 use skipflow_synth::{build_benchmark, Benchmark, BenchmarkSpec};

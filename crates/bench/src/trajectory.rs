@@ -1,0 +1,395 @@
+//! The perf-trajectory harness: a fixed workload set measured the same way
+//! in every PR, so the repository accumulates a comparable performance
+//! record (`BENCH_PR<n>.json` at the repo root).
+//!
+//! Two workload families:
+//!
+//! * **ladder** — synthetic programs of doubling size at fixed shape
+//!   (fanout 8, 20% guarded-dead), stressing solver scaling; the largest
+//!   rung is the headline number.
+//! * **table1** — the full 35-benchmark corpus under PTA and SkipFlow,
+//!   sequential solver, mirroring the paper's evaluation.
+//!
+//! Per run the harness records wall time, worklist steps, state joins (the
+//! propagation volume), the peak flow count, and the precision outcomes
+//! (reachable methods, dead blocks) so perf changes that silently alter
+//! results are caught immediately.
+
+use skipflow_core::{analyze, AnalysisConfig, AnalysisResult, SolverKind};
+use skipflow_synth::{build_benchmark, Benchmark, BenchmarkSpec, Suite};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured (workload × config × solver) cell.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Configuration label (`PTA` / `SkipFlow`).
+    pub config: String,
+    /// Solver label (`sequential` / `parallel-N` / `reference`).
+    pub solver: String,
+    /// Wall-clock analysis time in milliseconds.
+    pub wall_ms: f64,
+    /// Worklist steps executed.
+    pub steps: u64,
+    /// Input-state joins that changed a state.
+    pub state_joins: u64,
+    /// Peak flow count (the PVPG arena only grows).
+    pub flows: usize,
+    /// Use edges in the final PVPG.
+    pub use_edges: usize,
+    /// Reachable methods (precision guard).
+    pub reachable_methods: usize,
+    /// Dead blocks across reachable methods (precision guard).
+    pub dead_blocks: usize,
+}
+
+/// All runs of one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadRecord {
+    /// Workload name (`rung-8000`, `sunflow`, …).
+    pub name: String,
+    /// Workload family (`ladder` / `table1`).
+    pub kind: &'static str,
+    /// Concrete methods the generator emitted.
+    pub generated_methods: usize,
+    /// The measured runs.
+    pub runs: Vec<RunRecord>,
+}
+
+/// The ladder rungs: doubling method counts at fixed shape. The largest
+/// rung is the one the acceptance criteria quote.
+pub fn ladder_specs() -> Vec<BenchmarkSpec> {
+    [2000usize, 4000, 8000, 16000, 32000]
+        .into_iter()
+        .map(|n| {
+            BenchmarkSpec::new(&format!("rung-{n}"), Suite::DaCapo, n, 0.2).with_fanout(8)
+        })
+        .collect()
+}
+
+fn dead_block_total(result: &AnalysisResult) -> usize {
+    result
+        .reachable_methods()
+        .iter()
+        .map(|&m| result.dead_blocks(m).len())
+        .sum()
+}
+
+fn solver_label(kind: SolverKind) -> String {
+    match kind {
+        SolverKind::Sequential => "sequential".to_string(),
+        SolverKind::Parallel { threads } => format!("parallel-{threads}"),
+        SolverKind::Reference => "reference".to_string(),
+    }
+}
+
+/// Measures one benchmark under one configuration: one untimed warm-up run
+/// (page faults, allocator growth), then the best of `iters` timed runs.
+/// The analysis is deterministic, so only wall time varies between runs.
+pub fn measure_run(bench: &Benchmark, config: &AnalysisConfig, iters: usize) -> RunRecord {
+    measure_group(bench, std::slice::from_ref(config), iters)
+        .pop()
+        .expect("one config, one record")
+}
+
+/// Measures several configurations over the same benchmark with the timed
+/// iterations *interleaved* round-robin (warm-ups first), so heap warm-up
+/// and machine drift hit every configuration equally instead of biasing
+/// whichever happens to run first. Records the best iteration per config.
+pub fn measure_group(
+    bench: &Benchmark,
+    configs: &[AnalysisConfig],
+    iters: usize,
+) -> Vec<RunRecord> {
+    let configs: Vec<AnalysisConfig> = configs
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.reflective_roots
+                .extend(bench.reflective_roots.iter().copied());
+            c
+        })
+        .collect();
+    for config in &configs {
+        let _warmup = analyze(&bench.program, &bench.roots, config);
+    }
+    let mut walls = vec![f64::INFINITY; configs.len()];
+    let mut results: Vec<Option<AnalysisResult>> = vec![None; configs.len()];
+    for _ in 0..iters.max(1) {
+        for (i, config) in configs.iter().enumerate() {
+            let start = Instant::now();
+            let r = analyze(&bench.program, &bench.roots, config);
+            walls[i] = walls[i].min(start.elapsed().as_secs_f64() * 1e3);
+            results[i] = Some(r);
+        }
+    }
+    configs
+        .iter()
+        .zip(walls)
+        .zip(results)
+        .map(|((config, wall_ms), result)| {
+            let result = result.expect("at least one timed run");
+            let stats = result.stats();
+            RunRecord {
+                config: config.label().to_string(),
+                solver: solver_label(config.solver),
+                wall_ms,
+                steps: stats.steps,
+                state_joins: stats.state_joins,
+                flows: stats.flows,
+                use_edges: stats.use_edges,
+                reachable_methods: result.reachable_methods().len(),
+                dead_blocks: dead_block_total(&result),
+            }
+        })
+        .collect()
+}
+
+/// Runs the ladder: each rung under SkipFlow (sequential, parallel-4, and
+/// the reference full-join solver) plus the PTA baseline.
+pub fn run_ladder() -> Vec<WorkloadRecord> {
+    ladder_specs()
+        .iter()
+        .map(|spec| {
+            let bench = build_benchmark(spec);
+            let runs = measure_group(
+                &bench,
+                &[
+                    AnalysisConfig::skipflow(),
+                    AnalysisConfig::skipflow().with_solver(SolverKind::Parallel { threads: 4 }),
+                    AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+                    AnalysisConfig::baseline_pta(),
+                ],
+                5,
+            );
+            WorkloadRecord {
+                name: spec.name.clone(),
+                kind: "ladder",
+                generated_methods: bench.total_methods(),
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full table1 corpus under PTA and SkipFlow (sequential).
+pub fn run_table1() -> Vec<WorkloadRecord> {
+    skipflow_synth::suites::all()
+        .iter()
+        .map(|spec| {
+            let bench = build_benchmark(spec);
+            let runs = vec![
+                measure_run(&bench, &AnalysisConfig::baseline_pta(), 1),
+                measure_run(&bench, &AnalysisConfig::skipflow(), 1),
+            ];
+            WorkloadRecord {
+                name: spec.name.clone(),
+                kind: "table1",
+                generated_methods: bench.total_methods(),
+                runs,
+            }
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipflow_core::AnalysisConfig;
+
+    fn tiny_workload() -> WorkloadRecord {
+        let spec = BenchmarkSpec::new("rung-tiny", Suite::DaCapo, 60, 0.2);
+        let bench = build_benchmark(&spec);
+        WorkloadRecord {
+            name: spec.name.clone(),
+            kind: "ladder",
+            generated_methods: bench.total_methods(),
+            runs: vec![
+                measure_run(&bench, &AnalysisConfig::skipflow(), 1),
+                measure_run(
+                    &bench,
+                    &AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+                    1,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn measure_run_records_precision_and_volume() {
+        let w = tiny_workload();
+        let seq = &w.runs[0];
+        let reference = &w.runs[1];
+        assert_eq!(seq.solver, "sequential");
+        assert_eq!(reference.solver, "reference");
+        assert!(seq.steps > 0 && seq.state_joins > 0 && seq.flows > 0);
+        // The precision guards must agree between solvers.
+        assert_eq!(seq.reachable_methods, reference.reachable_methods);
+        assert_eq!(seq.dead_blocks, reference.dead_blocks);
+    }
+
+    #[test]
+    fn rendered_json_roundtrips_through_the_baseline_parser() {
+        let w = tiny_workload();
+        let wall = w.runs[0].wall_ms;
+        let doc = render_json("test", &[w], None);
+        assert!(doc.contains("\"schema\": \"skipflow-bench-trajectory/v1\""));
+        assert!(doc.contains("\"largest_rung\": \"rung-tiny\""));
+        assert!(doc.contains("\"results_identical_to_reference\": true"));
+        let parsed = parse_baseline_wall_ms(&doc, "rung-tiny").expect("parses back");
+        assert!((parsed - wall).abs() < 0.01, "{parsed} vs {wall}");
+        // A second run fed the first as baseline records the comparison.
+        let w2 = tiny_workload();
+        let doc2 = render_json("test2", &[w2], Some(&doc));
+        assert!(doc2.contains("largest_rung_wall_reduction_vs_pre_change"));
+    }
+
+    #[test]
+    fn ladder_specs_double_and_name_consistently() {
+        let specs = ladder_specs();
+        assert!(specs.len() >= 4);
+        for pair in specs.windows(2) {
+            assert_eq!(pair[1].total_methods, pair[0].total_methods * 2);
+        }
+        assert!(specs.iter().all(|s| s.name.starts_with("rung-")));
+    }
+}
+
+/// Extracts the `SkipFlow`/`sequential` wall time of `workload` from a
+/// previously written trajectory document (line-oriented parse of this
+/// module's own format — no JSON dependency available offline).
+pub fn parse_baseline_wall_ms(doc: &str, workload: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{workload}\"");
+    let mut in_workload = false;
+    for line in doc.lines() {
+        if line.contains(&needle) {
+            in_workload = true;
+        }
+        if in_workload && line.contains("\"config\": \"SkipFlow\", \"solver\": \"sequential\"") {
+            let key = "\"wall_ms\": ";
+            let i = line.find(key)? + key.len();
+            let rest = &line[i..];
+            let end = rest.find(',')?;
+            return rest[..end].trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Renders the records as the `BENCH_PR<n>.json` document. `baseline` is a
+/// previously captured pre-change document of the same harness, used for the
+/// headline wall-time comparison on the largest ladder rung.
+pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str>) -> String {
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"skipflow-bench-trajectory/v1\",");
+    let _ = writeln!(out, "  \"pr\": \"{}\",", json_escape(pr));
+    let _ = writeln!(out, "  \"created_unix\": {unix},");
+    let _ = writeln!(out, "  \"host_threads\": {threads},");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (wi, w) in workloads.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(&w.name));
+        let _ = writeln!(out, "      \"kind\": \"{}\",", w.kind);
+        let _ = writeln!(out, "      \"generated_methods\": {},", w.generated_methods);
+        let _ = writeln!(out, "      \"runs\": [");
+        for (ri, r) in w.runs.iter().enumerate() {
+            let comma = if ri + 1 < w.runs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"config\": \"{}\", \"solver\": \"{}\", \"wall_ms\": {:.3}, \
+                 \"steps\": {}, \"state_joins\": {}, \"flows\": {}, \"use_edges\": {}, \
+                 \"reachable_methods\": {}, \"dead_blocks\": {}}}{comma}",
+                json_escape(&r.config),
+                json_escape(&r.solver),
+                r.wall_ms,
+                r.steps,
+                r.state_joins,
+                r.flows,
+                r.use_edges,
+                r.reachable_methods,
+                r.dead_blocks,
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let comma = if wi + 1 < workloads.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    out.push_str(&render_summary_json(workloads, baseline));
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The headline summary object: wall-time reduction on the largest ladder
+/// rung versus (a) a pre-change baseline run of the same harness and (b)
+/// the in-tree full-join reference solver, with precision-identity guards.
+fn render_summary_json(workloads: &[WorkloadRecord], baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    let largest = workloads
+        .iter()
+        .filter(|w| w.kind == "ladder")
+        .max_by_key(|w| w.generated_methods);
+    let _ = writeln!(out, "  \"summary\": {{");
+    if let Some(w) = largest {
+        let seq = w
+            .runs
+            .iter()
+            .find(|r| r.config == "SkipFlow" && r.solver == "sequential");
+        let reference = w
+            .runs
+            .iter()
+            .find(|r| r.config == "SkipFlow" && r.solver == "reference");
+        let _ = writeln!(out, "    \"largest_rung\": \"{}\",", json_escape(&w.name));
+        if let Some(seq) = seq {
+            if let Some(pre) = baseline.and_then(|doc| parse_baseline_wall_ms(doc, &w.name)) {
+                let reduction = 1.0 - seq.wall_ms / pre;
+                let _ = writeln!(
+                    out,
+                    "    \"largest_rung_wall_ms_pre_change\": {pre:.3},"
+                );
+                let _ = writeln!(
+                    out,
+                    "    \"largest_rung_wall_reduction_vs_pre_change\": {reduction:.4},"
+                );
+            }
+            if let Some(reference) = reference {
+                let reduction = 1.0 - seq.wall_ms / reference.wall_ms;
+                let _ = writeln!(
+                    out,
+                    "    \"largest_rung_wall_ms\": {{\"delta\": {:.3}, \"reference\": {:.3}}},",
+                    seq.wall_ms, reference.wall_ms
+                );
+                let _ = writeln!(
+                    out,
+                    "    \"largest_rung_wall_reduction_vs_reference\": {reduction:.4},"
+                );
+                let _ = writeln!(
+                    out,
+                    "    \"results_identical_to_reference\": {}",
+                    seq.reachable_methods == reference.reachable_methods
+                        && seq.dead_blocks == reference.dead_blocks
+                );
+            } else {
+                let _ = writeln!(out, "    \"results_identical_to_reference\": null");
+            }
+        } else {
+            let _ = writeln!(out, "    \"results_identical_to_reference\": null");
+        }
+    } else {
+        let _ = writeln!(out, "    \"largest_rung\": null");
+    }
+    let _ = writeln!(out, "  }}");
+    out
+}

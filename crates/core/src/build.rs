@@ -23,7 +23,6 @@ use crate::graph::{CheckCategory, IfRecord, MethodGraph, Pvpg};
 use skipflow_ir::{
     BlockBegin, BlockEnd, BlockId, Cond, Expr, MethodId, Program, Stmt, TypeId, VarId,
 };
-use std::collections::{BTreeMap, HashSet};
 
 /// Everything the engine needs to integrate a freshly built method graph.
 #[derive(Debug, Default)]
@@ -45,19 +44,51 @@ pub(crate) struct BuildOutput {
     pub catch_subscribers: Vec<(TypeId, FlowId)>,
 }
 
+/// A small variable→flow map kept sorted by [`VarId`]: method bodies bind a
+/// handful of SSA variables, so a sorted vector beats a `BTreeMap` on both
+/// lookup and (especially) the per-branch clones `initBlock` performs —
+/// cloning is one allocation instead of one per tree node. The sorted order
+/// also keeps iteration deterministic, which fixes the order implicit φs
+/// are created in.
+#[derive(Clone, Debug, Default)]
+struct VarMap {
+    entries: Vec<(VarId, FlowId)>,
+}
+
+impl VarMap {
+    fn get(&self, v: VarId) -> Option<FlowId> {
+        self.entries
+            .binary_search_by_key(&v, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    fn insert(&mut self, v: VarId, f: FlowId) {
+        match self.entries.binary_search_by_key(&v, |e| e.0) {
+            Ok(i) => self.entries[i].1 = f,
+            Err(i) => self.entries.insert(i, (v, f)),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (VarId, FlowId)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
 /// Per-block construction state (the paper's `(m, pred)` plus the merge
-/// bookkeeping).
+/// bookkeeping). The φ bookkeeping lists are tiny, so plain vectors with
+/// linear membership tests replace hash sets.
 #[derive(Clone, Debug, Default)]
 struct BlockCtx {
-    map: BTreeMap<VarId, FlowId>,
+    map: VarMap,
     pred: Option<FlowId>,
     phi_pred: Option<FlowId>,
     /// Flows of the declared φs, positionally aligned with the merge's φ list.
     phi_flows: Vec<FlowId>,
     /// Defs of the declared φs (skipped during collision propagation).
-    phi_defs: HashSet<VarId>,
+    phi_defs: Vec<VarId>,
     /// Implicit φ flows created by collisions (paper Figure 13 `isPhi`).
-    implicit_phis: HashSet<FlowId>,
+    implicit_phis: Vec<FlowId>,
     /// Set once the block's own instructions have been processed; back edges
     /// into a visited merge drop refinements instead of creating φs.
     visited: bool,
@@ -110,7 +141,7 @@ pub(crate) fn build_method_graph(
             ctx.phi_pred = Some(phi_pred);
             ctx.pred = Some(phi_pred);
             for phi in phis {
-                ctx.phi_defs.insert(phi.def);
+                ctx.phi_defs.push(phi.def);
             }
             // φ flows need the φ_pred as predicate.
             let defs: Vec<VarId> = phis.iter().map(|p| p.def).collect();
@@ -137,6 +168,8 @@ pub(crate) fn build_method_graph(
     // Stamp sites into the method graph (collected during the walk).
     out.graph.sites.sort_unstable();
     out.graph.sites.dedup();
+    // Freeze this fragment's construction-time edges into CSR storage.
+    g.seal_batch(first_flow);
     out
 }
 
@@ -158,8 +191,8 @@ impl Builder<'_> {
     }
 
     fn lookup(&self, ctx: &BlockCtx, v: VarId) -> FlowId {
-        *ctx.map
-            .get(&v)
+        ctx.map
+            .get(v)
             .unwrap_or_else(|| panic!("validated SSA: {v} must be mapped"))
     }
 
@@ -171,8 +204,7 @@ impl Builder<'_> {
             BlockBegin::Start { params } => {
                 ctx.pred = Some(self.g.pred_on);
                 let md = self.program.method(self.method);
-                let param_vars = params.clone();
-                for (i, p) in param_vars.iter().enumerate() {
+                for (i, p) in params.iter().enumerate() {
                     let declared = md.param_type(i);
                     let f = self.new_predicated_flow(
                         FlowKind::Param { index: i, declared },
@@ -201,19 +233,18 @@ impl Builder<'_> {
         let pred0 = ctx.pred.expect("entry predicate installed");
         self.out.graph.block_preds[id.index()] = pred0;
 
-        // Statements (paper Figure 12).
-        let stmts = body.block(id).stmts.clone();
-        for stmt in &stmts {
+        // Statements (paper Figure 12). `body` is not reachable through
+        // `self`, so iterating it borrows nothing from the builder.
+        for stmt in &body.block(id).stmts {
             let f = self.process_stmt(&mut ctx, id, stmt);
             self.out.graph.stmt_flows[id.index()].push(f);
         }
 
         // Terminator.
-        let end = body.block(id).end.clone();
-        match end {
+        match &body.block(id).end {
             BlockEnd::Return(v) => {
                 let pred = ctx.pred.unwrap();
-                let site = match v {
+                let site = match *v {
                     Some(v) => {
                         let f = self.new_predicated_flow(FlowKind::ReturnSite, id, pred);
                         let src = self.lookup(&ctx, v);
@@ -240,22 +271,22 @@ impl Builder<'_> {
             BlockEnd::Throw(v) => {
                 let pred = ctx.pred.unwrap();
                 let f = self.new_predicated_flow(FlowKind::ThrowSite, id, pred);
-                let src = self.lookup(&ctx, v);
+                let src = self.lookup(&ctx, *v);
                 self.g.add_use(src, f);
                 let sink = self.g.thrown_sink;
                 self.g.add_use(f, sink);
             }
             BlockEnd::Jump(target) => {
-                self.propagate(body, &ctx, id, target);
+                self.propagate(body, &ctx, id, *target);
             }
             BlockEnd::If {
                 cond,
                 then_block,
                 else_block,
             } => {
-                let category = self.classify(&ctx, &cond);
-                let then_pred = self.init_branch(&ctx, id, then_block, cond);
-                let else_pred = self.init_branch(&ctx, id, else_block, cond.invert());
+                let category = self.classify(&ctx, cond);
+                let then_pred = self.init_branch(&ctx, id, *then_block, *cond);
+                let else_pred = self.init_branch(&ctx, id, *else_block, cond.invert());
                 self.out.graph.ifs.push(IfRecord {
                     block: id,
                     category,
@@ -360,6 +391,7 @@ impl Builder<'_> {
                     static_target: None,
                     caller: self.method,
                     linked: Vec::new(),
+                    linked_set: skipflow_ir::BitSet::new(),
                     seen_receiver_types: skipflow_ir::BitSet::new(),
                 });
                 let f = self.new_predicated_flow(FlowKind::Invoke { site }, id, pred);
@@ -383,6 +415,7 @@ impl Builder<'_> {
                     static_target: Some(*target),
                     caller: self.method,
                     linked: Vec::new(),
+                    linked_set: skipflow_ir::BitSet::new(),
                     seen_receiver_types: skipflow_ir::BitSet::new(),
                 });
                 let f = self.new_predicated_flow(FlowKind::InvokeStatic { site }, id, pred);
@@ -412,7 +445,18 @@ impl Builder<'_> {
         let phi_pred = self.states[t_idx]
             .phi_pred
             .expect("jump targets are merge blocks");
-        self.g.add_pred(ctx.pred.unwrap(), phi_pred);
+        let pred = ctx.pred.unwrap();
+        self.g.add_pred(pred, phi_pred);
+        // A φ_pred hanging directly off `pred_on` must be queued for
+        // immediate enabling, exactly like the flows `new_predicated_flow`
+        // collects: when this fragment is built *during* solving (a callee
+        // discovered by dispatch), `pred_on` has already fired and will
+        // never walk its predicate successors again — without this, a loop
+        // header whose predecessor predicate is `pred_on` would stay
+        // disabled and everything in the loop body would be wrongly dead.
+        if pred == self.g.pred_on {
+            self.out.enables.push(phi_pred);
+        }
 
         // Connect declared φ arguments for this predecessor position.
         if let BlockBegin::Merge { phis, preds } = &body.block(target).begin {
@@ -428,13 +472,13 @@ impl Builder<'_> {
         }
 
         // Collision-based propagation of the remaining mappings (filter
-        // redefinitions and plain inherited values).
-        let entries: Vec<(VarId, FlowId)> = ctx.map.iter().map(|(k, v)| (*k, *v)).collect();
-        for (v, f) in entries {
+        // redefinitions and plain inherited values). `ctx` is the caller's
+        // local context, disjoint from `self.states`, so no copy is needed.
+        for (v, f) in ctx.map.iter() {
             if self.states[t_idx].phi_defs.contains(&v) {
                 continue;
             }
-            let existing = self.states[t_idx].map.get(&v).copied();
+            let existing = self.states[t_idx].map.get(v);
             match existing {
                 None => {
                     if !self.states[t_idx].visited {
@@ -457,7 +501,7 @@ impl Builder<'_> {
                         self.g.add_use(f, nf);
                         let st = &mut self.states[t_idx];
                         st.map.insert(v, nf);
-                        st.implicit_phis.insert(nf);
+                        st.implicit_phis.push(nf);
                     }
                 }
             }
@@ -509,8 +553,8 @@ impl Builder<'_> {
             Cond::Cmp { lhs, rhs, .. } => {
                 let is_null = |v: VarId| {
                     ctx.map
-                        .get(&v)
-                        .is_some_and(|f| matches!(self.g.flow(*f).kind, FlowKind::NullSource))
+                        .get(v)
+                        .is_some_and(|f| matches!(self.g.flow(f).kind, FlowKind::NullSource))
                 };
                 if is_null(*lhs) || is_null(*rhs) {
                     CheckCategory::Null
@@ -683,7 +727,7 @@ mod tests {
             .copied()
             .unwrap();
         assert!(
-            g.flow(invoke_flow).pred_out.contains(&const_flow),
+            g.pred_targets(invoke_flow).any(|t| t == const_flow),
             "invoke must predicate the following statement"
         );
     }
@@ -714,7 +758,7 @@ mod tests {
             .flows
             .iter()
             .copied()
-            .filter(|&f| g.flow(f).uses.contains(&phi))
+            .filter(|&f| g.use_targets(f).any(|t| t == phi))
             .collect();
         assert_eq!(incoming.len(), 2, "initial value and back-edge value");
         assert!(incoming
@@ -739,7 +783,7 @@ mod tests {
             .flows
             .iter()
             .copied()
-            .find(|&f| g.flow(f).uses.contains(&ret))
+            .find(|&f| g.use_targets(f).any(|t| t == ret))
             .unwrap();
         assert!(matches!(g.flow(token).kind, FlowKind::Const(0)));
     }
@@ -766,6 +810,6 @@ mod tests {
             .copied()
             .find(|&f| matches!(g.flow(f).kind, FlowKind::ThrowSite))
             .unwrap();
-        assert!(g.flow(throw_site).uses.contains(&g.thrown_sink));
+        assert!(g.use_targets(throw_site).any(|t| t == g.thrown_sink));
     }
 }

@@ -10,7 +10,7 @@ use skipflow_ir::{FieldId, MethodId};
 /// Which fixpoint solver drives the analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SolverKind {
-    /// Single-threaded worklist solver.
+    /// Single-threaded delta-propagation worklist solver (the default).
     Sequential,
     /// Deterministic bulk-synchronous parallel solver with the given number
     /// of worker threads (results are bit-identical to sequential).
@@ -18,6 +18,11 @@ pub enum SolverKind {
         /// Worker thread count (≥ 1).
         threads: usize,
     },
+    /// The full-join reference solver: recomputes and re-joins a flow's
+    /// entire output on every step. Slow by design — it is the oracle the
+    /// differential tests and the perf-trajectory harness compare the delta
+    /// solvers against.
+    Reference,
 }
 
 /// Configuration of one analysis run.

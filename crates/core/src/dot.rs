@@ -86,15 +86,15 @@ pub fn method_pvpg_dot(
         );
     }
     // Edges within the fragment (cross-method edges are summarized).
+    let g = result.graph();
     for &f in &mg.flows {
-        let flow = result.graph().flow(f);
-        for t in &flow.uses {
-            if in_set.contains(t) {
+        for t in g.use_targets(f) {
+            if in_set.contains(&t) {
                 let _ = writeln!(out, "  n{} -> n{};", f.index(), t.index());
             }
         }
-        for t in &flow.pred_out {
-            if in_set.contains(t) {
+        for t in g.pred_targets(f) {
+            if in_set.contains(&t) {
                 let _ = writeln!(
                     out,
                     "  n{} -> n{} [style=dashed, arrowhead=empty];",
@@ -103,8 +103,8 @@ pub fn method_pvpg_dot(
                 );
             }
         }
-        for t in &flow.observers {
-            if in_set.contains(t) {
+        for t in g.observe_targets(f) {
+            if in_set.contains(&t) {
                 let _ = writeln!(out, "  n{} -> n{} [style=dotted];", f.index(), t.index());
             }
         }

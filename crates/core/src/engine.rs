@@ -1,4 +1,4 @@
-//! The fixpoint engine: value propagation over the PVPG
+//! The fixpoint engine: delta (difference) propagation over the PVPG
 //! (paper Appendix C, Figure 15).
 //!
 //! The inference rules map onto the engine as follows:
@@ -14,12 +14,45 @@
 //!   field sinks and access flows as receiver types appear.
 //! * **Invoke** — observe edges from receivers resolve and link callees:
 //!   argument flows to formal parameters, callee return to the invoke flow.
-//! * **TypeCheck/Cond/PassThrough** — [`Engine::compute_out`] filters the
-//!   input state according to the flow kind (`Cond` uses
+//! * **TypeCheck/Cond/PassThrough** — the flow's output is a function of its
+//!   input, filtered according to the flow kind (`Cond` uses
 //!   [`crate::compare::compare`]).
 //!
-//! All states grow monotonically and the lattice has finite height, so the
-//! worklist loop terminates.
+//! # Delta propagation
+//!
+//! The solvers use *difference propagation*: each flow carries a pending
+//! `delta` — the part of its input state not yet pushed through the flow.
+//! [`Engine::join_in`] joins incoming state into `in_state` and accumulates
+//! exactly the new information into `delta` (word-level on type-set bits);
+//! a worklist step drains the delta, filters only the drained part through
+//! the flow kind, and joins the result into `out_state` while tracking what
+//! is new there — successors receive only those new bits.
+//!
+//! Invariants:
+//!
+//! * `delta ⊑ in_state` at all times, and `out_state ⊒` the filtered image
+//!   of every drained delta (`out_state ⊒ applied deltas`);
+//! * the delta is drained exactly once per dequeue of an *enabled* flow
+//!   (disabled flows keep accumulating until their predicate fires);
+//! * only *distributive* kinds filter the bare delta (`TypeFilter`, the
+//!   declared-type `Param` filter, and plain pass-throughs — kinds where
+//!   `filter(a ∨ b) = filter(a) ∨ filter(b)`). `CmpFilter` is excluded
+//!   because its output depends on the observed right operand: when that
+//!   operand grows, the *entire* input must be re-filtered (e.g. `x < y`
+//!   admits previously-rejected values of `x` once `y` grows), so it always
+//!   recomputes from the full `in_state`. `CatchAll` is excluded because it
+//!   unconditionally adds `null` even to an empty input, and `PredOn` is a
+//!   constant source.
+//!
+//! Saturation widening (`maybe_saturate`) is folded into the tracking joins:
+//! when a state widens to `Any`, the pending/propagated delta widens with
+//! it, so successors observe the widening.
+//!
+//! All states grow monotonically, every propagated delta is part of the
+//! corresponding full state, and filtering is monotone — so the delta
+//! solvers reach the same least fixpoint as the full-join reference solver
+//! ([`SolverKind::Reference`], kept as the differential-testing oracle),
+//! and the worklist loop terminates because the lattice has finite height.
 
 use crate::build::{build_method_graph, BuildOutput};
 use crate::compare::compare;
@@ -29,7 +62,7 @@ use crate::graph::Pvpg;
 use crate::lattice::{TypeSet, ValueState};
 use crate::report::{AnalysisResult, SolveStats};
 use skipflow_ir::{BitSet, MethodId, Program, TypeId, TypeRef};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Runs the analysis on `program`, starting from `roots`.
 ///
@@ -48,6 +81,7 @@ pub fn analyze(program: &Program, roots: &[MethodId], config: &AnalysisConfig) -
     match config.solver {
         SolverKind::Sequential => engine.solve_sequential(),
         SolverKind::Parallel { threads } => engine.solve_parallel(threads.max(1)),
+        SolverKind::Reference => engine.solve_reference(),
     }
     engine.finish(start.elapsed())
 }
@@ -58,7 +92,10 @@ pub(crate) struct Engine<'p> {
     g: Pvpg,
     worklist: VecDeque<FlowId>,
     queued: Vec<bool>,
-    reachable: BTreeSet<MethodId>,
+    /// Reachable methods: O(1) membership plus discovery order (sorted into
+    /// a `BTreeSet` once, at the end).
+    reachable: BitSet,
+    reachable_order: Vec<MethodId>,
     instantiated: BitSet,
     instantiated_order: Vec<TypeId>,
     /// `(declared bound, target)`: target's input receives every
@@ -66,11 +103,14 @@ pub(crate) struct Engine<'p> {
     /// coarse exception handlers).
     type_subscribers: Vec<(TypeId, FlowId)>,
     /// Invoke sites whose receiver saturated to `Any`: re-dispatched on
-    /// every newly instantiated type.
+    /// every newly instantiated type. Order vector for iteration, bitset
+    /// for O(1) membership.
     saturated_sites: Vec<SiteId>,
-    /// Field sinks already seeded with their default value.
-    defaulted_fields: std::collections::HashSet<skipflow_ir::FieldId>,
+    saturated_set: BitSet,
+    /// Field sinks already seeded with their default value (by field index).
+    defaulted_fields: BitSet,
     steps: u64,
+    state_joins: u64,
 }
 
 impl<'p> Engine<'p> {
@@ -81,13 +121,16 @@ impl<'p> Engine<'p> {
             g: Pvpg::new(),
             worklist: VecDeque::new(),
             queued: Vec::new(),
-            reachable: BTreeSet::new(),
+            reachable: BitSet::new(),
+            reachable_order: Vec::new(),
             instantiated: BitSet::new(),
             instantiated_order: Vec::new(),
             type_subscribers: Vec::new(),
             saturated_sites: Vec::new(),
-            defaulted_fields: std::collections::HashSet::new(),
+            saturated_set: BitSet::new(),
+            defaulted_fields: BitSet::new(),
             steps: 0,
+            state_joins: 0,
         }
     }
 
@@ -97,7 +140,7 @@ impl<'p> Engine<'p> {
     fn field_sink(&mut self, field: skipflow_ir::FieldId) -> FlowId {
         let sink = self.g.field_sink(field);
         self.sync_queued();
-        if self.defaulted_fields.insert(field) {
+        if self.defaulted_fields.insert(field.index()) {
             let default = match self.program.field(field).ty {
                 TypeRef::Object(_) => ValueState::null(),
                 _ => {
@@ -117,16 +160,13 @@ impl<'p> Engine<'p> {
         // pred_on is enabled with a non-empty token state, so the flows it
         // predicates are enabled transitively.
         let pred_on = self.g.pred_on;
-        {
-            let f = self.g.flow_mut(pred_on);
-            f.enabled = true;
-            f.in_state = ValueState::Const(1);
-        }
+        self.g.flow_mut(pred_on).enabled = true;
+        self.sync_queued();
+        self.join_in(pred_on, &ValueState::Const(1));
         // The global pools are always-enabled pass-throughs.
         for sink in [self.g.thrown_sink, self.g.unsafe_sink] {
             self.g.flow_mut(sink).enabled = true;
         }
-        self.sync_queued();
         self.enqueue(pred_on);
 
         let mut all_roots: Vec<MethodId> = roots.to_vec();
@@ -163,8 +203,7 @@ impl<'p> Engine<'p> {
         self.g.add_use_dedup(rs, target);
         match declared {
             TypeRef::Prim | TypeRef::Void => {
-                self.g.flow_mut(rs).in_state = ValueState::Any;
-                self.enqueue(rs);
+                self.join_in(rs, &ValueState::Any);
             }
             TypeRef::Object(bound) => {
                 self.subscribe(bound, rs);
@@ -188,20 +227,37 @@ impl<'p> Engine<'p> {
         self.type_subscribers.push((bound, target));
     }
 
+    /// Joins `state` into `target`'s input, accumulating the new information
+    /// into `target`'s pending delta, and queues the flow on change.
+    ///
+    /// Disabled flows accumulate without being queued: dequeuing them would
+    /// be a no-op, and [`Engine::enable`] queues the flow when its predicate
+    /// fires, at which point the accumulated delta is drained normally.
     fn join_in(&mut self, target: FlowId, state: &ValueState) {
         let sat = self.config.saturation_threshold;
         let flow = self.g.flow_mut(target);
-        if flow.in_state.join(state) {
-            maybe_saturate(&mut flow.in_state, sat);
-            self.enqueue(target);
+        if flow.in_state.join_tracking(state, &mut flow.delta) {
+            if let (Some(k), ValueState::Types(s)) = (sat, &flow.in_state) {
+                if s.len() > k {
+                    // Saturation (Wimmer et al. [60]): the widening is new
+                    // information — the pending delta widens with the state.
+                    flow.in_state = ValueState::Any;
+                    flow.delta = ValueState::Any;
+                }
+            }
+            self.state_joins += 1;
+            if flow.enabled {
+                self.enqueue(target);
+            }
         }
     }
 
     /// Marks `m` reachable, building its PVPG fragment on first contact.
     fn make_reachable(&mut self, m: MethodId) {
-        if !self.reachable.insert(m) {
+        if !self.reachable.insert(m.index()) {
             return;
         }
+        self.reachable_order.push(m);
         if self.program.method(m).body.is_none() {
             return; // abstract targets are never resolved to, but be safe
         }
@@ -253,21 +309,20 @@ impl<'p> Engine<'p> {
             return;
         }
         self.g.flow_mut(f).enabled = true;
-        let kind = self.g.flow(f).kind.clone();
-        match kind {
+        match self.g.flow(f).kind.clone() {
             FlowKind::Const(n) => {
                 let v = if self.config.primitives {
                     ValueState::Const(n)
                 } else {
                     ValueState::Any
                 };
-                self.g.flow_mut(f).in_state = v;
+                self.join_in(f, &v);
             }
             FlowKind::AnyPrim => {
-                self.g.flow_mut(f).in_state = ValueState::Any;
+                self.join_in(f, &ValueState::Any);
             }
             FlowKind::NullSource => {
-                self.g.flow_mut(f).in_state = ValueState::null();
+                self.join_in(f, &ValueState::null());
             }
             FlowKind::PhiPred => {
                 // φ_pred joins predicates, not values: once any incoming
@@ -275,10 +330,10 @@ impl<'p> Engine<'p> {
                 // own predicate successors fire (paper §3 "Joining Values
                 // using φ Flows": the code after a join is executable iff the
                 // end of any of its predecessors is).
-                self.g.flow_mut(f).in_state = ValueState::Const(1);
+                self.join_in(f, &ValueState::Const(1));
             }
             FlowKind::New(t) => {
-                self.g.flow_mut(f).in_state = ValueState::of_type(t);
+                self.join_in(f, &ValueState::of_type(t));
                 self.instantiate(t);
             }
             FlowKind::InvokeStatic { site } => {
@@ -294,68 +349,78 @@ impl<'p> Engine<'p> {
     }
 
     /// Records a newly instantiated type and notifies subscribers and
-    /// saturated dispatch sites.
+    /// saturated dispatch sites. Both lists are iterated by index — they can
+    /// grow behind the cursor (a dispatch can reach code that subscribes or
+    /// saturates), and late entries handle already-instantiated types
+    /// themselves — so nothing is cloned.
     fn instantiate(&mut self, t: TypeId) {
         if !self.instantiated.insert(t.index()) {
             return;
         }
         self.instantiated_order.push(t);
-        let subscribers = self.type_subscribers.clone();
         let state = ValueState::of_type(t);
-        for (bound, target) in subscribers {
+        let mut i = 0;
+        while i < self.type_subscribers.len() {
+            let (bound, target) = self.type_subscribers[i];
             if self.program.is_subtype(t, bound) {
                 self.join_in(target, &state);
             }
+            i += 1;
         }
-        let sites = self.saturated_sites.clone();
-        for site in sites {
+        let mut i = 0;
+        while i < self.saturated_sites.len() {
+            let site = self.saturated_sites[i];
             self.dispatch_type(site, t);
+            i += 1;
         }
     }
 
-    /// One worklist step: recompute the flow's output and propagate
-    /// (Propagate + Predicate rules, plus observer notifications).
+    /// One worklist step (sequential solver): drain the flow's pending
+    /// delta, filter it through the flow kind, and propagate what is new.
     fn process(&mut self, f: FlowId) {
         self.steps += 1;
         if let Some(max) = self.config.max_steps {
             assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
         }
         if !self.g.flow(f).enabled {
+            // Disabled flows keep accumulating their delta until enabled.
             return;
         }
-        let new_out = self.compute_out(f);
-        let sat = self.config.saturation_threshold;
-        let changed = {
-            let flow = self.g.flow_mut(f);
-            let changed = flow.out_state.join(&new_out);
-            if changed {
-                maybe_saturate(&mut flow.out_state, sat);
+        let delta = self.g.flow_mut(f).delta.take();
+        let out_new = match &self.g.flow(f).kind {
+            // Non-distributive / source kinds: recompute from the full
+            // input (see the module docs for why CmpFilter cannot use the
+            // delta). No early exit on an empty delta — these are also
+            // re-enqueued by observer notifications without new input.
+            FlowKind::CmpFilter { .. } | FlowKind::CatchAll { .. } | FlowKind::PredOn => {
+                self.compute_out(f)
             }
-            changed
+            FlowKind::TypeFilter { ty, negated } => {
+                if delta.is_empty() {
+                    return;
+                }
+                filter_typecheck_owned(self.program, delta, *ty, *negated)
+            }
+            FlowKind::Param { declared, .. } if self.config.declared_type_filtering => {
+                if delta.is_empty() {
+                    return;
+                }
+                declared_filter_owned(self.program, delta, *declared)
+            }
+            // Plain pass-throughs move the delta, clone-free.
+            _ => {
+                if delta.is_empty() {
+                    return;
+                }
+                delta
+            }
         };
-        if !changed {
-            return;
-        }
-        let flow = self.g.flow(f);
-        let out = flow.out_state.clone();
-        let uses = flow.uses.clone();
-        let pred_out = flow.pred_out.clone();
-        let observers = flow.observers.clone();
-        for t in uses {
-            self.join_in(t, &out);
-        }
-        if out.is_non_empty() {
-            for t in pred_out {
-                self.enable(t);
-            }
-        }
-        for o in observers {
-            self.notify_observer(o);
-        }
+        self.apply_out(f, out_new);
     }
 
-    /// TypeCheck / Cond / PassThrough rules: the flow's output as a function
-    /// of its input (and, for comparisons, the observed operand).
+    /// Full-input output computation (the TypeCheck / Cond / PassThrough
+    /// rules): used by the non-distributive kinds, the parallel solver's
+    /// phase A, and the reference solver.
     fn compute_out(&self, f: FlowId) -> ValueState {
         let flow = self.g.flow(f);
         match &flow.kind {
@@ -380,6 +445,45 @@ impl<'p> Engine<'p> {
             }
             FlowKind::PredOn => ValueState::Const(1),
             _ => flow.in_state.clone(),
+        }
+    }
+
+    /// Joins a step's output into `out_state`, tracking what is new, and
+    /// propagates exactly that along use, predicate, and observe edges.
+    /// Clone-free: successor lists are walked through CSR cursors and the
+    /// propagated state is a local delta.
+    fn apply_out(&mut self, f: FlowId, out_new: ValueState) {
+        let sat = self.config.saturation_threshold;
+        let mut prop = ValueState::Empty;
+        let changed = {
+            let flow = self.g.flow_mut(f);
+            let changed = flow.out_state.join_tracking_owned(out_new, &mut prop);
+            if changed {
+                if let (Some(k), ValueState::Types(s)) = (sat, &flow.out_state) {
+                    if s.len() > k {
+                        flow.out_state = ValueState::Any;
+                        prop = ValueState::Any;
+                    }
+                }
+            }
+            changed
+        };
+        if !changed {
+            return;
+        }
+        let mut cur = self.g.uses.cursor(f);
+        while let Some(t) = self.g.uses.next(&mut cur) {
+            self.join_in(t, &prop);
+        }
+        if self.g.flow(f).out_state.is_non_empty() {
+            let mut cur = self.g.preds.cursor(f);
+            while let Some(t) = self.g.preds.next(&mut cur) {
+                self.enable(t);
+            }
+        }
+        let mut cur = self.g.observes.cursor(f);
+        while let Some(t) = self.g.observes.next(&mut cur) {
+            self.notify_observer(t);
         }
     }
 
@@ -412,11 +516,18 @@ impl<'p> Engine<'p> {
                     }
                     ValueState::Any
                         // Saturated receiver: dispatch over every
-                        // instantiated type, now and in the future.
-                        if !self.saturated_sites.contains(&site) => {
+                        // instantiated type, now and in the future. The
+                        // order list is walked by index — it can grow while
+                        // dispatching (a callee can instantiate), and
+                        // `instantiate` forwards late arrivals to this site.
+                        if !self.saturated_set.contains(site.index()) => {
+                            self.saturated_set.insert(site.index());
                             self.saturated_sites.push(site);
-                            for t in self.instantiated_order.clone() {
+                            let mut i = 0;
+                            while i < self.instantiated_order.len() {
+                                let t = self.instantiated_order[i];
                                 self.dispatch_type(site, t);
+                                i += 1;
                             }
                         }
                     _ => {}
@@ -478,10 +589,13 @@ impl<'p> Engine<'p> {
     /// wires arguments to parameters and the callee return to the invoke flow
     /// (the Invoke rule's conclusion).
     fn link(&mut self, site: SiteId, target: MethodId) {
-        if self.g.site(site).linked.contains(&target) {
-            return;
+        {
+            let s = self.g.site_mut(site);
+            if !s.linked_set.insert(target.index()) {
+                return;
+            }
+            s.linked.push(target);
         }
-        self.g.site_mut(site).linked.push(target);
         if self.program.method(target).is_abstract {
             return;
         }
@@ -506,7 +620,8 @@ impl<'p> Engine<'p> {
     }
 
     /// Pushes `s`'s current output into `t`'s input, respecting the
-    /// only-enabled-flows-propagate rule.
+    /// only-enabled-flows-propagate rule. Used when an edge is added after
+    /// its source already carries state (not on the steady-state step path).
     fn push_state(&mut self, s: FlowId, t: FlowId) {
         let src = self.g.flow(s);
         if src.enabled && src.out_state.is_non_empty() {
@@ -525,9 +640,12 @@ impl<'p> Engine<'p> {
     }
 
     /// Deterministic bulk-synchronous parallel solver: each round computes
-    /// the prospective outputs of the queued flows in parallel (a pure
-    /// function of the current states), then applies them in queue order.
-    /// Results are bit-identical to the sequential solver's fixpoint.
+    /// the prospective delta outputs of the queued flows in parallel (phase
+    /// A, a pure function of the current states), then applies them in
+    /// queue order (phase B). The final fixpoint is bit-identical to the
+    /// sequential solver's: all joins are monotone and every propagated
+    /// delta is part of the corresponding full state, so both orders
+    /// converge to the same least fixpoint.
     pub(crate) fn solve_parallel(&mut self, threads: usize) {
         loop {
             if self.worklist.is_empty() {
@@ -537,12 +655,13 @@ impl<'p> Engine<'p> {
             for f in &batch {
                 self.queued[f.index()] = false;
             }
-            // Phase A: compute prospective outputs in parallel (read-only).
-            let outputs: Vec<(FlowId, ValueState)> = if threads <= 1 || batch.len() < 64 {
+            // Phase A: compute prospective delta outputs in parallel
+            // (read-only).
+            type StepOut = (FlowId, ValueState, Option<ValueState>);
+            let outputs: Vec<StepOut> = if threads <= 1 || batch.len() < 64 {
                 batch
                     .iter()
-                    .filter(|f| self.g.flow(**f).enabled)
-                    .map(|f| (*f, self.compute_out(*f)))
+                    .filter_map(|f| self.compute_step(*f))
                     .collect()
             } else {
                 let chunk = batch.len().div_ceil(threads);
@@ -554,8 +673,7 @@ impl<'p> Engine<'p> {
                             scope.spawn(move || {
                                 flows
                                     .iter()
-                                    .filter(|f| engine.g.flow(**f).enabled)
-                                    .map(|f| (*f, engine.compute_out(*f)))
+                                    .filter_map(|f| engine.compute_step(*f))
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -563,20 +681,86 @@ impl<'p> Engine<'p> {
                     handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
                 })
             };
-            // Phase B: apply sequentially in batch order.
-            for (f, new_out) in outputs {
-                self.apply_out(f, new_out);
+            // Phase B: apply sequentially in batch order. Each flow's delta
+            // is reduced by exactly the part phase A consumed — input that
+            // arrived *during* phase B (from applying earlier flows) stays
+            // pending and re-queues the flow for the next round.
+            for (f, out_new, consumed) in outputs {
+                self.steps += 1;
+                if let Some(max) = self.config.max_steps {
+                    assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
+                }
+                // `consumed` is `None` for pass-through kinds, whose output
+                // *is* the consumed delta.
+                self.g
+                    .flow_mut(f)
+                    .delta
+                    .remove(consumed.as_ref().unwrap_or(&out_new));
+                self.apply_out(f, out_new);
             }
         }
     }
 
-    /// Applies a prospective output (phase B of the parallel solver); the
-    /// same propagation logic as [`Engine::process`] after the computation.
-    fn apply_out(&mut self, f: FlowId, new_out: ValueState) {
+    /// Phase A of the parallel solver: what [`Engine::process`] would
+    /// produce for `f`, read-only. Returns `(flow, prospective output,
+    /// consumed delta)`, or `None` when the step would be a no-op. The
+    /// consumed delta is `None` for pass-through kinds, where the output
+    /// itself is the consumed delta (avoids a redundant clone).
+    fn compute_step(&self, f: FlowId) -> Option<(FlowId, ValueState, Option<ValueState>)> {
+        let flow = self.g.flow(f);
+        if !flow.enabled {
+            return None;
+        }
+        let out_new = match &flow.kind {
+            FlowKind::CmpFilter { .. } | FlowKind::CatchAll { .. } | FlowKind::PredOn => {
+                self.compute_out(f)
+            }
+            FlowKind::TypeFilter { ty, negated } => {
+                if flow.delta.is_empty() {
+                    return None;
+                }
+                filter_typecheck(self.program, &flow.delta, *ty, *negated)
+            }
+            FlowKind::Param { declared, .. } if self.config.declared_type_filtering => {
+                if flow.delta.is_empty() {
+                    return None;
+                }
+                declared_filter(self.program, &flow.delta, *declared)
+            }
+            _ => {
+                if flow.delta.is_empty() {
+                    return None;
+                }
+                return Some((f, flow.delta.clone(), None));
+            }
+        };
+        Some((f, out_new, Some(flow.delta.clone())))
+    }
+
+    /// The full-join reference loop: recomputes each dequeued flow's output
+    /// from its entire input and re-joins the entire output into every
+    /// successor. Kept as the differential-testing oracle and the perf
+    /// baseline the trajectory harness compares against.
+    pub(crate) fn solve_reference(&mut self) {
+        while let Some(f) = self.worklist.pop_front() {
+            self.queued[f.index()] = false;
+            self.process_reference(f);
+        }
+    }
+
+    /// One full-join step (reference solver only).
+    fn process_reference(&mut self, f: FlowId) {
         self.steps += 1;
         if let Some(max) = self.config.max_steps {
             assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
         }
+        if !self.g.flow(f).enabled {
+            return;
+        }
+        // The reference solver propagates full states; the delta bookkeeping
+        // is drained so the invariant `delta ⊑ in_state` stays meaningful.
+        let _ = self.g.flow_mut(f).delta.take();
+        let new_out = self.compute_out(f);
         let sat = self.config.saturation_threshold;
         let changed = {
             let flow = self.g.flow_mut(f);
@@ -589,21 +773,20 @@ impl<'p> Engine<'p> {
         if !changed {
             return;
         }
-        let flow = self.g.flow(f);
-        let out = flow.out_state.clone();
-        let uses = flow.uses.clone();
-        let pred_out = flow.pred_out.clone();
-        let observers = flow.observers.clone();
-        for t in uses {
+        let out = self.g.flow(f).out_state.clone();
+        let mut cur = self.g.uses.cursor(f);
+        while let Some(t) = self.g.uses.next(&mut cur) {
             self.join_in(t, &out);
         }
         if out.is_non_empty() {
-            for t in pred_out {
+            let mut cur = self.g.preds.cursor(f);
+            while let Some(t) = self.g.preds.next(&mut cur) {
                 self.enable(t);
             }
         }
-        for o in observers {
-            self.notify_observer(o);
+        let mut cur = self.g.observes.cursor(f);
+        while let Some(t) = self.g.observes.next(&mut cur) {
+            self.notify_observer(t);
         }
     }
 
@@ -611,11 +794,12 @@ impl<'p> Engine<'p> {
         let (use_edges, pred_edges, obs_edges) = self.g.edge_counts();
         AnalysisResult::new(
             self.g,
-            self.reachable,
+            self.reachable_order.into_iter().collect(),
             self.instantiated,
             self.config,
             SolveStats {
                 steps: self.steps,
+                state_joins: self.state_joins,
                 flows: 0, // filled by the constructor from the graph
                 use_edges,
                 pred_edges,
@@ -655,6 +839,29 @@ fn filter_typecheck(
     }
 }
 
+/// [`filter_typecheck`] over an owned input (a drained delta): the same
+/// filter, with the pass-through cases moved instead of cloned.
+fn filter_typecheck_owned(
+    program: &Program,
+    input: ValueState,
+    ty: TypeId,
+    negated: bool,
+) -> ValueState {
+    match input {
+        ValueState::Empty | ValueState::Const(_) => ValueState::Empty,
+        ValueState::Any => ValueState::Any,
+        ValueState::Types(s) => {
+            let mask = program.subtypes(ty);
+            let filtered = if negated {
+                s.difference_mask(mask)
+            } else {
+                s.intersect_mask(mask, false)
+            };
+            ValueState::from_types(filtered)
+        }
+    }
+}
+
 /// Declared-type filtering for parameters: object parameters admit subtypes
 /// of the declared type plus `null`; primitive parameters admit everything.
 fn declared_filter(program: &Program, input: &ValueState, declared: TypeRef) -> ValueState {
@@ -663,6 +870,16 @@ fn declared_filter(program: &Program, input: &ValueState, declared: TypeRef) -> 
             ValueState::from_types(s.intersect_mask(program.subtypes(t), true))
         }
         _ => input.clone(),
+    }
+}
+
+/// [`declared_filter`] over an owned input (a drained delta).
+fn declared_filter_owned(program: &Program, input: ValueState, declared: TypeRef) -> ValueState {
+    match (input, declared) {
+        (ValueState::Types(s), TypeRef::Object(t)) => {
+            ValueState::from_types(s.intersect_mask(program.subtypes(t), true))
+        }
+        (other, _) => other,
     }
 }
 
@@ -717,6 +934,14 @@ mod tests {
         // instanceof Animal admits both subclasses.
         let out = filter_typecheck(&p, &input, animal, false);
         assert_eq!(out, types_of(&[dog, cat]));
+
+        // The owned (delta) variant agrees everywhere.
+        for (ty, negated) in [(dog, false), (dog, true), (animal, false)] {
+            assert_eq!(
+                filter_typecheck(&p, &input, ty, negated),
+                filter_typecheck_owned(&p, input.clone(), ty, negated)
+            );
+        }
     }
 
     #[test]
@@ -730,6 +955,12 @@ mod tests {
         // Filtering to nothing normalizes to Empty.
         let only_null = ValueState::null();
         assert_eq!(filter_typecheck(&p, &only_null, dog, false), ValueState::Empty);
+        for input in [ValueState::Empty, ValueState::Const(3), ValueState::Any, only_null] {
+            assert_eq!(
+                filter_typecheck(&p, &input, dog, false),
+                filter_typecheck_owned(&p, input, dog, false)
+            );
+        }
     }
 
     #[test]
@@ -752,6 +983,14 @@ mod tests {
         // Primitive declarations pass anything through.
         assert_eq!(declared_filter(&p, &ValueState::Const(7), TypeRef::Prim), ValueState::Const(7));
         assert_eq!(declared_filter(&p, &input, TypeRef::Prim), input);
+
+        // The owned (delta) variant agrees everywhere.
+        for declared in [TypeRef::Object(dog), TypeRef::Object(animal), TypeRef::Prim] {
+            assert_eq!(
+                declared_filter(&p, &input, declared),
+                declared_filter_owned(&p, input.clone(), declared)
+            );
+        }
     }
 
     #[test]

@@ -169,7 +169,11 @@ pub enum FlowKind {
     },
 }
 
-/// One vertex of the PVPG together with its state and adjacency.
+/// One vertex of the PVPG together with its state.
+///
+/// Adjacency (use / predicate / observe successors) is *not* stored here:
+/// it lives in the graph-owned CSR pools of [`crate::graph::Pvpg`], so a
+/// worklist step can iterate successors without cloning edge lists.
 #[derive(Clone, Debug)]
 pub struct Flow {
     /// What the flow stands for.
@@ -182,17 +186,16 @@ pub struct Flow {
     pub block: Option<BlockId>,
     /// Joined input state (from use edges and injections).
     pub in_state: ValueState,
+    /// The pending delta: the part of `in_state` that has not yet been
+    /// pushed through this flow (difference propagation). Invariants:
+    /// `delta ⊑ in_state`, and the delta is drained exactly once per
+    /// dequeue of an enabled flow.
+    pub delta: ValueState,
     /// Filtered output state; grows monotonically.
     pub out_state: ValueState,
     /// Whether the flow has been enabled by its predicate (paper: only
     /// enabled flows propagate).
     pub enabled: bool,
-    /// Use-edge successors.
-    pub uses: Vec<FlowId>,
-    /// Predicate-edge successors.
-    pub pred_out: Vec<FlowId>,
-    /// Observe-edge successors.
-    pub observers: Vec<FlowId>,
 }
 
 impl Flow {
@@ -202,11 +205,9 @@ impl Flow {
             method,
             block,
             in_state: ValueState::Empty,
+            delta: ValueState::Empty,
             out_state: ValueState::Empty,
             enabled: false,
-            uses: Vec::new(),
-            pred_out: Vec::new(),
-            observers: Vec::new(),
         }
     }
 
@@ -244,8 +245,11 @@ pub struct CallSite {
     pub static_target: Option<MethodId>,
     /// The containing method.
     pub caller: MethodId,
-    /// Targets linked so far, in link order (deduplicated).
+    /// Targets linked so far, in link order (deduplicated; kept as a list
+    /// for deterministic reports).
     pub linked: Vec<MethodId>,
+    /// O(1) membership companion of `linked`, indexed by method id.
+    pub linked_set: skipflow_ir::BitSet,
     /// Receiver types already dispatched (dedup for the Invoke rule).
     pub seen_receiver_types: skipflow_ir::BitSet,
 }

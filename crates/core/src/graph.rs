@@ -1,9 +1,169 @@
 //! The predicated value propagation graph (PVPG): flow arena, the three
 //! edge kinds, call sites, field sinks, and per-method graph summaries.
+//!
+//! Adjacency is stored CSR-style in graph-owned [`EdgePool`]s rather than in
+//! per-flow `Vec`s: construction-time edges of one method fragment are
+//! buffered and *sealed* into one shared `Vec<FlowId>` with per-flow ranges,
+//! while edges discovered during solving (field wiring, invoke linking) go
+//! to a linked spill arena. Worklist steps iterate successors through a
+//! [`EdgeCursor`] — a `Copy` value that survives re-borrows — so the engine
+//! never clones an edge list.
 
 use crate::flow::{CallSite, Flow, FlowId, FlowKind, SiteId};
 use skipflow_ir::{BlockId, FieldId, MethodId, TypeRef};
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+const NO_SPILL: u32 = u32::MAX;
+
+/// CSR-style adjacency shared by every flow for one edge kind.
+#[derive(Clone, Debug, Default)]
+pub struct EdgePool {
+    /// Frozen edge targets, grouped contiguously per source flow.
+    csr: Vec<FlowId>,
+    /// Per-flow `(start, len)` range into `csr`, frozen at seal time.
+    ranges: Vec<(u32, u32)>,
+    /// Per-flow head index into `spill` (`NO_SPILL` = none).
+    spill_head: Vec<u32>,
+    /// `(target, next)` nodes for edges added after the source was sealed.
+    spill: Vec<(FlowId, u32)>,
+    /// Buffered `(src, dst)` pairs of the open construction batch.
+    pending: Vec<(FlowId, FlowId)>,
+    /// Reusable counting-sort scratch for [`EdgePool::seal`].
+    scratch: Vec<u32>,
+    /// Total materialized edges (csr + spill).
+    count: usize,
+}
+
+/// Iteration state over one flow's successors; `Copy`, so the caller can
+/// interleave `next` calls with arbitrary graph mutation (edges are never
+/// removed and CSR ranges are frozen, so a cursor never dangles).
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeCursor {
+    csr_pos: u32,
+    csr_end: u32,
+    spill: u32,
+}
+
+impl EdgePool {
+    fn ensure(&mut self, flow_count: usize) {
+        if self.ranges.len() < flow_count {
+            self.ranges.resize(flow_count, (0, 0));
+            self.spill_head.resize(flow_count, NO_SPILL);
+        }
+    }
+
+    /// Buffers a construction-time edge; materialized by [`EdgePool::seal`].
+    fn push_pending(&mut self, s: FlowId, t: FlowId) {
+        self.pending.push((s, t));
+    }
+
+    /// Adds an edge immediately to the spill arena (newest first).
+    fn push_spill(&mut self, s: FlowId, t: FlowId, flow_count: usize) {
+        self.ensure(flow_count);
+        let idx = self.spill.len() as u32;
+        assert!(idx != NO_SPILL, "spill arena overflow");
+        self.spill.push((t, self.spill_head[s.index()]));
+        self.spill_head[s.index()] = idx;
+        self.count += 1;
+    }
+
+    /// Seals the open batch: pending edges whose source is `≥ first` (the
+    /// fragment's own flows, each sealed exactly once) get contiguous CSR
+    /// ranges via a counting sort; pending edges from older sources join
+    /// their spill lists.
+    fn seal(&mut self, first: usize, flow_count: usize) {
+        self.ensure(flow_count);
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let base = self.csr.len();
+        let mut batch_edges = 0u32;
+        let mut counts = std::mem::take(&mut self.scratch);
+        counts.clear();
+        counts.resize(flow_count - first, 0);
+        for &(s, _) in &pending {
+            if s.index() >= first {
+                counts[s.index() - first] += 1;
+                batch_edges += 1;
+            }
+        }
+        let mut offset = base as u32;
+        for (i, &c) in counts.iter().enumerate() {
+            debug_assert_eq!(self.ranges[first + i], (0, 0), "flows are sealed once");
+            self.ranges[first + i] = (offset, c);
+            offset += c;
+        }
+        self.csr.resize(base + batch_edges as usize, FlowId(0));
+        // Reuse `counts` as per-flow write cursors.
+        for c in counts.iter_mut() {
+            *c = 0;
+        }
+        for &(s, t) in &pending {
+            if s.index() >= first {
+                let slot = s.index() - first;
+                let pos = self.ranges[first + slot].0 + counts[slot];
+                self.csr[pos as usize] = t;
+                counts[slot] += 1;
+            } else {
+                let idx = self.spill.len() as u32;
+                self.spill.push((t, self.spill_head[s.index()]));
+                self.spill_head[s.index()] = idx;
+            }
+        }
+        self.count += pending.len();
+        self.scratch = counts;
+        // Hand the drained buffer back so the next batch reuses it.
+        self.pending = pending;
+        self.pending.clear();
+    }
+
+    /// Starts iterating `f`'s successors. Must not be called while a
+    /// construction batch is open.
+    pub fn cursor(&self, f: FlowId) -> EdgeCursor {
+        debug_assert!(self.pending.is_empty(), "cursor over unsealed pool");
+        let (start, len) = self.ranges.get(f.index()).copied().unwrap_or((0, 0));
+        let spill = self.spill_head.get(f.index()).copied().unwrap_or(NO_SPILL);
+        EdgeCursor {
+            csr_pos: start,
+            csr_end: start + len,
+            spill,
+        }
+    }
+
+    /// Advances a cursor; CSR range first, then the spill list.
+    pub fn next(&self, cur: &mut EdgeCursor) -> Option<FlowId> {
+        if cur.csr_pos < cur.csr_end {
+            let t = self.csr[cur.csr_pos as usize];
+            cur.csr_pos += 1;
+            return Some(t);
+        }
+        if cur.spill != NO_SPILL {
+            let (t, next) = self.spill[cur.spill as usize];
+            cur.spill = next;
+            return Some(t);
+        }
+        None
+    }
+
+    /// Iterates `f`'s successors (read-only contexts: reports, dot export).
+    pub fn targets(&self, f: FlowId) -> impl Iterator<Item = FlowId> + '_ {
+        let mut cur = self.cursor(f);
+        std::iter::from_fn(move || self.next(&mut cur))
+    }
+
+    /// Total number of materialized edges.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the pool holds no edges. (`len`'s conventional companion;
+    /// only tests exercise it today, hence the lint allowance.)
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
 
 /// The classification of a branching instruction, used by the paper's
 /// counter metrics (Type Checks / Null Checks / Prim Checks).
@@ -59,6 +219,12 @@ pub struct Pvpg {
     pub flows: Vec<Flow>,
     /// Call-site arena.
     pub sites: Vec<CallSite>,
+    /// Use-edge adjacency.
+    pub(crate) uses: EdgePool,
+    /// Predicate-edge adjacency.
+    pub(crate) preds: EdgePool,
+    /// Observe-edge adjacency.
+    pub(crate) observes: EdgePool,
     /// The always-enabled predicate.
     pub pred_on: FlowId,
     /// Global pool of thrown exception values.
@@ -79,6 +245,9 @@ impl Pvpg {
         let mut g = Pvpg {
             flows: Vec::new(),
             sites: Vec::new(),
+            uses: EdgePool::default(),
+            preds: EdgePool::default(),
+            observes: EdgePool::default(),
             pred_on: FlowId(0),
             thrown_sink: FlowId(0),
             unsafe_sink: FlowId(0),
@@ -131,32 +300,58 @@ impl Pvpg {
         &mut self.sites[id.index()]
     }
 
-    /// Adds a use edge `s ⇝use t` (construction-time; caller guarantees
-    /// no duplicates).
+    /// Adds a use edge `s ⇝use t` (construction-time; caller guarantees no
+    /// duplicates). Buffered until [`Pvpg::seal_batch`].
     pub fn add_use(&mut self, s: FlowId, t: FlowId) {
-        self.flows[s.index()].uses.push(t);
+        self.uses.push_pending(s, t);
     }
 
     /// Adds a use edge with deduplication (for edges discovered during
-    /// solving: field accesses and invoke linking). Returns `true` if the
-    /// edge is new.
+    /// solving: field accesses and invoke linking); goes straight to the
+    /// spill arena. Returns `true` if the edge is new.
     pub fn add_use_dedup(&mut self, s: FlowId, t: FlowId) -> bool {
         if self.dynamic_use_edges.insert((s, t)) {
-            self.flows[s.index()].uses.push(t);
+            let n = self.flows.len();
+            self.uses.push_spill(s, t, n);
             true
         } else {
             false
         }
     }
 
-    /// Adds a predicate edge `s ⇝pred t`.
+    /// Adds a predicate edge `s ⇝pred t` (construction-time, buffered).
     pub fn add_pred(&mut self, s: FlowId, t: FlowId) {
-        self.flows[s.index()].pred_out.push(t);
+        self.preds.push_pending(s, t);
     }
 
-    /// Adds an observe edge `s ⇝obs t`.
+    /// Adds an observe edge `s ⇝obs t` (construction-time, buffered).
     pub fn add_observe(&mut self, s: FlowId, t: FlowId) {
-        self.flows[s.index()].observers.push(t);
+        self.observes.push_pending(s, t);
+    }
+
+    /// Seals a construction batch: every pending edge whose source is one of
+    /// the flows created since `first_flow` is frozen into CSR storage.
+    /// Called once per method fragment, right after construction.
+    pub fn seal_batch(&mut self, first_flow: usize) {
+        let n = self.flows.len();
+        self.uses.seal(first_flow, n);
+        self.preds.seal(first_flow, n);
+        self.observes.seal(first_flow, n);
+    }
+
+    /// Iterates `f`'s use-edge successors.
+    pub fn use_targets(&self, f: FlowId) -> impl Iterator<Item = FlowId> + '_ {
+        self.uses.targets(f)
+    }
+
+    /// Iterates `f`'s predicate-edge successors.
+    pub fn pred_targets(&self, f: FlowId) -> impl Iterator<Item = FlowId> + '_ {
+        self.preds.targets(f)
+    }
+
+    /// Iterates `f`'s observe-edge successors.
+    pub fn observe_targets(&self, f: FlowId) -> impl Iterator<Item = FlowId> + '_ {
+        self.observes.targets(f)
     }
 
     /// The field sink for `field`, created on first request (always enabled:
@@ -190,17 +385,10 @@ impl Pvpg {
     }
 
     /// Total number of edges of each kind `(use, pred, observe)` — used by
-    /// statistics and sanity tests.
+    /// statistics and sanity tests. Counts sealed and spill edges; a batch
+    /// must not be open.
     pub fn edge_counts(&self) -> (usize, usize, usize) {
-        let mut u = 0;
-        let mut p = 0;
-        let mut o = 0;
-        for f in &self.flows {
-            u += f.uses.len();
-            p += f.pred_out.len();
-            o += f.observers.len();
-        }
-        (u, p, o)
+        (self.uses.len(), self.preds.len(), self.observes.len())
     }
 }
 
@@ -241,18 +429,67 @@ mod tests {
         let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
         assert!(g.add_use_dedup(a, b));
         assert!(!g.add_use_dedup(a, b));
-        assert_eq!(g.flow(a).uses.len(), 1);
+        assert_eq!(g.use_targets(a).count(), 1);
     }
 
     #[test]
     fn edge_counts_sum_all_kinds() {
         let mut g = Pvpg::new();
+        let first = g.flow_count();
         let a = g.add_flow(Flow::new(FlowKind::Phi, None, None));
         let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        assert!(g.uses.is_empty());
         g.add_use(a, b);
         g.add_pred(a, b);
         g.add_pred(b, a);
         g.add_observe(a, b);
+        g.seal_batch(first);
         assert_eq!(g.edge_counts(), (1, 2, 1));
+        assert!(!g.uses.is_empty());
+    }
+
+    #[test]
+    fn sealed_and_spill_edges_iterate_in_order() {
+        let mut g = Pvpg::new();
+        let first = g.flow_count();
+        let a = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let c = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        g.add_use(a, b);
+        g.add_use(a, c);
+        g.seal_batch(first);
+        // Dynamic edges land in the spill list after the CSR range.
+        assert!(g.add_use_dedup(a, a));
+        let targets: Vec<FlowId> = g.use_targets(a).collect();
+        assert_eq!(targets, vec![b, c, a]);
+        // A second sealed batch for new flows leaves old ranges intact.
+        let first2 = g.flow_count();
+        let d = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        g.add_use(d, a);
+        g.seal_batch(first2);
+        assert_eq!(g.use_targets(a).collect::<Vec<_>>(), vec![b, c, a]);
+        assert_eq!(g.use_targets(d).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.edge_counts(), (4, 0, 0));
+    }
+
+    #[test]
+    fn cursor_survives_concurrent_spill_growth() {
+        let mut g = Pvpg::new();
+        let first = g.flow_count();
+        let a = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        g.add_use(a, b);
+        g.seal_batch(first);
+        g.add_use_dedup(a, b);
+        let mut cur = g.uses.cursor(a);
+        let mut seen = Vec::new();
+        while let Some(t) = g.uses.next(&mut cur) {
+            seen.push(t);
+            // New edges appended mid-iteration must not invalidate the
+            // cursor (they prepend to the spill head, before the snapshot).
+            let n = g.flow_count();
+            g.uses.push_spill(a, a, n);
+        }
+        assert_eq!(seen, vec![b, b]);
     }
 }

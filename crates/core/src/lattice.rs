@@ -19,10 +19,14 @@ use std::fmt;
 
 /// A set of runtime types (possibly including the `null` pseudo-type).
 ///
-/// Thin wrapper around [`BitSet`] indexed by [`TypeId`], with bit 0 reserved
-/// for `null`.
+/// Wrapper around [`BitSet`] indexed by [`TypeId`]. The `null` pseudo-type
+/// ([`TypeId::NULL`], index 0) is stored as a separate flag rather than as
+/// bit 0: null accompanies types from anywhere in the id space, and keeping
+/// it out of the bitset keeps the banded storage narrow (a set holding
+/// `{null, T}` would otherwise span every word from 0 to `T`).
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct TypeSet {
+    has_null: bool,
     bits: BitSet,
 }
 
@@ -46,51 +50,85 @@ impl TypeSet {
 
     /// Inserts a type; returns `true` if newly inserted.
     pub fn insert(&mut self, t: TypeId) -> bool {
-        self.bits.insert(t.index())
+        if t.is_null() {
+            let newly = !self.has_null;
+            self.has_null = true;
+            newly
+        } else {
+            self.bits.insert(t.index())
+        }
     }
 
     /// Membership test.
     pub fn contains(&self, t: TypeId) -> bool {
-        self.bits.contains(t.index())
+        if t.is_null() {
+            self.has_null
+        } else {
+            self.bits.contains(t.index())
+        }
     }
 
     /// Whether `null` is a member.
     pub fn contains_null(&self) -> bool {
-        self.contains(TypeId::NULL)
+        self.has_null
     }
 
     /// Number of member types (including `null` if present).
     pub fn len(&self) -> usize {
-        self.bits.len()
+        self.has_null as usize + self.bits.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        !self.has_null && self.bits.is_empty()
     }
 
     /// Unions `other` into `self`; returns `true` on change.
     pub fn union_with(&mut self, other: &TypeSet) -> bool {
-        self.bits.union_with(&other.bits)
+        let mut changed = other.has_null && !self.has_null;
+        self.has_null |= other.has_null;
+        changed |= self.bits.union_with(&other.bits);
+        changed
+    }
+
+    /// Unions `other` into `self`, accumulating the newly inserted types
+    /// into `delta` (word-level); returns `true` on change.
+    pub fn union_with_delta(&mut self, other: &TypeSet, delta: &mut TypeSet) -> bool {
+        let mut changed = false;
+        if other.has_null && !self.has_null {
+            self.has_null = true;
+            delta.has_null = true;
+            changed = true;
+        }
+        changed |= self.bits.union_with_delta(&other.bits, &mut delta.bits);
+        changed
+    }
+
+    /// Removes every member of `other` from `self`; returns `true` on change.
+    pub fn remove_all(&mut self, other: &TypeSet) -> bool {
+        let mut changed = other.has_null && self.has_null;
+        if other.has_null {
+            self.has_null = false;
+        }
+        changed |= self.bits.difference_with(&other.bits);
+        changed
     }
 
     /// `self ⊆ other`.
     pub fn is_subset(&self, other: &TypeSet) -> bool {
-        self.bits.is_subset(&other.bits)
+        (!self.has_null || other.has_null) && self.bits.is_subset(&other.bits)
     }
 
     /// Intersection with a raw subtype mask (masks never contain `null`).
     /// `keep_null` retains a `null` member through the filter — used by
     /// declared-type filtering, where `null` inhabits every reference type.
     pub fn intersect_mask(&self, mask: &BitSet, keep_null: bool) -> TypeSet {
-        let had_null = self.contains_null();
         let mut bits = self.bits.clone();
         bits.intersect_with(mask);
-        let mut out = TypeSet { bits };
-        if keep_null && had_null {
-            out.insert(TypeId::NULL);
+        TypeSet {
+            has_null: keep_null && self.has_null,
+            bits,
         }
-        out
     }
 
     /// Set difference with a raw subtype mask (`null` always survives, since
@@ -98,31 +136,39 @@ impl TypeSet {
     pub fn difference_mask(&self, mask: &BitSet) -> TypeSet {
         let mut bits = self.bits.clone();
         bits.difference_with(mask);
-        TypeSet { bits }
+        TypeSet {
+            has_null: self.has_null,
+            bits,
+        }
     }
 
     /// Intersection with another type set.
     pub fn intersection(&self, other: &TypeSet) -> TypeSet {
         let mut bits = self.bits.clone();
         bits.intersect_with(&other.bits);
-        TypeSet { bits }
+        TypeSet {
+            has_null: self.has_null && other.has_null,
+            bits,
+        }
     }
 
     /// Set difference with another type set.
     pub fn difference(&self, other: &TypeSet) -> TypeSet {
         let mut bits = self.bits.clone();
         bits.difference_with(&other.bits);
-        TypeSet { bits }
+        TypeSet {
+            has_null: self.has_null && !other.has_null,
+            bits,
+        }
     }
 
-    /// Iterates member types in ascending id order.
+    /// Iterates member types in ascending id order (`null` first — its id
+    /// is 0).
     pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
-        self.bits.iter().map(TypeId::from_index)
-    }
-
-    /// Access to the raw bitset.
-    pub fn as_bits(&self) -> &BitSet {
-        &self.bits
+        self.has_null
+            .then_some(TypeId::NULL)
+            .into_iter()
+            .chain(self.bits.iter().map(TypeId::from_index))
     }
 }
 
@@ -231,6 +277,108 @@ impl ValueState {
                 *self = ValueState::Any;
                 true
             }
+        }
+    }
+
+    /// Takes the state out, leaving `Empty` — used to drain a flow's pending
+    /// delta without cloning.
+    pub fn take(&mut self) -> ValueState {
+        std::mem::take(self)
+    }
+
+    /// Joins `other` into `self` like [`ValueState::join`], additionally
+    /// accumulating the *new information* into `acc` (the pending delta of a
+    /// flow). The invariant maintained is `acc ⊑ self` afterwards: `acc`
+    /// only ever receives values that are genuinely part of `self`, so
+    /// propagating `acc` can never invent values.
+    ///
+    /// Widenings (distinct constants, mixed kinds, joins with `Any`) push
+    /// `Any` into `acc` — the new information is "everything".
+    pub fn join_tracking(&mut self, other: &ValueState, acc: &mut ValueState) -> bool {
+        use ValueState::*;
+        match (&mut *self, other) {
+            (_, Empty) => false,
+            (Any, _) => false,
+            (Empty, o) => {
+                *self = o.clone();
+                acc.join(o);
+                true
+            }
+            (s, Any) => {
+                *s = Any;
+                *acc = Any;
+                true
+            }
+            (Const(a), Const(b)) if *a == *b => false,
+            (Const(_), Const(_)) => {
+                *self = Any;
+                *acc = Any;
+                true
+            }
+            (Types(s), Types(o)) => match acc {
+                Types(acc_set) => s.union_with_delta(o, acc_set),
+                Empty => {
+                    let mut acc_set = TypeSet::new();
+                    let changed = s.union_with_delta(o, &mut acc_set);
+                    if changed {
+                        *acc = Types(acc_set);
+                    }
+                    changed
+                }
+                // `acc` already saturated (or of mixed kind): a plain union
+                // suffices — `acc ⊒` anything we could add is preserved by
+                // joining `other` wholesale (still ⊑ self).
+                _ => {
+                    let changed = s.union_with(o);
+                    if changed {
+                        acc.join(other);
+                    }
+                    changed
+                }
+            },
+            // Mixed primitive/object joins widen to top.
+            _ => {
+                *self = Any;
+                *acc = Any;
+                true
+            }
+        }
+    }
+
+    /// [`ValueState::join_tracking`] over an owned right-hand side: the
+    /// common first-touch case (`self` still `Empty`) moves `other` into
+    /// place instead of cloning it, and only the tracking copy remains.
+    pub fn join_tracking_owned(&mut self, other: ValueState, acc: &mut ValueState) -> bool {
+        if let ValueState::Empty = self {
+            if other.is_empty() {
+                return false;
+            }
+            acc.join(&other);
+            *self = other;
+            return true;
+        }
+        self.join_tracking(&other, acc)
+    }
+
+    /// Removes from `self` (a pending delta) the portion a solver step
+    /// already consumed. Deliberately conservative: when in doubt the value
+    /// is *kept*, so the flow is re-processed rather than under-propagated.
+    pub fn remove(&mut self, consumed: &ValueState) {
+        use ValueState::*;
+        match (&mut *self, consumed) {
+            (_, Empty) => {}
+            (Empty, _) => {}
+            // A consumed `Any` covered everything the flow will ever see.
+            (s, Any) => *s = Empty,
+            (Const(a), Const(b)) if *a == *b => *self = Empty,
+            (Types(s), Types(o)) => {
+                s.remove_all(o);
+                if s.is_empty() {
+                    *self = Empty;
+                }
+            }
+            // `Any` minus anything smaller, or mismatched kinds: keep.
+            _ => {}
         }
     }
 
@@ -372,6 +520,118 @@ mod tests {
         assert!(!two.is_singleton());
         assert!(!ValueState::Any.is_singleton());
         assert!(!ValueState::Empty.is_singleton());
+    }
+
+    #[test]
+    fn join_tracking_accumulates_exactly_the_new_information() {
+        // Types ∨ Types: only the genuinely new members reach the delta.
+        let mut s = ValueState::of_type(t(1));
+        let mut acc = ValueState::Empty;
+        let mut incoming = ValueState::of_type(t(1));
+        incoming.join(&ValueState::of_type(t(2)));
+        assert!(s.join_tracking(&incoming, &mut acc));
+        assert_eq!(acc, ValueState::of_type(t(2)), "only T2 is new");
+        // A second identical join changes nothing and leaves acc alone.
+        assert!(!s.join_tracking(&incoming, &mut acc));
+        assert_eq!(acc, ValueState::of_type(t(2)));
+        // Accumulation across joins.
+        assert!(s.join_tracking(&ValueState::of_type(t(3)), &mut acc));
+        let types = acc.types().unwrap();
+        assert!(types.contains(t(2)) && types.contains(t(3)) && !types.contains(t(1)));
+
+        // First touch: the whole incoming state is new.
+        let mut empty = ValueState::Empty;
+        let mut acc2 = ValueState::Empty;
+        assert!(empty.join_tracking(&ValueState::Const(5), &mut acc2));
+        assert_eq!(acc2, ValueState::Const(5));
+
+        // Widenings push Any into the delta.
+        let mut c = ValueState::Const(5);
+        let mut acc3 = ValueState::Empty;
+        assert!(c.join_tracking(&ValueState::Const(6), &mut acc3));
+        assert_eq!(c, ValueState::Any);
+        assert_eq!(acc3, ValueState::Any);
+    }
+
+    #[test]
+    fn join_tracking_agrees_with_join_and_keeps_acc_below_self() {
+        let states = [
+            ValueState::Empty,
+            ValueState::Const(0),
+            ValueState::Const(1),
+            ValueState::of_type(t(1)),
+            ValueState::null(),
+            ValueState::Any,
+        ];
+        for a in &states {
+            for b in &states {
+                let mut plain = a.clone();
+                let plain_changed = plain.join(b);
+                let mut tracked = a.clone();
+                let mut acc = ValueState::Empty;
+                let tracked_changed = tracked.join_tracking(b, &mut acc);
+                assert_eq!(plain, tracked, "join({a:?}, {b:?})");
+                assert_eq!(plain_changed, tracked_changed);
+                assert!(acc.le(&tracked), "acc {acc:?} escapes state {tracked:?}");
+                // Owned variant agrees too.
+                let mut owned = a.clone();
+                let mut acc2 = ValueState::Empty;
+                assert_eq!(owned.join_tracking_owned(b.clone(), &mut acc2), plain_changed);
+                assert_eq!(owned, plain);
+                assert_eq!(acc2, acc);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_is_conservative() {
+        // Exact removals empty the delta.
+        let mut d = ValueState::Const(3);
+        d.remove(&ValueState::Const(3));
+        assert_eq!(d, ValueState::Empty);
+        let mut d = ValueState::of_type(t(1));
+        d.join(&ValueState::of_type(t(2)));
+        d.remove(&ValueState::of_type(t(1)));
+        assert_eq!(d, ValueState::of_type(t(2)));
+        // Removing everything normalizes to Empty.
+        let mut d = ValueState::of_type(t(2));
+        d.remove(&ValueState::of_type(t(2)));
+        assert_eq!(d, ValueState::Empty);
+        // A consumed Any covered everything.
+        let mut d = ValueState::of_type(t(1));
+        d.remove(&ValueState::Any);
+        assert_eq!(d, ValueState::Empty);
+        // Mismatched kinds and Any-minus-smaller keep the delta (re-process
+        // rather than under-propagate).
+        let mut d = ValueState::Any;
+        d.remove(&ValueState::Const(1));
+        assert_eq!(d, ValueState::Any);
+        let mut d = ValueState::Const(1);
+        d.remove(&ValueState::of_type(t(1)));
+        assert_eq!(d, ValueState::Const(1));
+    }
+
+    #[test]
+    fn typeset_null_flag_behaves_like_a_member() {
+        let mut s = TypeSet::null_only();
+        assert!(s.contains_null() && s.len() == 1 && !s.is_empty());
+        assert!(!s.insert(TypeId::NULL), "already present");
+        s.insert(t(70_000));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![TypeId::NULL, t(70_000)]);
+        // union_with_delta carries the null flag into the delta exactly once.
+        let mut target = TypeSet::singleton(t(3));
+        let mut delta = TypeSet::new();
+        assert!(target.union_with_delta(&s, &mut delta));
+        assert!(delta.contains_null() && delta.contains(t(70_000)) && !delta.contains(t(3)));
+        let mut delta2 = TypeSet::new();
+        assert!(!target.union_with_delta(&s, &mut delta2));
+        assert!(delta2.is_empty());
+        // remove_all strips null.
+        assert!(target.remove_all(&TypeSet::null_only()));
+        assert!(!target.contains_null());
+        // Subset accounts for null.
+        assert!(TypeSet::null_only().is_subset(&s));
+        assert!(!s.is_subset(&TypeSet::singleton(t(70_000))));
     }
 
     #[test]

@@ -15,7 +15,9 @@ use std::time::Duration;
 pub struct SolveStats {
     /// Worklist steps executed.
     pub steps: u64,
-    /// Flows in the final PVPG.
+    /// Input-state joins that actually changed a state (propagation volume).
+    pub state_joins: u64,
+    /// Flows in the final PVPG (the arena only grows, so this is the peak).
     pub flows: usize,
     /// Use edges.
     pub use_edges: usize,

@@ -583,6 +583,43 @@ fn metrics_count_surviving_checks_and_polycalls() {
 }
 
 #[test]
+fn loop_body_call_in_late_built_callee_is_reachable() {
+    // Regression test: `Worker.go` is only discovered by virtual dispatch
+    // *during* solving, after `pred_on` has already fired. Its loop header's
+    // φ_pred hangs directly off `pred_on` (the jump from the start block),
+    // so the builder must queue it for immediate enabling — `pred_on` never
+    // walks its predicate successors again. Before the fix, the loop body
+    // (and `Main.tick`) was wrongly dead while the interpreter executed it.
+    let src = "
+        class Main {
+          static method tick(): void { return; }
+          static method main(): void {
+            var w = new Worker();
+            w.go();
+            return;
+          }
+        }
+        class Worker {
+          method go(): void {
+            var i = 0;
+            while (i < 3) { Main.tick(); i = any(); }
+            return;
+          }
+        }";
+    for solver in [
+        SolverKind::Sequential,
+        SolverKind::Parallel { threads: 4 },
+        SolverKind::Reference,
+    ] {
+        let (p, result) = run(src, AnalysisConfig::skipflow().with_solver(solver));
+        assert!(
+            result.is_reachable(method(&p, "Main", "tick")),
+            "{solver:?}: loop-body call must be reachable"
+        );
+    }
+}
+
+#[test]
 fn skipflow_never_reaches_more_than_baseline() {
     for src in [DISPATCH.replace("CIRCLE_ONLY", "return;"), many_types_src()] {
         let program = compile(&src).unwrap();

@@ -198,21 +198,21 @@ fn fig7_onexit_pvpg_structure() {
     let ne_filter = find(&|k| matches!(k, FlowKind::CmpFilter { op: skipflow_ir::CmpOp::Ne, .. }));
 
     // Observe edges (dotted in the figure).
-    assert!(g.flow(p_thread).observers.contains(&invoke_isvirtual),
+    assert!(g.observe_targets(p_thread).any(|t| t == invoke_isvirtual),
         "p_thread observes into Invoke isVirtual (method linking)");
-    assert!(g.flow(p_this).observers.contains(&load_field),
+    assert!(g.observe_targets(p_this).any(|t| t == load_field),
         "p_this observes into LoadField virtualThreads");
-    assert!(g.flow(load_field).observers.contains(&invoke_remove),
+    assert!(g.observe_targets(load_field).any(|t| t == invoke_remove),
         "the loaded set observes into Invoke remove");
-    assert!(g.flow(zero_const).observers.contains(&ne_filter),
+    assert!(g.observe_targets(zero_const).any(|t| t == ne_filter),
         "the constant 0 observes into the ≠ filter");
 
     // Use edge: the invoke's value feeds the ≠ filter.
-    assert!(g.flow(invoke_isvirtual).uses.contains(&ne_filter));
+    assert!(g.use_targets(invoke_isvirtual).any(|t| t == ne_filter));
 
     // Predicate chain: the invoke predicates the filter; the filter chain
     // predicates the body of the if (LoadField and Invoke remove).
-    assert!(g.flow(invoke_isvirtual).pred_out.contains(&ne_filter));
+    assert!(g.pred_targets(invoke_isvirtual).any(|t| t == ne_filter));
     let reaches_pred = |from: skipflow_core::FlowId, to: skipflow_core::FlowId| -> bool {
         // BFS over predicate edges (the filter chain has two hops: ≠ then
         // the flipped filter).
@@ -223,7 +223,7 @@ fn fig7_onexit_pvpg_structure() {
                 return true;
             }
             if seen.insert(f) {
-                stack.extend(g.flow(f).pred_out.iter().copied());
+                stack.extend(g.pred_targets(f));
             }
         }
         false

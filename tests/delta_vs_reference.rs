@@ -1,0 +1,160 @@
+//! Differential validation of the delta-propagation solvers against the
+//! full-join reference solver ([`SolverKind::Reference`]): on the whole
+//! synthetic quick corpus (plus randomized specs), the sequential and
+//! parallel delta solvers must produce *identical* analysis results — the
+//! reachable set, every per-method value state, liveness, dead-branch
+//! reports, linked call targets, and the counter metrics — with and without
+//! saturation.
+//!
+//! Results are compared per method rather than per flow id: the solvers may
+//! discover methods in different orders, which permutes flow ids, but every
+//! observable outcome must match exactly.
+
+use skipflow::analysis::{analyze, AnalysisConfig, AnalysisResult, SolverKind};
+use skipflow::ir::Program;
+use skipflow::synth::{build_benchmark, suites, BenchmarkSpec, Suite};
+
+/// Asserts every observable outcome of `b` equals `a` (the reference).
+fn assert_results_identical(program: &Program, a: &AnalysisResult, b: &AnalysisResult, label: &str) {
+    assert_eq!(
+        a.reachable_methods(),
+        b.reachable_methods(),
+        "{label}: reachable sets differ"
+    );
+    for t in 0..program.type_count() {
+        let t = skipflow::ir::TypeId::from_index(t);
+        assert_eq!(
+            a.is_instantiated(t),
+            b.is_instantiated(t),
+            "{label}: instantiated({t:?}) differs"
+        );
+    }
+    for &m in a.reachable_methods() {
+        let md = program.method(m);
+        let n_params = md.param_count();
+        for i in 0..n_params {
+            assert_eq!(
+                a.param_state(m, i),
+                b.param_state(m, i),
+                "{label}: param state {}#{i} differs",
+                program.method_label(m)
+            );
+        }
+        assert_eq!(
+            a.return_state(m),
+            b.return_state(m),
+            "{label}: return state of {} differs",
+            program.method_label(m)
+        );
+        assert_eq!(
+            a.live_blocks(m),
+            b.live_blocks(m),
+            "{label}: liveness of {} differs",
+            program.method_label(m)
+        );
+        assert_eq!(
+            a.dead_blocks(m),
+            b.dead_blocks(m),
+            "{label}: dead blocks of {} differ",
+            program.method_label(m)
+        );
+        // Per-statement value states and enablement (flow-level outcomes,
+        // keyed stably by (method, block, stmt) instead of flow id).
+        if let Some(body) = &md.body {
+            for (bi, block) in body.iter_blocks() {
+                for si in 0..block.stmts.len() {
+                    assert_eq!(
+                        a.stmt_state(m, bi, si),
+                        b.stmt_state(m, bi, si),
+                        "{label}: stmt state {}/{bi:?}/{si} differs",
+                        program.method_label(m)
+                    );
+                    assert_eq!(
+                        a.stmt_enabled(m, bi, si),
+                        b.stmt_enabled(m, bi, si),
+                        "{label}: stmt enablement {}/{bi:?}/{si} differs",
+                        program.method_label(m)
+                    );
+                }
+            }
+        }
+        // Linked targets per call site (order-insensitive: linking order is
+        // a solver schedule artifact; the *set* is the analysis outcome).
+        let sites_a = a.call_sites(m);
+        let sites_b = b.call_sites(m);
+        assert_eq!(sites_a.len(), sites_b.len(), "{label}: site counts differ");
+        for (sa, sb) in sites_a.iter().zip(sites_b.iter()) {
+            assert_eq!(sa.enabled, sb.enabled, "{label}: site enablement differs");
+            let mut ta = sa.targets.clone();
+            let mut tb = sb.targets.clone();
+            ta.sort_unstable();
+            tb.sort_unstable();
+            assert_eq!(
+                ta,
+                tb,
+                "{label}: linked targets of a site in {} differ",
+                program.method_label(m)
+            );
+        }
+    }
+    assert_eq!(
+        a.metrics(program),
+        b.metrics(program),
+        "{label}: metrics differ"
+    );
+}
+
+fn check_spec(spec: &BenchmarkSpec) {
+    let bench = build_benchmark(spec);
+    let program = &bench.program;
+    for saturation in [None, Some(3)] {
+        for base in [
+            AnalysisConfig::skipflow(),
+            AnalysisConfig::baseline_pta(),
+        ] {
+            let mut reference_cfg = base.clone().with_solver(SolverKind::Reference);
+            reference_cfg.saturation_threshold = saturation;
+            let reference = analyze(program, &bench.roots, &reference_cfg);
+            for solver in [SolverKind::Sequential, SolverKind::Parallel { threads: 4 }] {
+                let mut cfg = base.clone().with_solver(solver);
+                cfg.saturation_threshold = saturation;
+                let result = analyze(program, &bench.roots, &cfg);
+                assert_results_identical(
+                    program,
+                    &reference,
+                    &result,
+                    &format!(
+                        "{}/{}/sat={saturation:?}/{solver:?}",
+                        spec.name,
+                        base.label()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_solvers_match_reference_on_the_quick_corpus() {
+    for spec in suites::quick() {
+        check_spec(&spec);
+    }
+}
+
+#[test]
+fn delta_solvers_match_reference_on_randomized_specs() {
+    for seed in [11u64, 4242, 90210] {
+        let mut spec = BenchmarkSpec::new("diff-ref", Suite::Renaissance, 150, 0.3);
+        spec.seed = seed;
+        check_spec(&spec);
+    }
+}
+
+#[test]
+fn delta_solvers_match_reference_under_heavy_fanout() {
+    // Wide dispatch produces the large type sets where difference
+    // propagation actually diverges from full re-joins internally — the
+    // observable results must still be identical.
+    let spec = BenchmarkSpec::new("diff-wide", Suite::DaCapo, 400, 0.2).with_fanout(16);
+    check_spec(&spec);
+}

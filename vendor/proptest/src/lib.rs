@@ -1,0 +1,420 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the API subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, [`Just`], integer/float range
+//! strategies, `collection::{vec, btree_set}`, tuple composition,
+//! `prop_oneof!`, and the `proptest!` test macro with `ProptestConfig`.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Failing inputs are reported verbatim via the panic message
+//! (every generated argument is included), which is enough to reproduce —
+//! generation is deterministic per test-function name and case index.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Test-runner configuration (subset of `proptest::test_runner`).
+
+    /// Configuration for one `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+pub struct TestRng(pub rand::rngs::StdRng);
+
+impl TestRng {
+    /// A generator for (test name, case index); fully deterministic.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(rand::rngs::StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A/a);
+    impl_tuple_strategy!(A/a, B/b);
+    impl_tuple_strategy!(A/a, B/b, C/c);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f, G/g);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f, G/g, H/h);
+}
+
+use strategy::Strategy;
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                let (start, end) = (*self.start(), *self.end());
+                if end == <$t>::MAX {
+                    if start == <$t>::MIN {
+                        return rng.0.gen::<$t>();
+                    }
+                    // Shift down one to keep the half-open sampler usable.
+                    rng.0.gen_range(start - 1..end) + 1
+                } else {
+                    rng.0.gen_range(start..end + 1)
+                }
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        use rand::Rng;
+        rng.0.gen_range(self.clone())
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.0.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s; sizes are best-effort (duplicates collapse).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates sets of values from `element` with up to `size.end` members.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            use rand::Rng;
+            let n = rng.0.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Type-erases a list of same-valued strategies (used by `prop_oneof!`).
+pub fn union_of<T>(options: Vec<strategy::BoxedStrategy<T>>) -> strategy::Union<T> {
+    strategy::Union::new(options)
+}
+
+pub mod prelude {
+    //! The usual imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Marker for `prop_assume!`-style early exits (a skipped case).
+pub struct CaseSkipped;
+
+/// Asserts inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union_of(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` test macro: declares `#[test]` functions whose arguments
+/// are drawn from strategies for a configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases as u64 {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $( let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng); )+
+                // One Result-returning closure per case, mirroring real
+                // proptest: bodies may `return Ok(())` (and prop_assume!
+                // skips that way); a trailing Ok(()) is appended.
+                let run = || -> ::std::result::Result<(), ()> {
+                    $( let $arg = $arg; )+
+                    $body
+                    Ok(())
+                };
+                let _ = run();
+            }
+        }
+    )*};
+}
+
+// Re-exports so `proptest::collection::...` paths and prelude both work.
+pub use strategy::{BoxedStrategy, Just};
+pub use test_runner::ProptestConfig;
+
+#[allow(unused_imports)]
+use {BTreeSet as _BTreeSetUsed, Range as _RangeUsed, RangeInclusive as _RangeInclusiveUsed};
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn just_and_map_generate() {
+        let s = Just(3usize).prop_map(|v| v * 2);
+        let mut rng = TestRng::for_case("just_and_map", 0);
+        assert_eq!(s.generate(&mut rng), 6);
+    }
+
+    #[test]
+    fn oneof_picks_each_arm_eventually() {
+        let s = prop_oneof![Just(1u32), Just(2u32), (5u32..7).prop_map(|v| v)];
+        let mut seen = std::collections::BTreeSet::new();
+        for case in 0..200 {
+            let mut rng = TestRng::for_case("oneof", case);
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&5));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_draws_in_range(x in 0i64..10, v in crate::collection::vec(0u8..4, 1..5)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}
