@@ -1,18 +1,33 @@
-//! The perf-trajectory binary: runs the synth ladder and the table1 corpus
-//! and writes a `BENCH_PR<n>.json` record for the repository's performance
-//! history.
+//! The perf-trajectory binary: runs the synth ladder, the fan-out rungs,
+//! and the table1 corpus, and writes a `BENCH_PR<n>.json` record for the
+//! repository's performance history.
 //!
 //! ```text
 //! cargo run --release -p skipflow-bench --bin trajectory -- \
-//!     [--out BENCH_PR1.json] [--pr PR1] [--ladder-only] \
-//!     [--baseline BENCH_PR1_prechange.json]
+//!     [--out BENCH_PR2.json] [--pr PR2] [--ladder-only] \
+//!     [--scheduler fifo] \
+//!     [--baseline BENCH_PR2_prechange.json] \
+//!     [--check-steps BENCH_PR2.json]
 //! ```
 //!
-//! `--baseline` points at a previous run of this same harness (typically
-//! captured before a perf change); the summary then records the wall-time
-//! reduction on the largest ladder rung against it.
+//! * `--scheduler fifo` forces the PR 1 FIFO worklist on every delta
+//!   solver — the *pre-change capture* mode, so baseline and change are
+//!   measured by the same binary on the same machine.
+//! * `--baseline` points at a previous run of this same harness; the
+//!   summary then records wall-time and step-count reductions on the
+//!   largest ladder and fan-out rungs against it.
+//! * `--check-steps` compares the current run's `SkipFlow`/`sequential`
+//!   step counts per scaling workload against a committed capture and
+//!   exits non-zero on a > 20 % regression. Steps are deterministic per
+//!   corpus, so the gate is machine-independent (wall time is not).
 
-use skipflow_bench::trajectory::{render_json, run_ladder, run_table1};
+use skipflow_bench::trajectory::{
+    parse_baseline_steps, parse_baseline_workloads, render_json, run_fanout, run_ladder,
+    run_table1,
+};
+
+/// Maximum tolerated step-count growth versus the committed capture.
+const STEP_REGRESSION_TOLERANCE: f64 = 0.20;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,15 +37,28 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR1.json".to_string());
-    let pr = get("--pr").unwrap_or_else(|| "PR1".to_string());
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let pr = get("--pr").unwrap_or_else(|| "PR2".to_string());
     let ladder_only = args.iter().any(|a| a == "--ladder-only");
+    let force_fifo = match get("--scheduler").as_deref() {
+        Some("fifo") => true,
+        Some("scc") | None => false,
+        Some(other) => panic!("unknown --scheduler {other} (expected fifo|scc)"),
+    };
     let baseline = get("--baseline").map(|p| {
         std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}"))
     });
+    let check_steps = get("--check-steps").map(|p| {
+        (
+            p.clone(),
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read capture {p}: {e}")),
+        )
+    });
 
     eprintln!("running ladder…");
-    let mut workloads = run_ladder();
+    let mut workloads = run_ladder(force_fifo);
+    eprintln!("running fan-out rungs…");
+    workloads.extend(run_fanout(force_fifo));
     if !ladder_only {
         eprintln!("running table1 corpus…");
         workloads.extend(run_table1());
@@ -40,19 +68,21 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
-    // Human-readable recap of the ladder on stderr-free stdout.
+    // Human-readable recap of the scaling families on stdout.
     println!(
-        "{:<12} {:>9} {:<10} {:<12} {:>10} {:>10} {:>12} {:>9} {:>7}",
-        "workload", "methods", "config", "solver", "wall[ms]", "steps", "joins", "reach", "dead"
+        "{:<12} {:>9} {:<10} {:<12} {:<5} {:>10} {:>10} {:>12} {:>9} {:>7}",
+        "workload", "methods", "config", "solver", "sched", "wall[ms]", "steps", "joins", "reach",
+        "dead"
     );
-    for w in workloads.iter().filter(|w| w.kind == "ladder") {
+    for w in workloads.iter().filter(|w| w.kind != "table1") {
         for r in &w.runs {
             println!(
-                "{:<12} {:>9} {:<10} {:<12} {:>10.2} {:>10} {:>12} {:>9} {:>7}",
+                "{:<12} {:>9} {:<10} {:<12} {:<5} {:>10.2} {:>10} {:>12} {:>9} {:>7}",
                 w.name,
                 w.generated_methods,
                 r.config,
                 r.solver,
+                r.scheduler,
                 r.wall_ms,
                 r.steps,
                 r.state_joins,
@@ -60,5 +90,50 @@ fn main() {
                 r.dead_blocks
             );
         }
+    }
+
+    // CI step-count regression gate.
+    if let Some((path, capture)) = check_steps {
+        let mut failures = Vec::new();
+        for name in parse_baseline_workloads(&capture) {
+            let Some(committed) = parse_baseline_steps(&capture, &name) else { continue };
+            let current = workloads
+                .iter()
+                .filter(|w| w.name == name)
+                .flat_map(|w| &w.runs)
+                .find(|r| r.config == "SkipFlow" && r.solver == "sequential");
+            let Some(current) = current else {
+                // A committed workload that no longer runs means the rung
+                // set changed without re-capturing the baseline — fail
+                // loudly instead of letting the gate pass vacuously.
+                failures.push(format!(
+                    "{name}: present in the committed capture but missing from this run \
+                     (rung set changed? regenerate the capture)"
+                ));
+                continue;
+            };
+            let ratio = current.steps as f64 / committed as f64;
+            eprintln!(
+                "check-steps: {name}: {} steps vs committed {committed} ({:+.1} %)",
+                current.steps,
+                (ratio - 1.0) * 100.0
+            );
+            if ratio > 1.0 + STEP_REGRESSION_TOLERANCE {
+                failures.push(format!(
+                    "{name}: {} steps vs committed {committed} (+{:.1} % > {:.0} % tolerance)",
+                    current.steps,
+                    (ratio - 1.0) * 100.0,
+                    STEP_REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("step-count regression against {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("check-steps: no regression against {path}");
     }
 }

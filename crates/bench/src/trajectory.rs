@@ -2,31 +2,41 @@
 //! in every PR, so the repository accumulates a comparable performance
 //! record (`BENCH_PR<n>.json` at the repo root).
 //!
-//! Two workload families:
+//! Three workload families:
 //!
 //! * **ladder** — synthetic programs of doubling size at fixed shape
 //!   (fanout 8, 20% guarded-dead), stressing solver scaling; the largest
 //!   rung is the headline number.
+//! * **fanout** — shared-field fan-out programs of doubling reader count
+//!   (one field sink feeding hundreds of readers), the regime where
+//!   difference propagation and SCC-priority scheduling are asymptotically
+//!   better than full re-joins and FIFO ordering.
 //! * **table1** — the full 35-benchmark corpus under PTA and SkipFlow,
 //!   sequential solver, mirroring the paper's evaluation.
 //!
 //! Per run the harness records wall time, worklist steps, state joins (the
 //! propagation volume), the peak flow count, and the precision outcomes
 //! (reachable methods, dead blocks) so perf changes that silently alter
-//! results are caught immediately.
+//! results are caught immediately. Both schedulers are measured side by
+//! side (`scheduler` field), so one document carries the SCC-vs-FIFO
+//! comparison; a pre-change capture is produced by running the same binary
+//! with `--scheduler fifo`.
 
-use skipflow_core::{analyze, AnalysisConfig, AnalysisResult, SolverKind};
+use skipflow_core::{analyze, AnalysisConfig, AnalysisResult, SchedulerKind, SolverKind};
 use skipflow_synth::{build_benchmark, Benchmark, BenchmarkSpec, Suite};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One measured (workload × config × solver) cell.
+/// One measured (workload × config × solver × scheduler) cell.
 #[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Configuration label (`PTA` / `SkipFlow`).
     pub config: String,
     /// Solver label (`sequential` / `parallel-N` / `reference`).
     pub solver: String,
+    /// Scheduler label (`scc` / `fifo`; the reference solver is always
+    /// `fifo`).
+    pub scheduler: String,
     /// Wall-clock analysis time in milliseconds.
     pub wall_ms: f64,
     /// Worklist steps executed.
@@ -46,9 +56,9 @@ pub struct RunRecord {
 /// All runs of one workload.
 #[derive(Clone, Debug)]
 pub struct WorkloadRecord {
-    /// Workload name (`rung-8000`, `sunflow`, …).
+    /// Workload name (`rung-8000`, `fanout-400`, `sunflow`, …).
     pub name: String,
-    /// Workload family (`ladder` / `table1`).
+    /// Workload family (`ladder` / `fanout` / `table1`).
     pub kind: &'static str,
     /// Concrete methods the generator emitted.
     pub generated_methods: usize,
@@ -67,6 +77,20 @@ pub fn ladder_specs() -> Vec<BenchmarkSpec> {
         .collect()
 }
 
+/// The fan-out rungs: one shared field sink feeding a doubling number of
+/// readers (writers double alongside, so the sink's state width grows
+/// too). Reader wiring precedes the writes, so every stored type is an
+/// incremental update that must fan out to every reader.
+pub fn fanout_specs() -> Vec<BenchmarkSpec> {
+    [(100usize, 64usize), (200, 128), (400, 256)]
+        .into_iter()
+        .map(|(readers, writers)| {
+            BenchmarkSpec::new(&format!("fanout-{readers}"), Suite::DaCapo, 60, 0.0)
+                .with_shared_sink(readers, writers)
+        })
+        .collect()
+}
+
 fn dead_block_total(result: &AnalysisResult) -> usize {
     result
         .reachable_methods()
@@ -80,6 +104,13 @@ fn solver_label(kind: SolverKind) -> String {
         SolverKind::Sequential => "sequential".to_string(),
         SolverKind::Parallel { threads } => format!("parallel-{threads}"),
         SolverKind::Reference => "reference".to_string(),
+    }
+}
+
+fn scheduler_label(config: &AnalysisConfig) -> &'static str {
+    match (config.solver, config.scheduler) {
+        (SolverKind::Reference, _) | (_, SchedulerKind::Fifo) => "fifo",
+        (_, SchedulerKind::SccPriority) => "scc",
     }
 }
 
@@ -133,6 +164,7 @@ pub fn measure_group(
             RunRecord {
                 config: config.label().to_string(),
                 solver: solver_label(config.solver),
+                scheduler: scheduler_label(config).to_string(),
                 wall_ms,
                 steps: stats.steps,
                 state_joins: stats.state_joins,
@@ -145,31 +177,62 @@ pub fn measure_group(
         .collect()
 }
 
-/// Runs the ladder: each rung under SkipFlow (sequential, parallel-4, and
-/// the reference full-join solver) plus the PTA baseline.
-pub fn run_ladder() -> Vec<WorkloadRecord> {
-    ladder_specs()
+/// The configuration set measured per ladder/fanout workload. With
+/// `force_fifo` every delta solver runs the FIFO scheduler — that is the
+/// pre-change capture mode (`--scheduler fifo`); otherwise the SCC-default
+/// configs are measured with a FIFO sequential run alongside, so one
+/// document carries the comparison.
+fn scaling_configs(force_fifo: bool) -> Vec<AnalysisConfig> {
+    if force_fifo {
+        vec![
+            AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+            AnalysisConfig::skipflow()
+                .with_solver(SolverKind::Parallel { threads: 4 })
+                .with_scheduler(SchedulerKind::Fifo),
+            AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+            AnalysisConfig::baseline_pta().with_scheduler(SchedulerKind::Fifo),
+        ]
+    } else {
+        vec![
+            AnalysisConfig::skipflow(),
+            AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+            AnalysisConfig::skipflow().with_solver(SolverKind::Parallel { threads: 4 }),
+            AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+            AnalysisConfig::baseline_pta(),
+        ]
+    }
+}
+
+fn run_scaling_family(
+    specs: &[BenchmarkSpec],
+    kind: &'static str,
+    force_fifo: bool,
+) -> Vec<WorkloadRecord> {
+    specs
         .iter()
         .map(|spec| {
             let bench = build_benchmark(spec);
-            let runs = measure_group(
-                &bench,
-                &[
-                    AnalysisConfig::skipflow(),
-                    AnalysisConfig::skipflow().with_solver(SolverKind::Parallel { threads: 4 }),
-                    AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
-                    AnalysisConfig::baseline_pta(),
-                ],
-                5,
-            );
+            let runs = measure_group(&bench, &scaling_configs(force_fifo), 5);
             WorkloadRecord {
                 name: spec.name.clone(),
-                kind: "ladder",
+                kind,
                 generated_methods: bench.total_methods(),
                 runs,
             }
         })
         .collect()
+}
+
+/// Runs the ladder: each rung under SkipFlow (sequential under both
+/// schedulers, parallel-4, and the reference full-join solver) plus the
+/// PTA baseline.
+pub fn run_ladder(force_fifo: bool) -> Vec<WorkloadRecord> {
+    run_scaling_family(&ladder_specs(), "ladder", force_fifo)
+}
+
+/// Runs the fan-out rungs under the same configuration set as the ladder.
+pub fn run_fanout(force_fifo: bool) -> Vec<WorkloadRecord> {
+    run_scaling_family(&fanout_specs(), "fanout", force_fifo)
 }
 
 /// Runs the full table1 corpus under PTA and SkipFlow (sequential).
@@ -196,73 +259,23 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use skipflow_core::AnalysisConfig;
-
-    fn tiny_workload() -> WorkloadRecord {
-        let spec = BenchmarkSpec::new("rung-tiny", Suite::DaCapo, 60, 0.2);
-        let bench = build_benchmark(&spec);
-        WorkloadRecord {
-            name: spec.name.clone(),
-            kind: "ladder",
-            generated_methods: bench.total_methods(),
-            runs: vec![
-                measure_run(&bench, &AnalysisConfig::skipflow(), 1),
-                measure_run(
-                    &bench,
-                    &AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
-                    1,
-                ),
-            ],
-        }
-    }
-
-    #[test]
-    fn measure_run_records_precision_and_volume() {
-        let w = tiny_workload();
-        let seq = &w.runs[0];
-        let reference = &w.runs[1];
-        assert_eq!(seq.solver, "sequential");
-        assert_eq!(reference.solver, "reference");
-        assert!(seq.steps > 0 && seq.state_joins > 0 && seq.flows > 0);
-        // The precision guards must agree between solvers.
-        assert_eq!(seq.reachable_methods, reference.reachable_methods);
-        assert_eq!(seq.dead_blocks, reference.dead_blocks);
-    }
-
-    #[test]
-    fn rendered_json_roundtrips_through_the_baseline_parser() {
-        let w = tiny_workload();
-        let wall = w.runs[0].wall_ms;
-        let doc = render_json("test", &[w], None);
-        assert!(doc.contains("\"schema\": \"skipflow-bench-trajectory/v1\""));
-        assert!(doc.contains("\"largest_rung\": \"rung-tiny\""));
-        assert!(doc.contains("\"results_identical_to_reference\": true"));
-        let parsed = parse_baseline_wall_ms(&doc, "rung-tiny").expect("parses back");
-        assert!((parsed - wall).abs() < 0.01, "{parsed} vs {wall}");
-        // A second run fed the first as baseline records the comparison.
-        let w2 = tiny_workload();
-        let doc2 = render_json("test2", &[w2], Some(&doc));
-        assert!(doc2.contains("largest_rung_wall_reduction_vs_pre_change"));
-    }
-
-    #[test]
-    fn ladder_specs_double_and_name_consistently() {
-        let specs = ladder_specs();
-        assert!(specs.len() >= 4);
-        for pair in specs.windows(2) {
-            assert_eq!(pair[1].total_methods, pair[0].total_methods * 2);
-        }
-        assert!(specs.iter().all(|s| s.name.starts_with("rung-")));
+/// Renders a tri-state guard outcome: `null` when the guard never compared
+/// anything (it must not read as a pass).
+fn json_opt_bool(v: Option<bool>) -> &'static str {
+    match v {
+        Some(true) => "true",
+        Some(false) => "false",
+        None => "null",
     }
 }
 
-/// Extracts the `SkipFlow`/`sequential` wall time of `workload` from a
-/// previously written trajectory document (line-oriented parse of this
-/// module's own format — no JSON dependency available offline).
-pub fn parse_baseline_wall_ms(doc: &str, workload: &str) -> Option<f64> {
+/// Extracts a numeric field from the *first* `SkipFlow`/`sequential` run
+/// line of `workload` in a previously written trajectory document
+/// (line-oriented parse of this module's own format — no JSON dependency
+/// available offline). In a default capture the first sequential row is the
+/// SCC scheduler; in a `--scheduler fifo` (pre-change) capture it is FIFO —
+/// so "first match" always denotes the document's primary configuration.
+fn parse_baseline_field(doc: &str, workload: &str, field: &str) -> Option<f64> {
     let needle = format!("\"name\": \"{workload}\"");
     let mut in_workload = false;
     for line in doc.lines() {
@@ -270,14 +283,44 @@ pub fn parse_baseline_wall_ms(doc: &str, workload: &str) -> Option<f64> {
             in_workload = true;
         }
         if in_workload && line.contains("\"config\": \"SkipFlow\", \"solver\": \"sequential\"") {
-            let key = "\"wall_ms\": ";
-            let i = line.find(key)? + key.len();
+            let key = format!("\"{field}\": ");
+            let i = line.find(&key)? + key.len();
             let rest = &line[i..];
-            let end = rest.find(',')?;
+            let end = rest.find([',', '}'])?;
             return rest[..end].trim().parse().ok();
         }
     }
     None
+}
+
+/// The `SkipFlow`/`sequential` wall time of `workload` from a baseline
+/// document (see [`parse_baseline_field`] for which row is picked).
+pub fn parse_baseline_wall_ms(doc: &str, workload: &str) -> Option<f64> {
+    parse_baseline_field(doc, workload, "wall_ms")
+}
+
+/// The `SkipFlow`/`sequential` worklist step count of `workload` from a
+/// baseline document. Steps are deterministic per corpus, so they make a
+/// machine-independent CI regression gate.
+pub fn parse_baseline_steps(doc: &str, workload: &str) -> Option<u64> {
+    parse_baseline_field(doc, workload, "steps").map(|v| v as u64)
+}
+
+/// The workload names of every ladder/fanout record in a baseline document.
+pub fn parse_baseline_workloads(doc: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in doc.lines() {
+        if let Some(i) = line.find("\"name\": \"") {
+            let rest = &line[i + 9..];
+            if let Some(end) = rest.find('"') {
+                let name = &rest[..end];
+                if name.starts_with("rung-") || name.starts_with("fanout-") {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names
 }
 
 /// Renders the records as the `BENCH_PR<n>.json` document. `baseline` is a
@@ -293,7 +336,7 @@ pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str
         .unwrap_or(1);
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"skipflow-bench-trajectory/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"skipflow-bench-trajectory/v2\",");
     let _ = writeln!(out, "  \"pr\": \"{}\",", json_escape(pr));
     let _ = writeln!(out, "  \"created_unix\": {unix},");
     let _ = writeln!(out, "  \"host_threads\": {threads},");
@@ -308,11 +351,13 @@ pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str
             let comma = if ri + 1 < w.runs.len() { "," } else { "" };
             let _ = writeln!(
                 out,
-                "        {{\"config\": \"{}\", \"solver\": \"{}\", \"wall_ms\": {:.3}, \
+                "        {{\"config\": \"{}\", \"solver\": \"{}\", \"scheduler\": \"{}\", \
+                 \"wall_ms\": {:.3}, \
                  \"steps\": {}, \"state_joins\": {}, \"flows\": {}, \"use_edges\": {}, \
                  \"reachable_methods\": {}, \"dead_blocks\": {}}}{comma}",
                 json_escape(&r.config),
                 json_escape(&r.solver),
+                json_escape(&r.scheduler),
                 r.wall_ms,
                 r.steps,
                 r.state_joins,
@@ -332,17 +377,42 @@ pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str
     out
 }
 
-/// The headline summary object: wall-time reduction on the largest ladder
-/// rung versus (a) a pre-change baseline run of the same harness and (b)
-/// the in-tree full-join reference solver, with precision-identity guards.
+/// The headline summary object: wall-time and step-count reductions on the
+/// largest ladder and fanout rungs versus (a) a pre-change baseline run of
+/// the same harness, (b) the in-file FIFO-scheduled sequential run, and
+/// (c) the in-tree full-join reference solver, with precision-identity
+/// guards across every solver/scheduler measured.
 fn render_summary_json(workloads: &[WorkloadRecord], baseline: Option<&str>) -> String {
     let mut out = String::new();
-    let largest = workloads
-        .iter()
-        .filter(|w| w.kind == "ladder")
-        .max_by_key(|w| w.generated_methods);
     let _ = writeln!(out, "  \"summary\": {{");
-    if let Some(w) = largest {
+    // Precision identity across *all* runs of every scaling workload: the
+    // schedulers and solvers must agree on reachable methods and dead
+    // blocks everywhere, not just on the headline rung. `None` (rendered
+    // as JSON null) means the guard never compared anything — a guard that
+    // did not run must not read as a guard that passed.
+    let mut identical: Option<bool> = None;
+    for w in workloads.iter().filter(|w| w.kind != "table1") {
+        if let Some(first) = w.runs.iter().find(|r| r.config == "SkipFlow") {
+            for r in w.runs.iter().filter(|r| r.config == "SkipFlow") {
+                if std::ptr::eq(r, first) {
+                    continue;
+                }
+                let same = r.reachable_methods == first.reachable_methods
+                    && r.dead_blocks == first.dead_blocks;
+                identical = Some(identical.unwrap_or(true) && same);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "    \"results_identical_across_solvers\": {},",
+        json_opt_bool(identical)
+    );
+    // The legacy seq-vs-reference guard: the primary sequential run and the
+    // full-join reference must agree per scaling workload (a strict subset
+    // of the across-solvers check above, kept under its historical key).
+    let mut identical_ref: Option<bool> = None;
+    for w in workloads.iter().filter(|w| w.kind != "table1") {
         let seq = w
             .runs
             .iter()
@@ -351,45 +421,195 @@ fn render_summary_json(workloads: &[WorkloadRecord], baseline: Option<&str>) -> 
             .runs
             .iter()
             .find(|r| r.config == "SkipFlow" && r.solver == "reference");
-        let _ = writeln!(out, "    \"largest_rung\": \"{}\",", json_escape(&w.name));
-        if let Some(seq) = seq {
-            if let Some(pre) = baseline.and_then(|doc| parse_baseline_wall_ms(doc, &w.name)) {
+        if let (Some(seq), Some(reference)) = (seq, reference) {
+            let same = seq.reachable_methods == reference.reachable_methods
+                && seq.dead_blocks == reference.dead_blocks;
+            identical_ref = Some(identical_ref.unwrap_or(true) && same);
+        }
+    }
+    for kind in ["ladder", "fanout"] {
+        let largest = workloads
+            .iter()
+            .filter(|w| w.kind == kind)
+            .max_by_key(|w| w.generated_methods);
+        let Some(w) = largest else {
+            let _ = writeln!(out, "    \"largest_{kind}_rung\": null,");
+            continue;
+        };
+        let seq = w
+            .runs
+            .iter()
+            .find(|r| r.config == "SkipFlow" && r.solver == "sequential");
+        let fifo = w
+            .runs
+            .iter()
+            .find(|r| r.config == "SkipFlow" && r.solver == "sequential" && r.scheduler == "fifo");
+        let reference = w
+            .runs
+            .iter()
+            .find(|r| r.config == "SkipFlow" && r.solver == "reference");
+        let _ = writeln!(
+            out,
+            "    \"largest_{kind}_rung\": \"{}\",",
+            json_escape(&w.name)
+        );
+        let Some(seq) = seq else { continue };
+        if let Some(doc) = baseline {
+            if let Some(pre) = parse_baseline_wall_ms(doc, &w.name) {
                 let reduction = 1.0 - seq.wall_ms / pre;
                 let _ = writeln!(
                     out,
-                    "    \"largest_rung_wall_ms_pre_change\": {pre:.3},"
+                    "    \"largest_{kind}_rung_wall_ms_pre_change\": {pre:.3},"
                 );
                 let _ = writeln!(
                     out,
-                    "    \"largest_rung_wall_reduction_vs_pre_change\": {reduction:.4},"
+                    "    \"largest_{kind}_rung_wall_reduction_vs_pre_change\": {reduction:.4},"
                 );
             }
-            if let Some(reference) = reference {
-                let reduction = 1.0 - seq.wall_ms / reference.wall_ms;
+            if let Some(pre_steps) = parse_baseline_steps(doc, &w.name) {
+                let reduction = 1.0 - seq.steps as f64 / pre_steps as f64;
                 let _ = writeln!(
                     out,
-                    "    \"largest_rung_wall_ms\": {{\"delta\": {:.3}, \"reference\": {:.3}}},",
-                    seq.wall_ms, reference.wall_ms
+                    "    \"largest_{kind}_rung_steps_pre_change\": {pre_steps},"
                 );
                 let _ = writeln!(
                     out,
-                    "    \"largest_rung_wall_reduction_vs_reference\": {reduction:.4},"
+                    "    \"largest_{kind}_rung_step_reduction_vs_pre_change\": {reduction:.4},"
                 );
-                let _ = writeln!(
-                    out,
-                    "    \"results_identical_to_reference\": {}",
-                    seq.reachable_methods == reference.reachable_methods
-                        && seq.dead_blocks == reference.dead_blocks
-                );
-            } else {
-                let _ = writeln!(out, "    \"results_identical_to_reference\": null");
             }
-        } else {
-            let _ = writeln!(out, "    \"results_identical_to_reference\": null");
         }
-    } else {
-        let _ = writeln!(out, "    \"largest_rung\": null");
+        if let Some(fifo) = fifo {
+            if !std::ptr::eq(seq, fifo) {
+                let wall_red = 1.0 - seq.wall_ms / fifo.wall_ms;
+                let step_red = 1.0 - seq.steps as f64 / fifo.steps as f64;
+                let _ = writeln!(
+                    out,
+                    "    \"largest_{kind}_rung_wall_reduction_vs_fifo\": {wall_red:.4},"
+                );
+                let _ = writeln!(
+                    out,
+                    "    \"largest_{kind}_rung_step_reduction_vs_fifo\": {step_red:.4},"
+                );
+            }
+        }
+        if let Some(reference) = reference {
+            let reduction = 1.0 - seq.wall_ms / reference.wall_ms;
+            let _ = writeln!(
+                out,
+                "    \"largest_{kind}_rung_wall_ms\": {{\"delta\": {:.3}, \"reference\": {:.3}}},",
+                seq.wall_ms, reference.wall_ms
+            );
+            let _ = writeln!(
+                out,
+                "    \"largest_{kind}_rung_wall_reduction_vs_reference\": {reduction:.4},"
+            );
+        }
     }
+    let _ = writeln!(
+        out,
+        "    \"results_identical_to_reference\": {}",
+        json_opt_bool(identical_ref)
+    );
     let _ = writeln!(out, "  }}");
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipflow_core::AnalysisConfig;
+
+    fn tiny_workload() -> WorkloadRecord {
+        let spec = BenchmarkSpec::new("rung-tiny", Suite::DaCapo, 60, 0.2);
+        let bench = build_benchmark(&spec);
+        WorkloadRecord {
+            name: spec.name.clone(),
+            kind: "ladder",
+            generated_methods: bench.total_methods(),
+            runs: vec![
+                measure_run(&bench, &AnalysisConfig::skipflow(), 1),
+                measure_run(
+                    &bench,
+                    &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+                    1,
+                ),
+                measure_run(
+                    &bench,
+                    &AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+                    1,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn measure_run_records_precision_and_volume() {
+        let w = tiny_workload();
+        let seq = &w.runs[0];
+        let fifo = &w.runs[1];
+        let reference = &w.runs[2];
+        assert_eq!((seq.solver.as_str(), seq.scheduler.as_str()), ("sequential", "scc"));
+        assert_eq!((fifo.solver.as_str(), fifo.scheduler.as_str()), ("sequential", "fifo"));
+        assert_eq!(
+            (reference.solver.as_str(), reference.scheduler.as_str()),
+            ("reference", "fifo")
+        );
+        assert!(seq.steps > 0 && seq.state_joins > 0 && seq.flows > 0);
+        // The precision guards must agree between solvers and schedulers.
+        for r in [fifo, reference] {
+            assert_eq!(seq.reachable_methods, r.reachable_methods);
+            assert_eq!(seq.dead_blocks, r.dead_blocks);
+        }
+    }
+
+    #[test]
+    fn rendered_json_roundtrips_through_the_baseline_parser() {
+        let w = tiny_workload();
+        let wall = w.runs[0].wall_ms;
+        let steps = w.runs[0].steps;
+        let doc = render_json("test", &[w], None);
+        assert!(doc.contains("\"schema\": \"skipflow-bench-trajectory/v2\""));
+        assert!(doc.contains("\"largest_ladder_rung\": \"rung-tiny\""));
+        assert!(doc.contains("\"results_identical_to_reference\": true"));
+        assert!(doc.contains("\"results_identical_across_solvers\": true"));
+        assert!(doc.contains("largest_ladder_rung_step_reduction_vs_fifo"));
+        let parsed = parse_baseline_wall_ms(&doc, "rung-tiny").expect("parses back");
+        assert!((parsed - wall).abs() < 0.01, "{parsed} vs {wall}");
+        // The first sequential row is the document's primary configuration
+        // (SCC in a default capture), and steps parse exactly.
+        assert_eq!(parse_baseline_steps(&doc, "rung-tiny"), Some(steps));
+        assert_eq!(parse_baseline_workloads(&doc), vec!["rung-tiny".to_string()]);
+        // A second run fed the first as baseline records the comparison.
+        let w2 = tiny_workload();
+        let doc2 = render_json("test2", &[w2], Some(&doc));
+        assert!(doc2.contains("largest_ladder_rung_wall_reduction_vs_pre_change"));
+        assert!(doc2.contains("largest_ladder_rung_step_reduction_vs_pre_change"));
+    }
+
+    #[test]
+    fn ladder_specs_double_and_name_consistently() {
+        let specs = ladder_specs();
+        assert!(specs.len() >= 4);
+        for pair in specs.windows(2) {
+            assert_eq!(pair[1].total_methods, pair[0].total_methods * 2);
+        }
+        assert!(specs.iter().all(|s| s.name.starts_with("rung-")));
+    }
+
+    #[test]
+    fn fanout_specs_double_readers_and_writers() {
+        let specs = fanout_specs();
+        assert!(specs.len() >= 3);
+        for pair in specs.windows(2) {
+            assert_eq!(
+                pair[1].shared_sink_readers,
+                pair[0].shared_sink_readers * 2
+            );
+            assert_eq!(
+                pair[1].shared_sink_writers,
+                pair[0].shared_sink_writers * 2
+            );
+        }
+        assert!(specs.iter().all(|s| s.name.starts_with("fanout-")));
+    }
 }

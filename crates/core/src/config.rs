@@ -7,6 +7,25 @@
 
 use skipflow_ir::{FieldId, MethodId};
 
+/// How the delta solvers order their worklist.
+///
+/// Scheduling is a pure performance heuristic: every order reaches the same
+/// least fixpoint (all joins are monotone), so both schedulers are proven
+/// result-identical by `tests/delta_vs_reference.rs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Plain FIFO worklist (the PR 1 behaviour). Kept as the scheduling
+    /// oracle for differential tests and pre-change benchmark captures.
+    Fifo,
+    /// SCC-aware bucketed priority scheduling (the default): flows are
+    /// prioritized by the condensation-topological index of their strongly
+    /// connected component in the PVPG, and each SCC is iterated to local
+    /// fixpoint before any flow of a later SCC is dequeued. The SCC
+    /// structure is recomputed in batches behind a dirty counter as new
+    /// fragments are instantiated mid-solve.
+    SccPriority,
+}
+
 /// Which fixpoint solver drives the analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SolverKind {
@@ -63,6 +82,10 @@ pub struct AnalysisConfig {
     pub unsafe_fields: Vec<FieldId>,
     /// Solver selection.
     pub solver: SolverKind,
+    /// Worklist scheduling for the delta solvers ([`SolverKind::Sequential`]
+    /// and [`SolverKind::Parallel`]). The reference solver always runs FIFO —
+    /// it is the oracle and must stay byte-for-byte the PR 1 algorithm.
+    pub scheduler: SchedulerKind,
     /// Safety valve for the fixpoint iteration; `None` means unbounded.
     /// The lattice has finite height so the analysis always terminates, but
     /// tests use a bound to fail fast on engine bugs.
@@ -83,6 +106,7 @@ impl AnalysisConfig {
             reflective_fields: Vec::new(),
             unsafe_fields: Vec::new(),
             solver: SolverKind::Sequential,
+            scheduler: SchedulerKind::SccPriority,
             max_steps: None,
         }
     }
@@ -123,6 +147,12 @@ impl AnalysisConfig {
     /// Builder-style: sets the saturation threshold.
     pub fn with_saturation(mut self, threshold: usize) -> Self {
         self.saturation_threshold = Some(threshold);
+        self
+    }
+
+    /// Builder-style: sets the worklist scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -172,5 +202,8 @@ mod tests {
             .with_saturation(32);
         assert_eq!(c.solver, SolverKind::Parallel { threads: 4 });
         assert_eq!(c.saturation_threshold, Some(32));
+        assert_eq!(c.scheduler, SchedulerKind::SccPriority, "SCC is the default");
+        let c = c.with_scheduler(SchedulerKind::Fifo);
+        assert_eq!(c.scheduler, SchedulerKind::Fifo);
     }
 }

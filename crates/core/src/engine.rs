@@ -53,13 +53,65 @@
 //! solvers reach the same least fixpoint as the full-join reference solver
 //! ([`SolverKind::Reference`], kept as the differential-testing oracle),
 //! and the worklist loop terminates because the lattice has finite height.
+//!
+//! # Scheduling
+//!
+//! The delta solvers drain their worklist under one of two schedulers
+//! ([`crate::SchedulerKind`]):
+//!
+//! * **FIFO** — a plain queue; kept as the scheduling oracle.
+//! * **SCC priority** (the default) — flows are bucketed by the
+//!   condensation-topological index of their strongly connected component
+//!   in the PVPG ([`Pvpg::compute_sccs`], over the value-carrying use and
+//!   observe edges; predicate edges are one-shot enabling, impose no
+//!   re-processing order, and are excluded — see [`crate::SccInfo`]), and
+//!   the solver always dequeues from the lowest-priority non-empty bucket.
+//!
+//! Invariants of the SCC scheduler:
+//!
+//! * **Local fixpoint before successors** — every PVPG edge between
+//!   distinct SCCs goes from a lower to a higher priority, so intra-SCC
+//!   re-enqueues land back in the bucket currently being drained and an SCC
+//!   reaches its local fixpoint before any flow of a later SCC is dequeued.
+//!   Cyclic regions (loop φs, recursion, the `pred_on → φ_pred` predicate
+//!   loops SkipFlow's predicate edges create) therefore stop being
+//!   re-processed interleaved with everything downstream of them.
+//! * **Incremental SCC maintenance** — fragments are instantiated *during*
+//!   solving, so the condensation goes stale. Structural changes — new
+//!   flows, and dynamically added use edges that violate the current
+//!   priority order (source priority ≥ target priority; forward edges
+//!   leave the topological order valid) — bump a dirty counter; the
+//!   condensation is recomputed in one batch when the counter reaches
+//!   `max(4096, flows at the last recompute)`, and only *between* worklist
+//!   steps (between rounds for the parallel solver). On runs whose order
+//!   stays consistent the graph must roughly double between recomputes (a
+//!   geometric series bounded by the final graph size); linking bursts
+//!   that keep violating the order keep paying for corrective recomputes,
+//!   which is exactly when they are worth it. Flows created since the last
+//!   recompute provisionally adopt the priority of the bucket being
+//!   drained (they are downstream of the flow whose step created them),
+//!   and queued flows migrate to their new buckets in deterministic order
+//!   on recompute. A flow is never resident in two buckets at once
+//!   (enforced by a debug-only residency bitmap).
+//! * **Correctness is scheduling-independent** — priorities are purely a
+//!   performance heuristic: all joins are monotone, so any dequeue order
+//!   converges to the same least fixpoint. Implicit dependencies that are
+//!   not materialized as edges (type-subscriber injections, saturated-site
+//!   re-dispatch) may therefore be safely absent from the SCC computation.
+//! * **Parallel rounds are whole buckets** — the parallel solver's phase
+//!   A/B rounds take one entire SCC bucket as the batch (instead of the
+//!   whole worklist), so the local-fixpoint-before-successor order and the
+//!   result-identity guarantee of `tests/delta_vs_reference.rs` both hold.
+//! * The reference solver always runs FIFO — it is the oracle and stays
+//!   byte-for-byte the full-join algorithm.
 
 use crate::build::{build_method_graph, BuildOutput};
 use crate::compare::compare;
-use crate::config::{AnalysisConfig, SolverKind};
+use crate::config::{AnalysisConfig, SchedulerKind, SolverKind};
 use crate::flow::{FlowId, FlowKind, SiteId};
 use crate::graph::Pvpg;
 use crate::lattice::{TypeSet, ValueState};
+use crate::metrics::SchedulerStats;
 use crate::report::{AnalysisResult, SolveStats};
 use skipflow_ir::{BitSet, MethodId, Program, TypeId, TypeRef};
 use std::collections::VecDeque;
@@ -86,11 +138,211 @@ pub fn analyze(program: &Program, roots: &[MethodId], config: &AnalysisConfig) -
     engine.finish(start.elapsed())
 }
 
+/// Minimum structural changes before a mid-solve condensation recompute.
+const RECOMPUTE_MIN_DIRTY: usize = 4096;
+
+/// Sentinel for the intrusive bucket lists.
+const NO_FLOW: u32 = u32::MAX;
+
+/// The SCC-aware bucketed priority worklist (see the module docs,
+/// "Scheduling").
+///
+/// Buckets are intrusive singly-linked lists threaded through a per-flow
+/// `next` array: a push or pop is a couple of word writes, and the queue
+/// allocates nothing on the hot path no matter how many priorities the
+/// condensation has (one `u32` of head/tail per priority).
+struct SccQueue {
+    /// Head flow of each priority's FIFO list (`NO_FLOW` = empty).
+    head: Vec<u32>,
+    /// Tail flow of each priority's FIFO list.
+    tail: Vec<u32>,
+    /// Per-flow link to the next queued flow of the same bucket.
+    next: Vec<u32>,
+    /// Scan cursor: every bucket below this priority is empty. Advances
+    /// forward over drained buckets and is pulled back by a push into a
+    /// lower bucket (rare: back edges and stale priorities only).
+    scan: usize,
+    /// Per-flow priority from the last recompute. Flows created since adopt
+    /// [`SccQueue::cur_prio`].
+    prio: Vec<u32>,
+    /// Priority of the most recently dequeued flow — the bucket being
+    /// drained, and the provisional priority of flows created mid-drain.
+    cur_prio: u32,
+    /// Flows created since the last condensation recompute.
+    dirty: usize,
+    /// Flow count at the last recompute (the dirty threshold's base).
+    base_flows: usize,
+    /// Queued flows across all buckets.
+    len: usize,
+    /// Debug-only duplicate-enqueue guard: a flow must never be resident in
+    /// two priority buckets at once.
+    #[cfg(debug_assertions)]
+    resident: Vec<bool>,
+}
+
+impl SccQueue {
+    fn new() -> Self {
+        SccQueue {
+            head: vec![NO_FLOW],
+            tail: vec![NO_FLOW],
+            next: Vec::new(),
+            scan: 0,
+            prio: Vec::new(),
+            cur_prio: 0,
+            dirty: 0,
+            base_flows: 0,
+            len: 0,
+            #[cfg(debug_assertions)]
+            resident: Vec::new(),
+        }
+    }
+
+    /// The scheduling priority of `f`: its condensation index, or the
+    /// currently drained bucket for flows newer than the last recompute.
+    /// Both are always in-range: condensation priorities are `< scc_count`
+    /// (the bucket count installed with them) and `cur_prio` comes from a
+    /// bucket scan.
+    fn priority_of(&self, f: FlowId) -> usize {
+        self.prio.get(f.index()).copied().unwrap_or(self.cur_prio) as usize
+    }
+
+    fn push(&mut self, f: FlowId) {
+        #[cfg(debug_assertions)]
+        {
+            if self.resident.len() <= f.index() {
+                self.resident.resize(f.index() + 1, false);
+            }
+            debug_assert!(
+                !self.resident[f.index()],
+                "flow {f:?} would be resident in two priority buckets"
+            );
+            self.resident[f.index()] = true;
+        }
+        if self.next.len() <= f.index() {
+            self.next.resize(f.index() + 1, NO_FLOW);
+        }
+        let p = self.priority_of(f);
+        let id = f.index() as u32;
+        self.next[f.index()] = NO_FLOW;
+        if self.head[p] == NO_FLOW {
+            self.head[p] = id;
+        } else {
+            self.next[self.tail[p] as usize] = id;
+        }
+        self.tail[p] = id;
+        self.scan = self.scan.min(p);
+        self.len += 1;
+    }
+
+    /// Dequeues from the lowest-priority non-empty bucket (FIFO within the
+    /// bucket — the bucket is one SCC, iterated to local fixpoint).
+    fn pop(&mut self) -> Option<FlowId> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.head[self.scan] == NO_FLOW {
+            self.scan += 1;
+        }
+        let p = self.scan;
+        let id = self.head[p];
+        self.head[p] = self.next[id as usize];
+        if self.head[p] == NO_FLOW {
+            self.tail[p] = NO_FLOW;
+        }
+        self.len -= 1;
+        self.cur_prio = p as u32;
+        #[cfg(debug_assertions)]
+        {
+            self.resident[id as usize] = false;
+        }
+        Some(FlowId::from_index(id as usize))
+    }
+
+    /// Drains the whole lowest-priority non-empty bucket — the parallel
+    /// solver's batch unit (one SCC round).
+    fn pop_bucket(&mut self) -> Vec<FlowId> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        while self.head[self.scan] == NO_FLOW {
+            self.scan += 1;
+        }
+        let p = self.scan;
+        self.cur_prio = p as u32;
+        let mut batch = Vec::new();
+        let mut id = self.head[p];
+        while id != NO_FLOW {
+            batch.push(FlowId::from_index(id as usize));
+            #[cfg(debug_assertions)]
+            {
+                self.resident[id as usize] = false;
+            }
+            id = self.next[id as usize];
+        }
+        self.head[p] = NO_FLOW;
+        self.tail[p] = NO_FLOW;
+        self.len -= batch.len();
+        batch
+    }
+
+    /// Whether enough structure changed to warrant a batch recompute: the
+    /// graph must (roughly) double relative to its size at the *last*
+    /// recompute, so the total recompute cost over a run is a geometric
+    /// series bounded by a constant factor of the final graph size.
+    fn needs_recompute(&self) -> bool {
+        self.dirty >= RECOMPUTE_MIN_DIRTY.max(self.base_flows)
+    }
+
+    /// Adopts a fresh condensation: installs the new priorities and migrates
+    /// every queued flow into its new bucket (drained in ascending old
+    /// priority, FIFO within — deterministic). Returns the number of flows
+    /// migrated.
+    fn apply(&mut self, priority: Vec<u32>, scc_count: u32) -> u64 {
+        let mut queued: Vec<FlowId> = Vec::with_capacity(self.len);
+        let old_len = self.len;
+        while let Some(f) = self.pop() {
+            queued.push(f);
+        }
+        debug_assert_eq!(queued.len(), old_len);
+        let buckets = scc_count.max(1) as usize;
+        self.head.clear();
+        self.head.resize(buckets, NO_FLOW);
+        self.tail.clear();
+        self.tail.resize(buckets, NO_FLOW);
+        self.scan = 0;
+        self.base_flows = priority.len();
+        self.prio = priority;
+        self.cur_prio = 0;
+        self.dirty = 0;
+        self.len = 0;
+        let migrated = queued.len() as u64;
+        for f in queued {
+            self.push(f);
+        }
+        migrated
+    }
+}
+
+/// The solver worklist: a plain FIFO queue or the SCC priority queue.
+enum Worklist {
+    Fifo(VecDeque<FlowId>),
+    Scc(SccQueue),
+}
+
+impl Worklist {
+    fn push(&mut self, f: FlowId) {
+        match self {
+            Worklist::Fifo(q) => q.push_back(f),
+            Worklist::Scc(q) => q.push(f),
+        }
+    }
+}
+
 pub(crate) struct Engine<'p> {
     program: &'p Program,
     config: AnalysisConfig,
     g: Pvpg,
-    worklist: VecDeque<FlowId>,
+    worklist: Worklist,
     queued: Vec<bool>,
     /// Reachable methods: O(1) membership plus discovery order (sorted into
     /// a `BTreeSet` once, at the end).
@@ -109,17 +361,29 @@ pub(crate) struct Engine<'p> {
     saturated_set: BitSet,
     /// Field sinks already seeded with their default value (by field index).
     defaulted_fields: BitSet,
+    /// Per-flow flag from the last condensation recompute: the flow sits in
+    /// an SCC of size ≥ 2 (drives the steps-per-SCC statistics).
+    in_cycle: Vec<bool>,
+    sched_stats: SchedulerStats,
     steps: u64,
     state_joins: u64,
 }
 
 impl<'p> Engine<'p> {
     pub(crate) fn new(program: &'p Program, config: AnalysisConfig) -> Self {
+        // The reference solver is the oracle: it always runs the PR 1 FIFO
+        // order regardless of the configured scheduler.
+        let worklist = match (config.solver, config.scheduler) {
+            (SolverKind::Reference, _) | (_, SchedulerKind::Fifo) => {
+                Worklist::Fifo(VecDeque::new())
+            }
+            (_, SchedulerKind::SccPriority) => Worklist::Scc(SccQueue::new()),
+        };
         Engine {
             program,
             config,
             g: Pvpg::new(),
-            worklist: VecDeque::new(),
+            worklist,
             queued: Vec::new(),
             reachable: BitSet::new(),
             reachable_order: Vec::new(),
@@ -129,8 +393,67 @@ impl<'p> Engine<'p> {
             saturated_sites: Vec::new(),
             saturated_set: BitSet::new(),
             defaulted_fields: BitSet::new(),
+            in_cycle: Vec::new(),
+            sched_stats: SchedulerStats::default(),
             steps: 0,
             state_joins: 0,
+        }
+    }
+
+    /// Records `n` structural changes (new flows / dynamic edges) for the
+    /// SCC scheduler's dirty counter; a no-op under FIFO.
+    fn note_structural(&mut self, n: usize) {
+        if let Worklist::Scc(q) = &mut self.worklist {
+            q.dirty += n;
+        }
+    }
+
+    /// Adds a dynamically discovered use edge (field wiring, invoke
+    /// linking). Only *order-violating* edges — source priority ≥ target
+    /// priority, the ones that can merge SCCs or break the topological
+    /// order — count toward the recompute dirty counter; forward edges
+    /// leave the existing priorities valid. Linking bursts (fan-out
+    /// workloads) therefore keep triggering corrective recomputes while a
+    /// run whose order is already consistent pays nothing.
+    fn add_use_edge(&mut self, s: FlowId, t: FlowId) -> bool {
+        let added = self.g.add_use_dedup(s, t);
+        if added {
+            if let Worklist::Scc(q) = &mut self.worklist {
+                if q.priority_of(s) >= q.priority_of(t) {
+                    q.dirty += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Recomputes the PVPG condensation and rebuckets the queued flows
+    /// (SCC scheduler only). Called once when a solve starts and then in
+    /// batches behind the dirty counter.
+    fn recompute_sccs(&mut self) {
+        if !matches!(self.worklist, Worklist::Scc(_)) {
+            return;
+        }
+        let info = self.g.compute_sccs();
+        self.sched_stats.scc_count = info.count as usize;
+        self.sched_stats.cyclic_flows = info.cyclic_flows as usize;
+        self.sched_stats.max_scc_size = info.max_size as usize;
+        self.sched_stats.scc_recomputes += 1;
+        self.in_cycle = info.cyclic;
+        if let Worklist::Scc(q) = &mut self.worklist {
+            self.sched_stats.rebucketed_flows += q.apply(info.priority, info.count);
+        }
+    }
+
+    /// Recomputes the condensation if enough structure changed since the
+    /// last time. Only ever called *between* worklist steps / rounds.
+    fn maybe_recompute(&mut self) {
+        let needed = match &self.worklist {
+            Worklist::Scc(q) => q.needs_recompute(),
+            Worklist::Fifo(_) => false,
+        };
+        if needed {
+            self.recompute_sccs();
         }
     }
 
@@ -184,15 +507,18 @@ impl<'p> Engine<'p> {
     }
 
     fn sync_queued(&mut self) {
-        if self.queued.len() < self.g.flow_count() {
-            self.queued.resize(self.g.flow_count(), false);
+        let n = self.g.flow_count();
+        if self.queued.len() < n {
+            let grown = n - self.queued.len();
+            self.queued.resize(n, false);
+            self.note_structural(grown);
         }
     }
 
     fn enqueue(&mut self, f: FlowId) {
         if !self.queued[f.index()] {
             self.queued[f.index()] = true;
-            self.worklist.push_back(f);
+            self.worklist.push(f);
         }
     }
 
@@ -200,7 +526,7 @@ impl<'p> Engine<'p> {
     fn inject(&mut self, target: FlowId, declared: TypeRef) {
         let rs = self.g.add_root_source(declared);
         self.sync_queued();
-        self.g.add_use_dedup(rs, target);
+        self.add_use_edge(rs, target);
         match declared {
             TypeRef::Prim | TypeRef::Void => {
                 self.join_in(rs, &ValueState::Any);
@@ -379,6 +705,9 @@ impl<'p> Engine<'p> {
     /// delta, filter it through the flow kind, and propagate what is new.
     fn process(&mut self, f: FlowId) {
         self.steps += 1;
+        if self.in_cycle.get(f.index()).copied().unwrap_or(false) {
+            self.sched_stats.steps_in_cycles += 1;
+        }
         if let Some(max) = self.config.max_steps {
             assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
         }
@@ -536,14 +865,14 @@ impl<'p> Engine<'p> {
             FlowKind::Load { field, receiver }
                 if self.receiver_reaches_field(receiver, field) => {
                     let sink = self.field_sink(field);
-                    if self.g.add_use_dedup(sink, f) {
+                    if self.add_use_edge(sink, f) {
                         self.push_state(sink, f);
                     }
                 }
             FlowKind::Store { field, receiver }
                 if self.receiver_reaches_field(receiver, field) => {
                     let sink = self.field_sink(field);
-                    if self.g.add_use_dedup(f, sink) {
+                    if self.add_use_edge(f, sink) {
                         self.push_state(f, sink);
                     }
                 }
@@ -608,12 +937,12 @@ impl<'p> Engine<'p> {
         let params = callee.params.clone();
         let ret = callee.ret;
         for (a, p) in args.iter().zip(params.iter()) {
-            if self.g.add_use_dedup(*a, *p) {
+            if self.add_use_edge(*a, *p) {
                 self.push_state(*a, *p);
             }
         }
         if let Some(r) = ret {
-            if self.g.add_use_dedup(r, invoke_flow) {
+            if self.add_use_edge(r, invoke_flow) {
                 self.push_state(r, invoke_flow);
             }
         }
@@ -633,7 +962,16 @@ impl<'p> Engine<'p> {
     // ---- solvers ----------------------------------------------------------
 
     pub(crate) fn solve_sequential(&mut self) {
-        while let Some(f) = self.worklist.pop_front() {
+        // Initial condensation over the sealed root fragments (a no-op for
+        // FIFO); later recomputes are batched behind the dirty counter.
+        self.recompute_sccs();
+        loop {
+            self.maybe_recompute();
+            let next = match &mut self.worklist {
+                Worklist::Fifo(q) => q.pop_front(),
+                Worklist::Scc(q) => q.pop(),
+            };
+            let Some(f) = next else { break };
             self.queued[f.index()] = false;
             self.process(f);
         }
@@ -646,12 +984,22 @@ impl<'p> Engine<'p> {
     /// sequential solver's: all joins are monotone and every propagated
     /// delta is part of the corresponding full state, so both orders
     /// converge to the same least fixpoint.
+    ///
+    /// Under the SCC scheduler a round's batch is one whole SCC bucket (the
+    /// lowest-priority one), so the local-fixpoint-before-successor order
+    /// holds round-granularly; under FIFO a round drains the entire
+    /// worklist (the PR 1 behaviour).
     pub(crate) fn solve_parallel(&mut self, threads: usize) {
+        self.recompute_sccs();
         loop {
-            if self.worklist.is_empty() {
+            self.maybe_recompute();
+            let batch: Vec<FlowId> = match &mut self.worklist {
+                Worklist::Fifo(q) => q.drain(..).collect(),
+                Worklist::Scc(q) => q.pop_bucket(),
+            };
+            if batch.is_empty() {
                 break;
             }
-            let batch: Vec<FlowId> = self.worklist.drain(..).collect();
             for f in &batch {
                 self.queued[f.index()] = false;
             }
@@ -687,6 +1035,9 @@ impl<'p> Engine<'p> {
             // pending and re-queues the flow for the next round.
             for (f, out_new, consumed) in outputs {
                 self.steps += 1;
+                if self.in_cycle.get(f.index()).copied().unwrap_or(false) {
+                    self.sched_stats.steps_in_cycles += 1;
+                }
                 if let Some(max) = self.config.max_steps {
                     assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
                 }
@@ -742,7 +1093,13 @@ impl<'p> Engine<'p> {
     /// successor. Kept as the differential-testing oracle and the perf
     /// baseline the trajectory harness compares against.
     pub(crate) fn solve_reference(&mut self) {
-        while let Some(f) = self.worklist.pop_front() {
+        // [`Engine::new`] forces the FIFO worklist for the reference solver.
+        let Worklist::Fifo(_) = &self.worklist else {
+            unreachable!("reference solver always runs FIFO");
+        };
+        loop {
+            let Worklist::Fifo(q) = &mut self.worklist else { unreachable!() };
+            let Some(f) = q.pop_front() else { break };
             self.queued[f.index()] = false;
             self.process_reference(f);
         }
@@ -804,6 +1161,7 @@ impl<'p> Engine<'p> {
                 use_edges,
                 pred_edges,
                 obs_edges,
+                scheduler: self.sched_stats,
                 duration: elapsed,
             },
         )
@@ -991,6 +1349,63 @@ mod tests {
                 declared_filter_owned(&p, input.clone(), declared)
             );
         }
+    }
+
+    #[test]
+    fn scc_queue_orders_buckets_and_adopts_current_priority() {
+        let mut q = SccQueue::new();
+        // Flows 0 and 2 share priority 1; flow 1 is the upstream SCC.
+        let migrated = q.apply(vec![1, 0, 1], 2);
+        assert_eq!(migrated, 0);
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(1));
+        q.push(FlowId::from_index(2));
+        // Lowest priority first, FIFO within a bucket.
+        assert_eq!(q.pop(), Some(FlowId::from_index(1)));
+        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
+        assert_eq!(q.pop(), Some(FlowId::from_index(2)));
+        assert_eq!(q.pop(), None);
+        // Flows newer than the priority table adopt the drained bucket.
+        q.push(FlowId::from_index(7));
+        assert_eq!(q.pop(), Some(FlowId::from_index(7)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scc_queue_pop_bucket_drains_one_scc() {
+        let mut q = SccQueue::new();
+        q.apply(vec![0, 1, 0], 2);
+        q.push(FlowId::from_index(1));
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(2));
+        // The whole priority-0 bucket comes out as one batch, then the rest.
+        assert_eq!(
+            q.pop_bucket(),
+            vec![FlowId::from_index(0), FlowId::from_index(2)]
+        );
+        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(1)]);
+        assert!(q.pop_bucket().is_empty());
+    }
+
+    #[test]
+    fn scc_queue_rebucket_migrates_queued_flows() {
+        let mut q = SccQueue::new();
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(1));
+        // A recompute reverses the priorities; both queued flows migrate.
+        let migrated = q.apply(vec![1, 0], 2);
+        assert_eq!(migrated, 2);
+        assert_eq!(q.pop(), Some(FlowId::from_index(1)));
+        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "resident in two priority buckets")]
+    fn scc_queue_rejects_duplicate_residency() {
+        let mut q = SccQueue::new();
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(0));
     }
 
     #[test]

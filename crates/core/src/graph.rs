@@ -165,6 +165,40 @@ impl EdgePool {
     }
 }
 
+/// The condensation of the PVPG: per-flow strongly-connected-component ids
+/// and scheduling priorities, computed by [`Pvpg::compute_sccs`].
+///
+/// Priorities are the topological index of the flow's SCC in the
+/// condensation over the *value-carrying* edge kinds (use and observe):
+/// every such edge `s → t` with `comp[s] ≠ comp[t]` satisfies
+/// `priority[s] < priority[t]`, so draining the lowest-priority bucket to
+/// exhaustion iterates each SCC to local fixpoint before any successor SCC
+/// is touched.
+///
+/// Predicate edges are deliberately *excluded*: enabling is one-shot and
+/// idempotent (a disabled flow is never queued, and an enabled flow never
+/// re-processes because of its predicate), so predicate edges impose no
+/// re-processing order — but they routinely close cycles through a
+/// method's statement chain (invoke-as-predicate) that would glue large
+/// acyclic value-flow regions into one SCC and erase the ordering.
+#[derive(Clone, Debug, Default)]
+pub struct SccInfo {
+    /// Per-flow SCC id (dense; ids are assigned in completion order, which
+    /// is *reverse* topological).
+    pub comp: Vec<u32>,
+    /// Per-flow condensation-topological priority (sources first).
+    pub priority: Vec<u32>,
+    /// Per-flow flag: the flow sits in an SCC of size ≥ 2 (a genuine value
+    /// cycle — loop φs, recursion, `pred_on → φ_pred` predicate loops).
+    pub cyclic: Vec<bool>,
+    /// Number of SCCs.
+    pub count: u32,
+    /// Size of the largest SCC.
+    pub max_size: u32,
+    /// Total flows sitting in SCCs of size ≥ 2.
+    pub cyclic_flows: u32,
+}
+
 /// The classification of a branching instruction, used by the paper's
 /// counter metrics (Type Checks / Null Checks / Prim Checks).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -390,6 +424,122 @@ impl Pvpg {
     pub fn edge_counts(&self) -> (usize, usize, usize) {
         (self.uses.len(), self.preds.len(), self.observes.len())
     }
+
+    /// Computes the strongly connected components of the PVPG over the use
+    /// and observe edges with an iterative Tarjan walk, and derives the
+    /// condensation-topological priority of every flow (see [`SccInfo`] for
+    /// why predicate edges are excluded).
+    ///
+    /// Implicit engine dependencies that are *not* materialized as edges
+    /// (type-subscriber injections, saturated-site re-dispatch) are absent
+    /// here by design: scheduling is a heuristic and missing edges only cost
+    /// re-processing, never correctness.
+    ///
+    /// Must not be called while a construction batch is open.
+    pub fn compute_sccs(&self) -> SccInfo {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.flows.len();
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![UNVISITED; n];
+        let mut scc_stack: Vec<u32> = Vec::new();
+        // DFS frame: (flow, pool 0..=2, cursor into that pool).
+        let mut frames: Vec<(u32, u8, EdgeCursor)> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comp_count = 0u32;
+        let mut comp_sizes: Vec<u32> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            scc_stack.push(root as u32);
+            on_stack[root] = true;
+            frames.push((root as u32, 0, self.uses.cursor(FlowId(root as u32))));
+            while let Some(frame) = frames.last_mut() {
+                let v = frame.0 as usize;
+                // Advance to the next successor, falling through the pools
+                // in use → observe order (predicate edges excluded; see SccInfo).
+                let mut succ = None;
+                loop {
+                    let pool = match frame.1 {
+                        0 => &self.uses,
+                        1 => &self.observes,
+                        _ => break,
+                    };
+                    if let Some(t) = pool.next(&mut frame.2) {
+                        succ = Some(t);
+                        break;
+                    }
+                    frame.1 += 1;
+                    if frame.1 == 1 {
+                        frame.2 = self.observes.cursor(FlowId(v as u32));
+                    }
+                }
+                match succ {
+                    Some(w) => {
+                        let w = w.index();
+                        if index[w] == UNVISITED {
+                            index[w] = next_index;
+                            lowlink[w] = next_index;
+                            next_index += 1;
+                            scc_stack.push(w as u32);
+                            on_stack[w] = true;
+                            frames.push((w as u32, 0, self.uses.cursor(FlowId(w as u32))));
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    None => {
+                        frames.pop();
+                        if let Some(parent) = frames.last() {
+                            let p = parent.0 as usize;
+                            lowlink[p] = lowlink[p].min(lowlink[v]);
+                        }
+                        if lowlink[v] == index[v] {
+                            let mut size = 0u32;
+                            loop {
+                                let w = scc_stack.pop().expect("SCC stack underflow") as usize;
+                                on_stack[w] = false;
+                                comp[w] = comp_count;
+                                size += 1;
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            comp_sizes.push(size);
+                            comp_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tarjan completes an SCC only after every SCC reachable from it, so
+        // completion order is reverse topological; flip it into a priority.
+        let mut priority = vec![0u32; n];
+        let mut cyclic = vec![false; n];
+        let mut cyclic_flows = 0u32;
+        for f in 0..n {
+            priority[f] = comp_count - 1 - comp[f];
+            if comp_sizes[comp[f] as usize] >= 2 {
+                cyclic[f] = true;
+                cyclic_flows += 1;
+            }
+        }
+        SccInfo {
+            comp,
+            priority,
+            cyclic,
+            count: comp_count,
+            max_size: comp_sizes.iter().copied().max().unwrap_or(0),
+            cyclic_flows,
+        }
+    }
 }
 
 impl Default for Pvpg {
@@ -470,6 +620,45 @@ mod tests {
         assert_eq!(g.use_targets(a).collect::<Vec<_>>(), vec![b, c, a]);
         assert_eq!(g.use_targets(d).collect::<Vec<_>>(), vec![a]);
         assert_eq!(g.edge_counts(), (4, 0, 0));
+    }
+
+    #[test]
+    fn sccs_follow_topological_priorities() {
+        // a → b → c with a back edge c → b: {a} and {b, c} are the SCCs and
+        // a's priority is strictly lower.
+        let mut g = Pvpg::new();
+        let first = g.flow_count();
+        let a = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let c = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        g.add_use(a, b);
+        g.add_use(b, c);
+        g.add_observe(c, b); // cycles may span use and observe edges
+        g.seal_batch(first);
+        let info = g.compute_sccs();
+        assert_eq!(info.comp[b.index()], info.comp[c.index()]);
+        assert_ne!(info.comp[a.index()], info.comp[b.index()]);
+        assert!(info.priority[a.index()] < info.priority[b.index()]);
+        assert_eq!(info.priority[b.index()], info.priority[c.index()]);
+        assert!(info.cyclic[b.index()] && info.cyclic[c.index()]);
+        assert!(!info.cyclic[a.index()]);
+        assert_eq!(info.cyclic_flows, 2);
+        assert_eq!(info.max_size, 2);
+    }
+
+    #[test]
+    fn scc_priorities_respect_spill_edges() {
+        // An edge added after sealing (the dynamic-linking path) must still
+        // order its endpoints.
+        let mut g = Pvpg::new();
+        let first = g.flow_count();
+        let a = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        let b = g.add_flow(Flow::new(FlowKind::Phi, None, None));
+        g.seal_batch(first);
+        assert!(g.add_use_dedup(a, b));
+        let info = g.compute_sccs();
+        assert!(info.priority[a.index()] < info.priority[b.index()]);
+        assert_eq!(info.count as usize, g.flow_count());
     }
 
     #[test]

@@ -61,10 +61,10 @@ mod report;
 pub mod shrink;
 
 pub use compare::compare;
-pub use config::{AnalysisConfig, SolverKind};
+pub use config::{AnalysisConfig, SchedulerKind, SolverKind};
 pub use engine::analyze;
 pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId};
-pub use graph::{CheckCategory, IfRecord, MethodGraph, Pvpg};
+pub use graph::{CheckCategory, IfRecord, MethodGraph, Pvpg, SccInfo};
 pub use lattice::{TypeSet, ValueState};
-pub use metrics::{compute_metrics, Metrics};
+pub use metrics::{compute_metrics, Metrics, SchedulerStats};
 pub use report::{AnalysisResult, CallEdge, CallSiteInfo, SolveStats};

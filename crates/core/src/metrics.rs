@@ -58,6 +58,28 @@ impl fmt::Display for Metrics {
     }
 }
 
+/// Statistics of the SCC-aware priority scheduler, embedded in
+/// [`crate::SolveStats`]. All zero under the FIFO scheduler and the
+/// reference solver.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// SCCs in the PVPG at the last condensation recompute.
+    pub scc_count: usize,
+    /// Flows sitting in SCCs of size ≥ 2 at the last recompute (the cyclic
+    /// region mass the priority ordering localizes).
+    pub cyclic_flows: usize,
+    /// Size of the largest SCC at the last recompute.
+    pub max_scc_size: usize,
+    /// Condensation recomputations (1 at solve start + one per tripped
+    /// dirty-counter batch).
+    pub scc_recomputes: u64,
+    /// Worklist steps taken on flows inside non-trivial SCCs — with
+    /// `steps` this yields the steps-per-SCC profile of the cyclic regions.
+    pub steps_in_cycles: u64,
+    /// Queued flows migrated between priority buckets across recomputes.
+    pub rebucketed_flows: u64,
+}
+
 /// Computes the counter metrics from a finished analysis.
 pub fn compute_metrics(result: &AnalysisResult, program: &Program) -> Metrics {
     let g = result.graph();

@@ -5,7 +5,7 @@ use crate::config::AnalysisConfig;
 use crate::flow::{CallKind, FlowKind, SiteId};
 use crate::graph::Pvpg;
 use crate::lattice::ValueState;
-use crate::metrics::{compute_metrics, Metrics};
+use crate::metrics::{compute_metrics, Metrics, SchedulerStats};
 use skipflow_ir::{BitSet, BlockId, MethodId, Program, TypeId};
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -25,6 +25,8 @@ pub struct SolveStats {
     pub pred_edges: usize,
     /// Observe edges.
     pub obs_edges: usize,
+    /// SCC-scheduler statistics (zero under FIFO / reference).
+    pub scheduler: SchedulerStats,
     /// Wall-clock analysis time.
     pub duration: Duration,
 }

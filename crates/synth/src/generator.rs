@@ -68,6 +68,16 @@ pub fn build_benchmark(spec: &BenchmarkSpec) -> Benchmark {
     let dead_target = (spec.total_methods as f64 * spec.dead_fraction).round() as usize;
     let live_target = spec.total_methods.saturating_sub(dead_target);
 
+    // The shared-field fan-out subsystem comes first so the budget loop
+    // below absorbs its method count into the live target.
+    if spec.shared_sink_readers > 0 {
+        let drive = g.emit_shared_hub(
+            spec.shared_sink_readers,
+            spec.shared_sink_writers.max(1),
+        );
+        g.live_entries.push(drive);
+    }
+
     // Alternate live and dead module emission so cross-module call targets
     // exist early and ids interleave like real programs.
     let fanout = spec.dispatch_fanout.max(1);
@@ -360,7 +370,11 @@ impl Gen {
         });
 
         // run(): allocate every implementation and dispatch over them inside
-        // a loop with an opaque bound (both loop exits stay live).
+        // a loop with an opaque bound (both loop exits stay live). With
+        // `loop_calls` the body allocates and dispatches per iteration, so
+        // callees are entered from inside a loop — their enabling predicate
+        // (the loop body's φ_pred) is exactly the late-built predicate
+        // plumbing the interpreter-differential proptests must exercise.
         let impls_clone = impls.clone();
         let cross = if !dead && !self.live_entries.is_empty() && self.rng.gen_bool(0.25) {
             Some(self.live_entries[self.rng.gen_range(0..self.live_entries.len())])
@@ -368,6 +382,8 @@ impl Gen {
             None
         };
         let bound = self.rng.gen_range(2i64..6);
+        let loop_impl = impls[self.rng.gen_range(0..fanout)];
+        let loop_calls = self.spec.loop_calls;
         self.pb.build_body(run, move |bb| {
             let mut acc = bb.const_(0);
             for &imp in &impls_clone {
@@ -383,7 +399,15 @@ impl Gen {
                     lhs: p[0],
                     rhs: limit,
                 },
-                |bb, _| BranchExit::Values(vec![bb.any_prim()]),
+                |bb, _| {
+                    if loop_calls {
+                        let o = bb.new_obj(loop_impl);
+                        let r = bb.invoke_static(dispatch, &[o]);
+                        BranchExit::Values(vec![r])
+                    } else {
+                        BranchExit::Values(vec![bb.any_prim()])
+                    }
+                },
             );
             let _ = after;
             if let Some(c) = cross {
@@ -618,6 +642,106 @@ impl Gen {
             .build()
     }
 
+    /// Emits the shared-field fan-out subsystem: `writers` hub
+    /// implementations stored one by one into a *single* field (one field
+    /// sink in the PVPG), and `readers` methods each loading that field and
+    /// dispatching on the result. Every store adds one type to the sink's
+    /// value state, and every addition must reach all readers — the regime
+    /// where difference propagation pushes one type per event while a full
+    /// re-join re-pushes the whole accumulated state, and where SCC
+    /// priority scheduling drains all writers before the sink fans out.
+    /// Returns the live driver method.
+    fn emit_shared_hub(&mut self, readers: usize, writers: usize) -> MethodId {
+        let iface = self.pb.add_interface("HubIface", &[]);
+        self.pb
+            .method(iface, "tick")
+            .returns(TypeRef::Prim)
+            .abstract_()
+            .build();
+        let tick_sel = self.pb.selector("tick", 0);
+        let hub = self.pb.add_class("Hub");
+        let sink = self.pb.add_field(hub, "sink", TypeRef::Object(iface));
+
+        let mut write_methods = Vec::with_capacity(writers);
+        for k in 0..writers {
+            let cls = self
+                .pb
+                .class(&format!("HubImpl{k}"))
+                .implements_(iface)
+                .build();
+            let tick = self.pb.method(cls, "tick").returns(TypeRef::Prim).build();
+            self.pb.set_trivial_body(tick, Some(k as i64));
+            let write = self
+                .pb
+                .method(hub, &format!("write{k}"))
+                .static_()
+                .params(vec![TypeRef::Object(hub)])
+                .returns(TypeRef::Void)
+                .build();
+            self.pb.build_body(write, move |bb| {
+                let h = bb.param(0);
+                let o = bb.new_obj(cls);
+                bb.store(h, sink, o);
+                bb.ret(None);
+            });
+            write_methods.push(write);
+            self.count(false, 2);
+        }
+
+        let mut read_methods = Vec::with_capacity(readers);
+        for k in 0..readers {
+            let read = self
+                .pb
+                .method(hub, &format!("read{k}"))
+                .static_()
+                .params(vec![TypeRef::Object(hub)])
+                .returns(TypeRef::Prim)
+                .build();
+            self.pb.build_body(read, move |bb| {
+                let h = bb.param(0);
+                let v = bb.load(h, sink);
+                let nl = bb.null_();
+                let j = bb.if_else(
+                    Cond::Cmp {
+                        op: CmpOp::Ne,
+                        lhs: v,
+                        rhs: nl,
+                    },
+                    |bb| BranchExit::value(bb.invoke(v, tick_sel, &[])),
+                    |bb| BranchExit::value(bb.const_(0)),
+                );
+                bb.ret(Some(j[0]));
+            });
+            read_methods.push(read);
+            self.count(false, 1);
+        }
+
+        let drive = self
+            .pb
+            .method(hub, "drive")
+            .static_()
+            .returns(TypeRef::Prim)
+            .build();
+        self.pb.build_body(drive, move |bb| {
+            let h = bb.new_obj(hub);
+            // Readers first: their sink → load use edges wire while the
+            // sink is still empty, so every writer's store afterwards is an
+            // *incremental* update that must fan out to all readers — the
+            // asymmetry between difference propagation (push one new type)
+            // and full re-joins (re-push the whole accumulated state).
+            let mut acc = bb.const_(0);
+            for r in &read_methods {
+                acc = bb.invoke_static(*r, &[h]);
+            }
+            for w in &write_methods {
+                let _ = bb.invoke_static(*w, &[h]);
+            }
+            bb.ret(Some(acc));
+        });
+        self.count(false, 1);
+        drive
+    }
+
     /// A reflective entry point: takes a module interface and dispatches.
     fn emit_reflective_entry(&mut self, i: usize) -> MethodId {
         // Reuse the first live module's interface: entries receive "any
@@ -707,5 +831,23 @@ mod tests {
         let spec = BenchmarkSpec::new("all-live", Suite::DaCapo, 60, 0.0);
         let b = build_benchmark(&spec);
         assert_eq!(b.dead_methods, 0);
+    }
+
+    #[test]
+    fn shared_sink_subsystem_is_emitted_on_request() {
+        let spec = BenchmarkSpec::new("hub", Suite::DaCapo, 60, 0.0).with_shared_sink(12, 5);
+        let b = build_benchmark(&spec);
+        let hub = b.program.type_by_name("Hub").expect("hub class");
+        for k in 0..12 {
+            assert!(b.program.method_by_name(hub, &format!("read{k}")).is_some());
+        }
+        for k in 0..5 {
+            assert!(b.program.method_by_name(hub, &format!("write{k}")).is_some());
+            assert!(b.program.type_by_name(&format!("HubImpl{k}")).is_some());
+        }
+        assert!(b.program.method_by_name(hub, "drive").is_some());
+        // Default specs stay hub-free (Table 1 calibration untouched).
+        let plain = build_benchmark(&small_spec());
+        assert!(plain.program.type_by_name("Hub").is_none());
     }
 }

@@ -124,6 +124,22 @@ pub struct BenchmarkSpec {
     pub dispatch_fanout: usize,
     /// Call-chain depth inside each implementation.
     pub chain_depth: usize,
+    /// Emit calls inside `while` bodies (each facade loop allocates and
+    /// dispatches per iteration). On by default so loop-predicate behaviour
+    /// — callees whose `φ_pred` enabling arrives mid-solve — is visible to
+    /// the interpreter-differential proptests; method counts are unchanged,
+    /// so Table 1 calibration is undisturbed.
+    pub loop_calls: bool,
+    /// Shared-field fan-out workload: number of reader methods loading one
+    /// shared field and dispatching on it (`0` disables the subsystem).
+    /// This is the regime where difference propagation and SCC ordering
+    /// are asymptotically better than full re-joins: every new type stored
+    /// into the single field sink must reach every reader without
+    /// re-pushing the whole accumulated state.
+    pub shared_sink_readers: usize,
+    /// Writer implementations feeding the shared field sink (each stores a
+    /// distinct type, so the sink's state grows one type at a time).
+    pub shared_sink_writers: usize,
 }
 
 impl BenchmarkSpec {
@@ -151,6 +167,9 @@ impl BenchmarkSpec {
             guard_mix: GuardMix::balanced(),
             dispatch_fanout: 3,
             chain_depth: 4,
+            loop_calls: true,
+            shared_sink_readers: 0,
+            shared_sink_writers: 0,
         }
     }
 
@@ -163,6 +182,21 @@ impl BenchmarkSpec {
     /// Builder-style: overrides the dispatch fanout.
     pub fn with_fanout(mut self, fanout: usize) -> Self {
         self.dispatch_fanout = fanout;
+        self
+    }
+
+    /// Builder-style: toggles calls inside `while` bodies.
+    pub fn with_loop_calls(mut self, on: bool) -> Self {
+        self.loop_calls = on;
+        self
+    }
+
+    /// Builder-style: enables the shared-field fan-out subsystem with the
+    /// given reader and writer counts (writers are clamped to ≥ 1 when
+    /// readers are requested).
+    pub fn with_shared_sink(mut self, readers: usize, writers: usize) -> Self {
+        self.shared_sink_readers = readers;
+        self.shared_sink_writers = writers;
         self
     }
 }

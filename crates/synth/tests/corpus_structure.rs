@@ -64,6 +64,64 @@ fn every_generated_body_has_a_consistent_dominator_tree() {
 }
 
 #[test]
+fn while_bodies_contain_calls() {
+    // The ROADMAP coverage gap: loop bodies used to be call-free, hiding
+    // loop-predicate bugs (a callee enabled only by a loop body's φ_pred)
+    // from the interpreter-differential proptests. The generator now
+    // dispatches inside each facade loop.
+    let spec = suites::by_name("lusearch").unwrap();
+    let bench = build_benchmark(&spec);
+    let mut loops_seen = 0usize;
+    let mut loops_with_calls = 0usize;
+    for m in bench.program.iter_methods() {
+        let Some(body) = &bench.program.method(m).body else { continue };
+        let doms = Dominators::compute(body);
+        for l in natural_loops(body, &doms) {
+            loops_seen += 1;
+            let has_call = l.blocks.iter().any(|&b| {
+                body.block(b).stmts.iter().any(|s| {
+                    matches!(
+                        s,
+                        skipflow_ir::Stmt::Invoke { .. } | skipflow_ir::Stmt::InvokeStatic { .. }
+                    )
+                })
+            });
+            if has_call {
+                loops_with_calls += 1;
+            }
+        }
+    }
+    assert!(loops_seen > 10, "corpus has loops: {loops_seen}");
+    assert_eq!(
+        loops_with_calls, loops_seen,
+        "every facade loop dispatches from its body"
+    );
+    // The knob still produces call-free loops for ablation.
+    let plain = build_benchmark(&spec.clone().with_loop_calls(false));
+    let mut plain_calls = 0usize;
+    for m in plain.program.iter_methods() {
+        let Some(body) = &plain.program.method(m).body else { continue };
+        let doms = Dominators::compute(body);
+        for l in natural_loops(body, &doms) {
+            plain_calls += l
+                .blocks
+                .iter()
+                .filter(|&&b| {
+                    body.block(b).stmts.iter().any(|s| {
+                        matches!(
+                            s,
+                            skipflow_ir::Stmt::Invoke { .. }
+                                | skipflow_ir::Stmt::InvokeStatic { .. }
+                        )
+                    })
+                })
+                .count();
+        }
+    }
+    assert_eq!(plain_calls, 0, "with_loop_calls(false) restores the old shape");
+}
+
+#[test]
 fn suites_differ_in_guard_mix_but_share_structure() {
     // The microservice mix is const-flag heavy; sunflow is null-default
     // heavy; both still produce valid calibrated programs.

@@ -1,16 +1,17 @@
 //! Differential validation of the delta-propagation solvers against the
 //! full-join reference solver ([`SolverKind::Reference`]): on the whole
-//! synthetic quick corpus (plus randomized specs), the sequential and
-//! parallel delta solvers must produce *identical* analysis results — the
-//! reachable set, every per-method value state, liveness, dead-branch
-//! reports, linked call targets, and the counter metrics — with and without
-//! saturation.
+//! synthetic quick corpus (plus randomized, fan-out, and loop-call specs),
+//! every delta solver × scheduler combination — sequential and parallel,
+//! each under the FIFO and the SCC-priority worklist — must produce
+//! *identical* analysis results: the reachable set, every per-method value
+//! state, liveness, dead-branch reports, linked call targets, and the
+//! counter metrics — with and without saturation.
 //!
 //! Results are compared per method rather than per flow id: the solvers may
 //! discover methods in different orders, which permutes flow ids, but every
 //! observable outcome must match exactly.
 
-use skipflow::analysis::{analyze, AnalysisConfig, AnalysisResult, SolverKind};
+use skipflow::analysis::{analyze, AnalysisConfig, AnalysisResult, SchedulerKind, SolverKind};
 use skipflow::ir::Program;
 use skipflow::synth::{build_benchmark, suites, BenchmarkSpec, Suite};
 
@@ -116,19 +117,21 @@ fn check_spec(spec: &BenchmarkSpec) {
             reference_cfg.saturation_threshold = saturation;
             let reference = analyze(program, &bench.roots, &reference_cfg);
             for solver in [SolverKind::Sequential, SolverKind::Parallel { threads: 4 }] {
-                let mut cfg = base.clone().with_solver(solver);
-                cfg.saturation_threshold = saturation;
-                let result = analyze(program, &bench.roots, &cfg);
-                assert_results_identical(
-                    program,
-                    &reference,
-                    &result,
-                    &format!(
-                        "{}/{}/sat={saturation:?}/{solver:?}",
-                        spec.name,
-                        base.label()
-                    ),
-                );
+                for scheduler in [SchedulerKind::Fifo, SchedulerKind::SccPriority] {
+                    let mut cfg = base.clone().with_solver(solver).with_scheduler(scheduler);
+                    cfg.saturation_threshold = saturation;
+                    let result = analyze(program, &bench.roots, &cfg);
+                    assert_results_identical(
+                        program,
+                        &reference,
+                        &result,
+                        &format!(
+                            "{}/{}/sat={saturation:?}/{solver:?}/{scheduler:?}",
+                            spec.name,
+                            base.label()
+                        ),
+                    );
+                }
             }
         }
     }
@@ -156,5 +159,73 @@ fn delta_solvers_match_reference_under_heavy_fanout() {
     // propagation actually diverges from full re-joins internally — the
     // observable results must still be identical.
     let spec = BenchmarkSpec::new("diff-wide", Suite::DaCapo, 400, 0.2).with_fanout(16);
+    check_spec(&spec);
+}
+
+#[test]
+fn delta_solvers_match_reference_on_the_shared_sink_fanout_corpus() {
+    // The shared-field fan-out workload: one field sink feeding dozens of
+    // readers, with the sink's state growing one type per writer. This is
+    // where SCC-priority scheduling diverges hardest from FIFO (writers
+    // drain before the sink fans out), so all three schedulers must still
+    // agree on every observable outcome.
+    let spec = BenchmarkSpec::new("diff-fanout", Suite::DaCapo, 80, 0.2).with_shared_sink(60, 24);
+    check_spec(&spec);
+}
+
+#[test]
+fn scc_priorities_survive_mid_solve_fragment_instantiation() {
+    // Fragments are built *during* solving (virtual dispatch discovers
+    // methods), so the condensation must be recomputed incrementally: a
+    // program of this size trips at least one mid-solve batch recompute on
+    // top of the solve-start one, the queued flows migrate buckets, and
+    // the final results must still match the FIFO scheduler and the
+    // full-join reference exactly.
+    let spec = BenchmarkSpec::new("scc-midsolve", Suite::DaCapo, 2000, 0.2).with_fanout(8);
+    let bench = build_benchmark(&spec);
+    let scc = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
+    let sched = &scc.stats().scheduler;
+    assert!(
+        sched.scc_recomputes >= 2,
+        "expected a mid-solve recompute on top of the initial one, got {}",
+        sched.scc_recomputes
+    );
+    assert!(sched.scc_count > 0, "condensation recorded");
+    assert!(
+        sched.rebucketed_flows > 0,
+        "queued flows migrated across a recompute"
+    );
+    let fifo = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+    );
+    let reference = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+    );
+    assert_results_identical(&bench.program, &reference, &scc, "scc-midsolve/scc");
+    assert_results_identical(&bench.program, &reference, &fifo, "scc-midsolve/fifo");
+    // The oracle paths never touch the SCC machinery.
+    assert_eq!(fifo.stats().scheduler.scc_recomputes, 0);
+    assert_eq!(reference.stats().scheduler.scc_recomputes, 0);
+}
+
+#[test]
+fn delta_solvers_match_reference_on_loop_call_corpora() {
+    // Calls inside `while` bodies: the callee's enabling predicate is the
+    // loop body's φ_pred, built (and linked) mid-solve — the regime of
+    // PR 1's late-built `pred_on → φ_pred` soundness fix, now exercised
+    // across every solver × scheduler combination.
+    for seed in [7u64, 5150] {
+        let mut spec = BenchmarkSpec::new("diff-loop-calls", Suite::Microservices, 160, 0.3);
+        spec.seed = seed;
+        assert!(spec.loop_calls, "loop-body calls are the default");
+        check_spec(&spec);
+    }
+    // The call-free ablation shape stays identical too.
+    let spec = BenchmarkSpec::new("diff-loop-plain", Suite::DaCapo, 120, 0.2)
+        .with_loop_calls(false);
     check_spec(&spec);
 }
