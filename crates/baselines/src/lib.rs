@@ -14,7 +14,11 @@
 //!
 //! Both algorithms run over the same [`skipflow_ir::Program`] as the main
 //! engine, so the precision ladder is directly measurable (see the
-//! `precision_ladder` integration test and the bench harness).
+//! `precision_ladder` integration test and the bench harness). The ladder is
+//! queried through one interface: [`CallGraph`] implements
+//! [`skipflow_core::CallGraphQuery`], the same trait the engine's
+//! `AnalysisResult`/`AnalysisSnapshot` implement, so comparisons like
+//! `pta.refines(&rta)` work across analysis families.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,6 +30,7 @@ pub mod sccp;
 pub use cha::class_hierarchy_analysis;
 pub use rta::rapid_type_analysis;
 pub use sccp::{sccp, sccp_program, SccpResult};
+pub use skipflow_core::CallGraphQuery;
 
 use skipflow_ir::{MethodId, Program, SelectorId, Stmt};
 use std::collections::BTreeSet;
@@ -50,6 +55,28 @@ impl CallGraph {
     /// Whether `m` is reachable.
     pub fn is_reachable(&self, m: MethodId) -> bool {
         self.reachable.contains(&m)
+    }
+}
+
+impl CallGraphQuery for CallGraph {
+    fn is_reachable(&self, m: MethodId) -> bool {
+        CallGraph::is_reachable(self, m)
+    }
+
+    fn reachable_count(&self) -> usize {
+        CallGraph::reachable_count(self)
+    }
+
+    fn reachable_ids(&self) -> Vec<MethodId> {
+        self.reachable.iter().copied().collect()
+    }
+
+    fn call_edge_count(&self) -> usize {
+        self.call_edges
+    }
+
+    fn poly_call_count(&self) -> usize {
+        self.poly_calls
     }
 }
 
@@ -118,10 +145,17 @@ mod tests {
         assert!(cha.is_reachable(dog) && cha.is_reachable(cat) && cha.is_reachable(fish));
         assert!(rta.is_reachable(dog) && !rta.is_reachable(cat) && !rta.is_reachable(fish));
 
-        // The ladder: each analysis is at least as precise as the previous.
-        assert!(rta.reachable.is_subset(&cha.reachable));
-        assert!(pta.reachable_methods().is_subset(&rta.reachable));
-        assert!(skf.reachable_methods().is_subset(pta.reachable_methods()));
+        // The ladder: each analysis is at least as precise as the previous,
+        // checked through the unified CallGraphQuery interface.
+        assert!(rta.refines(&cha));
+        assert!(pta.refines(&rta));
+        assert!(skf.refines(&pta));
+        // CallGraphQuery counts agree with the concrete representations.
+        assert_eq!(CallGraphQuery::reachable_count(&cha), cha.reachable.len());
+        assert_eq!(
+            CallGraphQuery::reachable_count(&skf),
+            skf.reachable_methods().len()
+        );
     }
 
     #[test]

@@ -34,8 +34,7 @@ fn bench_declared_type_filtering(c: &mut Criterion) {
     let spec = suites::by_name("xalan").expect("xalan spec");
     let bench = build_benchmark(&spec);
     for on in [true, false] {
-        let mut config = AnalysisConfig::skipflow();
-        config.declared_type_filtering = on;
+        let config = AnalysisConfig::skipflow().with_declared_type_filtering(on);
         group.bench_with_input(
             BenchmarkId::from_parameter(if on { "on" } else { "off" }),
             &config,
@@ -51,8 +50,7 @@ fn bench_saturation(c: &mut Criterion) {
     let spec = suites::by_name("chi-square").expect("chi-square spec");
     let bench = build_benchmark(&spec);
     for threshold in [None, Some(8), Some(32)] {
-        let mut config = AnalysisConfig::skipflow();
-        config.saturation_threshold = threshold;
+        let config = AnalysisConfig::skipflow().with_saturation(threshold);
         let label = threshold.map_or("off".to_string(), |t| t.to_string());
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
             b.iter(|| analyze(&bench.program, &bench.roots, config))

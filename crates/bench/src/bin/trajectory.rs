@@ -23,7 +23,7 @@
 
 use skipflow_bench::trajectory::{
     parse_baseline_steps, parse_baseline_workloads, render_json, run_fanout, run_ladder,
-    run_table1,
+    run_resume, run_table1,
 };
 
 /// Maximum tolerated step-count growth versus the committed capture.
@@ -59,6 +59,8 @@ fn main() {
     let mut workloads = run_ladder(force_fifo);
     eprintln!("running fan-out rungs…");
     workloads.extend(run_fanout(force_fifo));
+    eprintln!("running resume rungs…");
+    workloads.extend(run_resume(force_fifo));
     if !ladder_only {
         eprintln!("running table1 corpus…");
         workloads.extend(run_table1());

@@ -57,10 +57,9 @@ impl Row {
 
 /// Runs one benchmark under one configuration and collects a [`Row`].
 pub fn measure(bench: &Benchmark, config: &AnalysisConfig) -> Row {
-    let mut config = config.clone();
-    config
-        .reflective_roots
-        .extend(bench.reflective_roots.iter().copied());
+    let config = config
+        .clone()
+        .with_reflective_roots(bench.reflective_roots.iter().copied());
     let start = Instant::now();
     let result = analyze(&bench.program, &bench.roots, &config);
     let analysis_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -2,7 +2,7 @@
 //! in every PR, so the repository accumulates a comparable performance
 //! record (`BENCH_PR<n>.json` at the repo root).
 //!
-//! Three workload families:
+//! Four workload families:
 //!
 //! * **ladder** — synthetic programs of doubling size at fixed shape
 //!   (fanout 8, 20% guarded-dead), stressing solver scaling; the largest
@@ -11,6 +11,12 @@
 //!   (one field sink feeding hundreds of readers), the regime where
 //!   difference propagation and SCC-priority scheduling are asymptotically
 //!   better than full re-joins and FIFO ordering.
+//! * **resume** — the session API's incremental-root workload: solve a
+//!   benchmark's own roots, then `add_roots` a spread of extra entry points
+//!   and re-solve. Each record carries the *fresh* union fixpoint
+//!   (`SkipFlow`/`sequential`, the row the step gate checks) next to the
+//!   *incremental* re-solve (`SkipFlow-resume`): same results, far fewer
+//!   steps.
 //! * **table1** — the full 35-benchmark corpus under PTA and SkipFlow,
 //!   sequential solver, mirroring the paper's evaluation.
 //!
@@ -22,7 +28,10 @@
 //! comparison; a pre-change capture is produced by running the same binary
 //! with `--scheduler fifo`.
 
-use skipflow_core::{analyze, AnalysisConfig, AnalysisResult, SchedulerKind, SolverKind};
+use skipflow_core::{
+    analyze, AnalysisConfig, AnalysisResult, AnalysisSession, SchedulerKind, SolverKind,
+};
+use skipflow_ir::MethodId;
 use skipflow_synth::{build_benchmark, Benchmark, BenchmarkSpec, Suite};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -91,6 +100,141 @@ pub fn fanout_specs() -> Vec<BenchmarkSpec> {
         .collect()
 }
 
+/// The resume rungs: one ladder-shaped and one fan-out-shaped workload at
+/// moderate size, solved from their own roots and then resumed with
+/// [`RESUME_EXTRA_ROOTS`] added entry points.
+pub fn resume_specs() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec::new("resume-rung-2000", Suite::DaCapo, 2000, 0.2).with_fanout(8),
+        BenchmarkSpec::new("resume-fanout-200", Suite::DaCapo, 60, 0.0).with_shared_sink(200, 128),
+    ]
+}
+
+/// Extra entry points added to each resume rung before the re-solve.
+pub const RESUME_EXTRA_ROOTS: usize = 16;
+
+/// Measures one resume rung under `config`: the fresh fixpoint over the
+/// union of the benchmark roots and `extra`, and the incremental re-solve
+/// that reaches the same fixpoint by resuming a session already saturated
+/// over the benchmark roots. Returns `(fresh, incremental)` records; the
+/// incremental record's wall time and steps cover *only* the `add_roots` +
+/// re-solve. Panics if the two fixpoints disagree on the precision guards —
+/// the bit-level identity is enforced by `tests/session_resume.rs`, but a
+/// perf document must never be produced from diverging runs.
+pub fn measure_resume(
+    bench: &Benchmark,
+    extra: &[MethodId],
+    config: &AnalysisConfig,
+    iters: usize,
+) -> (RunRecord, RunRecord) {
+    let config = config
+        .clone()
+        .with_reflective_roots(bench.reflective_roots.iter().copied());
+    let union_roots: Vec<MethodId> = bench.roots.iter().chain(extra).copied().collect();
+
+    // Fresh union runs: warm-up, then best-of-iters (steps are invariant).
+    let _warmup = analyze(&bench.program, &union_roots, &config);
+    let mut fresh_wall = f64::INFINITY;
+    let mut fresh_result = None;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let r = analyze(&bench.program, &union_roots, &config);
+        fresh_wall = fresh_wall.min(start.elapsed().as_secs_f64() * 1e3);
+        fresh_result = Some(r);
+    }
+    let fresh_result = fresh_result.expect("at least one fresh run");
+
+    // Incremental runs: the session solves the benchmark roots to fixpoint,
+    // then the timed region is add_roots(extra) + re-solve.
+    let mut resume_wall = f64::INFINITY;
+    let mut resume_steps = 0;
+    let mut resume_joins = 0;
+    let mut resumed_result = None;
+    for _ in 0..iters.max(1) {
+        let mut session = AnalysisSession::builder(&bench.program)
+            .config(config.clone())
+            .roots(bench.roots.iter().copied())
+            .build()
+            .expect("benchmark roots are valid");
+        session.solve();
+        let joins_before = session.snapshot().stats().state_joins;
+        let start = Instant::now();
+        session.add_roots(extra.iter().copied()).expect("extra roots are valid");
+        session.solve();
+        resume_wall = resume_wall.min(start.elapsed().as_secs_f64() * 1e3);
+        resume_steps = session.last_solve_steps();
+        resume_joins = session.snapshot().stats().state_joins - joins_before;
+        resumed_result = Some(session.into_result());
+    }
+    let resumed_result = resumed_result.expect("at least one incremental run");
+
+    assert_eq!(
+        fresh_result.reachable_methods(),
+        resumed_result.reachable_methods(),
+        "resume diverged from the fresh union fixpoint"
+    );
+    let fresh_dead = dead_block_total(&fresh_result);
+    let resumed_dead = dead_block_total(&resumed_result);
+    assert_eq!(fresh_dead, resumed_dead, "resume dead-block totals diverged");
+
+    let scheduler = scheduler_label(&config).to_string();
+    let record = |label: &str, result: &AnalysisResult, wall_ms, steps, joins| RunRecord {
+        config: label.to_string(),
+        solver: solver_label(config.solver()),
+        scheduler: scheduler.clone(),
+        wall_ms,
+        steps,
+        state_joins: joins,
+        flows: result.stats().flows,
+        use_edges: result.stats().use_edges,
+        reachable_methods: result.reachable_methods().len(),
+        dead_blocks: dead_block_total(result),
+    };
+    let fresh_stats = fresh_result.stats().clone();
+    (
+        record(
+            "SkipFlow",
+            &fresh_result,
+            fresh_wall,
+            fresh_stats.steps,
+            fresh_stats.state_joins,
+        ),
+        record(
+            "SkipFlow-resume",
+            &resumed_result,
+            resume_wall,
+            resume_steps,
+            resume_joins,
+        ),
+    )
+}
+
+/// Runs the resume rungs (fresh union vs incremental re-solve per spec).
+/// `force_fifo` mirrors the ladder/fan-out pre-change capture mode: the
+/// sequential solver runs the FIFO scheduler in both phases.
+pub fn run_resume(force_fifo: bool) -> Vec<WorkloadRecord> {
+    let config = if force_fifo {
+        AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo)
+    } else {
+        AnalysisConfig::skipflow()
+    };
+    resume_specs()
+        .iter()
+        .map(|spec| {
+            let bench = build_benchmark(spec);
+            let extra =
+                skipflow_synth::pick_spread_roots(&bench.program, &bench.roots, RESUME_EXTRA_ROOTS);
+            let (fresh, incremental) = measure_resume(&bench, &extra, &config, 3);
+            WorkloadRecord {
+                name: spec.name.clone(),
+                kind: "resume",
+                generated_methods: bench.total_methods(),
+                runs: vec![fresh, incremental],
+            }
+        })
+        .collect()
+}
+
 fn dead_block_total(result: &AnalysisResult) -> usize {
     result
         .reachable_methods()
@@ -108,7 +252,7 @@ fn solver_label(kind: SolverKind) -> String {
 }
 
 fn scheduler_label(config: &AnalysisConfig) -> &'static str {
-    match (config.solver, config.scheduler) {
+    match (config.solver(), config.scheduler()) {
         (SolverKind::Reference, _) | (_, SchedulerKind::Fifo) => "fifo",
         (_, SchedulerKind::SccPriority) => "scc",
     }
@@ -135,10 +279,8 @@ pub fn measure_group(
     let configs: Vec<AnalysisConfig> = configs
         .iter()
         .map(|c| {
-            let mut c = c.clone();
-            c.reflective_roots
-                .extend(bench.reflective_roots.iter().copied());
-            c
+            c.clone()
+                .with_reflective_roots(bench.reflective_roots.iter().copied())
         })
         .collect();
     for config in &configs {
@@ -163,7 +305,7 @@ pub fn measure_group(
             let stats = result.stats();
             RunRecord {
                 config: config.label().to_string(),
-                solver: solver_label(config.solver),
+                solver: solver_label(config.solver()),
                 scheduler: scheduler_label(config).to_string(),
                 wall_ms,
                 steps: stats.steps,
@@ -294,7 +436,7 @@ fn parse_baseline_field(doc: &str, workload: &str, field: &str) -> Option<f64> {
 }
 
 /// The `SkipFlow`/`sequential` wall time of `workload` from a baseline
-/// document (see [`parse_baseline_field`] for which row is picked).
+/// document (see `parse_baseline_field` for which row is picked).
 pub fn parse_baseline_wall_ms(doc: &str, workload: &str) -> Option<f64> {
     parse_baseline_field(doc, workload, "wall_ms")
 }
@@ -314,7 +456,10 @@ pub fn parse_baseline_workloads(doc: &str) -> Vec<String> {
             let rest = &line[i + 9..];
             if let Some(end) = rest.find('"') {
                 let name = &rest[..end];
-                if name.starts_with("rung-") || name.starts_with("fanout-") {
+                if name.starts_with("rung-")
+                    || name.starts_with("fanout-")
+                    || name.starts_with("resume-")
+                {
                     names.push(name.to_string());
                 }
             }
@@ -505,6 +650,42 @@ fn render_summary_json(workloads: &[WorkloadRecord], baseline: Option<&str>) -> 
             );
         }
     }
+    // Resume rungs: the incremental re-solve must reach the same fixpoint
+    // with fewer steps than the fresh union run it extends. Tri-state like
+    // the other guards: null when no resume workload was measured.
+    let mut resume_fewer: Option<bool> = None;
+    let mut resume_identical: Option<bool> = None;
+    for w in workloads.iter().filter(|w| w.kind == "resume") {
+        let fresh = w.runs.iter().find(|r| r.config == "SkipFlow");
+        let inc = w.runs.iter().find(|r| r.config == "SkipFlow-resume");
+        let (Some(fresh), Some(inc)) = (fresh, inc) else { continue };
+        resume_fewer = Some(resume_fewer.unwrap_or(true) && inc.steps < fresh.steps);
+        let same = inc.reachable_methods == fresh.reachable_methods
+            && inc.dead_blocks == fresh.dead_blocks;
+        resume_identical = Some(resume_identical.unwrap_or(true) && same);
+        let ratio = inc.steps as f64 / fresh.steps.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "    \"resume_{}\": {{\"steps_fresh\": {}, \"steps_incremental\": {}, \
+             \"step_ratio\": {:.4}, \"wall_ms_fresh\": {:.3}, \"wall_ms_incremental\": {:.3}}},",
+            json_escape(&w.name.replace('-', "_")),
+            fresh.steps,
+            inc.steps,
+            ratio,
+            fresh.wall_ms,
+            inc.wall_ms,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    \"resume_incremental_fewer_steps\": {},",
+        json_opt_bool(resume_fewer)
+    );
+    let _ = writeln!(
+        out,
+        "    \"resume_results_identical\": {},",
+        json_opt_bool(resume_identical)
+    );
     let _ = writeln!(
         out,
         "    \"results_identical_to_reference\": {}",
@@ -584,6 +765,45 @@ mod tests {
         let doc2 = render_json("test2", &[w2], Some(&doc));
         assert!(doc2.contains("largest_ladder_rung_wall_reduction_vs_pre_change"));
         assert!(doc2.contains("largest_ladder_rung_step_reduction_vs_pre_change"));
+    }
+
+    #[test]
+    fn resume_measurement_records_fewer_incremental_steps() {
+        let spec = BenchmarkSpec::new("resume-tiny", Suite::DaCapo, 80, 0.2);
+        let bench = build_benchmark(&spec);
+        let extra = skipflow_synth::pick_spread_roots(&bench.program, &bench.roots, 6);
+        assert!(!extra.is_empty());
+        let (fresh, inc) = measure_resume(&bench, &extra, &AnalysisConfig::skipflow(), 1);
+        assert_eq!(fresh.config, "SkipFlow");
+        assert_eq!(inc.config, "SkipFlow-resume");
+        assert_eq!((fresh.solver.as_str(), fresh.scheduler.as_str()), ("sequential", "scc"));
+        // The pre-change capture mode carries through to the resume records.
+        let fifo_cfg = AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo);
+        let (fresh_fifo, inc_fifo) = measure_resume(&bench, &extra, &fifo_cfg, 1);
+        assert_eq!(fresh_fifo.scheduler, "fifo");
+        assert_eq!(inc_fifo.scheduler, "fifo");
+        assert_eq!(fresh_fifo.reachable_methods, fresh.reachable_methods);
+        assert!(
+            inc.steps < fresh.steps,
+            "incremental {} vs fresh {}",
+            inc.steps,
+            fresh.steps
+        );
+        assert_eq!(fresh.reachable_methods, inc.reachable_methods);
+        assert_eq!(fresh.dead_blocks, inc.dead_blocks);
+        let w = WorkloadRecord {
+            name: spec.name.clone(),
+            kind: "resume",
+            generated_methods: bench.total_methods(),
+            runs: vec![fresh, inc],
+        };
+        let doc = render_json("test", &[w], None);
+        assert!(doc.contains("\"resume_incremental_fewer_steps\": true"), "{doc}");
+        assert!(doc.contains("\"resume_results_identical\": true"), "{doc}");
+        assert!(doc.contains("\"resume_resume_tiny\""), "{doc}");
+        // The step gate covers resume rungs through their fresh-union row.
+        assert_eq!(parse_baseline_workloads(&doc), vec!["resume-tiny".to_string()]);
+        assert!(parse_baseline_steps(&doc, "resume-tiny").is_some());
     }
 
     #[test]

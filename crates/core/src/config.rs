@@ -4,6 +4,14 @@
 //! features — predicate edges and primitive tracking (paper §1) — so one
 //! engine serves every configuration in the evaluation: the `PTA` baseline,
 //! full SkipFlow, and the two single-feature ablations.
+//!
+//! Since the session API redesign the fields are private: configurations are
+//! assembled from a preset ([`AnalysisConfig::skipflow`],
+//! [`AnalysisConfig::baseline_pta`], …) refined through the `with_*` builder
+//! methods, and validated once when an
+//! [`AnalysisSession`](crate::AnalysisSession) is built (invalid inputs
+//! surface as [`AnalysisError`](crate::AnalysisError) instead of panics deep
+//! inside the engine).
 
 use skipflow_ir::{FieldId, MethodId};
 
@@ -34,7 +42,7 @@ pub enum SolverKind {
     /// Deterministic bulk-synchronous parallel solver with the given number
     /// of worker threads (results are bit-identical to sequential).
     Parallel {
-        /// Worker thread count (≥ 1).
+        /// Worker thread count (≥ 1; validated at session build).
         threads: usize,
     },
     /// The full-join reference solver: recomputes and re-joins a flow's
@@ -44,52 +52,51 @@ pub enum SolverKind {
     Reference,
 }
 
-/// Configuration of one analysis run.
+/// Configuration of one analysis session.
+///
+/// Construct from a preset and refine with the `with_*` methods:
+///
+/// ```
+/// use skipflow_core::{AnalysisConfig, SchedulerKind, SolverKind};
+///
+/// let config = AnalysisConfig::skipflow()
+///     .with_solver(SolverKind::Parallel { threads: 4 })
+///     .with_scheduler(SchedulerKind::SccPriority)
+///     .with_saturation(32);
+/// assert!(config.predicates() && config.primitives());
+/// assert_eq!(config.saturation_threshold(), Some(32));
+/// ```
 #[derive(Clone, Debug)]
 pub struct AnalysisConfig {
     /// Enable predicate edges: flows start disabled and only propagate once
     /// their predicate has a non-empty state (paper §3 "Control Flow
     /// Predicates"). Disabled for the baseline PTA, where every flow is
     /// enabled at creation.
-    pub predicates: bool,
+    pub(crate) predicates: bool,
     /// Track primitive constants through the lattice `P`. When disabled,
     /// every primitive source evaluates to `Any` (the baseline PTA behaviour:
     /// primitives are invisible).
-    pub primitives: bool,
+    pub(crate) primitives: bool,
     /// Filter method parameters by their declared types during
     /// interprocedural linking (the Native Image behaviour inherited from
-    /// Wimmer et al. \[60\]). On for all evaluated configurations; exposed for
-    /// ablation.
-    pub declared_type_filtering: bool,
-    /// Optional saturation threshold (Wimmer et al. \[60\]): an object value
-    /// state whose type set grows beyond the limit widens to `Any`, trading
-    /// precision for bounded state size. `None` disables saturation.
-    pub saturation_threshold: Option<usize>,
-    /// The paper's coarse exception policy (§5): any *instantiated* exception
-    /// subtype of a handler's type flows out of the handler. When `false`,
-    /// only actually-thrown values reach handlers (a more precise variant,
-    /// kept for ablation).
-    pub coarse_exceptions: bool,
-    /// Methods invokable via Reflection/JNI (§5): treated as additional
-    /// roots whose parameters receive every instantiated subtype of their
-    /// declared types.
-    pub reflective_roots: Vec<MethodId>,
-    /// Fields accessible via Reflection/JNI (§5): their value states receive
-    /// every instantiated subtype of their declared types.
-    pub reflective_fields: Vec<FieldId>,
-    /// Fields accessed via `Unsafe` (§5): every write into any such field may
-    /// flow out of every read of any such field.
-    pub unsafe_fields: Vec<FieldId>,
+    /// Wimmer et al. \[60\]).
+    pub(crate) declared_type_filtering: bool,
+    /// Optional saturation threshold (Wimmer et al. \[60\]).
+    pub(crate) saturation_threshold: Option<usize>,
+    /// The paper's coarse exception policy (§5).
+    pub(crate) coarse_exceptions: bool,
+    /// Methods invokable via Reflection/JNI (§5).
+    pub(crate) reflective_roots: Vec<MethodId>,
+    /// Fields accessible via Reflection/JNI (§5).
+    pub(crate) reflective_fields: Vec<FieldId>,
+    /// Fields accessed via `Unsafe` (§5).
+    pub(crate) unsafe_fields: Vec<FieldId>,
     /// Solver selection.
-    pub solver: SolverKind,
-    /// Worklist scheduling for the delta solvers ([`SolverKind::Sequential`]
-    /// and [`SolverKind::Parallel`]). The reference solver always runs FIFO —
-    /// it is the oracle and must stay byte-for-byte the PR 1 algorithm.
-    pub scheduler: SchedulerKind,
+    pub(crate) solver: SolverKind,
+    /// Worklist scheduling for the delta solvers.
+    pub(crate) scheduler: SchedulerKind,
     /// Safety valve for the fixpoint iteration; `None` means unbounded.
-    /// The lattice has finite height so the analysis always terminates, but
-    /// tests use a bound to fail fast on engine bugs.
-    pub max_steps: Option<u64>,
+    pub(crate) max_steps: Option<u64>,
 }
 
 impl AnalysisConfig {
@@ -138,22 +145,135 @@ impl AnalysisConfig {
         }
     }
 
-    /// Builder-style: sets the solver.
+    // ---- builder methods --------------------------------------------------
+
+    /// Sets the solver.
     pub fn with_solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
         self
     }
 
-    /// Builder-style: sets the saturation threshold.
-    pub fn with_saturation(mut self, threshold: usize) -> Self {
-        self.saturation_threshold = Some(threshold);
+    /// Sets (or clears, with `None`) the saturation threshold.
+    pub fn with_saturation(mut self, threshold: impl Into<Option<usize>>) -> Self {
+        self.saturation_threshold = threshold.into();
         self
     }
 
-    /// Builder-style: sets the worklist scheduler.
+    /// Sets the worklist scheduler.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Sets (or clears, with `None`) the fixpoint step bound. Tests use a
+    /// bound to fail fast on engine bugs; production runs leave it `None`.
+    pub fn with_max_steps(mut self, max_steps: impl Into<Option<u64>>) -> Self {
+        self.max_steps = max_steps.into();
+        self
+    }
+
+    /// Toggles predicate edges (the ablation axis of Table 1).
+    pub fn with_predicates(mut self, on: bool) -> Self {
+        self.predicates = on;
+        self
+    }
+
+    /// Toggles primitive-constant tracking (the ablation axis of Table 1).
+    pub fn with_primitives(mut self, on: bool) -> Self {
+        self.primitives = on;
+        self
+    }
+
+    /// Toggles declared-type filtering on interprocedural use edges.
+    pub fn with_declared_type_filtering(mut self, on: bool) -> Self {
+        self.declared_type_filtering = on;
+        self
+    }
+
+    /// Toggles the coarse exception policy (§5).
+    pub fn with_coarse_exceptions(mut self, on: bool) -> Self {
+        self.coarse_exceptions = on;
+        self
+    }
+
+    /// Adds methods invokable via Reflection/JNI (§5): extra roots whose
+    /// parameters receive every instantiated subtype of their declared types.
+    pub fn with_reflective_roots(mut self, roots: impl IntoIterator<Item = MethodId>) -> Self {
+        self.reflective_roots.extend(roots);
+        self
+    }
+
+    /// Adds fields accessible via Reflection/JNI (§5): their value states
+    /// receive every instantiated subtype of their declared types.
+    pub fn with_reflective_fields(mut self, fields: impl IntoIterator<Item = FieldId>) -> Self {
+        self.reflective_fields.extend(fields);
+        self
+    }
+
+    /// Adds fields accessed via `Unsafe` (§5): every write into any such
+    /// field may flow out of every read of any such field.
+    pub fn with_unsafe_fields(mut self, fields: impl IntoIterator<Item = FieldId>) -> Self {
+        self.unsafe_fields.extend(fields);
+        self
+    }
+
+    // ---- accessors --------------------------------------------------------
+
+    /// Whether predicate edges are enabled.
+    pub fn predicates(&self) -> bool {
+        self.predicates
+    }
+
+    /// Whether primitive-constant tracking is enabled.
+    pub fn primitives(&self) -> bool {
+        self.primitives
+    }
+
+    /// Whether parameters are filtered by their declared types.
+    pub fn declared_type_filtering(&self) -> bool {
+        self.declared_type_filtering
+    }
+
+    /// The saturation threshold, if saturation is enabled.
+    pub fn saturation_threshold(&self) -> Option<usize> {
+        self.saturation_threshold
+    }
+
+    /// Whether the coarse exception policy is active.
+    pub fn coarse_exceptions(&self) -> bool {
+        self.coarse_exceptions
+    }
+
+    /// The configured reflective root methods.
+    pub fn reflective_roots(&self) -> &[MethodId] {
+        &self.reflective_roots
+    }
+
+    /// The configured reflective fields.
+    pub fn reflective_fields(&self) -> &[FieldId] {
+        &self.reflective_fields
+    }
+
+    /// The configured `Unsafe`-accessed fields.
+    pub fn unsafe_fields(&self) -> &[FieldId] {
+        &self.unsafe_fields
+    }
+
+    /// The selected solver.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
+    }
+
+    /// The selected worklist scheduler. The reference solver always runs
+    /// FIFO regardless — it is the oracle and must stay byte-for-byte the
+    /// PR 1 algorithm.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// The fixpoint step bound, if any.
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
     }
 
     /// A short human-readable label (used by the bench harness).
@@ -180,12 +300,12 @@ mod tests {
     #[test]
     fn presets_match_table1_configurations() {
         let sf = AnalysisConfig::skipflow();
-        assert!(sf.predicates && sf.primitives);
+        assert!(sf.predicates() && sf.primitives());
         assert_eq!(sf.label(), "SkipFlow");
 
         let pta = AnalysisConfig::baseline_pta();
-        assert!(!pta.predicates && !pta.primitives);
-        assert!(pta.declared_type_filtering, "baseline keeps type filtering on use edges");
+        assert!(!pta.predicates() && !pta.primitives());
+        assert!(pta.declared_type_filtering(), "baseline keeps type filtering on use edges");
         assert_eq!(pta.label(), "PTA");
     }
 
@@ -193,6 +313,14 @@ mod tests {
     fn ablation_labels() {
         assert_eq!(AnalysisConfig::predicates_only().label(), "SkipFlow-predicates-only");
         assert_eq!(AnalysisConfig::primitives_only().label(), "SkipFlow-primitives-only");
+        assert_eq!(
+            AnalysisConfig::skipflow().with_predicates(false).label(),
+            "SkipFlow-primitives-only"
+        );
+        assert_eq!(
+            AnalysisConfig::skipflow().with_primitives(false).label(),
+            "SkipFlow-predicates-only"
+        );
     }
 
     #[test]
@@ -200,10 +328,27 @@ mod tests {
         let c = AnalysisConfig::skipflow()
             .with_solver(SolverKind::Parallel { threads: 4 })
             .with_saturation(32);
-        assert_eq!(c.solver, SolverKind::Parallel { threads: 4 });
-        assert_eq!(c.saturation_threshold, Some(32));
-        assert_eq!(c.scheduler, SchedulerKind::SccPriority, "SCC is the default");
-        let c = c.with_scheduler(SchedulerKind::Fifo);
-        assert_eq!(c.scheduler, SchedulerKind::Fifo);
+        assert_eq!(c.solver(), SolverKind::Parallel { threads: 4 });
+        assert_eq!(c.saturation_threshold(), Some(32));
+        assert_eq!(c.scheduler(), SchedulerKind::SccPriority, "SCC is the default");
+        let c = c.with_scheduler(SchedulerKind::Fifo).with_saturation(None);
+        assert_eq!(c.scheduler(), SchedulerKind::Fifo);
+        assert_eq!(c.saturation_threshold(), None);
+        let c = c.with_max_steps(10).with_coarse_exceptions(false);
+        assert_eq!(c.max_steps(), Some(10));
+        assert!(!c.coarse_exceptions());
+    }
+
+    #[test]
+    fn reflective_lists_accumulate() {
+        let m = MethodId::from_index(3);
+        let f = FieldId::from_index(1);
+        let c = AnalysisConfig::skipflow()
+            .with_reflective_roots([m])
+            .with_reflective_fields([f])
+            .with_unsafe_fields([f]);
+        assert_eq!(c.reflective_roots(), &[m]);
+        assert_eq!(c.reflective_fields(), &[f]);
+        assert_eq!(c.unsafe_fields(), &[f]);
     }
 }

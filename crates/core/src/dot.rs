@@ -4,12 +4,12 @@
 //! grey (Figures 7 and 8).
 
 use crate::flow::{FlowId, FlowKind};
-use crate::report::AnalysisResult;
+use crate::report::AnalysisSnapshot;
 use skipflow_ir::{MethodId, Program};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-fn flow_label(result: &AnalysisResult, program: &Program, f: FlowId) -> String {
+fn flow_label(result: &AnalysisSnapshot<'_>, program: &Program, f: FlowId) -> String {
     let flow = result.graph().flow(f);
     let kind = match &flow.kind {
         FlowKind::PredOn => "pred_on".to_string(),
@@ -53,8 +53,10 @@ fn flow_label(result: &AnalysisResult, program: &Program, f: FlowId) -> String {
 
 /// Renders the PVPG fragment of one reachable method as Graphviz `dot`.
 /// Returns `None` if the method was never reached (it has no fragment).
+/// Takes any [`AnalysisSnapshot`] view — pass `result.snapshot()` for an
+/// owned [`crate::AnalysisResult`].
 pub fn method_pvpg_dot(
-    result: &AnalysisResult,
+    result: &AnalysisSnapshot<'_>,
     program: &Program,
     method: MethodId,
 ) -> Option<String> {
@@ -143,7 +145,7 @@ mod tests {
         let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
         let thread = program.type_by_name("Thread").unwrap();
         let is_virtual = program.method_by_name(thread, "isVirtual").unwrap();
-        let dot = method_pvpg_dot(&result, &program, is_virtual).expect("reachable");
+        let dot = method_pvpg_dot(&result.snapshot(), &program, is_virtual).expect("reachable");
         assert!(dot.starts_with("digraph"), "{dot}");
         assert!(dot.contains("instanceof BaseVirtualThread"), "{dot}");
         assert!(dot.contains("!instanceof BaseVirtualThread"), "{dot}");
@@ -167,6 +169,6 @@ mod tests {
         let main = program.method_by_name(main_cls, "main").unwrap();
         let dead = program.method_by_name(main_cls, "dead").unwrap();
         let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
-        assert!(method_pvpg_dot(&result, &program, dead).is_none());
+        assert!(method_pvpg_dot(&result.snapshot(), &program, dead).is_none());
     }
 }

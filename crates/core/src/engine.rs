@@ -104,6 +104,34 @@
 //!   result-identity guarantee of `tests/delta_vs_reference.rs` both hold.
 //! * The reference solver always runs FIFO — it is the oracle and stays
 //!   byte-for-byte the full-join algorithm.
+//!
+//! # Resume (the monotone-resume invariant)
+//!
+//! The engine is owned by an [`crate::AnalysisSession`] and may be solved
+//! *repeatedly*: after a solve reaches its fixpoint, the session can add new
+//! roots ([`Engine::add_roots`]) and solve again, continuing from the
+//! saturated PVPG instead of rebuilding it. This is sound and
+//! result-identical to a fresh analysis over the union of all roots added so
+//! far, because every engine action is **monotone and idempotent**:
+//!
+//! * all value states (`in_state`, `delta`, `out_state`) only ever grow
+//!   (joins in a finite-height lattice; saturation widens to the absorbing
+//!   `Any`), and `enabled` flips only from `false` to `true`;
+//! * structures only accrete — flows, edges, linked targets, instantiated
+//!   types, reachable methods, subscribers, and saturated sites are never
+//!   removed, and every registration replays the relevant *past* events
+//!   (`subscribe` feeds already-instantiated subtypes, `push_state` feeds
+//!   the source's current out-state, a saturating receiver re-dispatches
+//!   over every type instantiated so far);
+//! * a fixpoint is a state where no step can change anything, so re-running
+//!   any solver over a saturated graph is a no-op, and injecting new roots
+//!   merely enqueues the frontier their states actually change.
+//!
+//! Hence solving roots `A`, then adding `B` and re-solving, converges to the
+//! *same least fixpoint* as solving `A ∪ B` from scratch — only the path
+//! (and the step count, which the trajectory harness's `resume` rung
+//! measures) differs. `tests/session_resume.rs` enforces the identity
+//! differentially across every solver × scheduler combination.
 
 use crate::build::{build_method_graph, BuildOutput};
 use crate::compare::compare;
@@ -112,31 +140,10 @@ use crate::flow::{FlowId, FlowKind, SiteId};
 use crate::graph::Pvpg;
 use crate::lattice::{TypeSet, ValueState};
 use crate::metrics::SchedulerStats;
-use crate::report::{AnalysisResult, SolveStats};
+use crate::report::{AnalysisResult, ReachableSet, SolveStats};
 use skipflow_ir::{BitSet, MethodId, Program, TypeId, TypeRef};
 use std::collections::VecDeque;
-
-/// Runs the analysis on `program`, starting from `roots`.
-///
-/// Root methods (and the configured reflective roots) have their parameters
-/// injected with every instantiated subtype of the declared parameter types
-/// (paper §5).
-///
-/// # Panics
-///
-/// Panics if `config.max_steps` is exceeded — that limit exists to fail fast
-/// on engine bugs in tests; production runs leave it `None`.
-pub fn analyze(program: &Program, roots: &[MethodId], config: &AnalysisConfig) -> AnalysisResult {
-    let start = std::time::Instant::now();
-    let mut engine = Engine::new(program, config.clone());
-    engine.init(roots);
-    match config.solver {
-        SolverKind::Sequential => engine.solve_sequential(),
-        SolverKind::Parallel { threads } => engine.solve_parallel(threads.max(1)),
-        SolverKind::Reference => engine.solve_reference(),
-    }
-    engine.finish(start.elapsed())
-}
+use std::time::Duration;
 
 /// Minimum structural changes before a mid-solve condensation recompute.
 const RECOMPUTE_MIN_DIRTY: usize = 4096;
@@ -479,7 +486,10 @@ impl<'p> Engine<'p> {
         sink
     }
 
-    pub(crate) fn init(&mut self, roots: &[MethodId]) {
+    /// One-time setup of the global flows and the configured reflective
+    /// surface (§5). Called exactly once per session, before the first
+    /// solve; analysis roots are added separately via [`Engine::add_roots`].
+    pub(crate) fn bootstrap(&mut self) {
         // pred_on is enabled with a non-empty token state, so the flows it
         // predicates are enabled transitively.
         let pred_on = self.g.pred_on;
@@ -492,9 +502,8 @@ impl<'p> Engine<'p> {
         }
         self.enqueue(pred_on);
 
-        let mut all_roots: Vec<MethodId> = roots.to_vec();
-        all_roots.extend(self.config.reflective_roots.iter().copied());
-        for m in all_roots {
+        let reflective_roots = self.config.reflective_roots.clone();
+        for m in reflective_roots {
             self.make_root(m);
         }
         let reflective_fields = self.config.reflective_fields.clone();
@@ -504,6 +513,68 @@ impl<'p> Engine<'p> {
             self.inject(sink, declared);
         }
         self.sync_queued();
+    }
+
+    /// Adds analysis roots (paper §5: parameters injected with every
+    /// instantiated subtype of their declared types). May be called again
+    /// after a solve completed — the monotone-resume invariant (module docs)
+    /// guarantees re-solving then reaches the same fixpoint as a fresh
+    /// analysis over the union of all roots.
+    pub(crate) fn add_roots(&mut self, roots: &[MethodId]) {
+        for &m in roots {
+            self.make_root(m);
+        }
+        self.sync_queued();
+    }
+
+    /// Runs the configured solver until the current worklist is drained.
+    pub(crate) fn run_solver(&mut self) {
+        match self.config.solver {
+            SolverKind::Sequential => self.solve_sequential(),
+            SolverKind::Parallel { threads } => self.solve_parallel(threads.max(1)),
+            SolverKind::Reference => self.solve_reference(),
+        }
+    }
+
+    /// Worklist steps executed so far (cumulative across solves).
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The live PVPG.
+    pub(crate) fn graph(&self) -> &Pvpg {
+        &self.g
+    }
+
+    /// The configuration the engine runs under.
+    pub(crate) fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The instantiated-types bitset.
+    pub(crate) fn instantiated_bits(&self) -> &BitSet {
+        &self.instantiated
+    }
+
+    /// A sorted copy of the current reachable set (for session snapshots).
+    pub(crate) fn reachable_set(&self) -> ReachableSet {
+        ReachableSet::from_discovery(self.reachable.clone(), self.reachable_order.clone())
+    }
+
+    /// The current solver statistics.
+    pub(crate) fn stats_snapshot(&self, duration: Duration, solves: u64) -> SolveStats {
+        let (use_edges, pred_edges, obs_edges) = self.g.edge_counts();
+        SolveStats {
+            steps: self.steps,
+            state_joins: self.state_joins,
+            flows: self.g.flow_count(),
+            use_edges,
+            pred_edges,
+            obs_edges,
+            solves,
+            scheduler: self.sched_stats.clone(),
+            duration,
+        }
     }
 
     fn sync_queued(&mut self) {
@@ -1147,23 +1218,16 @@ impl<'p> Engine<'p> {
         }
     }
 
-    pub(crate) fn finish(self, elapsed: std::time::Duration) -> AnalysisResult {
-        let (use_edges, pred_edges, obs_edges) = self.g.edge_counts();
+    /// Consumes the engine into an owned [`AnalysisResult`] (zero-copy: the
+    /// PVPG moves out).
+    pub(crate) fn finish(self, elapsed: Duration, solves: u64) -> AnalysisResult {
+        let stats = self.stats_snapshot(elapsed, solves);
         AnalysisResult::new(
             self.g,
-            self.reachable_order.into_iter().collect(),
+            ReachableSet::from_discovery(self.reachable, self.reachable_order),
             self.instantiated,
             self.config,
-            SolveStats {
-                steps: self.steps,
-                state_joins: self.state_joins,
-                flows: 0, // filled by the constructor from the graph
-                use_edges,
-                pred_edges,
-                obs_edges,
-                scheduler: self.sched_stats,
-                duration: elapsed,
-            },
+            stats,
         )
     }
 }

@@ -1,0 +1,73 @@
+//! Structured analysis errors.
+//!
+//! The session builder validates every externally supplied input — root
+//! methods, reflective roots/fields, unsafe fields, and the solver
+//! configuration — against the program *before* the engine runs, so malformed
+//! input surfaces as a typed [`AnalysisError`] instead of an index panic deep
+//! inside the fixpoint iteration.
+
+use skipflow_ir::{FieldId, MethodId};
+use std::fmt;
+
+/// An invalid analysis input, reported by
+/// [`SessionBuilder::build`](crate::SessionBuilder::build) and
+/// [`AnalysisSession::add_roots`](crate::AnalysisSession::add_roots).
+///
+/// Marked `#[non_exhaustive]`: future sessions may validate more inputs
+/// without a breaking change, so downstream matches need a wildcard arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A root (or reflective root) method id does not exist in the program.
+    UnknownMethod {
+        /// The offending id.
+        method: MethodId,
+        /// Methods in the program (valid ids are `0..method_count`).
+        method_count: usize,
+    },
+    /// A reflective or unsafe field id does not exist in the program.
+    UnknownField {
+        /// The offending id.
+        field: FieldId,
+        /// Fields in the program (valid ids are `0..field_count`).
+        field_count: usize,
+    },
+    /// `SolverKind::Parallel` was configured with zero worker threads.
+    ZeroThreads,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnknownMethod { method, method_count } => write!(
+                f,
+                "root method {method:?} does not exist (program has {method_count} methods)"
+            ),
+            AnalysisError::UnknownField { field, field_count } => write!(
+                f,
+                "field {field:?} does not exist (program has {field_count} fields)"
+            ),
+            AnalysisError::ZeroThreads => {
+                write!(f, "SolverKind::Parallel requires at least one worker thread")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalysisError::UnknownMethod {
+            method: MethodId::from_index(7),
+            method_count: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("does not exist") && msg.contains('3'), "{msg}");
+        assert!(AnalysisError::ZeroThreads.to_string().contains("worker thread"));
+    }
+}

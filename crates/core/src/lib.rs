@@ -15,10 +15,32 @@
 //! GraalVM Native Image is the same engine with both features switched off —
 //! see [`AnalysisConfig::baseline_pta`].
 //!
+//! ## The session API
+//!
+//! The public surface is built around a reusable [`AnalysisSession`]: a
+//! typed builder assembles the configuration and entry points, and the
+//! session owns the PVPG, solver state, and scheduler *across* solves.
+//! [`AnalysisSession::solve`] drives the fixpoint and yields an
+//! [`AnalysisSnapshot`] — a cheap borrowed view carrying every query
+//! (reachability, value states, liveness, call-graph edges, metrics).
+//! [`AnalysisSession::add_roots`] registers new entry points and the next
+//! `solve()` *resumes* the existing fixpoint instead of rebuilding it —
+//! result-identical to a fresh run by monotonicity (see the resume notes at
+//! the top of `engine.rs`). Invalid inputs surface as a structured
+//! [`AnalysisError`] at build time instead of panics mid-solve.
+//!
+//! The [`CallGraphQuery`] trait is the common query interface across the
+//! precision ladder: snapshots, owned results, and the CHA/RTA baselines of
+//! the `skipflow-baselines` crate all implement it, so ladder comparisons
+//! are written once (`skipflow.refines(&pta)`).
+//!
+//! One-shot callers can keep using the [`analyze`] convenience wrapper (a
+//! build-solve-finish session in one call).
+//!
 //! ## Quick example
 //!
 //! ```
-//! use skipflow_core::{analyze, AnalysisConfig};
+//! use skipflow_core::AnalysisSession;
 //! use skipflow_ir::frontend::compile;
 //!
 //! let program = compile(
@@ -34,7 +56,12 @@
 //! let app = program.type_by_name("App").unwrap();
 //! let main = program.method_by_name(app, "main").unwrap();
 //!
-//! let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+//! let mut session = AnalysisSession::builder(&program)
+//!     .skipflow()
+//!     .roots([main])
+//!     .build()
+//!     .expect("valid inputs");
+//! let result = session.solve();
 //!
 //! // SkipFlow propagates the constant 0 out of Config.flag() and proves the
 //! // then-branch dead: App.dead is never analyzed.
@@ -53,18 +80,25 @@ pub mod compare;
 mod config;
 pub mod dot;
 mod engine;
+mod error;
 mod flow;
 mod graph;
 pub mod lattice;
 pub mod metrics;
+mod query;
 mod report;
+mod session;
 pub mod shrink;
 
 pub use compare::compare;
 pub use config::{AnalysisConfig, SchedulerKind, SolverKind};
-pub use engine::analyze;
+pub use error::AnalysisError;
 pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId};
 pub use graph::{CheckCategory, IfRecord, MethodGraph, Pvpg, SccInfo};
 pub use lattice::{TypeSet, ValueState};
 pub use metrics::{compute_metrics, Metrics, SchedulerStats};
-pub use report::{AnalysisResult, CallEdge, CallSiteInfo, SolveStats};
+pub use query::{CallGraphDelta, CallGraphQuery};
+pub use report::{
+    AnalysisResult, AnalysisSnapshot, CallEdge, CallSiteInfo, ReachableSet, SolveStats,
+};
+pub use session::{analyze, AnalysisSession, SessionBuilder};

@@ -4,9 +4,8 @@
 //! results (split into Type / Null / Prim checks), the virtual calls that
 //! could not be devirtualized (PolyCalls), and the binary-size proxy.
 
-use crate::flow::CallKind;
 use crate::graph::CheckCategory;
-use crate::report::AnalysisResult;
+use crate::report::AnalysisSnapshot;
 use skipflow_ir::Program;
 use std::fmt;
 
@@ -80,11 +79,15 @@ pub struct SchedulerStats {
     pub rebucketed_flows: u64,
 }
 
-/// Computes the counter metrics from a finished analysis.
-pub fn compute_metrics(result: &AnalysisResult, program: &Program) -> Metrics {
+/// Computes the counter metrics from a finished analysis (any
+/// [`AnalysisSnapshot`] view — owned results delegate through
+/// [`crate::AnalysisResult::metrics`]).
+pub fn compute_metrics(result: &AnalysisSnapshot<'_>, program: &Program) -> Metrics {
     let g = result.graph();
     let mut m = Metrics {
         reachable_methods: result.reachable_methods().len(),
+        // PolyCalls shares one definition with `CallGraphQuery::poly_call_count`.
+        poly_calls: result.poly_call_sites(),
         ..Metrics::default()
     };
 
@@ -109,14 +112,6 @@ pub fn compute_metrics(result: &AnalysisResult, program: &Program) -> Metrics {
                     CheckCategory::Null => m.null_checks += 1,
                     CheckCategory::Prim => m.prim_checks += 1,
                 }
-            }
-        }
-
-        // PolyCalls: enabled virtual sites with ≥ 2 resolved targets.
-        for &site in &mg.sites {
-            let s = g.site(site);
-            if s.kind == CallKind::Virtual && g.flow(s.flow).enabled && s.linked.len() >= 2 {
-                m.poly_calls += 1;
             }
         }
 

@@ -1,5 +1,18 @@
-//! The analysis result: reachability, value states, call-graph queries,
+//! Analysis results: reachability, value states, call-graph queries,
 //! liveness, and dead-code reports.
+//!
+//! Two views share one query surface:
+//!
+//! * [`AnalysisSnapshot`] — a cheap borrowed view of a (paused)
+//!   [`AnalysisSession`](crate::AnalysisSession). Every query method lives
+//!   here; taking a snapshot copies five references.
+//! * [`AnalysisResult`] — the owned form, produced by
+//!   [`AnalysisSession::into_result`](crate::AnalysisSession::into_result)
+//!   (or the [`crate::analyze`] convenience wrapper). It stores the final
+//!   PVPG and delegates every query to an internal snapshot.
+//!
+//! Reachability is stored as a [`ReachableSet`] — a bitset for O(1)
+//! membership plus a sorted id vector for deterministic iteration.
 
 use crate::config::AnalysisConfig;
 use crate::flow::{CallKind, FlowKind, SiteId};
@@ -7,13 +20,12 @@ use crate::graph::Pvpg;
 use crate::lattice::ValueState;
 use crate::metrics::{compute_metrics, Metrics, SchedulerStats};
 use skipflow_ir::{BitSet, BlockId, MethodId, Program, TypeId};
-use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// Solver statistics.
 #[derive(Clone, Debug, Default)]
 pub struct SolveStats {
-    /// Worklist steps executed.
+    /// Worklist steps executed (cumulative across session resumes).
     pub steps: u64,
     /// Input-state joins that actually changed a state (propagation volume).
     pub state_joins: u64,
@@ -25,32 +37,99 @@ pub struct SolveStats {
     pub pred_edges: usize,
     /// Observe edges.
     pub obs_edges: usize,
+    /// `solve()` calls that contributed to these numbers (1 for a one-shot
+    /// [`crate::analyze`] run; grows as a session is resumed).
+    pub solves: u64,
     /// SCC-scheduler statistics (zero under FIFO / reference).
     pub scheduler: SchedulerStats,
-    /// Wall-clock analysis time.
+    /// Wall-clock analysis time (cumulative across session resumes).
     pub duration: Duration,
 }
 
-/// The outcome of one analysis run (see [`crate::analyze`]).
-#[derive(Clone, Debug)]
-pub struct AnalysisResult {
-    graph: Pvpg,
-    reachable: BTreeSet<MethodId>,
-    instantiated: BitSet,
-    config: AnalysisConfig,
-    stats: SolveStats,
+/// The set of reachable methods: a bitset for O(1) membership plus the ids
+/// in ascending order for deterministic iteration (the replacement for the
+/// former `BTreeSet<MethodId>` representation).
+///
+/// Equality is set equality — two solvers that discover the same methods in
+/// different orders compare equal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReachableSet {
+    bits: BitSet,
+    /// Ascending method ids (sorted once at construction).
+    order: Vec<MethodId>,
 }
 
-impl AnalysisResult {
+impl ReachableSet {
+    /// Builds the set from the engine's membership bitset and discovery
+    /// order. The order is re-sorted into ascending id order so iteration is
+    /// deterministic across solvers and schedulers.
+    pub(crate) fn from_discovery(bits: BitSet, mut order: Vec<MethodId>) -> Self {
+        order.sort_unstable();
+        debug_assert_eq!(bits.len(), order.len(), "bitset and order must agree");
+        ReachableSet { bits, order }
+    }
+
+    /// Number of reachable methods.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no method is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, m: MethodId) -> bool {
+        self.bits.contains(m.index())
+    }
+
+    /// Iterates the methods in ascending id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, MethodId> {
+        self.order.iter()
+    }
+
+    /// The methods as a sorted slice.
+    pub fn as_slice(&self) -> &[MethodId] {
+        &self.order
+    }
+
+    /// Whether every method of `self` is also in `other`.
+    pub fn is_subset(&self, other: &ReachableSet) -> bool {
+        self.order.iter().all(|&m| other.contains(m))
+    }
+}
+
+impl<'a> IntoIterator for &'a ReachableSet {
+    type Item = &'a MethodId;
+    type IntoIter = std::slice::Iter<'a, MethodId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.order.iter()
+    }
+}
+
+/// A cheap borrowed view of an analysis fixpoint: all query methods, no
+/// ownership. Obtained from [`AnalysisSession::solve`](crate::AnalysisSession::solve),
+/// [`AnalysisSession::snapshot`](crate::AnalysisSession::snapshot), or
+/// [`AnalysisResult::snapshot`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisSnapshot<'a> {
+    graph: &'a Pvpg,
+    reachable: &'a ReachableSet,
+    instantiated: &'a BitSet,
+    config: &'a AnalysisConfig,
+    stats: &'a SolveStats,
+}
+
+impl<'a> AnalysisSnapshot<'a> {
     pub(crate) fn new(
-        graph: Pvpg,
-        reachable: BTreeSet<MethodId>,
-        instantiated: BitSet,
-        config: AnalysisConfig,
-        mut stats: SolveStats,
+        graph: &'a Pvpg,
+        reachable: &'a ReachableSet,
+        instantiated: &'a BitSet,
+        config: &'a AnalysisConfig,
+        stats: &'a SolveStats,
     ) -> Self {
-        stats.flows = graph.flow_count();
-        AnalysisResult {
+        AnalysisSnapshot {
             graph,
             reachable,
             instantiated,
@@ -59,29 +138,29 @@ impl AnalysisResult {
         }
     }
 
-    /// The final PVPG (for advanced inspection and the bench harness).
-    pub fn graph(&self) -> &Pvpg {
-        &self.graph
+    /// The PVPG (for advanced inspection and the bench harness).
+    pub fn graph(&self) -> &'a Pvpg {
+        self.graph
     }
 
     /// The configuration the analysis ran under.
-    pub fn config(&self) -> &AnalysisConfig {
-        &self.config
+    pub fn config(&self) -> &'a AnalysisConfig {
+        self.config
     }
 
-    /// Solver statistics.
-    pub fn stats(&self) -> &SolveStats {
-        &self.stats
+    /// Solver statistics (cumulative across session resumes).
+    pub fn stats(&self) -> &'a SolveStats {
+        self.stats
     }
 
     /// The set of reachable methods (the paper's `R`).
-    pub fn reachable_methods(&self) -> &BTreeSet<MethodId> {
-        &self.reachable
+    pub fn reachable_methods(&self) -> &'a ReachableSet {
+        self.reachable
     }
 
-    /// Whether `m` was marked reachable.
+    /// Whether `m` was marked reachable (O(1)).
     pub fn is_reachable(&self, m: MethodId) -> bool {
-        self.reachable.contains(&m)
+        self.reachable.contains(m)
     }
 
     /// Whether any enabled `new T` for this exact type was reached.
@@ -91,7 +170,7 @@ impl AnalysisResult {
 
     /// The value state returned by `m` (the out-state of its method-return
     /// flow). `None` if `m` is unreachable or never returns.
-    pub fn return_state(&self, m: MethodId) -> Option<&ValueState> {
+    pub fn return_state(&self, m: MethodId) -> Option<&'a ValueState> {
         let mg = self.graph.method_graph(m)?;
         let ret = mg.ret?;
         Some(&self.graph.flow(ret).out_state)
@@ -99,7 +178,7 @@ impl AnalysisResult {
 
     /// The value state of parameter `i` of `m` (receiver = 0 for instance
     /// methods).
-    pub fn param_state(&self, m: MethodId, i: usize) -> Option<&ValueState> {
+    pub fn param_state(&self, m: MethodId, i: usize) -> Option<&'a ValueState> {
         let mg = self.graph.method_graph(m)?;
         let p = *mg.params.get(i)?;
         Some(&self.graph.flow(p).out_state)
@@ -159,7 +238,7 @@ impl AnalysisResult {
 
     /// The out-state of the flow created for statement `stmt` of block
     /// `block` in `m` (for fine-grained assertions in tests).
-    pub fn stmt_state(&self, m: MethodId, block: BlockId, stmt: usize) -> Option<&ValueState> {
+    pub fn stmt_state(&self, m: MethodId, block: BlockId, stmt: usize) -> Option<&'a ValueState> {
         let mg = self.graph.method_graph(m)?;
         let f = *mg.stmt_flows.get(block.index())?.get(stmt)?;
         Some(&self.graph.flow(f).out_state)
@@ -246,12 +325,30 @@ impl AnalysisResult {
         edges
     }
 
+    /// Enabled virtual call sites with two or more resolved targets (the
+    /// PolyCalls counter, shared with [`crate::CallGraphQuery`]).
+    pub fn poly_call_sites(&self) -> usize {
+        let mut n = 0;
+        for mg in self.graph.methods.values() {
+            for &site in &mg.sites {
+                let s = self.graph.site(site);
+                if s.kind == CallKind::Virtual
+                    && self.graph.flow(s.flow).enabled
+                    && s.linked.len() >= 2
+                {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
     /// Renders the call graph as Graphviz `dot` (method-level nodes;
     /// polymorphic sites produce multiple out-edges).
     pub fn call_graph_dot(&self, program: &Program) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph callgraph {\n  rankdir=LR;\n  node [shape=box];\n");
-        for &m in &self.reachable {
+        for &m in self.reachable.iter() {
             let _ = writeln!(out, "  m{} [label=\"{}\"];", m.index(), program.method_label(m));
         }
         let mut seen = std::collections::BTreeSet::new();
@@ -266,6 +363,144 @@ impl AnalysisResult {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+/// The owned outcome of one analysis (see [`crate::analyze`] and
+/// [`AnalysisSession::into_result`](crate::AnalysisSession::into_result)).
+/// Every query delegates to [`AnalysisSnapshot`].
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    graph: Pvpg,
+    reachable: ReachableSet,
+    instantiated: BitSet,
+    config: AnalysisConfig,
+    stats: SolveStats,
+}
+
+impl AnalysisResult {
+    pub(crate) fn new(
+        graph: Pvpg,
+        reachable: ReachableSet,
+        instantiated: BitSet,
+        config: AnalysisConfig,
+        mut stats: SolveStats,
+    ) -> Self {
+        stats.flows = graph.flow_count();
+        AnalysisResult {
+            graph,
+            reachable,
+            instantiated,
+            config,
+            stats,
+        }
+    }
+
+    /// A borrowed view of this result carrying the full query surface.
+    pub fn snapshot(&self) -> AnalysisSnapshot<'_> {
+        AnalysisSnapshot::new(
+            &self.graph,
+            &self.reachable,
+            &self.instantiated,
+            &self.config,
+            &self.stats,
+        )
+    }
+
+    /// The final PVPG (for advanced inspection and the bench harness).
+    pub fn graph(&self) -> &Pvpg {
+        &self.graph
+    }
+
+    /// The configuration the analysis ran under.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// The set of reachable methods (the paper's `R`).
+    pub fn reachable_methods(&self) -> &ReachableSet {
+        &self.reachable
+    }
+
+    /// Whether `m` was marked reachable (O(1)).
+    pub fn is_reachable(&self, m: MethodId) -> bool {
+        self.reachable.contains(m)
+    }
+
+    /// Whether any enabled `new T` for this exact type was reached.
+    pub fn is_instantiated(&self, t: TypeId) -> bool {
+        self.instantiated.contains(t.index())
+    }
+
+    /// The value state returned by `m`; see [`AnalysisSnapshot::return_state`].
+    pub fn return_state(&self, m: MethodId) -> Option<&ValueState> {
+        self.snapshot().return_state(m)
+    }
+
+    /// The value state of parameter `i` of `m`; see
+    /// [`AnalysisSnapshot::param_state`].
+    pub fn param_state(&self, m: MethodId, i: usize) -> Option<&ValueState> {
+        self.snapshot().param_state(m, i)
+    }
+
+    /// The resolved targets of each call site in `m`, in source order.
+    pub fn call_sites(&self, m: MethodId) -> Vec<CallSiteInfo> {
+        self.snapshot().call_sites(m)
+    }
+
+    /// Per-block liveness of `m`'s body; see [`AnalysisSnapshot::live_blocks`].
+    pub fn live_blocks(&self, m: MethodId) -> Vec<bool> {
+        self.snapshot().live_blocks(m)
+    }
+
+    /// The blocks of `m` proven unreachable by the analysis.
+    pub fn dead_blocks(&self, m: MethodId) -> Vec<BlockId> {
+        self.snapshot().dead_blocks(m)
+    }
+
+    /// Virtual call sites in `m` devirtualized to exactly one target.
+    pub fn devirtualized_sites(&self, m: MethodId) -> Vec<(SiteId, MethodId)> {
+        self.snapshot().devirtualized_sites(m)
+    }
+
+    /// The out-state of the flow created for statement `stmt` of `block`.
+    pub fn stmt_state(&self, m: MethodId, block: BlockId, stmt: usize) -> Option<&ValueState> {
+        self.snapshot().stmt_state(m, block, stmt)
+    }
+
+    /// Whether the flow of statement `stmt` in `block` of `m` is enabled.
+    pub fn stmt_enabled(&self, m: MethodId, block: BlockId, stmt: usize) -> Option<bool> {
+        self.snapshot().stmt_enabled(m, block, stmt)
+    }
+
+    /// Computes the paper's counter metrics.
+    pub fn metrics(&self, program: &Program) -> Metrics {
+        self.snapshot().metrics(program)
+    }
+
+    /// Renders a human-readable dead-code report for one method.
+    pub fn dead_code_report(&self, program: &Program, m: MethodId) -> String {
+        self.snapshot().dead_code_report(program, m)
+    }
+
+    /// Flow-level view used by debugging tests.
+    pub fn allocation_enabled(&self, t: TypeId) -> bool {
+        self.snapshot().allocation_enabled(t)
+    }
+
+    /// The call graph induced by the analysis.
+    pub fn call_graph_edges(&self) -> Vec<CallEdge> {
+        self.snapshot().call_graph_edges()
+    }
+
+    /// Renders the call graph as Graphviz `dot`.
+    pub fn call_graph_dot(&self, program: &Program) -> String {
+        self.snapshot().call_graph_dot(program)
     }
 }
 
@@ -293,4 +528,54 @@ pub struct CallSiteInfo {
     pub targets: Vec<MethodId>,
     /// Whether the invoke flow was ever enabled.
     pub enabled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachable_set_sorts_membership_and_iteration() {
+        let mut bits = BitSet::new();
+        for i in [5usize, 1, 9] {
+            bits.insert(i);
+        }
+        let order = vec![
+            MethodId::from_index(9),
+            MethodId::from_index(1),
+            MethodId::from_index(5),
+        ];
+        let set = ReachableSet::from_discovery(bits, order);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert!(set.contains(MethodId::from_index(5)));
+        assert!(!set.contains(MethodId::from_index(2)));
+        let ids: Vec<usize> = set.iter().map(|m| m.index()).collect();
+        assert_eq!(ids, vec![1, 5, 9], "ascending regardless of discovery order");
+        // `for &m in &set` works like the former BTreeSet.
+        let mut n = 0;
+        for &m in &set {
+            assert!(set.contains(m));
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn reachable_set_equality_ignores_discovery_order() {
+        let build = |order: &[usize]| {
+            let mut bits = BitSet::new();
+            for &i in order {
+                bits.insert(i);
+            }
+            ReachableSet::from_discovery(
+                bits,
+                order.iter().map(|&i| MethodId::from_index(i)).collect(),
+            )
+        };
+        assert_eq!(build(&[3, 1, 2]), build(&[1, 2, 3]));
+        assert_ne!(build(&[1, 2]), build(&[1, 2, 3]));
+        assert!(build(&[1, 2]).is_subset(&build(&[1, 2, 3])));
+        assert!(!build(&[1, 4]).is_subset(&build(&[1, 2, 3])));
+    }
 }

@@ -1,0 +1,475 @@
+//! The session-based analysis API.
+//!
+//! An [`AnalysisSession`] owns the PVPG, the solver state, and the scheduler
+//! across calls, so the fixpoint can be *resumed*: after a solve, new entry
+//! points can be added ([`AnalysisSession::add_roots`]) and the next
+//! [`AnalysisSession::solve`] continues from the saturated graph instead of
+//! rebuilding it. By the monotone-resume invariant (documented at the top of
+//! `engine.rs`) the resumed fixpoint is bit-identical to a fresh analysis
+//! over the union of all roots — only cheaper, which the trajectory
+//! harness's `resume` rung measures.
+//!
+//! Sessions are assembled with a typed builder:
+//!
+//! ```
+//! use skipflow_core::{AnalysisSession, SolverKind};
+//! use skipflow_ir::frontend::compile;
+//!
+//! let program = compile(
+//!     "class App { static method main(): void { return; } }",
+//! ).unwrap();
+//! let app = program.type_by_name("App").unwrap();
+//! let main = program.method_by_name(app, "main").unwrap();
+//!
+//! let mut session = AnalysisSession::builder(&program)
+//!     .skipflow()
+//!     .solver(SolverKind::Sequential)
+//!     .roots([main])
+//!     .build()
+//!     .unwrap();
+//! let snapshot = session.solve();
+//! assert!(snapshot.is_reachable(main));
+//! ```
+//!
+//! The one-shot [`analyze`] free function remains as a thin convenience
+//! wrapper over a single-solve session.
+
+use crate::config::{AnalysisConfig, SchedulerKind, SolverKind};
+use crate::engine::Engine;
+use crate::error::AnalysisError;
+use crate::report::{AnalysisResult, AnalysisSnapshot, ReachableSet, SolveStats};
+use skipflow_ir::{BitSet, FieldId, MethodId, Program};
+use std::time::{Duration, Instant};
+
+/// Runs the analysis on `program`, starting from `roots`.
+///
+/// A thin convenience wrapper over [`AnalysisSession`] for one-shot runs —
+/// build, solve once, convert to an owned result. New code that re-analyzes
+/// (added entry points, baseline comparisons, long-lived servers) should use
+/// the session API directly; this wrapper rebuilds the whole fixpoint on
+/// every call.
+///
+/// # Panics
+///
+/// Panics on invalid input (unknown root/field ids, zero parallel threads) —
+/// the session builder reports these as [`AnalysisError`] instead — and if
+/// `config.max_steps` is exceeded (a fail-fast valve for engine bugs in
+/// tests; production runs leave it `None`).
+pub fn analyze(program: &Program, roots: &[MethodId], config: &AnalysisConfig) -> AnalysisResult {
+    let mut session = AnalysisSession::builder(program)
+        .config(config.clone())
+        .roots(roots.iter().copied())
+        .build()
+        .unwrap_or_else(|e| panic!("analyze: invalid input: {e}"));
+    session.solve();
+    session.into_result()
+}
+
+/// Typed builder for [`AnalysisSession`] (see the module docs for the
+/// canonical chain). Configuration presets (`skipflow()`, `baseline_pta()`,
+/// …) *replace* the whole configuration, so apply them before the
+/// fine-grained knobs (`solver`, `scheduler`, `saturation`, …).
+#[derive(Clone, Debug)]
+pub struct SessionBuilder<'p> {
+    program: &'p Program,
+    config: AnalysisConfig,
+    roots: Vec<MethodId>,
+}
+
+impl<'p> SessionBuilder<'p> {
+    fn new(program: &'p Program) -> Self {
+        SessionBuilder {
+            program,
+            config: AnalysisConfig::skipflow(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Preset: full SkipFlow (predicate edges + primitive tracking). This is
+    /// the default configuration of a fresh builder.
+    pub fn skipflow(mut self) -> Self {
+        self.config = AnalysisConfig::skipflow();
+        self
+    }
+
+    /// Preset: the baseline type-based points-to analysis (`PTA`).
+    pub fn baseline_pta(mut self) -> Self {
+        self.config = AnalysisConfig::baseline_pta();
+        self
+    }
+
+    /// Preset: predicate edges without primitive tracking.
+    pub fn predicates_only(mut self) -> Self {
+        self.config = AnalysisConfig::predicates_only();
+        self
+    }
+
+    /// Preset: primitive tracking without predicate edges.
+    pub fn primitives_only(mut self) -> Self {
+        self.config = AnalysisConfig::primitives_only();
+        self
+    }
+
+    /// Replaces the entire configuration (for callers that already hold an
+    /// [`AnalysisConfig`], e.g. the bench harness sweeping ablations).
+    pub fn config(mut self, config: AnalysisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the fixpoint solver.
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.config = self.config.with_solver(solver);
+        self
+    }
+
+    /// Selects the delta solvers' worklist scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.config = self.config.with_scheduler(scheduler);
+        self
+    }
+
+    /// Sets (or clears) the saturation threshold.
+    pub fn saturation(mut self, threshold: impl Into<Option<usize>>) -> Self {
+        self.config = self.config.with_saturation(threshold);
+        self
+    }
+
+    /// Sets (or clears) the fixpoint step bound (tests' fail-fast valve).
+    pub fn max_steps(mut self, max_steps: impl Into<Option<u64>>) -> Self {
+        self.config = self.config.with_max_steps(max_steps);
+        self
+    }
+
+    /// Registers methods invokable via Reflection/JNI (§5).
+    pub fn reflective_roots(mut self, roots: impl IntoIterator<Item = MethodId>) -> Self {
+        self.config = self.config.with_reflective_roots(roots);
+        self
+    }
+
+    /// Registers fields accessible via Reflection/JNI (§5).
+    pub fn reflective_fields(mut self, fields: impl IntoIterator<Item = FieldId>) -> Self {
+        self.config = self.config.with_reflective_fields(fields);
+        self
+    }
+
+    /// Registers fields accessed via `Unsafe` (§5).
+    pub fn unsafe_fields(mut self, fields: impl IntoIterator<Item = FieldId>) -> Self {
+        self.config = self.config.with_unsafe_fields(fields);
+        self
+    }
+
+    /// Adds analysis entry points (accumulates across calls; duplicates are
+    /// accepted and deduplicated at build).
+    pub fn roots(mut self, roots: impl IntoIterator<Item = MethodId>) -> Self {
+        self.roots.extend(roots);
+        self
+    }
+
+    /// Validates the inputs and builds the session. Nothing is solved yet —
+    /// the first [`AnalysisSession::solve`] runs the fixpoint.
+    pub fn build(self) -> Result<AnalysisSession<'p>, AnalysisError> {
+        let SessionBuilder {
+            program,
+            config,
+            roots,
+        } = self;
+        if let SolverKind::Parallel { threads: 0 } = config.solver() {
+            return Err(AnalysisError::ZeroThreads);
+        }
+        let method_count = program.method_count();
+        for &m in roots.iter().chain(config.reflective_roots()) {
+            if m.index() >= method_count {
+                return Err(AnalysisError::UnknownMethod {
+                    method: m,
+                    method_count,
+                });
+            }
+        }
+        let field_count = program.field_count();
+        for &f in config.reflective_fields().iter().chain(config.unsafe_fields()) {
+            if f.index() >= field_count {
+                return Err(AnalysisError::UnknownField {
+                    field: f,
+                    field_count,
+                });
+            }
+        }
+        let mut engine = Engine::new(program, config);
+        engine.bootstrap();
+        let mut session = AnalysisSession {
+            program,
+            engine,
+            roots: Vec::new(),
+            root_bits: BitSet::new(),
+            pending_roots: Vec::new(),
+            reachable: ReachableSet::default(),
+            stats: SolveStats::default(),
+            total_duration: Duration::ZERO,
+            solves: 0,
+            last_solve_steps: 0,
+        };
+        session.accept_roots(roots);
+        Ok(session)
+    }
+}
+
+/// A reusable analysis session: owns the PVPG, the solver state, and the
+/// scheduler across solves, supporting incremental root addition with
+/// fixpoint resume (see the module docs).
+pub struct AnalysisSession<'p> {
+    program: &'p Program,
+    engine: Engine<'p>,
+    /// All accepted roots, in acceptance order (deduplicated).
+    roots: Vec<MethodId>,
+    root_bits: BitSet,
+    /// Accepted roots not yet fed to the engine (drained by `solve`).
+    pending_roots: Vec<MethodId>,
+    /// Sorted reachable view, refreshed after each solve.
+    reachable: ReachableSet,
+    /// Statistics, refreshed after each solve.
+    stats: SolveStats,
+    total_duration: Duration,
+    solves: u64,
+    last_solve_steps: u64,
+}
+
+impl std::fmt::Debug for AnalysisSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("config", self.engine.config())
+            .field("roots", &self.roots)
+            .field("pending_roots", &self.pending_roots)
+            .field("solves", &self.solves)
+            .field("reachable", &self.reachable.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> AnalysisSession<'p> {
+    /// Starts building a session over `program`.
+    pub fn builder(program: &'p Program) -> SessionBuilder<'p> {
+        SessionBuilder::new(program)
+    }
+
+    /// Deduplicates and records pre-validated roots.
+    fn accept_roots(&mut self, roots: impl IntoIterator<Item = MethodId>) -> usize {
+        let mut added = 0;
+        for m in roots {
+            if self.root_bits.insert(m.index()) {
+                self.roots.push(m);
+                self.pending_roots.push(m);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Adds entry points to an existing session; the next [`solve`] resumes
+    /// the fixpoint from the current saturated state. Already-registered
+    /// roots are ignored. Returns how many new roots were accepted.
+    ///
+    /// [`solve`]: AnalysisSession::solve
+    pub fn add_roots(
+        &mut self,
+        roots: impl IntoIterator<Item = MethodId>,
+    ) -> Result<usize, AnalysisError> {
+        let roots: Vec<MethodId> = roots.into_iter().collect();
+        let method_count = self.program.method_count();
+        for &m in &roots {
+            if m.index() >= method_count {
+                return Err(AnalysisError::UnknownMethod {
+                    method: m,
+                    method_count,
+                });
+            }
+        }
+        Ok(self.accept_roots(roots))
+    }
+
+    /// Runs the configured solver to the least fixpoint over everything
+    /// added so far and returns a snapshot of the saturated state. On a
+    /// session that was already solved, this *resumes*: only the frontier
+    /// the new roots actually change is re-processed (the monotone-resume
+    /// invariant; see `engine.rs`). Solving an up-to-date session is a
+    /// cheap no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured `max_steps` bound is exceeded (the
+    /// fail-fast valve for engine bugs in tests).
+    pub fn solve(&mut self) -> AnalysisSnapshot<'_> {
+        if self.solves > 0 && self.pending_roots.is_empty() {
+            // Already saturated with no new roots: the worklist is empty, so
+            // running the solver would only pay for a condensation recompute
+            // and a view refresh. Skip both — this is what makes re-solving
+            // an up-to-date session genuinely cheap.
+            self.solves += 1;
+            self.last_solve_steps = 0;
+            self.stats.solves = self.solves;
+            return self.snapshot();
+        }
+        let start = Instant::now();
+        let steps_before = self.engine.steps();
+        let pending = std::mem::take(&mut self.pending_roots);
+        self.engine.add_roots(&pending);
+        self.engine.run_solver();
+        self.total_duration += start.elapsed();
+        self.solves += 1;
+        self.last_solve_steps = self.engine.steps() - steps_before;
+        self.reachable = self.engine.reachable_set();
+        self.stats = self.engine.stats_snapshot(self.total_duration, self.solves);
+        self.snapshot()
+    }
+
+    /// A cheap borrowed view of the current state (empty before the first
+    /// [`AnalysisSession::solve`]; roots added since the last solve are not
+    /// reflected until the next one).
+    pub fn snapshot(&self) -> AnalysisSnapshot<'_> {
+        AnalysisSnapshot::new(
+            self.engine.graph(),
+            &self.reachable,
+            self.engine.instantiated_bits(),
+            self.engine.config(),
+            &self.stats,
+        )
+    }
+
+    /// Consumes the session into an owned [`AnalysisResult`] (the PVPG moves
+    /// out; nothing is copied). Roots still pending a solve are *not*
+    /// reflected — call [`AnalysisSession::solve`] first.
+    pub fn into_result(self) -> AnalysisResult {
+        self.engine.finish(self.total_duration, self.solves)
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The configuration the session runs under.
+    pub fn config(&self) -> &AnalysisConfig {
+        self.engine.config()
+    }
+
+    /// Every accepted root, in acceptance order (deduplicated).
+    pub fn roots(&self) -> &[MethodId] {
+        &self.roots
+    }
+
+    /// Whether all accepted roots have been solved in.
+    pub fn is_up_to_date(&self) -> bool {
+        self.solves > 0 && self.pending_roots.is_empty()
+    }
+
+    /// Completed [`AnalysisSession::solve`] calls.
+    pub fn solve_count(&self) -> u64 {
+        self.solves
+    }
+
+    /// Worklist steps executed by the most recent solve alone — the
+    /// incremental cost of a resume (the cumulative count is in
+    /// [`SolveStats::steps`]).
+    pub fn last_solve_steps(&self) -> u64 {
+        self.last_solve_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipflow_ir::frontend::compile;
+
+    const SRC: &str = "
+        class A { static method go(): void { return; } }
+        class B { static method go(): void { A.go(); } }
+        class Main {
+          static method main(): void { A.go(); }
+          static method extra(): void { B.go(); }
+        }
+    ";
+
+    fn program_and_methods() -> (Program, MethodId, MethodId, MethodId, MethodId) {
+        let p = compile(SRC).unwrap();
+        let main_cls = p.type_by_name("Main").unwrap();
+        let main = p.method_by_name(main_cls, "main").unwrap();
+        let extra = p.method_by_name(main_cls, "extra").unwrap();
+        let a = p.method_by_name(p.type_by_name("A").unwrap(), "go").unwrap();
+        let b = p.method_by_name(p.type_by_name("B").unwrap(), "go").unwrap();
+        (p, main, extra, a, b)
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        let (p, main, ..) = program_and_methods();
+        let bogus = MethodId::from_index(10_000);
+        let err = AnalysisSession::builder(&p).roots([bogus]).build().unwrap_err();
+        assert!(matches!(err, AnalysisError::UnknownMethod { .. }));
+
+        let err = AnalysisSession::builder(&p)
+            .roots([main])
+            .solver(SolverKind::Parallel { threads: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AnalysisError::ZeroThreads);
+
+        let bogus_field = FieldId::from_index(10_000);
+        let err = AnalysisSession::builder(&p)
+            .roots([main])
+            .reflective_fields([bogus_field])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn solve_resume_extends_the_fixpoint() {
+        let (p, main, extra, a, b) = program_and_methods();
+        let mut session = AnalysisSession::builder(&p).skipflow().roots([main]).build().unwrap();
+        assert!(!session.is_up_to_date());
+        let snap = session.solve();
+        assert!(snap.is_reachable(a) && !snap.is_reachable(b));
+        assert!(session.is_up_to_date());
+
+        // Adding a root and resuming reaches the new frontier…
+        assert_eq!(session.add_roots([extra]).unwrap(), 1);
+        assert!(!session.is_up_to_date());
+        let snap = session.solve();
+        assert!(snap.is_reachable(extra) && snap.is_reachable(b));
+        assert_eq!(session.solve_count(), 2);
+        // …and duplicates are ignored.
+        assert_eq!(session.add_roots([extra, main]).unwrap(), 0);
+        assert_eq!(session.roots(), &[main, extra]);
+
+        // Re-solving an up-to-date session is a no-op.
+        session.solve();
+        assert_eq!(session.last_solve_steps(), 0);
+
+        // The owned result matches a fresh union run.
+        let resumed = session.into_result();
+        let fresh = analyze(&p, &[main, extra], &AnalysisConfig::skipflow());
+        assert_eq!(resumed.reachable_methods(), fresh.reachable_methods());
+    }
+
+    #[test]
+    fn snapshot_before_solve_is_empty() {
+        let (p, main, ..) = program_and_methods();
+        let session = AnalysisSession::builder(&p).roots([main]).build().unwrap();
+        let snap = session.snapshot();
+        assert!(snap.reachable_methods().is_empty());
+        assert_eq!(snap.stats().solves, 0);
+    }
+
+    #[test]
+    fn add_roots_rejects_unknown_methods_without_corrupting_state() {
+        let (p, main, extra, ..) = program_and_methods();
+        let mut session = AnalysisSession::builder(&p).roots([main]).build().unwrap();
+        session.solve();
+        let err = session
+            .add_roots([extra, MethodId::from_index(9_999)])
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::UnknownMethod { .. }));
+        // The batch was rejected atomically: `extra` was not accepted.
+        assert_eq!(session.roots(), &[main]);
+    }
+}

@@ -133,14 +133,12 @@ fn precise_exceptions_config_only_sees_thrown_values() {
     let main = method(&program, "Main", "main");
     let handler = method(&program, "Main", "handler");
 
-    let mut coarse = AnalysisConfig::skipflow();
-    coarse.coarse_exceptions = true;
+    let coarse = AnalysisConfig::skipflow().with_coarse_exceptions(true);
     let result = analyze(&program, &[main, handler], &coarse);
     let types = result.return_state(handler).unwrap().types().unwrap().clone();
     assert!(types.contains(class(&program, "NeverThrown")), "coarse policy injects instantiated subtypes");
 
-    let mut precise = AnalysisConfig::skipflow();
-    precise.coarse_exceptions = false;
+    let precise = AnalysisConfig::skipflow().with_coarse_exceptions(false);
     let result = analyze(&program, &[main, handler], &precise);
     let types = result.return_state(handler).unwrap().types().unwrap().clone();
     assert!(types.contains(class(&program, "IoException")));
@@ -339,8 +337,7 @@ fn reflective_roots_inject_instantiated_subtypes() {
     let program = compile(src).unwrap();
     let main = method(&program, "Main", "main");
     let entry = method(&program, "Main", "reflectiveEntry");
-    let mut config = AnalysisConfig::skipflow();
-    config.reflective_roots.push(entry);
+    let config = AnalysisConfig::skipflow().with_reflective_roots([entry]);
     let result = analyze(&program, &[main], &config);
     assert!(result.is_reachable(entry));
     // The reflective parameter receives the instantiated subtype, so the
@@ -374,8 +371,7 @@ fn reflective_fields_receive_instantiated_subtypes() {
     let field = program
         .field_by_name(class(&program, "Registry"), "handler")
         .unwrap();
-    let mut config = AnalysisConfig::skipflow();
-    config.reflective_fields.push(field);
+    let config = AnalysisConfig::skipflow().with_reflective_fields([field]);
     let result = analyze(&program, &[main], &config);
     let read = method(&program, "Main", "read");
     let types = result.param_state(read, 0).unwrap().types().unwrap().clone();
@@ -413,8 +409,7 @@ fn unsafe_fields_unify_stores_and_loads() {
     assert!(result.param_state(use_m, 0).unwrap().le(&ValueState::null()));
 
     // Marking both fields unsafe routes the store into the load.
-    let mut config = AnalysisConfig::skipflow();
-    config.unsafe_fields = vec![fx, fy];
+    let config = AnalysisConfig::skipflow().with_unsafe_fields([fx, fy]);
     let result = analyze(&program, &[main], &config);
     let types = result.param_state(use_m, 0).unwrap().types().unwrap().clone();
     assert!(types.contains(class(&program, "Val")));

@@ -32,6 +32,29 @@ pub mod suites;
 pub use generator::{build, build_benchmark, Benchmark};
 pub use spec::{BenchmarkSpec, GuardKind, GuardMix, Suite};
 
+use skipflow_ir::{MethodId, Program};
+
+/// Deterministically selects up to `want` extra root methods spread evenly
+/// across `program` (concrete methods only), skipping the `existing` roots.
+/// The incremental-resume workloads (the trajectory harness's `resume`
+/// rungs and `tests/session_resume.rs`) share this selection so the
+/// benchmarked workload is exactly the differentially tested one.
+pub fn pick_spread_roots(
+    program: &Program,
+    existing: &[MethodId],
+    want: usize,
+) -> Vec<MethodId> {
+    let candidates: Vec<MethodId> = program
+        .iter_methods()
+        .filter(|&m| program.method(m).body.is_some() && !existing.contains(&m))
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let stride = (candidates.len() / want.max(1)).max(1);
+    candidates.into_iter().step_by(stride).take(want).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

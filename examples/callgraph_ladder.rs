@@ -1,11 +1,12 @@
 //! The call-graph precision ladder: CHA ⊇ RTA ⊇ PTA ⊇ SkipFlow on one
-//! generated benchmark (the comparators discussed in the paper's §6).
+//! generated benchmark (the comparators discussed in the paper's §6), all
+//! queried through the unified `CallGraphQuery` interface.
 //!
 //! ```text
 //! cargo run --release --example callgraph_ladder [benchmark-name]
 //! ```
 
-use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::analysis::{AnalysisSession, CallGraphQuery};
 use skipflow::baselines::{class_hierarchy_analysis, rapid_type_analysis};
 use skipflow::synth::{build_benchmark, suites};
 
@@ -20,32 +21,46 @@ fn main() {
 
     let cha = class_hierarchy_analysis(p, &bench.roots);
     let rta = rapid_type_analysis(p, &bench.roots);
-    let pta = analyze(p, &bench.roots, &AnalysisConfig::baseline_pta());
-    let skf = analyze(p, &bench.roots, &AnalysisConfig::skipflow());
+    let mut pta_session = AnalysisSession::builder(p)
+        .baseline_pta()
+        .roots(bench.roots.iter().copied())
+        .build()
+        .expect("valid benchmark roots");
+    let pta = pta_session.solve();
+    let mut skf_session = AnalysisSession::builder(p)
+        .skipflow()
+        .roots(bench.roots.iter().copied())
+        .build()
+        .expect("valid benchmark roots");
+    let skf = skf_session.solve();
 
     println!("benchmark {name}: {} concrete methods generated\n", bench.total_methods());
     println!("{:<36} {:>10} {:>10}", "analysis", "reachable", "polycalls");
     println!("{}", "-".repeat(60));
-    println!("{:<36} {:>10} {:>10}", "CHA (Dean et al. 1995)", cha.reachable_count(), cha.poly_calls);
-    println!("{:<36} {:>10} {:>10}", "RTA (Bacon & Sweeney 1996)", rta.reachable_count(), rta.poly_calls);
-    let pm = pta.metrics(p);
-    println!(
-        "{:<36} {:>10} {:>10}",
-        "PTA (Wimmer et al. 2024)",
-        pta.reachable_methods().len(),
-        pm.poly_calls
-    );
-    let sm = skf.metrics(p);
-    println!(
-        "{:<36} {:>10} {:>10}",
-        "SkipFlow (this paper)",
-        skf.reachable_methods().len(),
-        sm.poly_calls
-    );
+    // One row per rung, all through the same CallGraphQuery interface.
+    let rungs: [(&str, &dyn CallGraphQuery); 4] = [
+        ("CHA (Dean et al. 1995)", &cha),
+        ("RTA (Bacon & Sweeney 1996)", &rta),
+        ("PTA (Wimmer et al. 2024)", &pta),
+        ("SkipFlow (this paper)", &skf),
+    ];
+    for (label, analysis) in rungs {
+        println!(
+            "{:<36} {:>10} {:>10}",
+            label,
+            analysis.reachable_count(),
+            analysis.poly_call_count()
+        );
+    }
 
-    // The ladder must hold.
-    assert!(rta.reachable.is_subset(&cha.reachable));
-    assert!(pta.reachable_methods().is_subset(&rta.reachable));
-    assert!(skf.reachable_methods().is_subset(pta.reachable_methods()));
+    // The ladder must hold: each analysis refines the one above it.
+    for pair in rungs.windows(2) {
+        let (coarse_label, coarser) = pair[0];
+        let (fine_label, finer) = pair[1];
+        assert!(
+            finer.refines(coarser),
+            "{fine_label} must refine {coarse_label}"
+        );
+    }
     println!("\nladder verified: SkipFlow ⊆ PTA ⊆ RTA ⊆ CHA");
 }

@@ -6,7 +6,7 @@
 //! cargo run --release --example deadcode_report [benchmark-name]
 //! ```
 
-use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::analysis::AnalysisSession;
 use skipflow::synth::{build_benchmark, suites};
 
 fn main() {
@@ -20,8 +20,18 @@ fn main() {
     });
 
     let bench = build_benchmark(&spec);
-    let pta = analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta());
-    let skf = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
+    let mut pta_session = AnalysisSession::builder(&bench.program)
+        .baseline_pta()
+        .roots(bench.roots.iter().copied())
+        .build()
+        .expect("valid benchmark roots");
+    let pta = pta_session.solve();
+    let mut skf_session = AnalysisSession::builder(&bench.program)
+        .skipflow()
+        .roots(bench.roots.iter().copied())
+        .build()
+        .expect("valid benchmark roots");
+    let skf = skf_session.solve();
 
     println!(
         "benchmark {name}: {} methods generated ({} live + {} guarded)",

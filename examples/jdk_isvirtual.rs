@@ -11,7 +11,7 @@
 //! cargo run --example jdk_isvirtual
 //! ```
 
-use skipflow::analysis::{analyze, AnalysisConfig, ValueState};
+use skipflow::analysis::{AnalysisSession, ValueState};
 use skipflow::ir::frontend::compile;
 
 const SRC: &str = "
@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let main_cls = program.type_by_name("Main").unwrap();
     let main = program.method_by_name(main_cls, "main").unwrap();
 
-    let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+    let mut session = AnalysisSession::builder(&program)
+        .skipflow()
+        .roots([main])
+        .build()?;
+    let result = session.solve();
 
     let thread = program.type_by_name("Thread").unwrap();
     let is_virtual = program.method_by_name(thread, "isVirtual").unwrap();
@@ -74,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!result.is_reachable(remove));
 
     // The baseline cannot prove it.
-    let baseline = analyze(&program, &[main], &AnalysisConfig::baseline_pta());
+    let mut baseline_session = AnalysisSession::builder(&program)
+        .baseline_pta()
+        .roots([main])
+        .build()?;
+    let baseline = baseline_session.solve();
     println!(
         "baseline PTA: ThreadSet.remove reachable? {}",
         baseline.is_reachable(remove)

@@ -8,7 +8,7 @@
 //! ```
 
 use skipflow::analysis::dot::method_pvpg_dot;
-use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::analysis::AnalysisSession;
 use skipflow::ir::frontend::compile;
 
 const SRC: &str = "
@@ -43,7 +43,12 @@ fn main() {
     let program = compile(SRC).expect("example compiles");
     let main_cls = program.type_by_name("Main").unwrap();
     let main = program.method_by_name(main_cls, "main").unwrap();
-    let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+    let mut session = AnalysisSession::builder(&program)
+        .skipflow()
+        .roots([main])
+        .build()
+        .expect("valid inputs");
+    let result = session.solve();
 
     for (class, method) in [("SharedThreadContainer", "onExit"), ("Thread", "isVirtual")] {
         let c = program.type_by_name(class).unwrap();

@@ -1,11 +1,11 @@
-//! Quickstart: compile a small program from source, run SkipFlow, and
-//! inspect the results.
+//! Quickstart: compile a small program from source, run SkipFlow through the
+//! session API, and inspect the results.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::analysis::AnalysisSession;
 use skipflow::ir::frontend::compile;
 
 const SRC: &str = "
@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let main = program.method_by_name(app, "main").expect("main exists");
 
     println!("== SkipFlow ==");
-    let result = analyze(&program, &[main], &AnalysisConfig::skipflow());
+    let mut session = AnalysisSession::builder(&program)
+        .skipflow()
+        .roots([main])
+        .build()?;
+    let result = session.solve();
     for m in result.reachable_methods() {
         println!("  reachable: {}", program.method_label(*m));
     }
@@ -53,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  {metrics}");
 
     println!("\n== Baseline PTA ==");
-    let baseline = analyze(&program, &[main], &AnalysisConfig::baseline_pta());
+    let mut baseline_session = AnalysisSession::builder(&program)
+        .baseline_pta()
+        .roots([main])
+        .build()?;
+    let baseline = baseline_session.solve();
     for m in baseline.reachable_methods() {
         println!("  reachable: {}", program.method_label(*m));
     }

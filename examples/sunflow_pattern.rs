@@ -10,7 +10,7 @@
 //! cargo run --example sunflow_pattern
 //! ```
 
-use skipflow::analysis::{analyze, AnalysisConfig};
+use skipflow::analysis::AnalysisSession;
 use skipflow::ir::frontend::compile;
 
 const SRC: &str = "
@@ -69,8 +69,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let main_cls = program.type_by_name("Main").unwrap();
     let main = program.method_by_name(main_cls, "main").unwrap();
 
-    let skipflow = analyze(&program, &[main], &AnalysisConfig::skipflow());
-    let baseline = analyze(&program, &[main], &AnalysisConfig::baseline_pta());
+    let mut skipflow_session = AnalysisSession::builder(&program)
+        .skipflow()
+        .roots([main])
+        .build()?;
+    let skipflow = skipflow_session.solve();
+    let mut baseline_session = AnalysisSession::builder(&program)
+        .baseline_pta()
+        .roots([main])
+        .build()?;
+    let baseline = baseline_session.solve();
 
     println!(
         "reachable methods: baseline PTA = {}, SkipFlow = {}",

@@ -16,7 +16,9 @@
 //!   --metrics             print the Table 1 counter metrics
 //!   --dead-code           print per-method dead-code reports
 
-use skipflow::analysis::{analyze, AnalysisConfig, AnalysisResult};
+use skipflow::analysis::{
+    analyze, AnalysisConfig, AnalysisSession, AnalysisSnapshot, CallGraphQuery,
+};
 use skipflow::ir::{encode, frontend, printer, MethodId, Program};
 use std::process::ExitCode;
 
@@ -61,9 +63,24 @@ fn cmd_callgraph(args: &[String]) -> Result<(), String> {
     let input = args.first().ok_or("callgraph: missing input path")?;
     let program = load_program(input)?;
     let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
-    let result = analyze(&program, &roots, &AnalysisConfig::skipflow());
+    let mut session = session_for(&program, AnalysisConfig::skipflow(), &roots)?;
+    let result = session.solve();
     println!("{}", result.call_graph_dot(&program));
     Ok(())
+}
+
+/// Builds a session over `program` with the given configuration and roots,
+/// mapping builder validation failures into CLI errors.
+fn session_for<'p>(
+    program: &'p Program,
+    config: AnalysisConfig,
+    roots: &[MethodId],
+) -> Result<AnalysisSession<'p>, String> {
+    AnalysisSession::builder(program)
+        .config(config)
+        .roots(roots.iter().copied())
+        .build()
+        .map_err(|e| format!("invalid analysis input: {e}"))
 }
 
 /// Loads a program from either surface syntax (by extension or content
@@ -163,29 +180,31 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown config {other:?}")),
     };
 
-    let result = analyze(&program, &roots, &config);
+    let mut session = session_for(&program, config.clone(), &roots)?;
+    let result = session.solve();
     print_analysis(&program, &result, args);
 
     if has_flag(args, "--compare") && config.label() != "PTA" {
-        let baseline = analyze(&program, &roots, &AnalysisConfig::baseline_pta());
-        let b = baseline.reachable_methods().len();
-        let s = result.reachable_methods().len();
+        let mut baseline_session = session_for(&program, AnalysisConfig::baseline_pta(), &roots)?;
+        let baseline = baseline_session.solve();
+        let b = baseline.reachable_count();
+        let s = result.reachable_count();
         println!();
         println!(
             "baseline PTA reaches {b} methods; {} reaches {s} ({:+.1}%)",
             config.label(),
             (s as f64 / b as f64 - 1.0) * 100.0
         );
-        for m in baseline.reachable_methods() {
-            if !result.is_reachable(*m) {
-                println!("  removed: {}", program.method_label(*m));
-            }
+        // The unified call-graph interface computes the difference directly.
+        let delta = baseline.reachable_delta(&result);
+        for m in delta.only_in_self {
+            println!("  removed: {}", program.method_label(m));
         }
     }
     Ok(())
 }
 
-fn print_analysis(program: &Program, result: &AnalysisResult, args: &[String]) {
+fn print_analysis(program: &Program, result: &AnalysisSnapshot<'_>, args: &[String]) {
     let stats = result.stats();
     println!(
         "{}: {} reachable methods ({} flows, {} use / {} pred / {} observe edges, {} steps, {:?})",
@@ -273,7 +292,8 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
     let method_name = flag_value(args, "--method").ok_or("dot: missing --method Cls.m")?;
     let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
     let target = resolve_roots(&program, &[method_name])?[0];
-    let result = analyze(&program, &roots, &AnalysisConfig::skipflow());
+    let mut session = session_for(&program, AnalysisConfig::skipflow(), &roots)?;
+    let result = session.solve();
     match skipflow::analysis::dot::method_pvpg_dot(&result, &program, target) {
         Some(dot) => {
             println!("{dot}");

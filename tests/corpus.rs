@@ -1,7 +1,7 @@
 //! Cross-crate integration tests over the generated corpus: calibration,
 //! the precision ladder, solver determinism, and metric monotonicity.
 
-use skipflow::analysis::{analyze, AnalysisConfig, SolverKind};
+use skipflow::analysis::{analyze, AnalysisConfig, CallGraphQuery, SolverKind};
 use skipflow::baselines::{class_hierarchy_analysis, rapid_type_analysis};
 use skipflow::synth::{build_benchmark, suites};
 
@@ -30,17 +30,10 @@ fn precision_ladder_holds_on_generated_programs() {
         let rta = rapid_type_analysis(&bench.program, &bench.roots);
         let pta = analyze(&bench.program, &bench.roots, &AnalysisConfig::baseline_pta());
         let skf = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
-        assert!(rta.reachable.is_subset(&cha.reachable), "{}", spec.name);
-        assert!(
-            pta.reachable_methods().is_subset(&rta.reachable),
-            "{}",
-            spec.name
-        );
-        assert!(
-            skf.reachable_methods().is_subset(pta.reachable_methods()),
-            "{}",
-            spec.name
-        );
+        // The unified CallGraphQuery interface spans the whole ladder.
+        assert!(rta.refines(&cha), "{}", spec.name);
+        assert!(pta.refines(&rta), "{}", spec.name);
+        assert!(skf.refines(&pta), "{}", spec.name);
     }
 }
 
@@ -112,8 +105,8 @@ fn reflective_roots_extend_reachability() {
     let bench = build_benchmark(&spec);
     assert!(!bench.reflective_roots.is_empty(), "als has a reflective surface");
     let plain = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
-    let mut config = AnalysisConfig::skipflow();
-    config.reflective_roots = bench.reflective_roots.clone();
+    let config =
+        AnalysisConfig::skipflow().with_reflective_roots(bench.reflective_roots.iter().copied());
     let with_reflection = analyze(&bench.program, &bench.roots, &config);
     assert!(plain
         .reachable_methods()

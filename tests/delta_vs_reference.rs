@@ -11,99 +11,11 @@
 //! discover methods in different orders, which permutes flow ids, but every
 //! observable outcome must match exactly.
 
-use skipflow::analysis::{analyze, AnalysisConfig, AnalysisResult, SchedulerKind, SolverKind};
-use skipflow::ir::Program;
+use skipflow::analysis::{analyze, AnalysisConfig, SchedulerKind, SolverKind};
 use skipflow::synth::{build_benchmark, suites, BenchmarkSpec, Suite};
 
-/// Asserts every observable outcome of `b` equals `a` (the reference).
-fn assert_results_identical(program: &Program, a: &AnalysisResult, b: &AnalysisResult, label: &str) {
-    assert_eq!(
-        a.reachable_methods(),
-        b.reachable_methods(),
-        "{label}: reachable sets differ"
-    );
-    for t in 0..program.type_count() {
-        let t = skipflow::ir::TypeId::from_index(t);
-        assert_eq!(
-            a.is_instantiated(t),
-            b.is_instantiated(t),
-            "{label}: instantiated({t:?}) differs"
-        );
-    }
-    for &m in a.reachable_methods() {
-        let md = program.method(m);
-        let n_params = md.param_count();
-        for i in 0..n_params {
-            assert_eq!(
-                a.param_state(m, i),
-                b.param_state(m, i),
-                "{label}: param state {}#{i} differs",
-                program.method_label(m)
-            );
-        }
-        assert_eq!(
-            a.return_state(m),
-            b.return_state(m),
-            "{label}: return state of {} differs",
-            program.method_label(m)
-        );
-        assert_eq!(
-            a.live_blocks(m),
-            b.live_blocks(m),
-            "{label}: liveness of {} differs",
-            program.method_label(m)
-        );
-        assert_eq!(
-            a.dead_blocks(m),
-            b.dead_blocks(m),
-            "{label}: dead blocks of {} differ",
-            program.method_label(m)
-        );
-        // Per-statement value states and enablement (flow-level outcomes,
-        // keyed stably by (method, block, stmt) instead of flow id).
-        if let Some(body) = &md.body {
-            for (bi, block) in body.iter_blocks() {
-                for si in 0..block.stmts.len() {
-                    assert_eq!(
-                        a.stmt_state(m, bi, si),
-                        b.stmt_state(m, bi, si),
-                        "{label}: stmt state {}/{bi:?}/{si} differs",
-                        program.method_label(m)
-                    );
-                    assert_eq!(
-                        a.stmt_enabled(m, bi, si),
-                        b.stmt_enabled(m, bi, si),
-                        "{label}: stmt enablement {}/{bi:?}/{si} differs",
-                        program.method_label(m)
-                    );
-                }
-            }
-        }
-        // Linked targets per call site (order-insensitive: linking order is
-        // a solver schedule artifact; the *set* is the analysis outcome).
-        let sites_a = a.call_sites(m);
-        let sites_b = b.call_sites(m);
-        assert_eq!(sites_a.len(), sites_b.len(), "{label}: site counts differ");
-        for (sa, sb) in sites_a.iter().zip(sites_b.iter()) {
-            assert_eq!(sa.enabled, sb.enabled, "{label}: site enablement differs");
-            let mut ta = sa.targets.clone();
-            let mut tb = sb.targets.clone();
-            ta.sort_unstable();
-            tb.sort_unstable();
-            assert_eq!(
-                ta,
-                tb,
-                "{label}: linked targets of a site in {} differ",
-                program.method_label(m)
-            );
-        }
-    }
-    assert_eq!(
-        a.metrics(program),
-        b.metrics(program),
-        "{label}: metrics differ"
-    );
-}
+mod common;
+use common::assert_results_identical;
 
 fn check_spec(spec: &BenchmarkSpec) {
     let bench = build_benchmark(spec);
@@ -113,13 +25,18 @@ fn check_spec(spec: &BenchmarkSpec) {
             AnalysisConfig::skipflow(),
             AnalysisConfig::baseline_pta(),
         ] {
-            let mut reference_cfg = base.clone().with_solver(SolverKind::Reference);
-            reference_cfg.saturation_threshold = saturation;
+            let reference_cfg = base
+                .clone()
+                .with_solver(SolverKind::Reference)
+                .with_saturation(saturation);
             let reference = analyze(program, &bench.roots, &reference_cfg);
             for solver in [SolverKind::Sequential, SolverKind::Parallel { threads: 4 }] {
                 for scheduler in [SchedulerKind::Fifo, SchedulerKind::SccPriority] {
-                    let mut cfg = base.clone().with_solver(solver).with_scheduler(scheduler);
-                    cfg.saturation_threshold = saturation;
+                    let cfg = base
+                        .clone()
+                        .with_solver(solver)
+                        .with_scheduler(scheduler)
+                        .with_saturation(saturation);
                     let result = analyze(program, &bench.roots, &cfg);
                     assert_results_identical(
                         program,

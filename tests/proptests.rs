@@ -6,7 +6,7 @@
 //!   ladder, determinism, and sequential/parallel solver equivalence.
 
 use proptest::prelude::*;
-use skipflow::analysis::{analyze, compare, AnalysisConfig, SolverKind, ValueState};
+use skipflow::analysis::{analyze, compare, AnalysisConfig, CallGraphQuery, SolverKind, ValueState};
 use skipflow::baselines::rapid_type_analysis;
 use skipflow::ir::{CmpOp, TypeId};
 use skipflow::synth::{build_benchmark, BenchmarkSpec, GuardMix, Suite};
@@ -167,16 +167,14 @@ proptest! {
     #[test]
     fn random_programs_satisfy_the_precision_ladder(spec in arb_spec()) {
         let bench = build_benchmark(&spec);
-        let mut bounded = AnalysisConfig::skipflow();
-        bounded.max_steps = Some(5_000_000);
+        let bounded = AnalysisConfig::skipflow().with_max_steps(5_000_000);
         let skf = analyze(&bench.program, &bench.roots, &bounded);
-        let mut pta_cfg = AnalysisConfig::baseline_pta();
-        pta_cfg.max_steps = Some(5_000_000);
+        let pta_cfg = AnalysisConfig::baseline_pta().with_max_steps(5_000_000);
         let pta = analyze(&bench.program, &bench.roots, &pta_cfg);
         let rta = rapid_type_analysis(&bench.program, &bench.roots);
 
         prop_assert!(skf.reachable_methods().is_subset(pta.reachable_methods()));
-        prop_assert!(pta.reachable_methods().is_subset(&rta.reachable));
+        prop_assert!(pta.refines(&rta));
 
         // Every live-module method must stay reachable under SkipFlow: the
         // generator's live wiring is unguarded.

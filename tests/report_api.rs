@@ -138,7 +138,6 @@ fn max_steps_guard_fires() {
     .unwrap();
     let main_cls = program.type_by_name("Main").unwrap();
     let main = program.method_by_name(main_cls, "main").unwrap();
-    let mut config = AnalysisConfig::skipflow();
-    config.max_steps = Some(1);
+    let config = AnalysisConfig::skipflow().with_max_steps(1);
     let _ = analyze(&program, &[main], &config);
 }
