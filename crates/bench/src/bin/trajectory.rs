@@ -4,15 +4,20 @@
 //!
 //! ```text
 //! cargo run --release -p skipflow-bench --bin trajectory -- \
-//!     [--out BENCH_PR2.json] [--pr PR2] [--ladder-only] \
-//!     [--scheduler fifo] \
-//!     [--baseline BENCH_PR2_prechange.json] \
-//!     [--check-steps BENCH_PR2.json]
+//!     [--out BENCH_PR4.json] [--pr PR4] [--ladder-only] \
+//!     [--scheduler fifo] [--skip-paired] \
+//!     [--baseline BENCH_PR3.json] \
+//!     [--check-steps BENCH_PR4.json]
 //! ```
 //!
-//! * `--scheduler fifo` forces the PR 1 FIFO worklist on every delta
-//!   solver — the *pre-change capture* mode, so baseline and change are
-//!   measured by the same binary on the same machine.
+//! * `--scheduler fifo` forces the PR 1 FIFO worklist (and disables the
+//!   narrow-join fast path) on every delta solver — the *pre-change
+//!   capture* mode, so baseline and change are measured by the same
+//!   binary on the same machine.
+//! * `--skip-paired` skips the paired wall-time-guard measurements
+//!   (adaptive-vs-FIFO per ladder rung, delta-vs-Reference on the
+//!   largest) — they cost ~100 extra analyses per rung and only matter
+//!   for committed captures; the CI step gate passes this flag.
 //! * `--baseline` points at a previous run of this same harness; the
 //!   summary then records wall-time and step-count reductions on the
 //!   largest ladder and fan-out rungs against it.
@@ -40,6 +45,7 @@ fn main() {
     let out_path = get("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let pr = get("--pr").unwrap_or_else(|| "PR2".to_string());
     let ladder_only = args.iter().any(|a| a == "--ladder-only");
+    let skip_paired = args.iter().any(|a| a == "--skip-paired");
     let force_fifo = match get("--scheduler").as_deref() {
         Some("fifo") => true,
         Some("scc") | None => false,
@@ -56,7 +62,7 @@ fn main() {
     });
 
     eprintln!("running ladder…");
-    let mut workloads = run_ladder(force_fifo);
+    let mut workloads = run_ladder(force_fifo, !skip_paired);
     eprintln!("running fan-out rungs…");
     workloads.extend(run_fanout(force_fifo));
     eprintln!("running resume rungs…");

@@ -23,10 +23,13 @@
 //! Per run the harness records wall time, worklist steps, state joins (the
 //! propagation volume), the peak flow count, and the precision outcomes
 //! (reachable methods, dead blocks) so perf changes that silently alter
-//! results are caught immediately. Both schedulers are measured side by
-//! side (`scheduler` field), so one document carries the SCC-vs-FIFO
-//! comparison; a pre-change capture is produced by running the same binary
-//! with `--scheduler fifo`.
+//! results are caught immediately. All three schedulers are measured side
+//! by side (`scheduler` field: `adaptive` — the default, primary row —
+//! plus forced `scc` and `fifo`), along with a narrow-join-disabled
+//! ablation row (`narrow_join: 0`), so one document carries the
+//! scheduler comparison and the fast-path ablation; a pre-change capture
+//! (PR 3 behaviour: FIFO, no fast path) is produced by running the same
+//! binary with `--scheduler fifo`.
 
 use skipflow_core::{
     analyze, AnalysisConfig, AnalysisResult, AnalysisSession, SchedulerKind, SolverKind,
@@ -43,13 +46,21 @@ pub struct RunRecord {
     pub config: String,
     /// Solver label (`sequential` / `parallel-N` / `reference`).
     pub solver: String,
-    /// Scheduler label (`scc` / `fifo`; the reference solver is always
-    /// `fifo`).
+    /// Scheduler label (`adaptive` / `scc` / `fifo`; the reference solver
+    /// is always `fifo`).
     pub scheduler: String,
+    /// The narrow-join fast-path width the run was configured with (0 =
+    /// disabled — the ablation row).
+    pub narrow_join: usize,
+    /// Adaptive FIFO→SCC flips the run performed (0 under forced
+    /// schedulers and when the re-push rate never tripped).
+    pub flips: u64,
     /// Wall-clock analysis time in milliseconds.
     pub wall_ms: f64,
     /// Worklist steps executed.
     pub steps: u64,
+    /// Of `steps`, the width-adaptive full-join fast-path steps.
+    pub full_join_steps: u64,
     /// Input-state joins that changed a state.
     pub state_joins: u64,
     /// Peak flow count (the PVPG arena only grows).
@@ -73,6 +84,17 @@ pub struct WorkloadRecord {
     pub generated_methods: usize,
     /// The measured runs.
     pub runs: Vec<RunRecord>,
+    /// Adaptive-vs-FIFO wall-time ratio from a *paired* measurement
+    /// (ladder rungs only): the two configurations alternate back-to-back
+    /// with the order swapped each pair, so machine drift cancels — the
+    /// independently measured rows above cannot resolve the ±2 % guard on
+    /// a shared machine.
+    pub adaptive_fifo_wall_ratio: Option<f64>,
+    /// Narrow-join delta vs full-join Reference wall-time ratio from the
+    /// same paired protocol (largest ladder rung of a default capture
+    /// only) — the "delta is no longer slower than Reference on
+    /// narrow-state corpora" guard.
+    pub delta_reference_wall_ratio: Option<f64>,
 }
 
 /// The ladder rungs: doubling method counts at fixed shape. The largest
@@ -182,8 +204,11 @@ pub fn measure_resume(
         config: label.to_string(),
         solver: solver_label(config.solver()),
         scheduler: scheduler.clone(),
+        narrow_join: effective_narrow_join(&config),
+        flips: result.stats().scheduler.flips,
         wall_ms,
         steps,
+        full_join_steps: result.stats().full_join_steps,
         state_joins: joins,
         flows: result.stats().flows,
         use_edges: result.stats().use_edges,
@@ -214,7 +239,9 @@ pub fn measure_resume(
 /// sequential solver runs the FIFO scheduler in both phases.
 pub fn run_resume(force_fifo: bool) -> Vec<WorkloadRecord> {
     let config = if force_fifo {
-        AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo)
+        AnalysisConfig::skipflow()
+            .with_scheduler(SchedulerKind::Fifo)
+            .with_narrow_join_width(0)
     } else {
         AnalysisConfig::skipflow()
     };
@@ -230,6 +257,8 @@ pub fn run_resume(force_fifo: bool) -> Vec<WorkloadRecord> {
                 kind: "resume",
                 generated_methods: bench.total_methods(),
                 runs: vec![fresh, incremental],
+                adaptive_fifo_wall_ratio: None,
+                delta_reference_wall_ratio: None,
             }
         })
         .collect()
@@ -251,10 +280,23 @@ fn solver_label(kind: SolverKind) -> String {
     }
 }
 
+/// The narrow-join width a run actually executes with: the engine forces
+/// the fast path *off* for the Reference solver (it must stay the
+/// byte-for-byte full-join oracle), so its rows record 0 regardless of the
+/// configured width — a consumer filtering `narrow_join > 0` sees only
+/// rows the fast path could have touched.
+fn effective_narrow_join(config: &AnalysisConfig) -> usize {
+    match config.solver() {
+        SolverKind::Reference => 0,
+        _ => config.narrow_join_width(),
+    }
+}
+
 fn scheduler_label(config: &AnalysisConfig) -> &'static str {
     match (config.solver(), config.scheduler()) {
         (SolverKind::Reference, _) | (_, SchedulerKind::Fifo) => "fifo",
         (_, SchedulerKind::SccPriority) => "scc",
+        (_, SchedulerKind::Adaptive) => "adaptive",
     }
 }
 
@@ -307,8 +349,11 @@ pub fn measure_group(
                 config: config.label().to_string(),
                 solver: solver_label(config.solver()),
                 scheduler: scheduler_label(config).to_string(),
+                narrow_join: effective_narrow_join(config),
+                flips: stats.scheduler.flips,
                 wall_ms,
                 steps: stats.steps,
+                full_join_steps: stats.full_join_steps,
                 state_joins: stats.state_joins,
                 flows: stats.flows,
                 use_edges: stats.use_edges,
@@ -320,24 +365,37 @@ pub fn measure_group(
 }
 
 /// The configuration set measured per ladder/fanout workload. With
-/// `force_fifo` every delta solver runs the FIFO scheduler — that is the
-/// pre-change capture mode (`--scheduler fifo`); otherwise the SCC-default
-/// configs are measured with a FIFO sequential run alongside, so one
-/// document carries the comparison.
+/// `force_fifo` every delta solver runs the PR 3 behaviour — FIFO worklist
+/// and no narrow-join fast path — that is the pre-change capture mode
+/// (`--scheduler fifo`); otherwise the adaptive-default configs are
+/// measured with forced-FIFO, forced-SCC, and narrow-join-disabled
+/// sequential runs alongside, so one document carries the scheduler
+/// comparison *and* the fast-path ablation.
 fn scaling_configs(force_fifo: bool) -> Vec<AnalysisConfig> {
     if force_fifo {
         vec![
-            AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+            AnalysisConfig::skipflow()
+                .with_scheduler(SchedulerKind::Fifo)
+                .with_narrow_join_width(0),
             AnalysisConfig::skipflow()
                 .with_solver(SolverKind::Parallel { threads: 4 })
-                .with_scheduler(SchedulerKind::Fifo),
+                .with_scheduler(SchedulerKind::Fifo)
+                .with_narrow_join_width(0),
             AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
-            AnalysisConfig::baseline_pta().with_scheduler(SchedulerKind::Fifo),
+            AnalysisConfig::baseline_pta()
+                .with_scheduler(SchedulerKind::Fifo)
+                .with_narrow_join_width(0),
         ]
     } else {
         vec![
+            // The primary row: adaptive scheduler + narrow-join fast path.
             AnalysisConfig::skipflow(),
+            // Forced schedulers for the in-document comparison.
             AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+            AnalysisConfig::skipflow().with_scheduler(SchedulerKind::SccPriority),
+            // Ablation row: adaptive scheduling without the narrow-join
+            // fast path (isolates the two tentpole mechanisms).
+            AnalysisConfig::skipflow().with_narrow_join_width(0),
             AnalysisConfig::skipflow().with_solver(SolverKind::Parallel { threads: 4 }),
             AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
             AnalysisConfig::baseline_pta(),
@@ -345,36 +403,115 @@ fn scaling_configs(force_fifo: bool) -> Vec<AnalysisConfig> {
     }
 }
 
+/// Median per-pair wall-time ratio of `a` to `b` from a *paired*
+/// measurement: the two configurations run back-to-back within each pair
+/// (order swapped every pair), each pair yields one `a/b` ratio, and the
+/// median over all pairs is taken. Pairing cancels drift slower than a
+/// pair (thermal windows, noisy neighbours); the median discards pairs a
+/// noise burst split down the middle. This is what the ±2 %
+/// adaptive-vs-FIFO ladder guard is judged on — independently measured
+/// best-of rows swing far more than the band on a shared machine.
+pub fn measure_paired_wall_ratio(
+    bench: &Benchmark,
+    a: &AnalysisConfig,
+    b: &AnalysisConfig,
+    pairs: usize,
+) -> f64 {
+    let prep = |c: &AnalysisConfig| {
+        c.clone()
+            .with_reflective_roots(bench.reflective_roots.iter().copied())
+    };
+    let (a, b) = (prep(a), prep(b));
+    for c in [&a, &b] {
+        let _warmup = analyze(&bench.program, &bench.roots, c);
+    }
+    let timed = |c: &AnalysisConfig| {
+        let start = Instant::now();
+        let _ = analyze(&bench.program, &bench.roots, c);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let mut ratios: Vec<f64> = (0..pairs.max(1))
+        .map(|i| {
+            if i % 2 == 0 {
+                let wall_a = timed(&a);
+                let wall_b = timed(&b);
+                wall_a / wall_b
+            } else {
+                let wall_b = timed(&b);
+                let wall_a = timed(&a);
+                wall_a / wall_b
+            }
+        })
+        .collect();
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let n = ratios.len();
+    if n % 2 == 1 {
+        ratios[n / 2]
+    } else {
+        (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0
+    }
+}
+
 fn run_scaling_family(
     specs: &[BenchmarkSpec],
     kind: &'static str,
     force_fifo: bool,
+    paired: bool,
 ) -> Vec<WorkloadRecord> {
     specs
         .iter()
-        .map(|spec| {
+        .enumerate()
+        .map(|(i, spec)| {
             let bench = build_benchmark(spec);
-            let runs = measure_group(&bench, &scaling_configs(force_fifo), 5);
+            // 9 interleaved timed iterations (up from 5): the adaptive
+            // scheduler's ladder guard compares wall times at a ±2 % band,
+            // which a best-of-5 on a shared machine cannot resolve.
+            let runs = measure_group(&bench, &scaling_configs(force_fifo), 9);
+            // Both wall-time guards come from drift-cancelling paired
+            // measurements (default captures only; skipped for CI step-gate
+            // runs, which never read the ratios): adaptive-vs-FIFO on
+            // every ladder rung, delta-vs-Reference on the largest.
+            let paired = paired && kind == "ladder" && !force_fifo;
+            let adaptive_fifo_wall_ratio = paired.then(|| {
+                measure_paired_wall_ratio(
+                    &bench,
+                    &AnalysisConfig::skipflow(),
+                    &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+                    48,
+                )
+            });
+            let delta_reference_wall_ratio = (paired && i + 1 == specs.len()).then(|| {
+                measure_paired_wall_ratio(
+                    &bench,
+                    &AnalysisConfig::skipflow(),
+                    &AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+                    48,
+                )
+            });
             WorkloadRecord {
                 name: spec.name.clone(),
                 kind,
                 generated_methods: bench.total_methods(),
                 runs,
+                adaptive_fifo_wall_ratio,
+                delta_reference_wall_ratio,
             }
         })
         .collect()
 }
 
-/// Runs the ladder: each rung under SkipFlow (sequential under both
-/// schedulers, parallel-4, and the reference full-join solver) plus the
-/// PTA baseline.
-pub fn run_ladder(force_fifo: bool) -> Vec<WorkloadRecord> {
-    run_scaling_family(&ladder_specs(), "ladder", force_fifo)
+/// Runs the ladder: each rung under SkipFlow (sequential under all three
+/// schedulers plus the narrow-join ablation, parallel-4, and the reference
+/// full-join solver) plus the PTA baseline. With `paired`, the
+/// wall-time-guard ratios are also measured (expensive; committed captures
+/// only — CI's step gate passes `false`).
+pub fn run_ladder(force_fifo: bool, paired: bool) -> Vec<WorkloadRecord> {
+    run_scaling_family(&ladder_specs(), "ladder", force_fifo, paired)
 }
 
 /// Runs the fan-out rungs under the same configuration set as the ladder.
 pub fn run_fanout(force_fifo: bool) -> Vec<WorkloadRecord> {
-    run_scaling_family(&fanout_specs(), "fanout", force_fifo)
+    run_scaling_family(&fanout_specs(), "fanout", force_fifo, false)
 }
 
 /// Runs the full table1 corpus under PTA and SkipFlow (sequential).
@@ -392,6 +529,8 @@ pub fn run_table1() -> Vec<WorkloadRecord> {
                 kind: "table1",
                 generated_methods: bench.total_methods(),
                 runs,
+                adaptive_fifo_wall_ratio: None,
+                delta_reference_wall_ratio: None,
             }
         })
         .collect()
@@ -481,7 +620,7 @@ pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str
         .unwrap_or(1);
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"skipflow-bench-trajectory/v2\",");
+    let _ = writeln!(out, "  \"schema\": \"skipflow-bench-trajectory/v3\",");
     let _ = writeln!(out, "  \"pr\": \"{}\",", json_escape(pr));
     let _ = writeln!(out, "  \"created_unix\": {unix},");
     let _ = writeln!(out, "  \"host_threads\": {threads},");
@@ -497,14 +636,18 @@ pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str
             let _ = writeln!(
                 out,
                 "        {{\"config\": \"{}\", \"solver\": \"{}\", \"scheduler\": \"{}\", \
-                 \"wall_ms\": {:.3}, \
-                 \"steps\": {}, \"state_joins\": {}, \"flows\": {}, \"use_edges\": {}, \
+                 \"narrow_join\": {}, \"flips\": {}, \"wall_ms\": {:.3}, \
+                 \"steps\": {}, \"full_join_steps\": {}, \"state_joins\": {}, \"flows\": {}, \
+                 \"use_edges\": {}, \
                  \"reachable_methods\": {}, \"dead_blocks\": {}}}{comma}",
                 json_escape(&r.config),
                 json_escape(&r.solver),
                 json_escape(&r.scheduler),
+                r.narrow_join,
+                r.flips,
                 r.wall_ms,
                 r.steps,
+                r.full_join_steps,
                 r.state_joins,
                 r.flows,
                 r.use_edges,
@@ -650,6 +793,69 @@ fn render_summary_json(workloads: &[WorkloadRecord], baseline: Option<&str>) -> 
             );
         }
     }
+    // Adaptive-scheduler guards (PR 4). On the ladder — acyclic, no
+    // re-processing — the adaptive scheduler must cost the same wall time
+    // as forced FIFO (the SCC overhead is gone); on the fan-out rungs it
+    // must actually flip so the SCC step win is retained. The ±2 % band is
+    // judged on the drift-cancelling *paired* measurement
+    // ([`measure_paired_wall_ratio`]); the independently measured rows are
+    // kept alongside but swing more than the band on a shared machine.
+    let mut adaptive_ladder_ok: Option<bool> = None;
+    for w in workloads.iter().filter(|w| w.kind == "ladder") {
+        let Some(ratio) = w.adaptive_fifo_wall_ratio else { continue };
+        let _ = writeln!(
+            out,
+            "    \"ladder_{}_adaptive_wall_vs_fifo\": {ratio:.4},",
+            json_escape(&w.name.replace('-', "_"))
+        );
+        adaptive_ladder_ok =
+            Some(adaptive_ladder_ok.unwrap_or(true) && (ratio - 1.0).abs() <= 0.02);
+    }
+    let _ = writeln!(
+        out,
+        "    \"adaptive_within_2pct_of_fifo_on_ladder\": {},",
+        json_opt_bool(adaptive_ladder_ok)
+    );
+    let mut adaptive_flipped: Option<bool> = None;
+    for w in workloads.iter().filter(|w| w.kind == "fanout") {
+        let adaptive = w.runs.iter().find(|r| {
+            r.config == "SkipFlow" && r.solver == "sequential" && r.scheduler == "adaptive"
+        });
+        let Some(adaptive) = adaptive else { continue };
+        let _ = writeln!(
+            out,
+            "    \"fanout_{}_flips\": {},",
+            json_escape(&w.name.replace('-', "_")),
+            adaptive.flips
+        );
+        adaptive_flipped = Some(adaptive_flipped.unwrap_or(true) && adaptive.flips >= 1);
+    }
+    let _ = writeln!(
+        out,
+        "    \"adaptive_flipped_on_fanout\": {},",
+        json_opt_bool(adaptive_flipped)
+    );
+    // Narrow-join fast-path guard: on the largest ladder rung the primary
+    // delta run (narrow-join enabled) must not be slower than the full-join
+    // reference loop — the regression BENCH_PR2 documented is gone. Judged
+    // on the paired measurement like the adaptive band above.
+    let narrow_vs_reference = workloads
+        .iter()
+        .filter(|w| w.kind == "ladder")
+        .max_by_key(|w| w.generated_methods)
+        .and_then(|w| {
+            let ratio = w.delta_reference_wall_ratio?;
+            let _ = writeln!(
+                out,
+                "    \"largest_ladder_rung_narrow_join_vs_reference_wall\": {ratio:.4},"
+            );
+            Some(ratio <= 1.0)
+        });
+    let _ = writeln!(
+        out,
+        "    \"narrow_join_delta_not_slower_than_reference\": {},",
+        json_opt_bool(narrow_vs_reference)
+    );
     // Resume rungs: the incremental re-solve must reach the same fixpoint
     // with fewer steps than the fresh union run it extends. Tri-state like
     // the other guards: null when no resume workload was measured.
@@ -707,6 +913,13 @@ mod tests {
             name: spec.name.clone(),
             kind: "ladder",
             generated_methods: bench.total_methods(),
+            adaptive_fifo_wall_ratio: Some(measure_paired_wall_ratio(
+                &bench,
+                &AnalysisConfig::skipflow(),
+                &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+                2,
+            )),
+            delta_reference_wall_ratio: Some(1.0),
             runs: vec![
                 measure_run(&bench, &AnalysisConfig::skipflow(), 1),
                 measure_run(
@@ -729,7 +942,11 @@ mod tests {
         let seq = &w.runs[0];
         let fifo = &w.runs[1];
         let reference = &w.runs[2];
-        assert_eq!((seq.solver.as_str(), seq.scheduler.as_str()), ("sequential", "scc"));
+        assert_eq!(
+            (seq.solver.as_str(), seq.scheduler.as_str()),
+            ("sequential", "adaptive")
+        );
+        assert!(seq.narrow_join > 0, "primary row runs the fast path");
         assert_eq!((fifo.solver.as_str(), fifo.scheduler.as_str()), ("sequential", "fifo"));
         assert_eq!(
             (reference.solver.as_str(), reference.scheduler.as_str()),
@@ -749,7 +966,8 @@ mod tests {
         let wall = w.runs[0].wall_ms;
         let steps = w.runs[0].steps;
         let doc = render_json("test", &[w], None);
-        assert!(doc.contains("\"schema\": \"skipflow-bench-trajectory/v2\""));
+        assert!(doc.contains("\"schema\": \"skipflow-bench-trajectory/v3\""));
+        assert!(doc.contains("\"ladder_rung_tiny_adaptive_wall_vs_fifo\""));
         assert!(doc.contains("\"largest_ladder_rung\": \"rung-tiny\""));
         assert!(doc.contains("\"results_identical_to_reference\": true"));
         assert!(doc.contains("\"results_identical_across_solvers\": true"));
@@ -776,7 +994,10 @@ mod tests {
         let (fresh, inc) = measure_resume(&bench, &extra, &AnalysisConfig::skipflow(), 1);
         assert_eq!(fresh.config, "SkipFlow");
         assert_eq!(inc.config, "SkipFlow-resume");
-        assert_eq!((fresh.solver.as_str(), fresh.scheduler.as_str()), ("sequential", "scc"));
+        assert_eq!(
+            (fresh.solver.as_str(), fresh.scheduler.as_str()),
+            ("sequential", "adaptive")
+        );
         // The pre-change capture mode carries through to the resume records.
         let fifo_cfg = AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo);
         let (fresh_fifo, inc_fifo) = measure_resume(&bench, &extra, &fifo_cfg, 1);
@@ -796,6 +1017,8 @@ mod tests {
             kind: "resume",
             generated_methods: bench.total_methods(),
             runs: vec![fresh, inc],
+            adaptive_fifo_wall_ratio: None,
+            delta_reference_wall_ratio: None,
         };
         let doc = render_json("test", &[w], None);
         assert!(doc.contains("\"resume_incremental_fewer_steps\": true"), "{doc}");

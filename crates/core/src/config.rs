@@ -25,13 +25,26 @@ pub enum SchedulerKind {
     /// Plain FIFO worklist (the PR 1 behaviour). Kept as the scheduling
     /// oracle for differential tests and pre-change benchmark captures.
     Fifo,
-    /// SCC-aware bucketed priority scheduling (the default): flows are
-    /// prioritized by the condensation-topological index of their strongly
-    /// connected component in the PVPG, and each SCC is iterated to local
-    /// fixpoint before any flow of a later SCC is dequeued. The SCC
+    /// SCC-aware bucketed priority scheduling, forced from solve start:
+    /// flows are prioritized by the condensation-topological index of their
+    /// strongly connected component in the PVPG, and each SCC is iterated to
+    /// local fixpoint before any flow of a later SCC is dequeued. The SCC
     /// structure is recomputed in batches behind a dirty counter as new
-    /// fragments are instantiated mid-solve.
+    /// fragments are instantiated mid-solve. Pays the condensation +
+    /// bucket-indirection overhead even on workloads that never re-process
+    /// (use [`SchedulerKind::Adaptive`] unless benchmarking the forced mode).
     SccPriority,
+    /// Adaptive FIFO→SCC scheduling (the default): every solve starts on
+    /// the plain FIFO worklist, the engine tracks the re-enqueue rate
+    /// (`re_pushes / pushes` over a sliding window), and only when the rate
+    /// shows that flows are genuinely being re-processed does it *flip* to
+    /// the SCC priority queue — computing the condensation lazily, at flip
+    /// time. Acyclic, propagate-once workloads therefore never pay the SCC
+    /// machinery, while re-processing-heavy workloads (shared-sink fan-out,
+    /// big value cycles) get the full SCC step win minus a small detection
+    /// lag. Results are scheduler-independent (all joins are monotone), so
+    /// the mid-solve flip is safe at any step boundary.
+    Adaptive,
 }
 
 /// Which fixpoint solver drives the analysis.
@@ -95,9 +108,20 @@ pub struct AnalysisConfig {
     pub(crate) solver: SolverKind,
     /// Worklist scheduling for the delta solvers.
     pub(crate) scheduler: SchedulerKind,
+    /// Word-width threshold of the delta solvers' narrow-join fast path:
+    /// joins into a flow whose live input state is *strictly below* this
+    /// many words skip the delta bookkeeping and mark the flow for a plain
+    /// full-join step instead. `0` disables the fast path; `usize::MAX`
+    /// forces full joins everywhere (the per-flow Reference behaviour).
+    pub(crate) narrow_join_width: usize,
     /// Safety valve for the fixpoint iteration; `None` means unbounded.
     pub(crate) max_steps: Option<u64>,
 }
+
+/// Default [`AnalysisConfig::narrow_join_width`]: states up to one word wide
+/// (primitive constants, `Any`, and type sets within a single 64-bit band)
+/// take the full-join fast path; wider states keep difference propagation.
+pub const DEFAULT_NARROW_JOIN_WIDTH: usize = 2;
 
 impl AnalysisConfig {
     /// Full SkipFlow: predicate edges + primitive tracking (the paper's
@@ -113,7 +137,8 @@ impl AnalysisConfig {
             reflective_fields: Vec::new(),
             unsafe_fields: Vec::new(),
             solver: SolverKind::Sequential,
-            scheduler: SchedulerKind::SccPriority,
+            scheduler: SchedulerKind::Adaptive,
+            narrow_join_width: DEFAULT_NARROW_JOIN_WIDTH,
             max_steps: None,
         }
     }
@@ -162,6 +187,18 @@ impl AnalysisConfig {
     /// Sets the worklist scheduler.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the narrow-join fast-path threshold in 64-bit words: joins into
+    /// a flow whose live input state is strictly narrower than `width` words
+    /// skip the delta bookkeeping and schedule a plain full-join step
+    /// (the Reference step) instead. `0` disables the fast path (every join
+    /// is difference-tracked, the pre-PR 4 behaviour); `usize::MAX` makes
+    /// every flow full-join (the ablation bound). The default is
+    /// [`DEFAULT_NARROW_JOIN_WIDTH`].
+    pub fn with_narrow_join_width(mut self, width: usize) -> Self {
+        self.narrow_join_width = width;
         self
     }
 
@@ -271,6 +308,11 @@ impl AnalysisConfig {
         self.scheduler
     }
 
+    /// The narrow-join fast-path word-width threshold (0 = disabled).
+    pub fn narrow_join_width(&self) -> usize {
+        self.narrow_join_width
+    }
+
     /// The fixpoint step bound, if any.
     pub fn max_steps(&self) -> Option<u64> {
         self.max_steps
@@ -330,13 +372,21 @@ mod tests {
             .with_saturation(32);
         assert_eq!(c.solver(), SolverKind::Parallel { threads: 4 });
         assert_eq!(c.saturation_threshold(), Some(32));
-        assert_eq!(c.scheduler(), SchedulerKind::SccPriority, "SCC is the default");
+        assert_eq!(c.scheduler(), SchedulerKind::Adaptive, "adaptive is the default");
+        assert_eq!(
+            c.narrow_join_width(),
+            DEFAULT_NARROW_JOIN_WIDTH,
+            "narrow-join fast path is on by default"
+        );
         let c = c.with_scheduler(SchedulerKind::Fifo).with_saturation(None);
         assert_eq!(c.scheduler(), SchedulerKind::Fifo);
         assert_eq!(c.saturation_threshold(), None);
         let c = c.with_max_steps(10).with_coarse_exceptions(false);
         assert_eq!(c.max_steps(), Some(10));
         assert!(!c.coarse_exceptions());
+        let c = c.with_narrow_join_width(0).with_scheduler(SchedulerKind::SccPriority);
+        assert_eq!(c.narrow_join_width(), 0);
+        assert_eq!(c.scheduler(), SchedulerKind::SccPriority);
     }
 
     #[test]

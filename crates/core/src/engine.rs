@@ -54,18 +54,49 @@
 //! ([`SolverKind::Reference`], kept as the differential-testing oracle),
 //! and the worklist loop terminates because the lattice has finite height.
 //!
+//! # The width-adaptive narrow-join fast path
+//!
+//! Difference propagation only pays for itself when states are wide: for a
+//! state one or two words wide, re-joining the whole thing costs the same
+//! word operations as tracking the difference, and the per-join `acc`
+//! matching plus the per-step `take` of the pending delta become pure
+//! overhead (the regime where the full-join Reference loop used to *beat*
+//! the delta path on narrow-state corpora). The fast path therefore keys on
+//! the live [`ValueState::width_words`] of the target's input: when it is
+//! below [`AnalysisConfig::narrow_join_width`] (in 64-bit words),
+//! [`Engine::join_in`] performs a plain monotone `join` and sets the flow's
+//! `needs_full` flag instead of maintaining the delta; the next worklist
+//! step for a flagged flow recomputes its output from the *full* input and
+//! plain-joins it onward (exactly the Reference step). Wide flows keep
+//! `join_tracking` and the delta step, so the fan-out win is untouched.
+//!
+//! **Why this is monotone-safe.** The flag records "the pending delta may
+//! under-represent the unpushed information". A flagged flow never takes
+//! the delta step: the full recompute covers every join ever made into the
+//! flow (tracked or not), because `in_state` only grows and the output
+//! functions are monotone. Once the step clears the flag, any later tracked
+//! join restores the exact-delta invariant for the *new* information only —
+//! which is sufficient, since everything older was already pushed by the
+//! full step. Mixed sequences of plain and tracked joins therefore converge
+//! to the same least fixpoint as pure difference propagation, enforced
+//! differentially by `tests/delta_vs_reference.rs` over narrow-join widths
+//! {0, 2, ∞}.
+//!
 //! # Scheduling
 //!
-//! The delta solvers drain their worklist under one of two schedulers
+//! The delta solvers drain their worklist under one of three schedulers
 //! ([`crate::SchedulerKind`]):
 //!
 //! * **FIFO** — a plain queue; kept as the scheduling oracle.
-//! * **SCC priority** (the default) — flows are bucketed by the
+//! * **SCC priority** (forced) — flows are bucketed by the
 //!   condensation-topological index of their strongly connected component
 //!   in the PVPG ([`Pvpg::compute_sccs`], over the value-carrying use and
 //!   observe edges; predicate edges are one-shot enabling, impose no
 //!   re-processing order, and are excluded — see [`crate::SccInfo`]), and
 //!   the solver always dequeues from the lowest-priority non-empty bucket.
+//! * **Adaptive** (the default) — starts every solve on the FIFO queue and
+//!   *flips* to the SCC queue mid-solve when re-processing is observed (see
+//!   "The adaptive flip" below).
 //!
 //! Invariants of the SCC scheduler:
 //!
@@ -98,12 +129,46 @@
 //!   converges to the same least fixpoint. Implicit dependencies that are
 //!   not materialized as edges (type-subscriber injections, saturated-site
 //!   re-dispatch) may therefore be safely absent from the SCC computation.
-//! * **Parallel rounds are whole buckets** — the parallel solver's phase
-//!   A/B rounds take one entire SCC bucket as the batch (instead of the
-//!   whole worklist), so the local-fixpoint-before-successor order and the
-//!   result-identity guarantee of `tests/delta_vs_reference.rs` both hold.
+//! * **Parallel rounds are antichains of buckets** — the parallel solver's
+//!   phase A/B rounds batch a set of *mutually independent* SCC buckets (no
+//!   condensation edge between any two of them, checked against the edge
+//!   list of the last recompute), starting from the lowest-priority
+//!   non-empty bucket. Singleton buckets no longer serialize phase A, while
+//!   dependent buckets still wait for their predecessors' local fixpoints.
+//!   Edges added after the recompute may let two now-dependent buckets
+//!   share a round — that can only cost re-processing, never correctness
+//!   (next point), and the result-identity guarantee of
+//!   `tests/delta_vs_reference.rs` holds regardless.
 //! * The reference solver always runs FIFO — it is the oracle and stays
 //!   byte-for-byte the full-join algorithm.
+//!
+//! # The adaptive flip (FIFO → SCC)
+//!
+//! The SCC machinery costs real wall time — the condensation recomputes and
+//! the bucket indirection on every push/pop — and only pays off when flows
+//! are *re-processed* (cyclic regions, shared-sink fan-out). On acyclic
+//! propagate-once workloads FIFO is strictly cheaper. The default
+//! [`crate::SchedulerKind::Adaptive`] therefore starts every solve on the
+//! FIFO queue and watches the **re-enqueue rate**: a sliding window over
+//! the last [`FLIP_WINDOW`] worklist pushes counts how many re-enqueued a
+//! flow that had already been dequeued at least once. When the window is
+//! dominated by re-pushes ([`FLIP_TRIP`] of [`FLIP_WINDOW`]) *and* enough
+//! work is queued for ordering to matter ([`FLIP_MIN_QUEUE`]), the solver
+//! flips: the condensation is computed lazily — only now, at flip time —
+//! the queued flows migrate into the SCC buckets in their FIFO order, and
+//! the solve continues under SCC priorities (including the incremental
+//! dirty-counter maintenance).
+//!
+//! **Why the mid-solve flip is safe.** Scheduling is a pure performance
+//! heuristic (see above): every dequeue order converges to the same least
+//! fixpoint because all joins are monotone and every state is part of the
+//! graph, not the queue. The flip merely permutes the order in which the
+//! already-queued flows are drained — exactly what a condensation recompute
+//! already does mid-solve — so it may change the step count but never any
+//! observable result. `tests/delta_vs_reference.rs` asserts a flipping run
+//! is result-identical to forced-FIFO and forced-SCC runs, and the flip is
+//! only ever taken *between* worklist steps (between rounds for the
+//! parallel solver), so no step observes a half-migrated queue.
 //!
 //! # Resume (the monotone-resume invariant)
 //!
@@ -136,13 +201,14 @@
 use crate::build::{build_method_graph, BuildOutput};
 use crate::compare::compare;
 use crate::config::{AnalysisConfig, SchedulerKind, SolverKind};
-use crate::flow::{FlowId, FlowKind, SiteId};
+use crate::error::AnalysisError;
+use crate::flow::{FlowId, FlowKind, SiteId, MAX_FLOW_COUNT};
 use crate::graph::Pvpg;
 use crate::lattice::{TypeSet, ValueState};
 use crate::metrics::SchedulerStats;
 use crate::report::{AnalysisResult, ReachableSet, SolveStats};
 use skipflow_ir::{BitSet, MethodId, Program, TypeId, TypeRef};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 /// Minimum structural changes before a mid-solve condensation recompute.
@@ -150,6 +216,77 @@ const RECOMPUTE_MIN_DIRTY: usize = 4096;
 
 /// Sentinel for the intrusive bucket lists.
 const NO_FLOW: u32 = u32::MAX;
+
+/// Bit 0 of [`Engine::queued`]: the flow is resident in the worklist.
+const QUEUED: u8 = 1;
+
+/// Bit 1 of [`Engine::queued`]: the flow has been dequeued at least once
+/// (the adaptive flip detector's re-process signal).
+const PROCESSED: u8 = 2;
+
+/// Flow-capacity headroom the engine keeps below [`MAX_FLOW_COUNT`]: a
+/// single method fragment never creates this many flows, so checking once
+/// per [`Engine::make_reachable`] (instead of per flow) cannot overshoot
+/// into the `NO_FLOW` sentinel.
+const FLOW_CAPACITY_MARGIN: usize = 1 << 22;
+
+/// Sliding-window length (in worklist pushes) of the adaptive scheduler's
+/// re-enqueue-rate detector. Small enough that a fan-out re-processing
+/// storm is detected within a few hundred wasted steps (the fan-out rungs'
+/// step budget), large enough that a handful of loop-φ re-enqueues on an
+/// acyclic workload cannot dominate it. Fixed at 128 so the window is one
+/// branchless `u128` shift register (the detector rides the solver's
+/// hottest loop; a ring buffer here costs measurable wall time).
+const FLIP_WINDOW: usize = 128;
+
+/// Re-pushes within the window that trip the FIFO→SCC flip (3/4 of
+/// [`FLIP_WINDOW`]): the queue is then demonstrably dominated by
+/// re-processing, which is the regime where SCC priorities win 10–25× in
+/// steps. Acyclic ladders measure far below this outside their drain tail.
+const FLIP_TRIP: u32 = 96;
+
+/// Minimum queued flows for the flip to fire. A re-push-heavy window over a
+/// near-empty queue (the drain tail of an otherwise acyclic solve) is not
+/// worth an O(V+E) condensation — there is almost nothing left to order.
+const FLIP_MIN_QUEUE: usize = 64;
+
+/// Bound on non-empty buckets examined per parallel round while extending
+/// the batch to an antichain (keeps `pop_bucket` from degenerating into an
+/// O(#buckets) scan per round on condensations with many tiny SCCs).
+const ANTICHAIN_SCAN_BUDGET: usize = 256;
+
+/// Consecutive non-ready candidates after which the antichain scan gives
+/// up for the round: when the queue is dominated by one blocked frontier
+/// (e.g. hundreds of fan-out readers all waiting on the sink bucket),
+/// paying the full scan budget every round is pure overhead — the moment
+/// the frontier clears, candidates stop missing and the scan runs long
+/// again.
+const ANTICHAIN_MISS_LIMIT: usize = 16;
+
+/// Rounds to skip further antichain attempts after one that failed to
+/// batch anything beyond the first bucket — blocked frontiers tend to stay
+/// blocked for many consecutive rounds, and the scan itself is the cost.
+const ANTICHAIN_BACKOFF_ROUNDS: u32 = 8;
+
+/// Clean (dirty == 0) singleton rounds an epoch must accumulate before the
+/// parallel solver pays the O(E) predecessor-edge extraction backing the
+/// antichain rounds. Short epochs during graph build never amortize the
+/// extraction (it rivals a condensation recompute); the long steady-state
+/// tail — where singleton rounds would otherwise serialize phase A — pays
+/// it once.
+const ANTICHAIN_EXTRACT_AFTER_ROUNDS: u32 = 256;
+
+/// Maximum buckets batched into one parallel antichain round.
+const ANTICHAIN_MAX_BUCKETS: usize = 64;
+
+
+
+/// Cap on a parallel round's batch while an adaptive solve is still in its
+/// FIFO phase: the flip decision is only taken *between* rounds, so
+/// whole-worklist rounds would delay detection by thousands of steps on a
+/// re-processing storm. Forced-FIFO parallel keeps the PR 1 whole-worklist
+/// rounds.
+const ADAPTIVE_ROUND_CAP: usize = 512;
 
 /// The SCC-aware bucketed priority worklist (see the module docs,
 /// "Scheduling").
@@ -181,6 +318,36 @@ struct SccQueue {
     base_flows: usize,
     /// Queued flows across all buckets.
     len: usize,
+    /// Condensation edges of the last recompute, re-packed as sorted
+    /// `(target_priority << 32) | source_priority` pairs so a bucket's
+    /// *predecessors* are one binary-searchable range — present only when
+    /// the parallel solver requested condensation edges. `pop_bucket` uses
+    /// the list to batch an antichain of mutually *ready* buckets; without
+    /// it every round is a single bucket (the conservative answer).
+    pred_edges: Option<Vec<u64>>,
+    /// Per-bucket predecessors acquired *after* the last recompute (dynamic
+    /// field wiring / invoke linking), keyed by target priority. Without
+    /// this the round would batch a bucket together with a predecessor it
+    /// acquired since the recompute — e.g. fan-out readers wired to a field
+    /// sink mid-solve — and re-process it round after round against a
+    /// still-growing input. Cleared by `apply` (the fresh edge list
+    /// subsumes it). Only populated while `pred_edges` is present.
+    dyn_preds: HashMap<u32, Vec<u32>>,
+    /// Cumulative parallel rounds that *would* have extended an antichain
+    /// but fell back to a singleton bucket because `dirty > 0` (pending
+    /// structural changes make readiness untrustworthy). Surfaced as
+    /// `SchedulerStats::antichain_dirty_round_skips` so lost batching is
+    /// observable; *not* used to force recomputes — a forced recompute per
+    /// skipped window was measured to cost 10× more than the serialization
+    /// it avoids on the fan-out rungs. Only counted while `pred_edges` is
+    /// present (the parallel solver).
+    dirty_round_skips: u64,
+    /// Rounds left of the antichain attempt backoff (see
+    /// [`ANTICHAIN_BACKOFF_ROUNDS`]).
+    antichain_backoff: u32,
+    /// Clean rounds this condensation epoch has run without predecessor
+    /// edges (see [`ANTICHAIN_EXTRACT_AFTER_ROUNDS`]); reset by `apply`.
+    clean_rounds: u32,
     /// Debug-only duplicate-enqueue guard: a flow must never be resident in
     /// two priority buckets at once.
     #[cfg(debug_assertions)]
@@ -199,8 +366,28 @@ impl SccQueue {
             dirty: 0,
             base_flows: 0,
             len: 0,
+            pred_edges: None,
+            dyn_preds: HashMap::new(),
+            dirty_round_skips: 0,
+            antichain_backoff: 0,
+            clean_rounds: 0,
             #[cfg(debug_assertions)]
             resident: Vec::new(),
+        }
+    }
+
+    /// Records a dynamically added edge for the round-readiness check
+    /// (no-op unless condensation edges are being tracked).
+    fn note_dynamic_edge(&mut self, s: FlowId, t: FlowId) {
+        if self.pred_edges.is_none() {
+            return;
+        }
+        let (p, q) = (self.priority_of(s) as u32, self.priority_of(t) as u32);
+        if p != q {
+            let preds = self.dyn_preds.entry(q).or_default();
+            if !preds.contains(&p) {
+                preds.push(p);
+            }
         }
     }
 
@@ -241,16 +428,34 @@ impl SccQueue {
         self.len += 1;
     }
 
+    /// Advances the scan cursor to the first non-empty bucket. Returns
+    /// `None` — after resyncing `len` to the truth — if every bucket is
+    /// empty even though `len` claims otherwise: a desynced counter must
+    /// surface as "queue drained", not as an out-of-range `head[self.scan]`
+    /// panic deep in a solve.
+    fn first_nonempty_bucket(&mut self) -> Option<usize> {
+        while self.scan < self.head.len() && self.head[self.scan] == NO_FLOW {
+            self.scan += 1;
+        }
+        if self.scan >= self.head.len() {
+            debug_assert!(
+                self.len == 0,
+                "SccQueue.len claims {} queued flows but every bucket is empty",
+                self.len
+            );
+            self.len = 0;
+            return None;
+        }
+        Some(self.scan)
+    }
+
     /// Dequeues from the lowest-priority non-empty bucket (FIFO within the
     /// bucket — the bucket is one SCC, iterated to local fixpoint).
     fn pop(&mut self) -> Option<FlowId> {
         if self.len == 0 {
             return None;
         }
-        while self.head[self.scan] == NO_FLOW {
-            self.scan += 1;
-        }
-        let p = self.scan;
+        let p = self.first_nonempty_bucket()?;
         let id = self.head[p];
         self.head[p] = self.next[id as usize];
         if self.head[p] == NO_FLOW {
@@ -265,18 +470,9 @@ impl SccQueue {
         Some(FlowId::from_index(id as usize))
     }
 
-    /// Drains the whole lowest-priority non-empty bucket — the parallel
-    /// solver's batch unit (one SCC round).
-    fn pop_bucket(&mut self) -> Vec<FlowId> {
-        if self.len == 0 {
-            return Vec::new();
-        }
-        while self.head[self.scan] == NO_FLOW {
-            self.scan += 1;
-        }
-        let p = self.scan;
-        self.cur_prio = p as u32;
-        let mut batch = Vec::new();
+    /// Drains bucket `p` entirely into `batch`.
+    fn drain_bucket_into(&mut self, p: usize, batch: &mut Vec<FlowId>) {
+        let before = batch.len();
         let mut id = self.head[p];
         while id != NO_FLOW {
             batch.push(FlowId::from_index(id as usize));
@@ -288,8 +484,117 @@ impl SccQueue {
         }
         self.head[p] = NO_FLOW;
         self.tail[p] = NO_FLOW;
-        self.len -= batch.len();
+        self.len -= batch.len() - before;
+    }
+
+    /// Whether bucket `q` is *ready* to join the current round's batch:
+    /// every condensation predecessor of `q` — from the last recompute's
+    /// edge list plus the dynamically acquired ones — must be neither
+    /// queued (its local fixpoint is not reached) nor part of the batch
+    /// being assembled (`taken`; its outputs have not been applied yet).
+    /// Readiness rather than mere pairwise edge-absence is what keeps
+    /// chains serialized: in `s1 → s2 → s3` there is no direct `s1 → s3`
+    /// edge, yet `s3` must not run in `s1`'s round while `s2` is queued.
+    fn bucket_ready(&self, q: usize, taken: &[usize]) -> bool {
+        let Some(edges) = &self.pred_edges else { return false };
+        let blocked = |p: usize| self.head[p] != NO_FLOW || taken.contains(&p);
+        let lo = (q as u64) << 32;
+        let start = edges.partition_point(|&e| e < lo);
+        for &e in &edges[start..] {
+            if e >> 32 != q as u64 {
+                break;
+            }
+            if blocked((e & 0xffff_ffff) as usize) {
+                return false;
+            }
+        }
+        if let Some(preds) = self.dyn_preds.get(&(q as u32)) {
+            if preds.iter().any(|&p| blocked(p as usize)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Drains an *antichain* of mutually ready SCC buckets — the parallel
+    /// solver's batch unit (one round). The batch always contains the
+    /// whole lowest-priority non-empty bucket; further non-empty buckets
+    /// join it while every one of their condensation predecessors is idle
+    /// ([`SccQueue::bucket_ready`] — in particular no condensation edge
+    /// connects two batched buckets), bounded by
+    /// [`ANTICHAIN_SCAN_BUDGET`] / [`ANTICHAIN_MAX_BUCKETS`] and requiring
+    /// the condensation edge list (without it every round stays a single
+    /// bucket). Readiness is judged against the last recompute plus the
+    /// dynamic-edge log; anything stale can only cost re-processing, never
+    /// correctness.
+    fn pop_bucket(&mut self) -> Vec<FlowId> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let Some(first) = self.first_nonempty_bucket() else {
+            return Vec::new();
+        };
+        self.cur_prio = first as u32;
+        let mut batch = Vec::new();
+        // Antichain extension only while the condensation is trustworthy:
+        // structural changes since the last recompute (`dirty > 0`) mean
+        // new flows hold provisional priorities and fragment-construction
+        // edges are not in the predecessor lists, so readiness would batch
+        // buckets prematurely and re-process them every round. Singleton
+        // rounds are the conservative fallback until the next recompute
+        // (counted, so lost batching shows up in the scheduler stats —
+        // forcing recomputes instead was measured to cost far more than
+        // the serialization it avoids).
+        let multi_bucket = self.pred_edges.is_some() && self.len > self.bucket_len(first);
+        if multi_bucket && self.dirty > 0 {
+            self.dirty_round_skips += 1;
+        }
+        if multi_bucket && self.dirty == 0 && self.antichain_backoff > 0 {
+            self.antichain_backoff -= 1;
+        }
+        if multi_bucket && self.dirty == 0 && self.antichain_backoff == 0 {
+            let mut taken = vec![first];
+            let mut scanned = 0;
+            let mut misses = 0;
+            let mut p = first + 1;
+            while p < self.head.len()
+                && scanned < ANTICHAIN_SCAN_BUDGET
+                && misses < ANTICHAIN_MISS_LIMIT
+                && taken.len() < ANTICHAIN_MAX_BUCKETS
+            {
+                if self.head[p] != NO_FLOW {
+                    scanned += 1;
+                    if self.bucket_ready(p, &taken) {
+                        taken.push(p);
+                        misses = 0;
+                    } else {
+                        misses += 1;
+                    }
+                }
+                p += 1;
+            }
+            if taken.len() == 1 {
+                self.antichain_backoff = ANTICHAIN_BACKOFF_ROUNDS;
+            }
+            for &p in &taken {
+                self.drain_bucket_into(p, &mut batch);
+            }
+        } else {
+            self.drain_bucket_into(first, &mut batch);
+        }
         batch
+    }
+
+    /// Number of flows resident in bucket `p` (a short list walk; used only
+    /// on the round path to decide whether an antichain scan is worth it).
+    fn bucket_len(&self, p: usize) -> usize {
+        let mut n = 0;
+        let mut id = self.head[p];
+        while id != NO_FLOW {
+            n += 1;
+            id = self.next[id as usize];
+        }
+        n
     }
 
     /// Whether enough structure changed to warrant a batch recompute: the
@@ -300,11 +605,14 @@ impl SccQueue {
         self.dirty >= RECOMPUTE_MIN_DIRTY.max(self.base_flows)
     }
 
-    /// Adopts a fresh condensation: installs the new priorities and migrates
-    /// every queued flow into its new bucket (drained in ascending old
-    /// priority, FIFO within — deterministic). Returns the number of flows
-    /// migrated.
-    fn apply(&mut self, priority: Vec<u32>, scc_count: u32) -> u64 {
+    /// Adopts a fresh condensation: installs the new priorities (and
+    /// optionally a target-major-packed bucket predecessor list in
+    /// [`Pvpg::bucket_pred_edges`] format — the engine itself always
+    /// passes `None` and lets the parallel round path extract edges
+    /// lazily) and migrates every queued flow into its new bucket (drained
+    /// in ascending old priority, FIFO within — deterministic). Returns the
+    /// number of flows migrated.
+    fn apply(&mut self, priority: Vec<u32>, scc_count: u32, pred_edges: Option<Vec<u64>>) -> u64 {
         let mut queued: Vec<FlowId> = Vec::with_capacity(self.len);
         let old_len = self.len;
         while let Some(f) = self.pop() {
@@ -319,6 +627,12 @@ impl SccQueue {
         self.scan = 0;
         self.base_flows = priority.len();
         self.prio = priority;
+        // Re-pack the forward condensation edges by *target* so a bucket's
+        // predecessor range is binary-searchable.
+        self.clean_rounds = 0;
+        self.antichain_backoff = 0;
+        self.pred_edges = pred_edges;
+        self.dyn_preds.clear();
         self.cur_prio = 0;
         self.dirty = 0;
         self.len = 0;
@@ -326,14 +640,45 @@ impl SccQueue {
         for f in queued {
             self.push(f);
         }
+        debug_assert_eq!(
+            self.debug_resident_flows(),
+            self.len,
+            "SccQueue.len desynced from the bucket lists after apply()"
+        );
         migrated
+    }
+
+    /// Debug-only ground truth for `len`: counts the flows actually resident
+    /// in the intrusive bucket lists.
+    #[cfg(debug_assertions)]
+    fn debug_resident_flows(&self) -> usize {
+        self.head
+            .iter()
+            .map(|&h| {
+                let mut n = 0;
+                let mut id = h;
+                while id != NO_FLOW {
+                    n += 1;
+                    id = self.next[id as usize];
+                }
+                n
+            })
+            .sum()
+    }
+
+    /// Release builds skip the walk; the `debug_assert_eq!` operand must
+    /// still typecheck.
+    #[cfg(not(debug_assertions))]
+    fn debug_resident_flows(&self) -> usize {
+        self.len
     }
 }
 
-/// The solver worklist: a plain FIFO queue or the SCC priority queue.
+/// The solver worklist: a plain FIFO queue or the (boxed — it carries the
+/// bucket arrays and condensation-edge list) SCC priority queue.
 enum Worklist {
     Fifo(VecDeque<FlowId>),
-    Scc(SccQueue),
+    Scc(Box<SccQueue>),
 }
 
 impl Worklist {
@@ -345,12 +690,64 @@ impl Worklist {
     }
 }
 
+/// The adaptive scheduler's re-enqueue-rate detector (present only while an
+/// `Adaptive` solve is still in its FIFO phase; dropped at the flip).
+///
+/// The rate is observed at *dequeue* time: every re-enqueued flow is seen
+/// exactly once when it drains, so the fraction of dequeues hitting an
+/// already-processed flow equals the re-enqueue rate one queue-length
+/// later — and the processed-before bit rides in the engine's `queued`
+/// byte, which the pop reads and writes anyway (see [`Engine::queued`]),
+/// so the detector touches no memory of its own. The window over the last
+/// [`FLIP_WINDOW`] (= 128) dequeues is a `u128` shift register: one
+/// shift-or per pop, one popcount for the trip test — branchless, so the
+/// FIFO phase stays within the ±2 % wall-time band of a plain FIFO solve
+/// (the guard BENCH_PR4.json enforces on the ladder).
+struct FlipTracker {
+    /// The last [`FLIP_WINDOW`] dequeues, newest in bit 0: set = re-process.
+    window: u128,
+    /// Total dequeues observed (mirrored into `SchedulerStats` lazily).
+    pops: u64,
+    /// Total re-process dequeues observed.
+    re_pops: u64,
+}
+
+impl FlipTracker {
+    fn new() -> Self {
+        const { assert!(FLIP_WINDOW == 128, "the window is a u128 shift register") };
+        FlipTracker {
+            window: 0,
+            pops: 0,
+            re_pops: 0,
+        }
+    }
+
+    /// Observes one worklist pop: `re` is whether the flow had been
+    /// processed before (the engine reads it off the `queued` byte).
+    #[inline]
+    fn observe(&mut self, re: bool) {
+        self.window = (self.window << 1) | re as u128;
+        self.pops += 1;
+        self.re_pops += re as u64;
+    }
+
+    /// Whether the sliding window is dominated by re-processing.
+    #[inline]
+    fn tripped(&self) -> bool {
+        self.window.count_ones() >= FLIP_TRIP
+    }
+}
+
 pub(crate) struct Engine<'p> {
     program: &'p Program,
     config: AnalysisConfig,
     g: Pvpg,
     worklist: Worklist,
-    queued: Vec<bool>,
+    /// Per-flow scheduling byte: bit 0 ([`QUEUED`]) = currently resident in
+    /// the worklist; bit 1 ([`PROCESSED`]) = dequeued at least once (the
+    /// adaptive flip detector's re-process signal, kept in the byte the
+    /// pop writes anyway so observing it costs nothing).
+    queued: Vec<u8>,
     /// Reachable methods: O(1) membership plus discovery order (sorted into
     /// a `BTreeSet` once, at the end).
     reachable: BitSet,
@@ -371,20 +768,40 @@ pub(crate) struct Engine<'p> {
     /// Per-flow flag from the last condensation recompute: the flow sits in
     /// an SCC of size ≥ 2 (drives the steps-per-SCC statistics).
     in_cycle: Vec<bool>,
+    /// The adaptive scheduler's FIFO-phase re-push detector (`None` under
+    /// forced schedulers, and after the flip).
+    flip: Option<FlipTracker>,
+    /// Resolved narrow-join fast-path threshold: the configured
+    /// `narrow_join_width`, except 0 (disabled) for the reference solver,
+    /// which must stay byte-for-byte the PR 1 algorithm.
+    narrow_join: usize,
+    /// Set once the PVPG hits the `FlowId` capacity limit: the engine stops
+    /// building fragments and the session surfaces the error
+    /// ([`crate::AnalysisSession::try_solve`]).
+    overflow: Option<AnalysisError>,
     sched_stats: SchedulerStats,
     steps: u64,
+    full_join_steps: u64,
     state_joins: u64,
+    narrow_joins: u64,
 }
 
 impl<'p> Engine<'p> {
     pub(crate) fn new(program: &'p Program, config: AnalysisConfig) -> Self {
         // The reference solver is the oracle: it always runs the PR 1 FIFO
-        // order regardless of the configured scheduler.
+        // order regardless of the configured scheduler, and never takes the
+        // narrow-join fast path (its join_in must stay the PR 3 code path).
         let worklist = match (config.solver, config.scheduler) {
-            (SolverKind::Reference, _) | (_, SchedulerKind::Fifo) => {
+            (SolverKind::Reference, _) | (_, SchedulerKind::Fifo | SchedulerKind::Adaptive) => {
                 Worklist::Fifo(VecDeque::new())
             }
-            (_, SchedulerKind::SccPriority) => Worklist::Scc(SccQueue::new()),
+            (_, SchedulerKind::SccPriority) => Worklist::Scc(Box::new(SccQueue::new())),
+        };
+        let adaptive = !matches!(config.solver, SolverKind::Reference)
+            && config.scheduler == SchedulerKind::Adaptive;
+        let narrow_join = match config.solver {
+            SolverKind::Reference => 0,
+            _ => config.narrow_join_width,
         };
         Engine {
             program,
@@ -401,9 +818,14 @@ impl<'p> Engine<'p> {
             saturated_set: BitSet::new(),
             defaulted_fields: BitSet::new(),
             in_cycle: Vec::new(),
+            flip: adaptive.then(FlipTracker::new),
+            narrow_join,
+            overflow: None,
             sched_stats: SchedulerStats::default(),
             steps: 0,
+            full_join_steps: 0,
             state_joins: 0,
+            narrow_joins: 0,
         }
     }
 
@@ -429,18 +851,26 @@ impl<'p> Engine<'p> {
                 if q.priority_of(s) >= q.priority_of(t) {
                     q.dirty += 1;
                 }
+                // Keep the antichain independence check current: a bucket
+                // that just acquired a successor must stop being batched
+                // with it (parallel solver only; no-op otherwise).
+                q.note_dynamic_edge(s, t);
             }
         }
         added
     }
 
     /// Recomputes the PVPG condensation and rebuckets the queued flows
-    /// (SCC scheduler only). Called once when a solve starts and then in
-    /// batches behind the dirty counter.
+    /// (SCC worklist only). Called once when a solve starts under a forced
+    /// SCC scheduler, at the adaptive flip, and then in batches behind the
+    /// dirty counter.
     fn recompute_sccs(&mut self) {
         if !matches!(self.worklist, Worklist::Scc(_)) {
             return;
         }
+        // Priorities only — the parallel solver's bucket predecessor
+        // relation is extracted lazily on the round path
+        // ([`Pvpg::bucket_pred_edges`]), not folded into every recompute.
         let info = self.g.compute_sccs();
         self.sched_stats.scc_count = info.count as usize;
         self.sched_stats.cyclic_flows = info.cyclic_flows as usize;
@@ -448,7 +878,47 @@ impl<'p> Engine<'p> {
         self.sched_stats.scc_recomputes += 1;
         self.in_cycle = info.cyclic;
         if let Worklist::Scc(q) = &mut self.worklist {
-            self.sched_stats.rebucketed_flows += q.apply(info.priority, info.count);
+            self.sched_stats.rebucketed_flows += q.apply(info.priority, info.count, None);
+        }
+    }
+
+    /// The adaptive scheduler's FIFO→SCC flip: when the sliding-window
+    /// re-push rate shows the queue is dominated by re-processing (and
+    /// enough is queued for ordering to matter), compute the condensation —
+    /// lazily, only now — and migrate the FIFO queue into SCC priority
+    /// buckets in its current order. Only ever called *between* worklist
+    /// steps / rounds, so no step observes a half-migrated queue; safe
+    /// mid-solve because results are scheduler-independent (module docs,
+    /// "The adaptive flip").
+    fn maybe_flip(&mut self) {
+        let Some(tracker) = &self.flip else { return };
+        // Fast guard: the window can only have *become* tripped if the most
+        // recent observation was a re-process (bit 0); skipping the
+        // popcount otherwise keeps this per-step call at two branches on
+        // propagate-once workloads.
+        if tracker.window & 1 == 0 || !tracker.tripped() {
+            return;
+        }
+        let Worklist::Fifo(fifo) = &self.worklist else { return };
+        if fifo.len() < FLIP_MIN_QUEUE {
+            return;
+        }
+        let tracker = self.flip.take().expect("checked above");
+        self.sched_stats.adaptive_pops = tracker.pops;
+        self.sched_stats.adaptive_re_pops = tracker.re_pops;
+        self.sched_stats.flips += 1;
+        self.sched_stats.flip_at_step = self.steps;
+        // Swap in an empty SCC queue, let the ordinary recompute path
+        // install the condensation (and its statistics, exactly once —
+        // see `recompute_sccs`), then migrate the drained FIFO queue in
+        // its current order.
+        let Worklist::Fifo(fifo) = &mut self.worklist else { unreachable!("checked above") };
+        let drained = std::mem::take(fifo);
+        self.worklist = Worklist::Scc(Box::new(SccQueue::new()));
+        self.recompute_sccs();
+        let Worklist::Scc(q) = &mut self.worklist else { unreachable!("just installed") };
+        for f in drained {
+            q.push(f);
         }
     }
 
@@ -541,6 +1011,13 @@ impl<'p> Engine<'p> {
         self.steps
     }
 
+    /// The structured capacity error, if the PVPG hit the `FlowId` limit
+    /// during a solve (the fixpoint is then incomplete and must not be
+    /// reported as a result).
+    pub(crate) fn capacity_error(&self) -> Option<&AnalysisError> {
+        self.overflow.as_ref()
+    }
+
     /// The live PVPG.
     pub(crate) fn graph(&self) -> &Pvpg {
         &self.g
@@ -564,15 +1041,27 @@ impl<'p> Engine<'p> {
     /// The current solver statistics.
     pub(crate) fn stats_snapshot(&self, duration: Duration, solves: u64) -> SolveStats {
         let (use_edges, pred_edges, obs_edges) = self.g.edge_counts();
+        // The flip detector keeps its own push counters off the hot path;
+        // fold them in here (after a flip they were copied at flip time).
+        let mut scheduler = self.sched_stats.clone();
+        if let Some(tracker) = &self.flip {
+            scheduler.adaptive_pops = tracker.pops;
+            scheduler.adaptive_re_pops = tracker.re_pops;
+        }
+        if let Worklist::Scc(q) = &self.worklist {
+            scheduler.antichain_dirty_round_skips = q.dirty_round_skips;
+        }
         SolveStats {
             steps: self.steps,
+            full_join_steps: self.full_join_steps,
             state_joins: self.state_joins,
+            narrow_joins: self.narrow_joins,
             flows: self.g.flow_count(),
             use_edges,
             pred_edges,
             obs_edges,
             solves,
-            scheduler: self.sched_stats.clone(),
+            scheduler,
             duration,
         }
     }
@@ -581,15 +1070,28 @@ impl<'p> Engine<'p> {
         let n = self.g.flow_count();
         if self.queued.len() < n {
             let grown = n - self.queued.len();
-            self.queued.resize(n, false);
+            self.queued.resize(n, 0);
             self.note_structural(grown);
         }
     }
 
     fn enqueue(&mut self, f: FlowId) {
-        if !self.queued[f.index()] {
-            self.queued[f.index()] = true;
+        let slot = &mut self.queued[f.index()];
+        if *slot & QUEUED == 0 {
+            *slot |= QUEUED;
             self.worklist.push(f);
+        }
+    }
+
+    /// Marks a dequeued flow off-queue and processed-once, feeding the
+    /// adaptive flip detector (if still active) the re-process bit.
+    #[inline]
+    fn note_dequeued(&mut self, f: FlowId) {
+        let slot = &mut self.queued[f.index()];
+        let re = *slot & PROCESSED != 0;
+        *slot = PROCESSED;
+        if let Some(tracker) = &mut self.flip {
+            tracker.observe(re);
         }
     }
 
@@ -633,6 +1135,26 @@ impl<'p> Engine<'p> {
     fn join_in(&mut self, target: FlowId, state: &ValueState) {
         let sat = self.config.saturation_threshold;
         let flow = self.g.flow_mut(target);
+        // Width-adaptive fast path (module docs): while the live input state
+        // is narrow, a plain monotone join beats the delta bookkeeping. The
+        // `needs_full` flag makes the next step recompute from the full
+        // input, so the (now possibly stale) pending delta is never trusted.
+        if self.narrow_join > 0 && flow.in_state.width_words() < self.narrow_join {
+            if flow.in_state.join(state) {
+                if let (Some(k), ValueState::Types(s)) = (sat, &flow.in_state) {
+                    if s.len() > k {
+                        flow.in_state = ValueState::Any;
+                    }
+                }
+                flow.needs_full = true;
+                self.state_joins += 1;
+                self.narrow_joins += 1;
+                if flow.enabled {
+                    self.enqueue(target);
+                }
+            }
+            return;
+        }
         if flow.in_state.join_tracking(state, &mut flow.delta) {
             if let (Some(k), ValueState::Types(s)) = (sat, &flow.in_state) {
                 if s.len() > k {
@@ -651,6 +1173,22 @@ impl<'p> Engine<'p> {
 
     /// Marks `m` reachable, building its PVPG fragment on first contact.
     fn make_reachable(&mut self, m: MethodId) {
+        // FlowId capacity guard (checked once per fragment): probe, via the
+        // checked conversion, whether the fragment's worst-case last flow
+        // index would still be a valid id — `FLOW_CAPACITY_MARGIN` bounds
+        // any single fragment's flows. Past the limit the engine stops
+        // growing the graph and the session surfaces the structured
+        // `TooManyFlows` instead of corrupting the intrusive lists.
+        if self.overflow.is_some() {
+            return;
+        }
+        if FlowId::try_from_index(self.g.flow_count() + FLOW_CAPACITY_MARGIN).is_err() {
+            self.overflow = Some(AnalysisError::TooManyFlows {
+                flows: self.g.flow_count(),
+                limit: MAX_FLOW_COUNT,
+            });
+            return;
+        }
         if !self.reachable.insert(m.index()) {
             return;
         }
@@ -786,6 +1324,19 @@ impl<'p> Engine<'p> {
             // Disabled flows keep accumulating their delta until enabled.
             return;
         }
+        if self.g.flow(f).needs_full {
+            // Width-adaptive fast path: joins into this flow skipped the
+            // delta bookkeeping, so recompute from the full input (the
+            // Reference step) and discard the stale delta — the full
+            // recompute covers it (module docs, narrow-join monotonicity).
+            let flow = self.g.flow_mut(f);
+            flow.needs_full = false;
+            let _ = flow.delta.take();
+            self.full_join_steps += 1;
+            let out_new = self.compute_out(f);
+            self.apply_out_full(f, out_new);
+            return;
+        }
         let delta = self.g.flow_mut(f).delta.take();
         let out_new = match &self.g.flow(f).kind {
             // Non-distributive / source kinds: recompute from the full
@@ -876,6 +1427,42 @@ impl<'p> Engine<'p> {
             self.join_in(t, &prop);
         }
         if self.g.flow(f).out_state.is_non_empty() {
+            let mut cur = self.g.preds.cursor(f);
+            while let Some(t) = self.g.preds.next(&mut cur) {
+                self.enable(t);
+            }
+        }
+        let mut cur = self.g.observes.cursor(f);
+        while let Some(t) = self.g.observes.next(&mut cur) {
+            self.notify_observer(t);
+        }
+    }
+
+    /// Joins a full-recompute step's output into `out_state` with a plain
+    /// monotone join and propagates the *entire* output state along use,
+    /// predicate, and observe edges — the Reference step's tail, shared by
+    /// the reference solver and the delta solvers' narrow-join fast path.
+    /// Successor `join_in`s deduplicate, so re-propagating the full (narrow)
+    /// state is cheaper than tracking what was new.
+    fn apply_out_full(&mut self, f: FlowId, new_out: ValueState) {
+        let sat = self.config.saturation_threshold;
+        let changed = {
+            let flow = self.g.flow_mut(f);
+            let changed = flow.out_state.join(&new_out);
+            if changed {
+                maybe_saturate(&mut flow.out_state, sat);
+            }
+            changed
+        };
+        if !changed {
+            return;
+        }
+        let out = self.g.flow(f).out_state.clone();
+        let mut cur = self.g.uses.cursor(f);
+        while let Some(t) = self.g.uses.next(&mut cur) {
+            self.join_in(t, &out);
+        }
+        if out.is_non_empty() {
             let mut cur = self.g.preds.cursor(f);
             while let Some(t) = self.g.preds.next(&mut cur) {
                 self.enable(t);
@@ -1034,16 +1621,19 @@ impl<'p> Engine<'p> {
 
     pub(crate) fn solve_sequential(&mut self) {
         // Initial condensation over the sealed root fragments (a no-op for
-        // FIFO); later recomputes are batched behind the dirty counter.
+        // FIFO, including the adaptive pre-flip phase — Adaptive computes
+        // its condensation lazily, at flip time); later recomputes are
+        // batched behind the dirty counter.
         self.recompute_sccs();
         loop {
+            self.maybe_flip();
             self.maybe_recompute();
             let next = match &mut self.worklist {
                 Worklist::Fifo(q) => q.pop_front(),
                 Worklist::Scc(q) => q.pop(),
             };
             let Some(f) = next else { break };
-            self.queued[f.index()] = false;
+            self.note_dequeued(f);
             self.process(f);
         }
     }
@@ -1056,15 +1646,39 @@ impl<'p> Engine<'p> {
     /// delta is part of the corresponding full state, so both orders
     /// converge to the same least fixpoint.
     ///
-    /// Under the SCC scheduler a round's batch is one whole SCC bucket (the
-    /// lowest-priority one), so the local-fixpoint-before-successor order
-    /// holds round-granularly; under FIFO a round drains the entire
-    /// worklist (the PR 1 behaviour).
+    /// Under the SCC worklist a round's batch is an antichain of mutually
+    /// independent SCC buckets (starting from the lowest-priority one), so
+    /// the local-fixpoint-before-successor order holds round-granularly
+    /// while independent buckets stop serializing phase A; under FIFO a
+    /// round drains the entire worklist (the PR 1 behaviour). An adaptive
+    /// run may flip between rounds.
     pub(crate) fn solve_parallel(&mut self, threads: usize) {
         self.recompute_sccs();
         loop {
+            self.maybe_flip();
             self.maybe_recompute();
+            // Lazily extract the bucket predecessor relation the antichain
+            // rounds need — at most once per condensation epoch, only once
+            // the condensation is clean enough to batch, and only after
+            // the epoch has run long enough to amortize the O(E) pass.
+            if let Worklist::Scc(q) = &mut self.worklist {
+                if q.pred_edges.is_none() && q.dirty == 0 && q.len > 1 {
+                    q.clean_rounds += 1;
+                    if q.clean_rounds >= ANTICHAIN_EXTRACT_AFTER_ROUNDS {
+                        q.pred_edges = Some(self.g.bucket_pred_edges(&q.prio, q.cur_prio));
+                    }
+                }
+            }
+            let adaptive_fifo = self.flip.is_some();
             let batch: Vec<FlowId> = match &mut self.worklist {
+                // While an adaptive solve is in its FIFO phase, cap the
+                // round so the between-rounds flip check keeps up with a
+                // re-processing storm; forced FIFO drains the whole
+                // worklist (the PR 1 round shape).
+                Worklist::Fifo(q) if adaptive_fifo => {
+                    let n = q.len().min(ADAPTIVE_ROUND_CAP);
+                    q.drain(..n).collect()
+                }
                 Worklist::Fifo(q) => q.drain(..).collect(),
                 Worklist::Scc(q) => q.pop_bucket(),
             };
@@ -1072,15 +1686,32 @@ impl<'p> Engine<'p> {
                 break;
             }
             for f in &batch {
-                self.queued[f.index()] = false;
+                self.note_dequeued(*f);
             }
-            // Phase A: compute prospective delta outputs in parallel
-            // (read-only).
-            type StepOut = (FlowId, ValueState, Option<ValueState>);
-            let outputs: Vec<StepOut> = if threads <= 1 || batch.len() < 64 {
+            // Consume the batch's full-step flags before the read-only
+            // phase A: phase A's decision must reflect the flags as of the
+            // round start, while plain joins arriving *during* phase B
+            // re-set them for the next round.
+            let full_flags: Vec<bool> = batch
+                .iter()
+                .map(|&f| {
+                    let flow = self.g.flow_mut(f);
+                    // A disabled flow keeps its flag (queued flows are
+                    // always enabled; this is belt-and-braces).
+                    flow.enabled && std::mem::take(&mut flow.needs_full)
+                })
+                .collect();
+            // Phase A: compute prospective outputs in parallel (read-only).
+            type StepOut = (FlowId, ValueState, Option<ValueState>, bool);
+            // Spawning a thread scope costs tens of microseconds per round;
+            // below ~512 flows the per-flow delta computation is cheaper
+            // done inline (antichain rounds regularly sit in the 64–400
+            // range, where spawning used to *lose* 10× wall time).
+            let outputs: Vec<StepOut> = if threads <= 1 || batch.len() < 512 {
                 batch
                     .iter()
-                    .filter_map(|f| self.compute_step(*f))
+                    .zip(&full_flags)
+                    .filter_map(|(f, &full)| self.compute_step(*f, full))
                     .collect()
             } else {
                 let chunk = batch.len().div_ceil(threads);
@@ -1088,11 +1719,13 @@ impl<'p> Engine<'p> {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = batch
                         .chunks(chunk)
-                        .map(|flows| {
+                        .zip(full_flags.chunks(chunk))
+                        .map(|(flows, fulls)| {
                             scope.spawn(move || {
                                 flows
                                     .iter()
-                                    .filter_map(|f| engine.compute_step(*f))
+                                    .zip(fulls)
+                                    .filter_map(|(f, &full)| engine.compute_step(*f, full))
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -1104,13 +1737,25 @@ impl<'p> Engine<'p> {
             // is reduced by exactly the part phase A consumed — input that
             // arrived *during* phase B (from applying earlier flows) stays
             // pending and re-queues the flow for the next round.
-            for (f, out_new, consumed) in outputs {
+            for (f, out_new, consumed, full) in outputs {
                 self.steps += 1;
                 if self.in_cycle.get(f.index()).copied().unwrap_or(false) {
                     self.sched_stats.steps_in_cycles += 1;
                 }
                 if let Some(max) = self.config.max_steps {
                     assert!(self.steps <= max, "analysis exceeded max_steps = {max}");
+                }
+                if full {
+                    // Full-join fast-path step: the output was recomputed
+                    // from the whole input, which covered the phase-A delta
+                    // snapshot; tracked joins from phase B stay pending.
+                    self.full_join_steps += 1;
+                    self.g
+                        .flow_mut(f)
+                        .delta
+                        .remove(consumed.as_ref().expect("full steps snapshot their delta"));
+                    self.apply_out_full(f, out_new);
+                    continue;
                 }
                 // `consumed` is `None` for pass-through kinds, whose output
                 // *is* the consumed delta.
@@ -1125,13 +1770,23 @@ impl<'p> Engine<'p> {
 
     /// Phase A of the parallel solver: what [`Engine::process`] would
     /// produce for `f`, read-only. Returns `(flow, prospective output,
-    /// consumed delta)`, or `None` when the step would be a no-op. The
-    /// consumed delta is `None` for pass-through kinds, where the output
-    /// itself is the consumed delta (avoids a redundant clone).
-    fn compute_step(&self, f: FlowId) -> Option<(FlowId, ValueState, Option<ValueState>)> {
+    /// consumed delta, full-step flag)`, or `None` when the step would be a
+    /// no-op. The consumed delta is `None` for pass-through kinds, where
+    /// the output itself is the consumed delta (avoids a redundant clone).
+    /// With `full` set (the narrow-join fast path), the output is
+    /// recomputed from the whole input and the consumed snapshot is the
+    /// current delta, so phase B removes exactly what this step covered.
+    fn compute_step(
+        &self,
+        f: FlowId,
+        full: bool,
+    ) -> Option<(FlowId, ValueState, Option<ValueState>, bool)> {
         let flow = self.g.flow(f);
         if !flow.enabled {
             return None;
+        }
+        if full {
+            return Some((f, self.compute_out(f), Some(flow.delta.clone()), true));
         }
         let out_new = match &flow.kind {
             FlowKind::CmpFilter { .. } | FlowKind::CatchAll { .. } | FlowKind::PredOn => {
@@ -1153,10 +1808,10 @@ impl<'p> Engine<'p> {
                 if flow.delta.is_empty() {
                     return None;
                 }
-                return Some((f, flow.delta.clone(), None));
+                return Some((f, flow.delta.clone(), None, false));
             }
         };
-        Some((f, out_new, Some(flow.delta.clone())))
+        Some((f, out_new, Some(flow.delta.clone()), false))
     }
 
     /// The full-join reference loop: recomputes each dequeued flow's output
@@ -1171,7 +1826,7 @@ impl<'p> Engine<'p> {
         loop {
             let Worklist::Fifo(q) = &mut self.worklist else { unreachable!() };
             let Some(f) = q.pop_front() else { break };
-            self.queued[f.index()] = false;
+            self.note_dequeued(f);
             self.process_reference(f);
         }
     }
@@ -1187,35 +1842,11 @@ impl<'p> Engine<'p> {
         }
         // The reference solver propagates full states; the delta bookkeeping
         // is drained so the invariant `delta ⊑ in_state` stays meaningful.
-        let _ = self.g.flow_mut(f).delta.take();
+        let flow = self.g.flow_mut(f);
+        flow.needs_full = false;
+        let _ = flow.delta.take();
         let new_out = self.compute_out(f);
-        let sat = self.config.saturation_threshold;
-        let changed = {
-            let flow = self.g.flow_mut(f);
-            let changed = flow.out_state.join(&new_out);
-            if changed {
-                maybe_saturate(&mut flow.out_state, sat);
-            }
-            changed
-        };
-        if !changed {
-            return;
-        }
-        let out = self.g.flow(f).out_state.clone();
-        let mut cur = self.g.uses.cursor(f);
-        while let Some(t) = self.g.uses.next(&mut cur) {
-            self.join_in(t, &out);
-        }
-        if out.is_non_empty() {
-            let mut cur = self.g.preds.cursor(f);
-            while let Some(t) = self.g.preds.next(&mut cur) {
-                self.enable(t);
-            }
-        }
-        let mut cur = self.g.observes.cursor(f);
-        while let Some(t) = self.g.observes.next(&mut cur) {
-            self.notify_observer(t);
-        }
+        self.apply_out_full(f, new_out);
     }
 
     /// Consumes the engine into an owned [`AnalysisResult`] (zero-copy: the
@@ -1335,6 +1966,13 @@ mod tests {
         ValueState::Types(ids.iter().copied().collect::<TypeSet>())
     }
 
+    /// A bucket predecessor edge `source → target` in the target-major
+    /// packing of [`Pvpg::bucket_pred_edges`] (what `SccQueue::apply`
+    /// consumes).
+    fn pred_edge(source: u32, target: u32) -> u64 {
+        ((target as u64) << 32) | source as u64
+    }
+
     #[test]
     fn typecheck_filter_keeps_subtypes_and_drops_null() {
         let (p, animal, dog, cat) = hierarchy();
@@ -1419,7 +2057,7 @@ mod tests {
     fn scc_queue_orders_buckets_and_adopts_current_priority() {
         let mut q = SccQueue::new();
         // Flows 0 and 2 share priority 1; flow 1 is the upstream SCC.
-        let migrated = q.apply(vec![1, 0, 1], 2);
+        let migrated = q.apply(vec![1, 0, 1], 2, None);
         assert_eq!(migrated, 0);
         q.push(FlowId::from_index(0));
         q.push(FlowId::from_index(1));
@@ -1438,11 +2076,12 @@ mod tests {
     #[test]
     fn scc_queue_pop_bucket_drains_one_scc() {
         let mut q = SccQueue::new();
-        q.apply(vec![0, 1, 0], 2);
+        q.apply(vec![0, 1, 0], 2, None);
         q.push(FlowId::from_index(1));
         q.push(FlowId::from_index(0));
         q.push(FlowId::from_index(2));
-        // The whole priority-0 bucket comes out as one batch, then the rest.
+        // Without condensation edges the conservative answer is "dependent":
+        // the whole priority-0 bucket comes out as one batch, then the rest.
         assert_eq!(
             q.pop_bucket(),
             vec![FlowId::from_index(0), FlowId::from_index(2)]
@@ -1452,15 +2091,153 @@ mod tests {
     }
 
     #[test]
+    fn scc_queue_pop_bucket_batches_an_antichain_of_independent_buckets() {
+        // Priorities: flow 0 → bucket 0, flow 1 → bucket 1, flow 2 →
+        // bucket 2, with a single condensation edge 0 → 1. Buckets 0 and 2
+        // are independent (batched together); bucket 1 depends on 0 and
+        // must wait for the next round.
+        let mut q = SccQueue::new();
+        q.apply(vec![0, 1, 2], 3, Some(vec![pred_edge(0, 1)]));
+        q.push(FlowId::from_index(1));
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(2));
+        assert_eq!(
+            q.pop_bucket(),
+            vec![FlowId::from_index(0), FlowId::from_index(2)]
+        );
+        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(1)]);
+        assert!(q.pop_bucket().is_empty());
+    }
+
+    #[test]
+    fn scc_queue_antichain_serializes_chains_without_transitive_edges() {
+        // A chain 0 → 1 → 2 with only the *adjacent* condensation edges:
+        // bucket 2 has no direct edge from 0, yet it must not share 0's
+        // round while 1 is still queued (readiness, not pairwise
+        // edge-absence) — otherwise every chain element downstream of the
+        // frontier is re-processed once per round.
+        let mut edges = vec![pred_edge(0, 1), pred_edge(1, 2)];
+        edges.sort_unstable();
+        let mut q = SccQueue::new();
+        q.apply(vec![0, 1, 2], 3, Some(edges));
+        for i in [2usize, 0, 1] {
+            q.push(FlowId::from_index(i));
+        }
+        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(0)]);
+        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(1)]);
+        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(2)]);
+        // Once the chain's upstream is at fixpoint, a later bucket *can*
+        // share a round with an unrelated one: re-queue 2 alongside an
+        // independent bucket 1... but with 1 empty this time 2 is ready.
+        // (Clear the attempt backoff the singleton rounds above armed —
+        // production rounds drain it one round at a time.)
+        q.antichain_backoff = 0;
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(2));
+        assert_eq!(
+            q.pop_bucket(),
+            vec![FlowId::from_index(0), FlowId::from_index(2)],
+            "bucket 2's predecessor 1 is idle, so 0 (unrelated) and 2 batch"
+        );
+    }
+
+    #[test]
+    fn scc_queue_dynamic_edges_block_readiness_until_recompute() {
+        // Buckets 0 and 2 start independent; a dynamically discovered edge
+        // 0 → 2 (fan-out wiring mid-solve) must stop 2 from sharing 0's
+        // round even though the condensation list predates the edge.
+        let mut q = SccQueue::new();
+        q.apply(vec![0, 1, 2], 3, Some(vec![pred_edge(0, 1)]));
+        q.note_dynamic_edge(FlowId::from_index(0), FlowId::from_index(2));
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(2));
+        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(0)]);
+        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(2)]);
+        // A fresh apply() clears the dynamic log (the new edge list is
+        // authoritative): with no 0 → 2 edge the buckets batch again.
+        q.apply(vec![0, 1, 2], 3, Some(vec![pred_edge(0, 1)]));
+        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(2));
+        assert_eq!(
+            q.pop_bucket(),
+            vec![FlowId::from_index(0), FlowId::from_index(2)]
+        );
+    }
+
+    /// In debug builds a len/bucket desync is caught loudly by the
+    /// `debug_assert` in `first_nonempty_bucket` — not by an out-of-range
+    /// `head[self.scan]` index panic.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "every bucket is empty")]
+    fn scc_queue_desynced_len_is_caught_by_the_debug_assert() {
+        let mut q = SccQueue::new();
+        q.apply(vec![0, 1], 2, None);
+        q.push(FlowId::from_index(0));
+        q.len = 3; // simulate the desync the bounds check defends against
+        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
+        let _ = q.pop();
+    }
+
+    /// In release builds the same desync degrades gracefully: the scan is
+    /// bounds-checked, `pop`/`pop_bucket` report the queue as drained, and
+    /// `len` resyncs to the truth.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn scc_queue_desynced_len_returns_empty_instead_of_panicking() {
+        let mut q = SccQueue::new();
+        q.apply(vec![0, 1], 2, None);
+        q.push(FlowId::from_index(0));
+        q.len = 3;
+        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
+        assert_eq!(q.pop(), None, "desynced pop resyncs instead of panicking");
+        assert_eq!(q.len, 0, "len resynced to the truth");
+        q.len = 5;
+        assert!(q.pop_bucket().is_empty());
+        assert_eq!(q.len, 0);
+    }
+
+    #[test]
     fn scc_queue_rebucket_migrates_queued_flows() {
         let mut q = SccQueue::new();
         q.push(FlowId::from_index(0));
         q.push(FlowId::from_index(1));
         // A recompute reverses the priorities; both queued flows migrate.
-        let migrated = q.apply(vec![1, 0], 2);
+        let migrated = q.apply(vec![1, 0], 2, None);
         assert_eq!(migrated, 2);
         assert_eq!(q.pop(), Some(FlowId::from_index(1)));
         assert_eq!(q.pop(), Some(FlowId::from_index(0)));
+    }
+
+    #[test]
+    fn flip_tracker_trips_only_on_a_reprocess_dominated_window() {
+        let mut t = FlipTracker::new();
+        // First-time dequeues never trip the detector.
+        for _ in 0..FLIP_WINDOW * 2 {
+            t.observe(false);
+            assert!(!t.tripped());
+        }
+        assert_eq!(t.pops, (FLIP_WINDOW * 2) as u64);
+        assert_eq!(t.re_pops, 0);
+        // A re-process-dominated stream trips at exactly the threshold.
+        let mut pops = 0;
+        while !t.tripped() {
+            t.observe(true);
+            pops += 1;
+            assert!(pops <= FLIP_WINDOW, "must trip within one window");
+        }
+        assert_eq!(pops, FLIP_TRIP as usize, "trips exactly at the threshold");
+        assert_eq!(t.re_pops, FLIP_TRIP as u64);
+        // Fresh dequeues wash the window back below the threshold, and a
+        // mixed stream below the trip rate never fires.
+        for _ in 0..FLIP_WINDOW {
+            t.observe(false);
+        }
+        assert!(!t.tripped());
+        for i in 0..FLIP_WINDOW * 4 {
+            t.observe(i % 2 == 0); // 50 % re-process rate < 75 % trip rate
+            assert!(!t.tripped());
+        }
     }
 
     #[cfg(debug_assertions)]

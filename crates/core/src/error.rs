@@ -34,6 +34,18 @@ pub enum AnalysisError {
     },
     /// `SolverKind::Parallel` was configured with zero worker threads.
     ZeroThreads,
+    /// The PVPG grew to the `FlowId` capacity limit. Flow indices are stored
+    /// as `u32` with `u32::MAX` reserved as the intrusive-list sentinel
+    /// (`NO_FLOW`), so an analysis may create at most
+    /// [`crate::MAX_FLOW_COUNT`] flows; at that point the engine stops
+    /// building new fragments and reports this error instead of silently
+    /// corrupting the scheduler's intrusive lists.
+    TooManyFlows {
+        /// Flows in the PVPG when the limit was hit.
+        flows: usize,
+        /// The hard flow-count capacity ([`crate::MAX_FLOW_COUNT`]).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -50,6 +62,10 @@ impl fmt::Display for AnalysisError {
             AnalysisError::ZeroThreads => {
                 write!(f, "SolverKind::Parallel requires at least one worker thread")
             }
+            AnalysisError::TooManyFlows { flows, limit } => write!(
+                f,
+                "the analysis graph reached {flows} flows, the FlowId capacity limit ({limit})"
+            ),
         }
     }
 }
@@ -69,5 +85,10 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("does not exist") && msg.contains('3'), "{msg}");
         assert!(AnalysisError::ZeroThreads.to_string().contains("worker thread"));
+        let e = AnalysisError::TooManyFlows {
+            flows: 4_294_967_294,
+            limit: 4_294_967_294,
+        };
+        assert!(e.to_string().contains("capacity limit"), "{e}");
     }
 }

@@ -6,6 +6,7 @@
 //! callers; conditions (including negated/flipped versions); φ joins;
 //! φ_pred predicate joins; and the always-enabled predicate `pred_on`.
 
+use crate::error::AnalysisError;
 use crate::lattice::ValueState;
 use skipflow_ir::{BlockId, CmpOp, FieldId, MethodId, TypeId, TypeRef};
 use std::fmt;
@@ -13,6 +14,14 @@ use std::fmt;
 /// Identifier of a flow in the PVPG arena.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub(crate) u32);
+
+/// The hard flow-count capacity: `u32::MAX` itself is reserved as the
+/// scheduler's intrusive-list sentinel (`NO_FLOW`), so valid flow indices
+/// are `0..MAX_FLOW_COUNT` and at most `MAX_FLOW_COUNT` flows can exist. A
+/// graph allowed to reach the sentinel index would silently corrupt the
+/// bucket lists — [`FlowId::try_from_index`] rejects it with a structured
+/// [`AnalysisError::TooManyFlows`] instead.
+pub const MAX_FLOW_COUNT: usize = u32::MAX as usize;
 
 impl FlowId {
     /// Dense arena index.
@@ -22,8 +31,24 @@ impl FlowId {
     }
 
     pub(crate) fn from_index(i: usize) -> Self {
-        assert!(i <= u32::MAX as usize, "flow id overflow");
+        // `< u32::MAX`, not `<=`: the sentinel index must never become a
+        // real flow id (see [`MAX_FLOW_COUNT`]).
+        assert!(i < u32::MAX as usize, "flow id overflow (index {i} collides with NO_FLOW)");
         FlowId(i as u32)
+    }
+
+    /// Checked conversion: rejects indices at or beyond the `NO_FLOW`
+    /// sentinel with a structured error instead of panicking or (worse)
+    /// wrapping into the sentinel value. The engine checks graph capacity
+    /// through this before building new method fragments.
+    pub fn try_from_index(i: usize) -> Result<Self, AnalysisError> {
+        if i >= MAX_FLOW_COUNT {
+            return Err(AnalysisError::TooManyFlows {
+                flows: i,
+                limit: MAX_FLOW_COUNT,
+            });
+        }
+        Ok(FlowId(i as u32))
     }
 }
 
@@ -196,6 +221,13 @@ pub struct Flow {
     /// Whether the flow has been enabled by its predicate (paper: only
     /// enabled flows propagate).
     pub enabled: bool,
+    /// Width-adaptive fast path: set when a join into this flow skipped the
+    /// delta bookkeeping (the flow's live input state was below the
+    /// configured narrow-join width), so the pending `delta` may
+    /// under-represent the unpushed information. The next worklist step must
+    /// then recompute from the *full* input (the Reference step) instead of
+    /// draining the delta; the step clears the flag.
+    pub needs_full: bool,
 }
 
 impl Flow {
@@ -208,6 +240,7 @@ impl Flow {
             delta: ValueState::Empty,
             out_state: ValueState::Empty,
             enabled: false,
+            needs_full: false,
         }
     }
 
@@ -279,5 +312,29 @@ mod tests {
     fn ids_are_ordered_by_index() {
         assert!(FlowId::from_index(1) < FlowId::from_index(2));
         assert_eq!(SiteId::from_index(3).index(), 3);
+    }
+
+    #[test]
+    fn flow_id_capacity_excludes_the_sentinel() {
+        // The last valid index is one below NO_FLOW (= u32::MAX).
+        let last = FlowId::try_from_index(MAX_FLOW_COUNT - 1).unwrap();
+        assert_eq!(last.index(), MAX_FLOW_COUNT - 1);
+        // The sentinel index itself and anything beyond are structured
+        // errors, never a silent wrap or an id equal to NO_FLOW.
+        for i in [MAX_FLOW_COUNT, MAX_FLOW_COUNT + 1, usize::MAX] {
+            match FlowId::try_from_index(i) {
+                Err(AnalysisError::TooManyFlows { flows, limit }) => {
+                    assert_eq!(flows, i);
+                    assert_eq!(limit, MAX_FLOW_COUNT);
+                }
+                other => panic!("expected TooManyFlows, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with NO_FLOW")]
+    fn flow_id_from_index_rejects_the_sentinel() {
+        let _ = FlowId::from_index(u32::MAX as usize);
     }
 }

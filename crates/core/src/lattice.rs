@@ -162,6 +162,13 @@ impl TypeSet {
         }
     }
 
+    /// Storage width of the set in 64-bit words (the banded bitset's band
+    /// length; the `null` flag is free). The engine's width-adaptive fast
+    /// path treats states below a configured word width as "narrow".
+    pub fn width_words(&self) -> usize {
+        self.bits.word_width()
+    }
+
     /// Iterates member types in ascending id order (`null` first — its id
     /// is 0).
     pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
@@ -406,6 +413,19 @@ impl ValueState {
         match self {
             ValueState::Const(c) => Some(*c),
             _ => None,
+        }
+    }
+
+    /// Representation width of the state in 64-bit words. `Empty`, `Const`,
+    /// and `Any` are single-tag states of width 0; a type set is as wide as
+    /// its bitset band. This is the measure the width-adaptive join fast
+    /// path compares against [`crate::AnalysisConfig::narrow_join_width`]:
+    /// below the threshold, a plain monotone full join beats the per-word
+    /// delta bookkeeping of [`ValueState::join_tracking`].
+    pub fn width_words(&self) -> usize {
+        match self {
+            ValueState::Types(s) => s.width_words(),
+            _ => 0,
         }
     }
 

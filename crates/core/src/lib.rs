@@ -91,9 +91,9 @@ mod session;
 pub mod shrink;
 
 pub use compare::compare;
-pub use config::{AnalysisConfig, SchedulerKind, SolverKind};
+pub use config::{AnalysisConfig, SchedulerKind, SolverKind, DEFAULT_NARROW_JOIN_WIDTH};
 pub use error::AnalysisError;
-pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId};
+pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId, MAX_FLOW_COUNT};
 pub use graph::{CheckCategory, IfRecord, MethodGraph, Pvpg, SccInfo};
 pub use lattice::{TypeSet, ValueState};
 pub use metrics::{compute_metrics, Metrics, SchedulerStats};

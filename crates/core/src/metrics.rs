@@ -77,6 +77,29 @@ pub struct SchedulerStats {
     pub steps_in_cycles: u64,
     /// Queued flows migrated between priority buckets across recomputes.
     pub rebucketed_flows: u64,
+    /// Adaptive-scheduler FIFO→SCC flips (0 when the re-enqueue rate never
+    /// tripped the detector, or under a forced scheduler). At most 1 per
+    /// session: the flip is sticky — once a workload has demonstrated
+    /// re-processing, resumed solves stay on the SCC queue.
+    pub flips: u64,
+    /// Cumulative worklist-step count at the most recent flip (0 when no
+    /// flip happened) — how long the FIFO phase ran before the re-push rate
+    /// tripped.
+    pub flip_at_step: u64,
+    /// Worklist dequeues observed by the adaptive flip detector while in
+    /// the FIFO phase (0 under forced schedulers).
+    pub adaptive_pops: u64,
+    /// Of [`SchedulerStats::adaptive_pops`], how many dequeued a flow that
+    /// had already been processed at least once — every re-enqueue is
+    /// observed when it drains, so this is the numerator of the re-enqueue
+    /// rate the flip decision is based on.
+    pub adaptive_re_pops: u64,
+    /// Parallel rounds that fell back to a singleton bucket because
+    /// pending structural changes (`dirty > 0`) made the antichain
+    /// readiness check untrustworthy — how much multi-bucket batching the
+    /// round scheduler conservatively declined (0 for sequential solves
+    /// and FIFO rounds).
+    pub antichain_dirty_round_skips: u64,
 }
 
 /// Computes the counter metrics from a finished analysis (any

@@ -27,8 +27,17 @@ use std::time::Duration;
 pub struct SolveStats {
     /// Worklist steps executed (cumulative across session resumes).
     pub steps: u64,
+    /// Of [`SolveStats::steps`], how many took the width-adaptive full-join
+    /// fast path (the flow's narrow input state made a plain monotone
+    /// re-join cheaper than delta bookkeeping). Always 0 when
+    /// [`crate::AnalysisConfig::narrow_join_width`] is 0 and for the
+    /// reference solver (whose every step is a full join by definition).
+    pub full_join_steps: u64,
     /// Input-state joins that actually changed a state (propagation volume).
     pub state_joins: u64,
+    /// Of [`SolveStats::state_joins`], how many skipped the delta tracking
+    /// via the narrow-join fast path.
+    pub narrow_joins: u64,
     /// Flows in the final PVPG (the arena only grows, so this is the peak).
     pub flows: usize,
     /// Use edges.

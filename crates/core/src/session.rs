@@ -135,6 +135,13 @@ impl<'p> SessionBuilder<'p> {
         self
     }
 
+    /// Sets the width-adaptive narrow-join fast-path threshold in 64-bit
+    /// words (see [`AnalysisConfig::with_narrow_join_width`]; 0 disables).
+    pub fn narrow_join_width(mut self, width: usize) -> Self {
+        self.config = self.config.with_narrow_join_width(width);
+        self
+    }
+
     /// Sets (or clears) the fixpoint step bound (tests' fail-fast valve).
     pub fn max_steps(mut self, max_steps: impl Into<Option<u64>>) -> Self {
         self.config = self.config.with_max_steps(max_steps);
@@ -297,8 +304,28 @@ impl<'p> AnalysisSession<'p> {
     /// # Panics
     ///
     /// Panics if the configured `max_steps` bound is exceeded (the
-    /// fail-fast valve for engine bugs in tests).
+    /// fail-fast valve for engine bugs in tests), and if the PVPG hits the
+    /// `FlowId` capacity limit — use [`AnalysisSession::try_solve`] to
+    /// receive the latter as a structured [`AnalysisError::TooManyFlows`]
+    /// instead.
     pub fn solve(&mut self) -> AnalysisSnapshot<'_> {
+        self.try_solve()
+            .unwrap_or_else(|e| panic!("analysis aborted: {e}"))
+    }
+
+    /// [`AnalysisSession::solve`], reporting graph-capacity exhaustion as a
+    /// structured error: if the PVPG reaches the `FlowId` limit
+    /// ([`crate::MAX_FLOW_COUNT`]) mid-solve, the engine stops building
+    /// fragments and this returns [`AnalysisError::TooManyFlows`] — the
+    /// incomplete fixpoint is never surfaced as a result.
+    pub fn try_solve(&mut self) -> Result<AnalysisSnapshot<'_>, AnalysisError> {
+        // A capacity error is sticky: the engine stopped building fragments
+        // mid-solve, so the incomplete fixpoint must keep being reported as
+        // the error — in particular the saturated-no-op early return below
+        // must never turn a failed solve into a stale Ok.
+        if let Some(e) = self.engine.capacity_error() {
+            return Err(e.clone());
+        }
         if self.solves > 0 && self.pending_roots.is_empty() {
             // Already saturated with no new roots: the worklist is empty, so
             // running the solver would only pay for a condensation recompute
@@ -307,19 +334,22 @@ impl<'p> AnalysisSession<'p> {
             self.solves += 1;
             self.last_solve_steps = 0;
             self.stats.solves = self.solves;
-            return self.snapshot();
+            return Ok(self.snapshot());
         }
         let start = Instant::now();
         let steps_before = self.engine.steps();
         let pending = std::mem::take(&mut self.pending_roots);
         self.engine.add_roots(&pending);
         self.engine.run_solver();
+        if let Some(e) = self.engine.capacity_error() {
+            return Err(e.clone());
+        }
         self.total_duration += start.elapsed();
         self.solves += 1;
         self.last_solve_steps = self.engine.steps() - steps_before;
         self.reachable = self.engine.reachable_set();
         self.stats = self.engine.stats_snapshot(self.total_duration, self.solves);
-        self.snapshot()
+        Ok(self.snapshot())
     }
 
     /// A cheap borrowed view of the current state (empty before the first
@@ -357,9 +387,12 @@ impl<'p> AnalysisSession<'p> {
         &self.roots
     }
 
-    /// Whether all accepted roots have been solved in.
+    /// Whether all accepted roots have been solved in (false once the
+    /// engine hit the `FlowId` capacity limit — the fixpoint is incomplete).
     pub fn is_up_to_date(&self) -> bool {
-        self.solves > 0 && self.pending_roots.is_empty()
+        self.solves > 0
+            && self.pending_roots.is_empty()
+            && self.engine.capacity_error().is_none()
     }
 
     /// Completed [`AnalysisSession::solve`] calls.

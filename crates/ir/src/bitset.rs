@@ -76,6 +76,14 @@ impl BitSet {
         }
     }
 
+    /// Number of storage words in the band (including interior zero words).
+    /// This is the *representation width*, not the population count — the
+    /// engine's width-adaptive join fast path keys off it: states a word or
+    /// two wide are cheaper to re-join wholesale than to difference-track.
+    pub fn word_width(&self) -> usize {
+        self.words.len()
+    }
+
     /// Returns `true` if no bit is set.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)

@@ -16,21 +16,34 @@
 //!   --metrics             print the Table 1 counter metrics
 //!   --dead-code           print per-method dead-code reports
 
-use skipflow::analysis::{
-    analyze, AnalysisConfig, AnalysisSession, AnalysisSnapshot, CallGraphQuery,
-};
+use skipflow::analysis::{AnalysisConfig, AnalysisSession, AnalysisSnapshot, CallGraphQuery};
 use skipflow::ir::{encode, frontend, printer, MethodId, Program};
 use std::process::ExitCode;
+
+/// CLI failure modes: *usage* errors (bad subcommand / malformed
+/// invocation) get the usage text; *run* errors — bad input files, unknown
+/// root/method names, [`skipflow::analysis::AnalysisError`]s from the
+/// session builder — are reported as exactly one `error:` line on stderr
+/// with a non-zero exit, never a `Debug`-formatted panic and never a
+/// usage dump the user did not ask for.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::from(2)
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
         }
     }
 }
@@ -45,9 +58,11 @@ const USAGE: &str = "usage:
   skipflow callgraph <src|sfbc> [--root Cls.m]...
   skipflow print    <src|sfbc>";
 
-fn dispatch(args: &[String]) -> Result<(), String> {
-    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
-    match cmd.as_str() {
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing subcommand".to_string()))?;
+    let run = match cmd.as_str() {
         "compile" => cmd_compile(rest),
         "analyze" => cmd_analyze(rest),
         "shrink" => cmd_shrink(rest),
@@ -55,8 +70,9 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "dot" => cmd_dot(rest),
         "callgraph" => cmd_callgraph(rest),
         "print" => cmd_print(rest),
-        other => Err(format!("unknown subcommand {other:?}")),
-    }
+        other => return Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    };
+    run.map_err(CliError::Run)
 }
 
 fn cmd_callgraph(args: &[String]) -> Result<(), String> {
@@ -64,9 +80,16 @@ fn cmd_callgraph(args: &[String]) -> Result<(), String> {
     let program = load_program(input)?;
     let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
     let mut session = session_for(&program, AnalysisConfig::skipflow(), &roots)?;
-    let result = session.solve();
+    let result = solve_cli(&mut session)?;
     println!("{}", result.call_graph_dot(&program));
     Ok(())
+}
+
+/// Runs a session's solver, mapping mid-solve capacity exhaustion
+/// (`AnalysisError::TooManyFlows`) into a one-line CLI error instead of
+/// the panicking `solve()` path.
+fn solve_cli<'s>(session: &'s mut AnalysisSession<'_>) -> Result<AnalysisSnapshot<'s>, String> {
+    session.try_solve().map_err(|e| format!("analysis failed: {e}"))
 }
 
 /// Builds a session over `program` with the given configuration and roots,
@@ -181,12 +204,12 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     };
 
     let mut session = session_for(&program, config.clone(), &roots)?;
-    let result = session.solve();
+    let result = solve_cli(&mut session)?;
     print_analysis(&program, &result, args);
 
     if has_flag(args, "--compare") && config.label() != "PTA" {
         let mut baseline_session = session_for(&program, AnalysisConfig::baseline_pta(), &roots)?;
-        let baseline = baseline_session.solve();
+        let baseline = solve_cli(&mut baseline_session)?;
         let b = baseline.reachable_count();
         let s = result.reachable_count();
         println!();
@@ -235,7 +258,11 @@ fn cmd_shrink(args: &[String]) -> Result<(), String> {
     let output = flag_value(args, "-o").ok_or("shrink: missing -o <out>")?;
     let program = load_program(input)?;
     let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
-    let result = analyze(&program, &roots, &AnalysisConfig::skipflow());
+    // The session builder reports invalid inputs as one-line errors; the
+    // `analyze` free function would panic with a Debug dump instead.
+    let mut session = session_for(&program, AnalysisConfig::skipflow(), &roots)?;
+    solve_cli(&mut session)?;
+    let result = session.into_result();
     let shrunk = shrink(&program, &result).map_err(|e| format!("shrink produced invalid IR: {e}"))?;
     let (before, after) = encoded_sizes(&program, &shrunk);
     let bytes = skipflow::ir::encode::encode(&shrunk.program);
@@ -293,7 +320,7 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
     let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
     let target = resolve_roots(&program, &[method_name])?[0];
     let mut session = session_for(&program, AnalysisConfig::skipflow(), &roots)?;
-    let result = session.solve();
+    let result = solve_cli(&mut session)?;
     match skipflow::analysis::dot::method_pvpg_dot(&result, &program, target) {
         Some(dot) => {
             println!("{dot}");

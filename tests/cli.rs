@@ -196,3 +196,43 @@ fn errors_are_reported_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("not reachable"));
 }
+
+#[test]
+fn unknown_root_names_are_one_line_errors_not_panics() {
+    let dir = tmpdir("badroot");
+    let src = dir.join("app.sf");
+    std::fs::write(&src, SRC).unwrap();
+    // Root selection on an unknown method name — including on the
+    // `--compare` path — must exit non-zero with exactly one `error:` line
+    // on stderr: no Debug-formatted panic, no usage dump.
+    for extra in [&["--root", "Nope.nope"][..], &["--compare", "--root", "Main.missing"][..]] {
+        let mut args = vec!["analyze", src.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let lines: Vec<&str> = stderr.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert_eq!(lines.len(), 1, "expected one error line, got: {stderr}");
+        assert!(lines[0].starts_with("error: "), "{stderr}");
+        assert!(lines[0].contains("unknown"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+        assert!(!stderr.contains("usage"), "{stderr}");
+    }
+    // Shrink goes through the same fallible path (it used to panic through
+    // the one-shot `analyze` wrapper).
+    let out = bin()
+        .args([
+            "shrink",
+            src.to_str().unwrap(),
+            "-o",
+            dir.join("out.sfbc").to_str().unwrap(),
+            "--root",
+            "Ghost.main",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error: "), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

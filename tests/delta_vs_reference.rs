@@ -17,6 +17,24 @@ use skipflow::synth::{build_benchmark, suites, BenchmarkSpec, Suite};
 mod common;
 use common::assert_results_identical;
 
+/// The delta-solver matrix: every scheduler at the default narrow-join
+/// width, plus the fast-path-off (0) and everything-full-join (∞) widths
+/// under the two schedulers that exercise them hardest (plain FIFO order
+/// and the adaptive flip path) — keeps the product tractable while every
+/// (scheduler, width) regime is covered.
+fn scheduler_width_matrix() -> Vec<(SchedulerKind, usize)> {
+    let default_width = AnalysisConfig::skipflow().narrow_join_width();
+    vec![
+        (SchedulerKind::Fifo, default_width),
+        (SchedulerKind::SccPriority, default_width),
+        (SchedulerKind::Adaptive, default_width),
+        (SchedulerKind::Fifo, 0),
+        (SchedulerKind::Adaptive, 0),
+        (SchedulerKind::Fifo, usize::MAX),
+        (SchedulerKind::Adaptive, usize::MAX),
+    ]
+}
+
 fn check_spec(spec: &BenchmarkSpec) {
     let bench = build_benchmark(spec);
     let program = &bench.program;
@@ -31,11 +49,12 @@ fn check_spec(spec: &BenchmarkSpec) {
                 .with_saturation(saturation);
             let reference = analyze(program, &bench.roots, &reference_cfg);
             for solver in [SolverKind::Sequential, SolverKind::Parallel { threads: 4 }] {
-                for scheduler in [SchedulerKind::Fifo, SchedulerKind::SccPriority] {
+                for (scheduler, narrow) in scheduler_width_matrix() {
                     let cfg = base
                         .clone()
                         .with_solver(solver)
                         .with_scheduler(scheduler)
+                        .with_narrow_join_width(narrow)
                         .with_saturation(saturation);
                     let result = analyze(program, &bench.roots, &cfg);
                     assert_results_identical(
@@ -43,7 +62,7 @@ fn check_spec(spec: &BenchmarkSpec) {
                         &reference,
                         &result,
                         &format!(
-                            "{}/{}/sat={saturation:?}/{solver:?}/{scheduler:?}",
+                            "{}/{}/sat={saturation:?}/{solver:?}/{scheduler:?}/narrow={narrow}",
                             spec.name,
                             base.label()
                         ),
@@ -100,7 +119,11 @@ fn scc_priorities_survive_mid_solve_fragment_instantiation() {
     // full-join reference exactly.
     let spec = BenchmarkSpec::new("scc-midsolve", Suite::DaCapo, 2000, 0.2).with_fanout(8);
     let bench = build_benchmark(&spec);
-    let scc = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
+    let scc = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::SccPriority),
+    );
     let sched = &scc.stats().scheduler;
     assert!(
         sched.scc_recomputes >= 2,
@@ -127,6 +150,65 @@ fn scc_priorities_survive_mid_solve_fragment_instantiation() {
     // The oracle paths never touch the SCC machinery.
     assert_eq!(fifo.stats().scheduler.scc_recomputes, 0);
     assert_eq!(reference.stats().scheduler.scc_recomputes, 0);
+}
+
+#[test]
+fn adaptive_scheduler_flips_mid_solve_and_stays_result_identical() {
+    // The shared-sink fan-out regime re-processes readers once per stored
+    // type — exactly the re-push storm the adaptive detector watches for.
+    // The run must actually flip FIFO→SCC mid-solve (flips ≥ 1, strictly
+    // between steps 0 and the end), land near the forced-SCC step count,
+    // and stay result-identical to both forced schedulers and the
+    // full-join reference.
+    let spec = BenchmarkSpec::new("adaptive-flip", Suite::DaCapo, 60, 0.0)
+        .with_shared_sink(100, 64);
+    let bench = build_benchmark(&spec);
+    let adaptive = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Adaptive),
+    );
+    let sched = &adaptive.stats().scheduler;
+    assert!(sched.flips >= 1, "expected a mid-solve FIFO→SCC flip");
+    assert!(
+        sched.flip_at_step > 0 && sched.flip_at_step < adaptive.stats().steps,
+        "the flip happened mid-solve (step {} of {})",
+        sched.flip_at_step,
+        adaptive.stats().steps
+    );
+    assert!(sched.scc_count > 0, "the condensation was computed at the flip");
+    assert!(
+        sched.adaptive_re_pops > 0,
+        "the detector observed the re-push storm"
+    );
+    let fifo = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::Fifo),
+    );
+    let forced_scc = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::SccPriority),
+    );
+    let reference = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_solver(SolverKind::Reference),
+    );
+    assert_results_identical(&bench.program, &reference, &adaptive, "adaptive-flip/adaptive");
+    assert_results_identical(&bench.program, &reference, &fifo, "adaptive-flip/fifo");
+    assert_results_identical(&bench.program, &reference, &forced_scc, "adaptive-flip/scc");
+    // The step win is retained: far below FIFO, close to forced SCC.
+    assert!(
+        adaptive.stats().steps < fifo.stats().steps / 2,
+        "adaptive {} steps vs FIFO {}",
+        adaptive.stats().steps,
+        fifo.stats().steps
+    );
+    // The forced schedulers never flip.
+    assert_eq!(fifo.stats().scheduler.flips, 0);
+    assert_eq!(forced_scc.stats().scheduler.flips, 0);
 }
 
 #[test]

@@ -17,15 +17,27 @@ use skipflow::synth::{
 mod common;
 use common::assert_results_identical;
 
-/// Every solver × scheduler combination the engine supports (the reference
-/// solver ignores the scheduler, so it appears once).
-fn solver_matrix() -> Vec<(SolverKind, SchedulerKind)> {
+/// Every solver × scheduler × narrow-join-width combination the resume
+/// matrix covers (the reference solver ignores both knobs, so it appears
+/// once). The Adaptive scheduler and the default width run on every
+/// solver; the fast-path-off (0) and everything-full-join (∞) widths ride
+/// on the sequential solver under the two schedulers that exercise them
+/// hardest.
+fn solver_matrix() -> Vec<(SolverKind, SchedulerKind, usize)> {
+    let default_width = AnalysisConfig::skipflow().narrow_join_width();
     vec![
-        (SolverKind::Sequential, SchedulerKind::Fifo),
-        (SolverKind::Sequential, SchedulerKind::SccPriority),
-        (SolverKind::Parallel { threads: 4 }, SchedulerKind::Fifo),
-        (SolverKind::Parallel { threads: 4 }, SchedulerKind::SccPriority),
-        (SolverKind::Reference, SchedulerKind::Fifo),
+        (SolverKind::Sequential, SchedulerKind::Fifo, default_width),
+        (SolverKind::Sequential, SchedulerKind::SccPriority, default_width),
+        (SolverKind::Sequential, SchedulerKind::Adaptive, default_width),
+        (SolverKind::Sequential, SchedulerKind::Fifo, 0),
+        (SolverKind::Sequential, SchedulerKind::Adaptive, 0),
+        (SolverKind::Sequential, SchedulerKind::Fifo, usize::MAX),
+        (SolverKind::Sequential, SchedulerKind::Adaptive, usize::MAX),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::Fifo, default_width),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::SccPriority, default_width),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::Adaptive, default_width),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::Adaptive, usize::MAX),
+        (SolverKind::Reference, SchedulerKind::Fifo, default_width),
     ]
 }
 
@@ -75,18 +87,19 @@ fn check_spec(spec: &BenchmarkSpec) {
     assert!(!extra.is_empty(), "{}: no extra roots to add", spec.name);
     for saturation in [None, Some(3)] {
         for base in [AnalysisConfig::skipflow(), AnalysisConfig::baseline_pta()] {
-            for (solver, scheduler) in solver_matrix() {
+            for (solver, scheduler, narrow) in solver_matrix() {
                 let config = base
                     .clone()
                     .with_solver(solver)
                     .with_scheduler(scheduler)
+                    .with_narrow_join_width(narrow)
                     .with_saturation(saturation);
                 check_resume_identity(
                     &bench,
                     &extra,
                     &config,
                     &format!(
-                        "{}/{}/sat={saturation:?}/{solver:?}/{scheduler:?}",
+                        "{}/{}/sat={saturation:?}/{solver:?}/{scheduler:?}/narrow={narrow}",
                         spec.name,
                         base.label()
                     ),
@@ -120,6 +133,38 @@ fn resume_matches_fresh_union_under_shared_sink_fanout() {
     // the sink state to readers reached only through the new roots.
     let spec = BenchmarkSpec::new("resume-fanout", Suite::DaCapo, 80, 0.2).with_shared_sink(40, 16);
     check_spec(&spec);
+}
+
+#[test]
+fn adaptive_flip_is_sticky_across_resume_and_stays_identical() {
+    // Phase 1 runs the shared-sink fan-out regime, so the adaptive
+    // scheduler flips FIFO→SCC mid-solve; the resumed solve then continues
+    // on the SCC queue (the flip is sticky) and must still reach the same
+    // fixpoint as a fresh union run.
+    let spec = BenchmarkSpec::new("resume-flip", Suite::DaCapo, 60, 0.0).with_shared_sink(100, 64);
+    let bench = build_benchmark(&spec);
+    let extra = pick_spread_roots(&bench.program, &bench.roots, 8);
+    assert!(!extra.is_empty());
+
+    let config = AnalysisConfig::skipflow(); // Adaptive is the default.
+    let mut session = AnalysisSession::builder(&bench.program)
+        .config(config.clone())
+        .roots(bench.roots.iter().copied())
+        .build()
+        .unwrap();
+    let snap = session.solve();
+    assert!(
+        snap.stats().scheduler.flips >= 1,
+        "phase 1 must flip on the fan-out regime"
+    );
+    session.add_roots(extra.iter().copied()).unwrap();
+    let snap = session.solve();
+    assert_eq!(snap.stats().scheduler.flips, 1, "the flip is sticky, not repeated");
+    let resumed = session.into_result();
+
+    let union_roots: Vec<MethodId> = bench.roots.iter().chain(&extra).copied().collect();
+    let fresh = analyze(&bench.program, &union_roots, &config);
+    assert_results_identical(&bench.program, &fresh, &resumed, "resume-flip");
 }
 
 #[test]
