@@ -4,12 +4,21 @@
 //!
 //! ```text
 //! cargo run --release -p skipflow-bench --bin trajectory -- \
-//!     [--out BENCH_PR4.json] [--pr PR4] [--ladder-only] \
+//!     [--out BENCH_PR5.json] [--pr PR5] [--ladder-only] [--skip-table1] \
 //!     [--scheduler fifo] [--skip-paired] \
-//!     [--baseline BENCH_PR3.json] \
-//!     [--check-steps BENCH_PR4.json]
+//!     [--baseline BENCH_PR4.json] \
+//!     [--check-steps BENCH_PR5.json]
 //! ```
 //!
+//! * `--ladder-only` runs only the ladder family — it now does what its
+//!   name says. (It previously *kept* the fan-out and resume rungs and
+//!   only skipped table1, which let CI pass the flag believing the full
+//!   rung set was gated; CI now runs everything except table1 via
+//!   `--skip-table1`, and a capture workload missing from a `--ladder-only`
+//!   run fails the step gate loudly instead of passing vacuously.)
+//! * `--skip-table1` skips only the table1 corpus (the step gate never
+//!   reads it); the ladder, fan-out, and resume rungs all run and are all
+//!   gated.
 //! * `--scheduler fifo` forces the PR 1 FIFO worklist (and disables the
 //!   narrow-join fast path) on every delta solver — the *pre-change
 //!   capture* mode, so baseline and change are measured by the same
@@ -45,6 +54,7 @@ fn main() {
     let out_path = get("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let pr = get("--pr").unwrap_or_else(|| "PR2".to_string());
     let ladder_only = args.iter().any(|a| a == "--ladder-only");
+    let skip_table1 = args.iter().any(|a| a == "--skip-table1");
     let skip_paired = args.iter().any(|a| a == "--skip-paired");
     let force_fifo = match get("--scheduler").as_deref() {
         Some("fifo") => true,
@@ -63,13 +73,15 @@ fn main() {
 
     eprintln!("running ladder…");
     let mut workloads = run_ladder(force_fifo, !skip_paired);
-    eprintln!("running fan-out rungs…");
-    workloads.extend(run_fanout(force_fifo));
-    eprintln!("running resume rungs…");
-    workloads.extend(run_resume(force_fifo));
     if !ladder_only {
-        eprintln!("running table1 corpus…");
-        workloads.extend(run_table1());
+        eprintln!("running fan-out rungs…");
+        workloads.extend(run_fanout(force_fifo));
+        eprintln!("running resume rungs…");
+        workloads.extend(run_resume(force_fifo));
+        if !skip_table1 {
+            eprintln!("running table1 corpus…");
+            workloads.extend(run_table1());
+        }
     }
 
     let json = render_json(&pr, &workloads, baseline.as_deref());

@@ -25,25 +25,31 @@ pub enum SchedulerKind {
     /// Plain FIFO worklist (the PR 1 behaviour). Kept as the scheduling
     /// oracle for differential tests and pre-change benchmark captures.
     Fifo,
-    /// SCC-aware bucketed priority scheduling, forced from solve start:
-    /// flows are prioritized by the condensation-topological index of their
-    /// strongly connected component in the PVPG, and each SCC is iterated to
-    /// local fixpoint before any flow of a later SCC is dequeued. The SCC
-    /// structure is recomputed in batches behind a dirty counter as new
-    /// fragments are instantiated mid-solve. Pays the condensation +
-    /// bucket-indirection overhead even on workloads that never re-process
-    /// (use [`SchedulerKind::Adaptive`] unless benchmarking the forced mode).
+    /// SCC-aware priority scheduling, forced from solve start: flows are
+    /// prioritized by the *live* topological order of their strongly
+    /// connected component in the PVPG — maintained online
+    /// (Pearce–Kelly-style in-place repairs as edges are inserted, cycle
+    /// collapse on merge), so every flow carries an exact priority from the
+    /// moment it is created — and each SCC is iterated to local fixpoint
+    /// before any flow of a later SCC is re-processed (first-time flows
+    /// drain frontier-first; see the scheduling invariants in `engine.rs`).
+    /// Pays the per-edge order maintenance + bucket-indirection overhead
+    /// even on workloads that never re-process (use
+    /// [`SchedulerKind::Adaptive`] unless benchmarking the forced mode).
     SccPriority,
     /// Adaptive FIFO→SCC scheduling (the default): every solve starts on
     /// the plain FIFO worklist, the engine tracks the re-enqueue rate
-    /// (`re_pushes / pushes` over a sliding window), and only when the rate
+    /// (`re_pops / pops` over a sliding window), and only when the rate
     /// shows that flows are genuinely being re-processed does it *flip* to
-    /// the SCC priority queue — computing the condensation lazily, at flip
-    /// time. Acyclic, propagate-once workloads therefore never pay the SCC
-    /// machinery, while re-processing-heavy workloads (shared-sink fan-out,
-    /// big value cycles) get the full SCC step win minus a small detection
-    /// lag. Results are scheduler-independent (all joins are monotone), so
-    /// the mid-solve flip is safe at any step boundary.
+    /// the SCC priority queue. The session's first flip absorbs the graph
+    /// into the online order once; afterwards the condensation stays
+    /// current through every mutation (and across resumes), so later flips
+    /// of resumed solves never recompute anything. Re-processing
+    /// heavy workloads (shared-sink fan-out, big value cycles) get the full
+    /// SCC step win minus a small detection lag; acyclic propagate-once
+    /// workloads pay only the (cheap, per-edge) order maintenance. Results
+    /// are scheduler-independent (all joins are monotone), so the mid-solve
+    /// flip is safe at any step boundary.
     Adaptive,
 }
 

@@ -88,87 +88,112 @@
 //! ([`crate::SchedulerKind`]):
 //!
 //! * **FIFO** — a plain queue; kept as the scheduling oracle.
-//! * **SCC priority** (forced) — flows are bucketed by the
-//!   condensation-topological index of their strongly connected component
-//!   in the PVPG ([`Pvpg::compute_sccs`], over the value-carrying use and
-//!   observe edges; predicate edges are one-shot enabling, impose no
-//!   re-processing order, and are excluded — see [`crate::SccInfo`]), and
-//!   the solver always dequeues from the lowest-priority non-empty bucket.
+//! * **SCC priority** (forced) — flows are prioritized by the live
+//!   topological order of their strongly connected component in the PVPG,
+//!   maintained *online* by [`crate::graph::OnlineTopo`] over the
+//!   value-carrying use and observe edges (predicate edges are one-shot
+//!   enabling, impose no re-processing order, and are excluded — including
+//!   them would glue method chains into one SCC via invoke-as-predicate
+//!   and erase the ordering).
 //! * **Adaptive** (the default) — starts every solve on the FIFO queue and
 //!   *flips* to the SCC queue mid-solve when re-processing is observed (see
 //!   "The adaptive flip" below).
 //!
-//! Invariants of the SCC scheduler:
+//! Invariants of the online-order SCC scheduler:
 //!
-//! * **Local fixpoint before successors** — every PVPG edge between
-//!   distinct SCCs goes from a lower to a higher priority, so intra-SCC
-//!   re-enqueues land back in the bucket currently being drained and an SCC
-//!   reaches its local fixpoint before any flow of a later SCC is dequeued.
-//!   Cyclic regions (loop φs, recursion, the `pred_on → φ_pred` predicate
-//!   loops SkipFlow's predicate edges create) therefore stop being
-//!   re-processed interleaved with everything downstream of them.
-//! * **Incremental SCC maintenance** — fragments are instantiated *during*
-//!   solving, so the condensation goes stale. Structural changes — new
-//!   flows, and dynamically added use edges that violate the current
-//!   priority order (source priority ≥ target priority; forward edges
-//!   leave the topological order valid) — bump a dirty counter; the
-//!   condensation is recomputed in one batch when the counter reaches
-//!   `max(4096, flows at the last recompute)`, and only *between* worklist
-//!   steps (between rounds for the parallel solver). On runs whose order
-//!   stays consistent the graph must roughly double between recomputes (a
-//!   geometric series bounded by the final graph size); linking bursts
-//!   that keep violating the order keep paying for corrective recomputes,
-//!   which is exactly when they are worth it. Flows created since the last
-//!   recompute provisionally adopt the priority of the bucket being
-//!   drained (they are downstream of the flow whose step created them),
-//!   and queued flows migrate to their new buckets in deterministic order
-//!   on recompute. A flow is never resident in two buckets at once
-//!   (enforced by a debug-only residency bitmap).
+//! * **Exact priorities at all times** — every flow is assigned an order
+//!   position the moment it is created, and every inserted value edge
+//!   either already respects the order or triggers an in-place
+//!   Pearce–Kelly-style repair of the affected region (bounded
+//!   bidirectional search; the smaller side moves). There is no
+//!   provisional adoption, no dirty counter, and no batch recompute: the
+//!   condensation the queue reads is current after every mutation,
+//!   enforced by `Pvpg::assert_valid_order` in the differential suites and
+//!   a Tarjan-oracle property test.
+//! * **Anchored fragment placement** — a fragment built mid-solve by call
+//!   linking is placed directly between the call's arguments and its
+//!   invoke flow, which is exactly where the `argument → parameter` and
+//!   `return → invoke` edges want it: the dominant linking pattern
+//!   inserts only order-consistent edges and pays no repairs.
+//! * **Cycle collapse** — when an inserted edge closes a cycle, the
+//!   components on the connecting paths merge into one (union-find +
+//!   member-list splice) and the disturbed region re-packs into the
+//!   vacated label slots: strictly-upstream components take the lowest
+//!   slots (they only move down, and any unvisited predecessor of them
+//!   lies below the search window), strictly-downstream components take
+//!   the highest slots (symmetrically safe), and the merged component
+//!   sits between the two blocks, whose unvisited neighbours are all
+//!   outside the window. This is the Pearce–Kelly pooled reorder extended
+//!   with contraction.
+//! * **Frontier first, then local fixpoint before successors** — the
+//!   queue drains flows that have never done propagation work in FIFO
+//!   order *before* any re-enqueued flow: a first-time step is structure
+//!   discovery (it builds fragments and wires the very edges the order
+//!   schedules by) and can be premature at most once, whereas an exact
+//!   topological order over an *incomplete* graph would happily drain a
+//!   re-enqueued fan-out hub once per yet-undiscovered producer.
+//!   Re-enqueued flows then drain lowest-label-first: every PVPG edge
+//!   between distinct SCCs goes label-upward, so intra-SCC re-enqueues
+//!   land back in the bucket being drained and an SCC reaches its local
+//!   fixpoint before any flow of a later SCC is re-processed.
+//! * **Bounded, self-healing queue maintenance** — a repair that relocates
+//!   a component while some of its flows are queued leaves stale bucket
+//!   entries; the pop paths detect the label mismatch and re-queue the
+//!   flow under its live label (`rebucketed_flows`). Work is proportional
+//!   to the flows actually disturbed, never to the queue or the graph.
 //! * **Correctness is scheduling-independent** — priorities are purely a
 //!   performance heuristic: all joins are monotone, so any dequeue order
 //!   converges to the same least fixpoint. Implicit dependencies that are
 //!   not materialized as edges (type-subscriber injections, saturated-site
-//!   re-dispatch) may therefore be safely absent from the SCC computation.
+//!   re-dispatch) may therefore be safely absent from the order.
 //! * **Parallel rounds are antichains of buckets** — the parallel solver's
-//!   phase A/B rounds batch a set of *mutually independent* SCC buckets (no
-//!   condensation edge between any two of them, checked against the edge
-//!   list of the last recompute), starting from the lowest-priority
-//!   non-empty bucket. Singleton buckets no longer serialize phase A, while
-//!   dependent buckets still wait for their predecessors' local fixpoints.
-//!   Edges added after the recompute may let two now-dependent buckets
-//!   share a round — that can only cost re-processing, never correctness
-//!   (next point), and the result-identity guarantee of
-//!   `tests/delta_vs_reference.rs` holds regardless.
+//!   phase A/B rounds batch a set of *mutually ready* SCC buckets: a
+//!   bucket joins the round only if none of its live condensation
+//!   predecessors (read straight off the online order's in-edge lists) is
+//!   queued or already in the batch. Because the predecessor lists are
+//!   maintained online, readiness is exact as of the last inserted edge —
+//!   the batch-recompute scheduler's `dirty > 0` singleton fallback (and
+//!   its `dirty_round_skips` counter, now structurally zero) is gone, so
+//!   batching keeps working while fragments instantiate. Frontier-tier
+//!   rounds drain the whole fresh tier at once (the PR 1 round shape).
 //! * The reference solver always runs FIFO — it is the oracle and stays
-//!   byte-for-byte the full-join algorithm.
+//!   byte-for-byte the full-join algorithm — and neither it nor the forced
+//!   FIFO scheduler pays for the online order (it is never enabled there).
 //!
 //! # The adaptive flip (FIFO → SCC)
 //!
-//! The SCC machinery costs real wall time — the condensation recomputes and
-//! the bucket indirection on every push/pop — and only pays off when flows
-//! are *re-processed* (cyclic regions, shared-sink fan-out). On acyclic
-//! propagate-once workloads FIFO is strictly cheaper. The default
+//! The SCC machinery costs real wall time — the per-edge order maintenance
+//! and the bucket indirection on every push/pop — and only pays off when
+//! flows are *re-processed* (cyclic regions, shared-sink fan-out). On
+//! acyclic propagate-once workloads FIFO is strictly cheaper. The default
 //! [`crate::SchedulerKind::Adaptive`] therefore starts every solve on the
 //! FIFO queue and watches the **re-enqueue rate**: a sliding window over
-//! the last [`FLIP_WINDOW`] worklist pushes counts how many re-enqueued a
-//! flow that had already been dequeued at least once. When the window is
-//! dominated by re-pushes ([`FLIP_TRIP`] of [`FLIP_WINDOW`]) *and* enough
+//! the last [`FLIP_WINDOW`] worklist pops counts how many dequeued a flow
+//! that had already done real propagation work. When the window is
+//! dominated by re-pops ([`FLIP_TRIP`] of [`FLIP_WINDOW`]) *and* enough
 //! work is queued for ordering to matter ([`FLIP_MIN_QUEUE`]), the solver
-//! flips: the condensation is computed lazily — only now, at flip time —
-//! the queued flows migrate into the SCC buckets in their FIFO order, and
-//! the solve continues under SCC priorities (including the incremental
-//! dirty-counter maintenance).
+//! flips: the *first* flip of a session absorbs the graph into the online
+//! order (one O(V+E) pass — the cost the old lazy condensation paid, paid
+//! at the same moment), and the queued flows migrate into the SCC queue
+//! in their FIFO order under exact priorities. From then on the order is
+//! maintained through every mutation, so everything after the first flip
+//! — including every *resumed* solve of the session — reads an
+//! already-current condensation and never recomputes anything.
+//! The window is cleared at the start of every solve, so
+//! a resumed solve's flip decision rides on its own behaviour (the
+//! per-solve vs cumulative split is documented on
+//! [`crate::SchedulerStats`]), while the flip itself is sticky: once a
+//! session has demonstrated re-processing, resumed solves stay on the SCC
+//! queue.
 //!
 //! **Why the mid-solve flip is safe.** Scheduling is a pure performance
 //! heuristic (see above): every dequeue order converges to the same least
 //! fixpoint because all joins are monotone and every state is part of the
 //! graph, not the queue. The flip merely permutes the order in which the
-//! already-queued flows are drained — exactly what a condensation recompute
-//! already does mid-solve — so it may change the step count but never any
-//! observable result. `tests/delta_vs_reference.rs` asserts a flipping run
-//! is result-identical to forced-FIFO and forced-SCC runs, and the flip is
-//! only ever taken *between* worklist steps (between rounds for the
-//! parallel solver), so no step observes a half-migrated queue.
+//! already-queued flows are drained, and it is only ever taken *between*
+//! worklist steps (between rounds for the parallel solver), so no step
+//! observes a half-migrated queue. `tests/delta_vs_reference.rs` asserts a
+//! flipping run is result-identical to forced-FIFO and forced-SCC runs.
 //!
 //! # Resume (the monotone-resume invariant)
 //!
@@ -208,21 +233,23 @@ use crate::lattice::{TypeSet, ValueState};
 use crate::metrics::SchedulerStats;
 use crate::report::{AnalysisResult, ReachableSet, SolveStats};
 use skipflow_ir::{BitSet, MethodId, Program, TypeId, TypeRef};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
-
-/// Minimum structural changes before a mid-solve condensation recompute.
-const RECOMPUTE_MIN_DIRTY: usize = 4096;
-
-/// Sentinel for the intrusive bucket lists.
-const NO_FLOW: u32 = u32::MAX;
 
 /// Bit 0 of [`Engine::queued`]: the flow is resident in the worklist.
 const QUEUED: u8 = 1;
 
 /// Bit 1 of [`Engine::queued`]: the flow has been dequeued at least once
-/// (the adaptive flip detector's re-process signal).
+/// (the adaptive flip detector's re-process signal — deliberately counting
+/// *any* re-dequeue, so the detector's trip point is unchanged from the
+/// batch-recompute scheduler it was tuned with).
 const PROCESSED: u8 = 2;
+
+/// Bit 2 of [`Engine::queued`]: some worklist step did real propagation
+/// work for the flow (a no-op dequeue — disabled flow, empty delta — does
+/// not count). This is the SCC queue's frontier-tier signal: a flow stays
+/// in the frontier until its first *working* step.
+const WORKED: u8 = 4;
 
 /// Flow-capacity headroom the engine keeps below [`MAX_FLOW_COUNT`]: a
 /// single method fragment never creates this many flows, so checking once
@@ -268,16 +295,13 @@ const ANTICHAIN_MISS_LIMIT: usize = 16;
 /// blocked for many consecutive rounds, and the scan itself is the cost.
 const ANTICHAIN_BACKOFF_ROUNDS: u32 = 8;
 
-/// Clean (dirty == 0) singleton rounds an epoch must accumulate before the
-/// parallel solver pays the O(E) predecessor-edge extraction backing the
-/// antichain rounds. Short epochs during graph build never amortize the
-/// extraction (it rivals a condensation recompute); the long steady-state
-/// tail — where singleton rounds would otherwise serialize phase A — pays
-/// it once.
-const ANTICHAIN_EXTRACT_AFTER_ROUNDS: u32 = 256;
-
 /// Maximum buckets batched into one parallel antichain round.
 const ANTICHAIN_MAX_BUCKETS: usize = 64;
+
+/// In-edge entries examined per bucket readiness check before the bucket
+/// conservatively counts as not ready (bounds a round's scan cost on
+/// components with huge in-degree, e.g. a shared field sink).
+const ANTICHAIN_PRED_BUDGET: usize = 512;
 
 
 
@@ -288,68 +312,53 @@ const ANTICHAIN_MAX_BUCKETS: usize = 64;
 /// rounds.
 const ADAPTIVE_ROUND_CAP: usize = 512;
 
-/// The SCC-aware bucketed priority worklist (see the module docs,
-/// "Scheduling").
+/// The SCC-aware priority worklist over the live online order (see the
+/// module docs, "Scheduling").
 ///
-/// Buckets are intrusive singly-linked lists threaded through a per-flow
-/// `next` array: a push or pop is a couple of word writes, and the queue
-/// allocates nothing on the hot path no matter how many priorities the
-/// condensation has (one `u32` of head/tail per priority).
+/// Two tiers:
+///
+/// * **Frontier tier** — flows that have never been processed, in FIFO
+///   order, drained before anything else. A first-time step is *structure
+///   discovery*: it builds fragments, wires edges, and thereby adds the
+///   very order constraints the priority tier schedules by — and it can be
+///   premature at most once, so running the whole frontier ahead of any
+///   re-processing is cheap insurance. Without this tier, a re-enqueued
+///   fan-out hub whose (exact!) label sits below a still-growing enabling
+///   cascade re-propagates once per discovered producer — the topological
+///   order is correct but the graph it orders is not complete yet.
+/// * **Priority tier** — re-enqueued flows, in buckets keyed by the
+///   *current* order label of their component (`BTreeMap<label, FIFO>`):
+///   a push reads the flow's live label off the graph's
+///   [`crate::graph::OnlineTopo`], so every flow — including a fragment
+///   instantiated one step ago — is queued under its exact condensation
+///   priority; there is no provisional adoption and no dirty counter.
+///
+/// When an order repair relocates a component *while some of its flows are
+/// queued*, those bucket entries go stale; the pop paths self-heal by
+/// re-queueing any popped flow whose live label no longer matches its
+/// bucket (counted as `rebucketed_flows` — the bounded replacement for the
+/// old wholesale bucket migration at recompute time).
 struct SccQueue {
-    /// Head flow of each priority's FIFO list (`NO_FLOW` = empty).
-    head: Vec<u32>,
-    /// Tail flow of each priority's FIFO list.
-    tail: Vec<u32>,
-    /// Per-flow link to the next queued flow of the same bucket.
-    next: Vec<u32>,
-    /// Scan cursor: every bucket below this priority is empty. Advances
-    /// forward over drained buckets and is pulled back by a push into a
-    /// lower bucket (rare: back edges and stale priorities only).
-    scan: usize,
-    /// Per-flow priority from the last recompute. Flows created since adopt
-    /// [`SccQueue::cur_prio`].
-    prio: Vec<u32>,
-    /// Priority of the most recently dequeued flow — the bucket being
-    /// drained, and the provisional priority of flows created mid-drain.
-    cur_prio: u32,
-    /// Flows created since the last condensation recompute.
-    dirty: usize,
-    /// Flow count at the last recompute (the dirty threshold's base).
-    base_flows: usize,
+    /// Never-processed flows, FIFO — the *frontier tier*, drained before
+    /// any labeled bucket (see the type docs: structure discovery first).
+    fresh: VecDeque<u32>,
+    /// Non-empty FIFO buckets of re-enqueued flows keyed by order label
+    /// (empty buckets are removed eagerly, so `contains_key` doubles as
+    /// "has queued work").
+    buckets: BTreeMap<u64, VecDeque<u32>>,
     /// Queued flows across all buckets.
     len: usize,
-    /// Condensation edges of the last recompute, re-packed as sorted
-    /// `(target_priority << 32) | source_priority` pairs so a bucket's
-    /// *predecessors* are one binary-searchable range — present only when
-    /// the parallel solver requested condensation edges. `pop_bucket` uses
-    /// the list to batch an antichain of mutually *ready* buckets; without
-    /// it every round is a single bucket (the conservative answer).
-    pred_edges: Option<Vec<u64>>,
-    /// Per-bucket predecessors acquired *after* the last recompute (dynamic
-    /// field wiring / invoke linking), keyed by target priority. Without
-    /// this the round would batch a bucket together with a predecessor it
-    /// acquired since the recompute — e.g. fan-out readers wired to a field
-    /// sink mid-solve — and re-process it round after round against a
-    /// still-growing input. Cleared by `apply` (the fresh edge list
-    /// subsumes it). Only populated while `pred_edges` is present.
-    dyn_preds: HashMap<u32, Vec<u32>>,
-    /// Cumulative parallel rounds that *would* have extended an antichain
-    /// but fell back to a singleton bucket because `dirty > 0` (pending
-    /// structural changes make readiness untrustworthy). Surfaced as
-    /// `SchedulerStats::antichain_dirty_round_skips` so lost batching is
-    /// observable; *not* used to force recomputes — a forced recompute per
-    /// skipped window was measured to cost 10× more than the serialization
-    /// it avoids on the fan-out rungs. Only counted while `pred_edges` is
-    /// present (the parallel solver).
-    dirty_round_skips: u64,
+    /// Stale pops re-queued under their live label.
+    rebucketed: u64,
+    /// Parallel antichain rounds taken (non-empty `pop_bucket` calls).
+    antichain_rounds: u64,
+    /// Total buckets drained by those rounds (> rounds ⇔ real batching).
+    antichain_batched: u64,
     /// Rounds left of the antichain attempt backoff (see
     /// [`ANTICHAIN_BACKOFF_ROUNDS`]).
     antichain_backoff: u32,
-    /// Clean rounds this condensation epoch has run without predecessor
-    /// edges (see [`ANTICHAIN_EXTRACT_AFTER_ROUNDS`]); reset by `apply`.
-    clean_rounds: u32,
     /// Debug-only duplicate-enqueue guard: a flow must never be resident in
-    /// two priority buckets at once.
+    /// two buckets at once.
     #[cfg(debug_assertions)]
     resident: Vec<bool>,
 }
@@ -357,50 +366,23 @@ struct SccQueue {
 impl SccQueue {
     fn new() -> Self {
         SccQueue {
-            head: vec![NO_FLOW],
-            tail: vec![NO_FLOW],
-            next: Vec::new(),
-            scan: 0,
-            prio: Vec::new(),
-            cur_prio: 0,
-            dirty: 0,
-            base_flows: 0,
+            fresh: VecDeque::new(),
+            buckets: BTreeMap::new(),
             len: 0,
-            pred_edges: None,
-            dyn_preds: HashMap::new(),
-            dirty_round_skips: 0,
+            rebucketed: 0,
+            antichain_rounds: 0,
+            antichain_batched: 0,
             antichain_backoff: 0,
-            clean_rounds: 0,
             #[cfg(debug_assertions)]
             resident: Vec::new(),
         }
     }
 
-    /// Records a dynamically added edge for the round-readiness check
-    /// (no-op unless condensation edges are being tracked).
-    fn note_dynamic_edge(&mut self, s: FlowId, t: FlowId) {
-        if self.pred_edges.is_none() {
-            return;
-        }
-        let (p, q) = (self.priority_of(s) as u32, self.priority_of(t) as u32);
-        if p != q {
-            let preds = self.dyn_preds.entry(q).or_default();
-            if !preds.contains(&p) {
-                preds.push(p);
-            }
-        }
-    }
-
-    /// The scheduling priority of `f`: its condensation index, or the
-    /// currently drained bucket for flows newer than the last recompute.
-    /// Both are always in-range: condensation priorities are `< scc_count`
-    /// (the bucket count installed with them) and `cur_prio` comes from a
-    /// bucket scan.
-    fn priority_of(&self, f: FlowId) -> usize {
-        self.prio.get(f.index()).copied().unwrap_or(self.cur_prio) as usize
-    }
-
-    fn push(&mut self, f: FlowId) {
+    /// Enqueues `f`: never-processed flows (`fresh`) join the frontier
+    /// tier in FIFO order; re-enqueued flows go to the bucket of their
+    /// current order label (FIFO within the bucket — a bucket is one SCC,
+    /// iterated to local fixpoint).
+    fn push(&mut self, f: FlowId, label: u64, fresh: bool) {
         #[cfg(debug_assertions)]
         {
             if self.resident.len() <= f.index() {
@@ -412,265 +394,172 @@ impl SccQueue {
             );
             self.resident[f.index()] = true;
         }
-        if self.next.len() <= f.index() {
-            self.next.resize(f.index() + 1, NO_FLOW);
-        }
-        let p = self.priority_of(f);
-        let id = f.index() as u32;
-        self.next[f.index()] = NO_FLOW;
-        if self.head[p] == NO_FLOW {
-            self.head[p] = id;
+        if fresh {
+            self.fresh.push_back(f.index() as u32);
         } else {
-            self.next[self.tail[p] as usize] = id;
+            self.buckets.entry(label).or_default().push_back(f.index() as u32);
         }
-        self.tail[p] = id;
-        self.scan = self.scan.min(p);
         self.len += 1;
     }
 
-    /// Advances the scan cursor to the first non-empty bucket. Returns
-    /// `None` — after resyncing `len` to the truth — if every bucket is
-    /// empty even though `len` claims otherwise: a desynced counter must
-    /// surface as "queue drained", not as an out-of-range `head[self.scan]`
-    /// panic deep in a solve.
-    fn first_nonempty_bucket(&mut self) -> Option<usize> {
-        while self.scan < self.head.len() && self.head[self.scan] == NO_FLOW {
-            self.scan += 1;
-        }
-        if self.scan >= self.head.len() {
-            debug_assert!(
-                self.len == 0,
-                "SccQueue.len claims {} queued flows but every bucket is empty",
-                self.len
-            );
-            self.len = 0;
-            return None;
-        }
-        Some(self.scan)
-    }
-
-    /// Dequeues from the lowest-priority non-empty bucket (FIFO within the
-    /// bucket — the bucket is one SCC, iterated to local fixpoint).
-    fn pop(&mut self) -> Option<FlowId> {
-        if self.len == 0 {
-            return None;
-        }
-        let p = self.first_nonempty_bucket()?;
-        let id = self.head[p];
-        self.head[p] = self.next[id as usize];
-        if self.head[p] == NO_FLOW {
-            self.tail[p] = NO_FLOW;
-        }
-        self.len -= 1;
-        self.cur_prio = p as u32;
-        #[cfg(debug_assertions)]
-        {
-            self.resident[id as usize] = false;
-        }
-        Some(FlowId::from_index(id as usize))
-    }
-
-    /// Drains bucket `p` entirely into `batch`.
-    fn drain_bucket_into(&mut self, p: usize, batch: &mut Vec<FlowId>) {
-        let before = batch.len();
-        let mut id = self.head[p];
-        while id != NO_FLOW {
-            batch.push(FlowId::from_index(id as usize));
+    /// Dequeues from the lowest-label non-empty bucket, re-queueing stale
+    /// entries (flows whose component was relocated while queued) under
+    /// their live label first.
+    fn pop(&mut self, g: &Pvpg) -> Option<FlowId> {
+        // Frontier tier first: structure discovery before saturation.
+        if let Some(id) = self.fresh.pop_front() {
+            self.len -= 1;
             #[cfg(debug_assertions)]
             {
                 self.resident[id as usize] = false;
             }
-            id = self.next[id as usize];
+            return Some(FlowId::from_index(id as usize));
         }
-        self.head[p] = NO_FLOW;
-        self.tail[p] = NO_FLOW;
-        self.len -= batch.len() - before;
+        loop {
+            let mut entry = self.buckets.first_entry()?;
+            let label = *entry.key();
+            let Some(id) = entry.get_mut().pop_front() else {
+                entry.remove();
+                continue;
+            };
+            if entry.get().is_empty() {
+                entry.remove();
+            }
+            self.len -= 1;
+            let f = FlowId::from_index(id as usize);
+            #[cfg(debug_assertions)]
+            {
+                self.resident[id as usize] = false;
+            }
+            let live = g.live_label(f);
+            if live != label {
+                self.rebucketed += 1;
+                self.push(f, live, false);
+                continue;
+            }
+            return Some(f);
+        }
     }
 
-    /// Whether bucket `q` is *ready* to join the current round's batch:
-    /// every condensation predecessor of `q` — from the last recompute's
-    /// edge list plus the dynamically acquired ones — must be neither
-    /// queued (its local fixpoint is not reached) nor part of the batch
-    /// being assembled (`taken`; its outputs have not been applied yet).
-    /// Readiness rather than mere pairwise edge-absence is what keeps
-    /// chains serialized: in `s1 → s2 → s3` there is no direct `s1 → s3`
-    /// edge, yet `s3` must not run in `s1`'s round while `s2` is queued.
-    fn bucket_ready(&self, q: usize, taken: &[usize]) -> bool {
-        let Some(edges) = &self.pred_edges else { return false };
-        let blocked = |p: usize| self.head[p] != NO_FLOW || taken.contains(&p);
-        let lo = (q as u64) << 32;
-        let start = edges.partition_point(|&e| e < lo);
-        for &e in &edges[start..] {
-            if e >> 32 != q as u64 {
-                break;
-            }
-            if blocked((e & 0xffff_ffff) as usize) {
-                return false;
-            }
-        }
-        if let Some(preds) = self.dyn_preds.get(&(q as u32)) {
-            if preds.iter().any(|&p| blocked(p as usize)) {
-                return false;
-            }
-        }
-        true
+    /// Whether the bucket at `label` is *ready* to join the current round's
+    /// batch: every live condensation predecessor of its component must be
+    /// neither queued (its local fixpoint is not reached) nor part of the
+    /// batch being assembled (`taken`). Readiness rather than mere pairwise
+    /// independence is what keeps chains serialized: in `s1 → s2 → s3`
+    /// there is no direct `s1 → s3` edge, yet `s3` must not run in `s1`'s
+    /// round while `s2` is queued. Answered from the online order's live
+    /// in-edge lists — exact as of the last inserted edge, so dynamically
+    /// wired predecessors (fan-out readers acquiring the field sink
+    /// mid-solve) block batching immediately, with no recompute lag.
+    fn bucket_ready(&self, g: &Pvpg, sample: FlowId, label: u64, taken: &[u64]) -> bool {
+        !g.component_blocked(sample, ANTICHAIN_PRED_BUDGET, |p| {
+            p != label && (taken.contains(&p) || self.buckets.contains_key(&p))
+        })
     }
 
     /// Drains an *antichain* of mutually ready SCC buckets — the parallel
-    /// solver's batch unit (one round). The batch always contains the
-    /// whole lowest-priority non-empty bucket; further non-empty buckets
-    /// join it while every one of their condensation predecessors is idle
-    /// ([`SccQueue::bucket_ready`] — in particular no condensation edge
-    /// connects two batched buckets), bounded by
-    /// [`ANTICHAIN_SCAN_BUDGET`] / [`ANTICHAIN_MAX_BUCKETS`] and requiring
-    /// the condensation edge list (without it every round stays a single
-    /// bucket). Readiness is judged against the last recompute plus the
-    /// dynamic-edge log; anything stale can only cost re-processing, never
-    /// correctness.
-    fn pop_bucket(&mut self) -> Vec<FlowId> {
-        if self.len == 0 {
-            return Vec::new();
-        }
-        let Some(first) = self.first_nonempty_bucket() else {
-            return Vec::new();
-        };
-        self.cur_prio = first as u32;
+    /// solver's batch unit (one round). The batch always contains the whole
+    /// lowest-label non-empty bucket; further buckets join while every one
+    /// of their condensation predecessors is idle ([`SccQueue::bucket_ready`]),
+    /// bounded by [`ANTICHAIN_SCAN_BUDGET`] / [`ANTICHAIN_MAX_BUCKETS`] and
+    /// the per-bucket predecessor budget. Because the order and the
+    /// predecessor lists are maintained online, batching keeps working
+    /// while fragments instantiate — the `dirty > 0` singleton fallback of
+    /// the batch-recompute scheduler is gone.
+    fn pop_bucket(&mut self, g: &Pvpg) -> Vec<FlowId> {
         let mut batch = Vec::new();
-        // Antichain extension only while the condensation is trustworthy:
-        // structural changes since the last recompute (`dirty > 0`) mean
-        // new flows hold provisional priorities and fragment-construction
-        // edges are not in the predecessor lists, so readiness would batch
-        // buckets prematurely and re-process them every round. Singleton
-        // rounds are the conservative fallback until the next recompute
-        // (counted, so lost batching shows up in the scheduler stats —
-        // forcing recomputes instead was measured to cost far more than
-        // the serialization it avoids).
-        let multi_bucket = self.pred_edges.is_some() && self.len > self.bucket_len(first);
-        if multi_bucket && self.dirty > 0 {
-            self.dirty_round_skips += 1;
-        }
-        if multi_bucket && self.dirty == 0 && self.antichain_backoff > 0 {
-            self.antichain_backoff -= 1;
-        }
-        if multi_bucket && self.dirty == 0 && self.antichain_backoff == 0 {
-            let mut taken = vec![first];
-            let mut scanned = 0;
-            let mut misses = 0;
-            let mut p = first + 1;
-            while p < self.head.len()
-                && scanned < ANTICHAIN_SCAN_BUDGET
-                && misses < ANTICHAIN_MISS_LIMIT
-                && taken.len() < ANTICHAIN_MAX_BUCKETS
-            {
-                if self.head[p] != NO_FLOW {
-                    scanned += 1;
-                    if self.bucket_ready(p, &taken) {
-                        taken.push(p);
-                        misses = 0;
-                    } else {
-                        misses += 1;
-                    }
+        // Frontier rounds drain the whole fresh tier at once (the PR 1
+        // FIFO round shape — fresh flows have no useful relative order and
+        // each is processed at most once prematurely).
+        if !self.fresh.is_empty() {
+            self.len -= self.fresh.len();
+            for id in self.fresh.drain(..) {
+                #[cfg(debug_assertions)]
+                {
+                    self.resident[id as usize] = false;
                 }
-                p += 1;
+                batch.push(FlowId::from_index(id as usize));
             }
-            if taken.len() == 1 {
-                self.antichain_backoff = ANTICHAIN_BACKOFF_ROUNDS;
+            return batch;
+        }
+        // Drain the first bucket, healing stale entries; a bucket can turn
+        // out entirely stale, in which case move on to the next.
+        let first_label = loop {
+            let Some(entry) = self.buckets.first_entry() else {
+                return batch;
+            };
+            let label = *entry.key();
+            let ids = entry.remove();
+            self.drain_validated(g, label, ids, &mut batch);
+            if !batch.is_empty() {
+                break label;
             }
-            for &p in &taken {
-                self.drain_bucket_into(p, &mut batch);
+        };
+        self.antichain_rounds += 1;
+        self.antichain_batched += 1;
+        if self.buckets.is_empty() {
+            return batch;
+        }
+        if self.antichain_backoff > 0 {
+            self.antichain_backoff -= 1;
+            return batch;
+        }
+        // Extend to an antichain: walk the remaining buckets in label order
+        // and take every ready one, under the scan budgets.
+        let mut taken: Vec<u64> = vec![first_label];
+        let mut misses = 0usize;
+        for (&label, ids) in self.buckets.iter().take(ANTICHAIN_SCAN_BUDGET) {
+            if misses >= ANTICHAIN_MISS_LIMIT || taken.len() >= ANTICHAIN_MAX_BUCKETS {
+                break;
             }
-        } else {
-            self.drain_bucket_into(first, &mut batch);
+            let sample = FlowId::from_index(ids[0] as usize);
+            // A stale bucket (component relocated while queued) cannot be
+            // judged under this key; leave it for the pop paths to heal.
+            if g.live_label(sample) == label && self.bucket_ready(g, sample, label, &taken) {
+                taken.push(label);
+                misses = 0;
+            } else {
+                misses += 1;
+            }
+        }
+        if taken.len() == 1 {
+            self.antichain_backoff = ANTICHAIN_BACKOFF_ROUNDS;
+        }
+        for &label in &taken[1..] {
+            let ids = self.buckets.remove(&label).expect("taken bucket exists");
+            let before = batch.len();
+            self.drain_validated(g, label, ids, &mut batch);
+            if batch.len() > before {
+                self.antichain_batched += 1;
+            }
         }
         batch
     }
 
-    /// Number of flows resident in bucket `p` (a short list walk; used only
-    /// on the round path to decide whether an antichain scan is worth it).
-    fn bucket_len(&self, p: usize) -> usize {
-        let mut n = 0;
-        let mut id = self.head[p];
-        while id != NO_FLOW {
-            n += 1;
-            id = self.next[id as usize];
+    /// Moves a removed bucket's entries into `batch`, re-queueing any stale
+    /// ones under their live label.
+    fn drain_validated(
+        &mut self,
+        g: &Pvpg,
+        label: u64,
+        ids: VecDeque<u32>,
+        batch: &mut Vec<FlowId>,
+    ) {
+        for id in ids {
+            self.len -= 1;
+            let f = FlowId::from_index(id as usize);
+            #[cfg(debug_assertions)]
+            {
+                self.resident[id as usize] = false;
+            }
+            let live = g.live_label(f);
+            if live != label {
+                self.rebucketed += 1;
+                self.push(f, live, false);
+            } else {
+                batch.push(f);
+            }
         }
-        n
-    }
-
-    /// Whether enough structure changed to warrant a batch recompute: the
-    /// graph must (roughly) double relative to its size at the *last*
-    /// recompute, so the total recompute cost over a run is a geometric
-    /// series bounded by a constant factor of the final graph size.
-    fn needs_recompute(&self) -> bool {
-        self.dirty >= RECOMPUTE_MIN_DIRTY.max(self.base_flows)
-    }
-
-    /// Adopts a fresh condensation: installs the new priorities (and
-    /// optionally a target-major-packed bucket predecessor list in
-    /// [`Pvpg::bucket_pred_edges`] format — the engine itself always
-    /// passes `None` and lets the parallel round path extract edges
-    /// lazily) and migrates every queued flow into its new bucket (drained
-    /// in ascending old priority, FIFO within — deterministic). Returns the
-    /// number of flows migrated.
-    fn apply(&mut self, priority: Vec<u32>, scc_count: u32, pred_edges: Option<Vec<u64>>) -> u64 {
-        let mut queued: Vec<FlowId> = Vec::with_capacity(self.len);
-        let old_len = self.len;
-        while let Some(f) = self.pop() {
-            queued.push(f);
-        }
-        debug_assert_eq!(queued.len(), old_len);
-        let buckets = scc_count.max(1) as usize;
-        self.head.clear();
-        self.head.resize(buckets, NO_FLOW);
-        self.tail.clear();
-        self.tail.resize(buckets, NO_FLOW);
-        self.scan = 0;
-        self.base_flows = priority.len();
-        self.prio = priority;
-        // Re-pack the forward condensation edges by *target* so a bucket's
-        // predecessor range is binary-searchable.
-        self.clean_rounds = 0;
-        self.antichain_backoff = 0;
-        self.pred_edges = pred_edges;
-        self.dyn_preds.clear();
-        self.cur_prio = 0;
-        self.dirty = 0;
-        self.len = 0;
-        let migrated = queued.len() as u64;
-        for f in queued {
-            self.push(f);
-        }
-        debug_assert_eq!(
-            self.debug_resident_flows(),
-            self.len,
-            "SccQueue.len desynced from the bucket lists after apply()"
-        );
-        migrated
-    }
-
-    /// Debug-only ground truth for `len`: counts the flows actually resident
-    /// in the intrusive bucket lists.
-    #[cfg(debug_assertions)]
-    fn debug_resident_flows(&self) -> usize {
-        self.head
-            .iter()
-            .map(|&h| {
-                let mut n = 0;
-                let mut id = h;
-                while id != NO_FLOW {
-                    n += 1;
-                    id = self.next[id as usize];
-                }
-                n
-            })
-            .sum()
-    }
-
-    /// Release builds skip the walk; the `debug_assert_eq!` operand must
-    /// still typecheck.
-    #[cfg(not(debug_assertions))]
-    fn debug_resident_flows(&self) -> usize {
-        self.len
     }
 }
 
@@ -681,14 +570,6 @@ enum Worklist {
     Scc(Box<SccQueue>),
 }
 
-impl Worklist {
-    fn push(&mut self, f: FlowId) {
-        match self {
-            Worklist::Fifo(q) => q.push_back(f),
-            Worklist::Scc(q) => q.push(f),
-        }
-    }
-}
 
 /// The adaptive scheduler's re-enqueue-rate detector (present only while an
 /// `Adaptive` solve is still in its FIFO phase; dropped at the flip).
@@ -731,6 +612,15 @@ impl FlipTracker {
         self.re_pops += re as u64;
     }
 
+    /// Clears the sliding window at the start of a resumed solve: the flip
+    /// decision must be driven by *this* solve's re-enqueue behaviour, not
+    /// residue from the prior solve's drain tail. The cumulative `pops` /
+    /// `re_pops` counters are left alone (the engine snapshots them to
+    /// derive per-solve values).
+    fn begin_solve(&mut self) {
+        self.window = 0;
+    }
+
     /// Whether the sliding window is dominated by re-processing.
     #[inline]
     fn tripped(&self) -> bool {
@@ -765,12 +655,15 @@ pub(crate) struct Engine<'p> {
     saturated_set: BitSet,
     /// Field sinks already seeded with their default value (by field index).
     defaulted_fields: BitSet,
-    /// Per-flow flag from the last condensation recompute: the flow sits in
-    /// an SCC of size ≥ 2 (drives the steps-per-SCC statistics).
-    in_cycle: Vec<bool>,
     /// The adaptive scheduler's FIFO-phase re-push detector (`None` under
     /// forced schedulers, and after the flip).
     flip: Option<FlipTracker>,
+    /// Cumulative step count at the start of the current solve (per-solve
+    /// statistics like `flip_at_step` are relative to it).
+    solve_start_steps: u64,
+    /// The flip detector's `(pops, re_pops)` at the start of the current
+    /// solve — the baseline the per-solve adaptive counters subtract.
+    adaptive_base: (u64, u64),
     /// Resolved narrow-join fast-path threshold: the configured
     /// `narrow_join_width`, except 0 (disabled) for the reference solver,
     /// which must stay byte-for-byte the PR 1 algorithm.
@@ -803,10 +696,25 @@ impl<'p> Engine<'p> {
             SolverKind::Reference => 0,
             _ => config.narrow_join_width,
         };
+        // The online topological order backs every scheduler that reads
+        // priorities, from the first moment one needs it: session start
+        // under forced SCC, the first flip under Adaptive (a one-time
+        // O(V+E) absorption — the same cost the flip used to pay for its
+        // lazy condensation). From then on it is maintained through every
+        // mutation and carried across resumes, so a resumed solve never
+        // recomputes anything at solve start. Never-flipping adaptive
+        // runs (acyclic, propagate-once) pay nothing at all, as do the
+        // FIFO oracle and the reference solver.
+        let mut g = Pvpg::new();
+        if !matches!(config.solver, SolverKind::Reference)
+            && config.scheduler == SchedulerKind::SccPriority
+        {
+            g.enable_online_order();
+        }
         Engine {
             program,
             config,
-            g: Pvpg::new(),
+            g,
             worklist,
             queued: Vec::new(),
             reachable: BitSet::new(),
@@ -817,8 +725,9 @@ impl<'p> Engine<'p> {
             saturated_sites: Vec::new(),
             saturated_set: BitSet::new(),
             defaulted_fields: BitSet::new(),
-            in_cycle: Vec::new(),
             flip: adaptive.then(FlipTracker::new),
+            solve_start_steps: 0,
+            adaptive_base: (0, 0),
             narrow_join,
             overflow: None,
             sched_stats: SchedulerStats::default(),
@@ -829,67 +738,16 @@ impl<'p> Engine<'p> {
         }
     }
 
-    /// Records `n` structural changes (new flows / dynamic edges) for the
-    /// SCC scheduler's dirty counter; a no-op under FIFO.
-    fn note_structural(&mut self, n: usize) {
-        if let Worklist::Scc(q) = &mut self.worklist {
-            q.dirty += n;
-        }
-    }
-
-    /// Adds a dynamically discovered use edge (field wiring, invoke
-    /// linking). Only *order-violating* edges — source priority ≥ target
-    /// priority, the ones that can merge SCCs or break the topological
-    /// order — count toward the recompute dirty counter; forward edges
-    /// leave the existing priorities valid. Linking bursts (fan-out
-    /// workloads) therefore keep triggering corrective recomputes while a
-    /// run whose order is already consistent pays nothing.
-    fn add_use_edge(&mut self, s: FlowId, t: FlowId) -> bool {
-        let added = self.g.add_use_dedup(s, t);
-        if added {
-            if let Worklist::Scc(q) = &mut self.worklist {
-                if q.priority_of(s) >= q.priority_of(t) {
-                    q.dirty += 1;
-                }
-                // Keep the antichain independence check current: a bucket
-                // that just acquired a successor must stop being batched
-                // with it (parallel solver only; no-op otherwise).
-                q.note_dynamic_edge(s, t);
-            }
-        }
-        added
-    }
-
-    /// Recomputes the PVPG condensation and rebuckets the queued flows
-    /// (SCC worklist only). Called once when a solve starts under a forced
-    /// SCC scheduler, at the adaptive flip, and then in batches behind the
-    /// dirty counter.
-    fn recompute_sccs(&mut self) {
-        if !matches!(self.worklist, Worklist::Scc(_)) {
-            return;
-        }
-        // Priorities only — the parallel solver's bucket predecessor
-        // relation is extracted lazily on the round path
-        // ([`Pvpg::bucket_pred_edges`]), not folded into every recompute.
-        let info = self.g.compute_sccs();
-        self.sched_stats.scc_count = info.count as usize;
-        self.sched_stats.cyclic_flows = info.cyclic_flows as usize;
-        self.sched_stats.max_scc_size = info.max_size as usize;
-        self.sched_stats.scc_recomputes += 1;
-        self.in_cycle = info.cyclic;
-        if let Worklist::Scc(q) = &mut self.worklist {
-            self.sched_stats.rebucketed_flows += q.apply(info.priority, info.count, None);
-        }
-    }
-
     /// The adaptive scheduler's FIFO→SCC flip: when the sliding-window
     /// re-push rate shows the queue is dominated by re-processing (and
-    /// enough is queued for ordering to matter), compute the condensation —
-    /// lazily, only now — and migrate the FIFO queue into SCC priority
-    /// buckets in its current order. Only ever called *between* worklist
-    /// steps / rounds, so no step observes a half-migrated queue; safe
-    /// mid-solve because results are scheduler-independent (module docs,
-    /// "The adaptive flip").
+    /// enough is queued for ordering to matter), migrate the FIFO queue
+    /// into SCC priority buckets in its current order. The condensation is
+    /// *already current* — the online order has been maintained since
+    /// session start — so the flip is a pure queue migration: no Tarjan
+    /// pass, no lazily computed priorities. Only ever called *between*
+    /// worklist steps / rounds, so no step observes a half-migrated queue;
+    /// safe mid-solve because results are scheduler-independent (module
+    /// docs, "The adaptive flip").
     fn maybe_flip(&mut self) {
         let Some(tracker) = &self.flip else { return };
         // Fast guard: the window can only have *become* tripped if the most
@@ -904,34 +762,30 @@ impl<'p> Engine<'p> {
             return;
         }
         let tracker = self.flip.take().expect("checked above");
-        self.sched_stats.adaptive_pops = tracker.pops;
-        self.sched_stats.adaptive_re_pops = tracker.re_pops;
+        self.sched_stats.adaptive_pops = tracker.pops - self.adaptive_base.0;
+        self.sched_stats.adaptive_re_pops = tracker.re_pops - self.adaptive_base.1;
+        self.sched_stats.adaptive_pops_total = tracker.pops;
+        self.sched_stats.adaptive_re_pops_total = tracker.re_pops;
         self.sched_stats.flips += 1;
-        self.sched_stats.flip_at_step = self.steps;
-        // Swap in an empty SCC queue, let the ordinary recompute path
-        // install the condensation (and its statistics, exactly once —
-        // see `recompute_sccs`), then migrate the drained FIFO queue in
-        // its current order.
+        self.sched_stats.flip_at_step = self.steps - self.solve_start_steps;
+        // First flip of the session: absorb the graph into the online
+        // order (one O(V+E) pass). Every later mutation maintains it
+        // incrementally, and it stays current across resumes — the flip is
+        // taken between steps, so no batch is open here.
+        self.g.enable_online_order();
         let Worklist::Fifo(fifo) = &mut self.worklist else { unreachable!("checked above") };
         let drained = std::mem::take(fifo);
-        self.worklist = Worklist::Scc(Box::new(SccQueue::new()));
-        self.recompute_sccs();
-        let Worklist::Scc(q) = &mut self.worklist else { unreachable!("just installed") };
+        let mut q = Box::new(SccQueue::new());
         for f in drained {
-            q.push(f);
+            // The migrated queue goes entirely into the priority tier: at
+            // the flip the graph region the queued flows span is already
+            // discovered (they have been sitting in a FIFO queue mid
+            // re-processing storm), so exact labels order them better than
+            // the frontier heuristic — only flows enqueued from here on
+            // split by the worked bit.
+            q.push(f, self.g.live_label(f), false);
         }
-    }
-
-    /// Recomputes the condensation if enough structure changed since the
-    /// last time. Only ever called *between* worklist steps / rounds.
-    fn maybe_recompute(&mut self) {
-        let needed = match &self.worklist {
-            Worklist::Scc(q) => q.needs_recompute(),
-            Worklist::Fifo(_) => false,
-        };
-        if needed {
-            self.recompute_sccs();
-        }
+        self.worklist = Worklist::Scc(q);
     }
 
     /// The field sink for `field`, seeded once with the Java default value
@@ -998,7 +852,25 @@ impl<'p> Engine<'p> {
     }
 
     /// Runs the configured solver until the current worklist is drained.
+    /// Per-solve statistics (the adaptive pop counters, `flip_at_step`) are
+    /// re-based here, and the flip detector's sliding window is cleared, so
+    /// a resumed solve reports its own behaviour instead of residue from
+    /// the prior solve — while the cumulative `*_total` counters and the
+    /// sticky flip keep accumulating across the session.
     pub(crate) fn run_solver(&mut self) {
+        self.solve_start_steps = self.steps;
+        match &mut self.flip {
+            Some(tracker) => {
+                tracker.begin_solve();
+                self.adaptive_base = (tracker.pops, tracker.re_pops);
+            }
+            None => {
+                // Forced scheduler, or the session already flipped: no FIFO
+                // phase this solve, so its per-solve pop counts are zero.
+                self.sched_stats.adaptive_pops = 0;
+                self.sched_stats.adaptive_re_pops = 0;
+            }
+        }
         match self.config.solver {
             SolverKind::Sequential => self.solve_sequential(),
             SolverKind::Parallel { threads } => self.solve_parallel(threads.max(1)),
@@ -1041,15 +913,30 @@ impl<'p> Engine<'p> {
     /// The current solver statistics.
     pub(crate) fn stats_snapshot(&self, duration: Duration, solves: u64) -> SolveStats {
         let (use_edges, pred_edges, obs_edges) = self.g.edge_counts();
-        // The flip detector keeps its own push counters off the hot path;
+        // The flip detector keeps its own pop counters off the hot path;
         // fold them in here (after a flip they were copied at flip time).
         let mut scheduler = self.sched_stats.clone();
         if let Some(tracker) = &self.flip {
-            scheduler.adaptive_pops = tracker.pops;
-            scheduler.adaptive_re_pops = tracker.re_pops;
+            scheduler.adaptive_pops = tracker.pops - self.adaptive_base.0;
+            scheduler.adaptive_re_pops = tracker.re_pops - self.adaptive_base.1;
+            scheduler.adaptive_pops_total = tracker.pops;
+            scheduler.adaptive_re_pops_total = tracker.re_pops;
+        }
+        // The live condensation and its maintenance counters come straight
+        // off the online order — there is no "last recompute" snapshot.
+        if let Some(os) = self.g.order_stats() {
+            scheduler.scc_count = os.comps;
+            scheduler.cyclic_flows = os.cyclic_flows;
+            scheduler.max_scc_size = os.max_scc_size;
+            scheduler.order_repairs = os.repairs;
+            scheduler.order_comps_moved = os.comps_moved;
+            scheduler.scc_merges = os.merges;
+            scheduler.order_relabels = os.relabels;
         }
         if let Worklist::Scc(q) = &self.worklist {
-            scheduler.antichain_dirty_round_skips = q.dirty_round_skips;
+            scheduler.rebucketed_flows = q.rebucketed;
+            scheduler.antichain_rounds = q.antichain_rounds;
+            scheduler.antichain_batched_buckets = q.antichain_batched;
         }
         SolveStats {
             steps: self.steps,
@@ -1069,37 +956,55 @@ impl<'p> Engine<'p> {
     fn sync_queued(&mut self) {
         let n = self.g.flow_count();
         if self.queued.len() < n {
-            let grown = n - self.queued.len();
             self.queued.resize(n, 0);
-            self.note_structural(grown);
         }
     }
 
     fn enqueue(&mut self, f: FlowId) {
         let slot = &mut self.queued[f.index()];
-        if *slot & QUEUED == 0 {
-            *slot |= QUEUED;
-            self.worklist.push(f);
+        if *slot & QUEUED != 0 {
+            return;
+        }
+        let fresh = *slot & WORKED == 0;
+        *slot |= QUEUED;
+        match &mut self.worklist {
+            Worklist::Fifo(q) => q.push_back(f),
+            // The live order label: exact even for a flow created by the
+            // step currently executing. First-time flows join the frontier
+            // tier instead (see the SccQueue docs).
+            Worklist::Scc(q) => q.push(f, self.g.live_label(f), fresh),
         }
     }
 
-    /// Marks a dequeued flow off-queue and processed-once, feeding the
-    /// adaptive flip detector (if still active) the re-process bit.
+    /// Marks a dequeued flow off-queue and dequeued-once, feeding the
+    /// adaptive flip detector (if still active) the re-process bit. The
+    /// [`WORKED`] bit is *not* set here: a pop that turns out to be a
+    /// no-op (disabled flow, empty delta) has not done any propagation
+    /// work, so the flow stays in the SCC queue's frontier tier until a
+    /// step actually computes something ([`Engine::mark_worked`]).
     #[inline]
     fn note_dequeued(&mut self, f: FlowId) {
         let slot = &mut self.queued[f.index()];
         let re = *slot & PROCESSED != 0;
-        *slot = PROCESSED;
+        *slot = (*slot | PROCESSED) & !QUEUED;
         if let Some(tracker) = &mut self.flip {
             tracker.observe(re);
         }
+    }
+
+    /// Records that a worklist step did real propagation work for `f` —
+    /// from here on, re-enqueues of `f` queue under exact priorities
+    /// instead of the frontier tier.
+    #[inline]
+    fn mark_worked(&mut self, f: FlowId) {
+        self.queued[f.index()] |= WORKED;
     }
 
     /// Creates an injection source for `declared` feeding `target`.
     fn inject(&mut self, target: FlowId, declared: TypeRef) {
         let rs = self.g.add_root_source(declared);
         self.sync_queued();
-        self.add_use_edge(rs, target);
+        self.g.add_use_dedup(rs, target);
         match declared {
             TypeRef::Prim | TypeRef::Void => {
                 self.join_in(rs, &ValueState::Any);
@@ -1314,7 +1219,7 @@ impl<'p> Engine<'p> {
     /// delta, filter it through the flow kind, and propagate what is new.
     fn process(&mut self, f: FlowId) {
         self.steps += 1;
-        if self.in_cycle.get(f.index()).copied().unwrap_or(false) {
+        if matches!(self.worklist, Worklist::Scc(_)) && self.g.flow_in_cycle(f) {
             self.sched_stats.steps_in_cycles += 1;
         }
         if let Some(max) = self.config.max_steps {
@@ -1325,6 +1230,7 @@ impl<'p> Engine<'p> {
             return;
         }
         if self.g.flow(f).needs_full {
+            self.mark_worked(f);
             // Width-adaptive fast path: joins into this flow skipped the
             // delta bookkeeping, so recompute from the full input (the
             // Reference step) and discard the stale delta — the full
@@ -1366,6 +1272,7 @@ impl<'p> Engine<'p> {
                 delta
             }
         };
+        self.mark_worked(f);
         self.apply_out(f, out_new);
     }
 
@@ -1523,14 +1430,14 @@ impl<'p> Engine<'p> {
             FlowKind::Load { field, receiver }
                 if self.receiver_reaches_field(receiver, field) => {
                     let sink = self.field_sink(field);
-                    if self.add_use_edge(sink, f) {
+                    if self.g.add_use_dedup(sink, f) {
                         self.push_state(sink, f);
                     }
                 }
             FlowKind::Store { field, receiver }
                 if self.receiver_reaches_field(receiver, field) => {
                     let sink = self.field_sink(field);
-                    if self.add_use_edge(f, sink) {
+                    if self.g.add_use_dedup(f, sink) {
                         self.push_state(f, sink);
                     }
                 }
@@ -1575,6 +1482,13 @@ impl<'p> Engine<'p> {
     /// Links a call site to a resolved target: marks the target reachable and
     /// wires arguments to parameters and the callee return to the invoke flow
     /// (the Invoke rule's conclusion).
+    ///
+    /// Fragment construction is *anchored* at the invoke flow: under the
+    /// online order, the callee's flows are placed directly between the
+    /// call's arguments and the invoke — so the `argument → parameter` and
+    /// `return → invoke` edges wired below respect the order by
+    /// construction, and the dominant mid-solve linking pattern triggers no
+    /// repairs at all.
     fn link(&mut self, site: SiteId, target: MethodId) {
         {
             let s = self.g.site_mut(site);
@@ -1586,21 +1500,23 @@ impl<'p> Engine<'p> {
         if self.program.method(target).is_abstract {
             return;
         }
-        self.make_reachable(target);
         let (args, invoke_flow) = {
             let s = self.g.site(site);
             (s.args.clone(), s.flow)
         };
+        self.g.set_fragment_anchor(Some(invoke_flow));
+        self.make_reachable(target);
+        self.g.set_fragment_anchor(None);
         let Some(callee) = self.g.methods.get(&target) else { return };
         let params = callee.params.clone();
         let ret = callee.ret;
         for (a, p) in args.iter().zip(params.iter()) {
-            if self.add_use_edge(*a, *p) {
+            if self.g.add_use_dedup(*a, *p) {
                 self.push_state(*a, *p);
             }
         }
         if let Some(r) = ret {
-            if self.add_use_edge(r, invoke_flow) {
+            if self.g.add_use_dedup(r, invoke_flow) {
                 self.push_state(r, invoke_flow);
             }
         }
@@ -1620,17 +1536,14 @@ impl<'p> Engine<'p> {
     // ---- solvers ----------------------------------------------------------
 
     pub(crate) fn solve_sequential(&mut self) {
-        // Initial condensation over the sealed root fragments (a no-op for
-        // FIFO, including the adaptive pre-flip phase — Adaptive computes
-        // its condensation lazily, at flip time); later recomputes are
-        // batched behind the dirty counter.
-        self.recompute_sccs();
+        // No solve-start condensation pass: the online order is maintained
+        // through every graph mutation (and carried across session
+        // resumes), so the SCC queue reads exact priorities at all times.
         loop {
             self.maybe_flip();
-            self.maybe_recompute();
             let next = match &mut self.worklist {
                 Worklist::Fifo(q) => q.pop_front(),
-                Worklist::Scc(q) => q.pop(),
+                Worklist::Scc(q) => q.pop(&self.g),
             };
             let Some(f) = next else { break };
             self.note_dequeued(f);
@@ -1653,22 +1566,8 @@ impl<'p> Engine<'p> {
     /// round drains the entire worklist (the PR 1 behaviour). An adaptive
     /// run may flip between rounds.
     pub(crate) fn solve_parallel(&mut self, threads: usize) {
-        self.recompute_sccs();
         loop {
             self.maybe_flip();
-            self.maybe_recompute();
-            // Lazily extract the bucket predecessor relation the antichain
-            // rounds need — at most once per condensation epoch, only once
-            // the condensation is clean enough to batch, and only after
-            // the epoch has run long enough to amortize the O(E) pass.
-            if let Worklist::Scc(q) = &mut self.worklist {
-                if q.pred_edges.is_none() && q.dirty == 0 && q.len > 1 {
-                    q.clean_rounds += 1;
-                    if q.clean_rounds >= ANTICHAIN_EXTRACT_AFTER_ROUNDS {
-                        q.pred_edges = Some(self.g.bucket_pred_edges(&q.prio, q.cur_prio));
-                    }
-                }
-            }
             let adaptive_fifo = self.flip.is_some();
             let batch: Vec<FlowId> = match &mut self.worklist {
                 // While an adaptive solve is in its FIFO phase, cap the
@@ -1680,7 +1579,7 @@ impl<'p> Engine<'p> {
                     q.drain(..n).collect()
                 }
                 Worklist::Fifo(q) => q.drain(..).collect(),
-                Worklist::Scc(q) => q.pop_bucket(),
+                Worklist::Scc(q) => q.pop_bucket(&self.g),
             };
             if batch.is_empty() {
                 break;
@@ -1737,9 +1636,11 @@ impl<'p> Engine<'p> {
             // is reduced by exactly the part phase A consumed — input that
             // arrived *during* phase B (from applying earlier flows) stays
             // pending and re-queues the flow for the next round.
+            let scc_round = matches!(self.worklist, Worklist::Scc(_));
             for (f, out_new, consumed, full) in outputs {
+                self.mark_worked(f);
                 self.steps += 1;
-                if self.in_cycle.get(f.index()).copied().unwrap_or(false) {
+                if scc_round && self.g.flow_in_cycle(f) {
                     self.sched_stats.steps_in_cycles += 1;
                 }
                 if let Some(max) = self.config.max_steps {
@@ -1966,13 +1867,6 @@ mod tests {
         ValueState::Types(ids.iter().copied().collect::<TypeSet>())
     }
 
-    /// A bucket predecessor edge `source → target` in the target-major
-    /// packing of [`Pvpg::bucket_pred_edges`] (what `SccQueue::apply`
-    /// consumes).
-    fn pred_edge(source: u32, target: u32) -> u64 {
-        ((target as u64) << 32) | source as u64
-    }
-
     #[test]
     fn typecheck_filter_keeps_subtypes_and_drops_null() {
         let (p, animal, dog, cat) = hierarchy();
@@ -2053,160 +1947,147 @@ mod tests {
         }
     }
 
-    #[test]
-    fn scc_queue_orders_buckets_and_adopts_current_priority() {
-        let mut q = SccQueue::new();
-        // Flows 0 and 2 share priority 1; flow 1 is the upstream SCC.
-        let migrated = q.apply(vec![1, 0, 1], 2, None);
-        assert_eq!(migrated, 0);
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(1));
-        q.push(FlowId::from_index(2));
-        // Lowest priority first, FIFO within a bucket.
-        assert_eq!(q.pop(), Some(FlowId::from_index(1)));
-        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
-        assert_eq!(q.pop(), Some(FlowId::from_index(2)));
-        assert_eq!(q.pop(), None);
-        // Flows newer than the priority table adopt the drained bucket.
-        q.push(FlowId::from_index(7));
-        assert_eq!(q.pop(), Some(FlowId::from_index(7)));
-        assert_eq!(q.pop(), None);
+    /// A PVPG with the online order enabled and `n` phi flows wired by
+    /// `edges` (construction-time use edges, indices into the created
+    /// flows). Returns the graph and the created flow ids — the scaffold
+    /// for queue tests, which key buckets off the live order labels.
+    fn ordered_graph(n: usize, edges: &[(usize, usize)]) -> (Pvpg, Vec<FlowId>) {
+        let mut g = Pvpg::new();
+        g.enable_online_order();
+        let first = g.flow_count();
+        let ids: Vec<FlowId> = (0..n)
+            .map(|_| g.add_flow(crate::flow::Flow::new(crate::flow::FlowKind::Phi, None, None)))
+            .collect();
+        for &(s, t) in edges {
+            g.add_use(ids[s], ids[t]);
+        }
+        g.seal_batch(first);
+        (g, ids)
+    }
+
+    /// Pushes as a *re-enqueued* flow (the priority tier) — the queue
+    /// tests exercise label ordering; the frontier tier has its own test.
+    fn push_live(q: &mut SccQueue, g: &Pvpg, f: FlowId) {
+        q.push(f, g.live_label(f), false);
     }
 
     #[test]
-    fn scc_queue_pop_bucket_drains_one_scc() {
+    fn scc_queue_orders_buckets_by_live_labels() {
+        // a → b → c: three singleton components, labels ascending along the
+        // chain; pops come out lowest-label-first regardless of push order.
+        let (g, ids) = ordered_graph(3, &[(0, 1), (1, 2)]);
         let mut q = SccQueue::new();
-        q.apply(vec![0, 1, 0], 2, None);
-        q.push(FlowId::from_index(1));
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(2));
-        // Without condensation edges the conservative answer is "dependent":
-        // the whole priority-0 bucket comes out as one batch, then the rest.
-        assert_eq!(
-            q.pop_bucket(),
-            vec![FlowId::from_index(0), FlowId::from_index(2)]
-        );
-        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(1)]);
-        assert!(q.pop_bucket().is_empty());
+        for &i in &[2usize, 0, 1] {
+            push_live(&mut q, &g, ids[i]);
+        }
+        assert_eq!(q.pop(&g), Some(ids[0]));
+        assert_eq!(q.pop(&g), Some(ids[1]));
+        assert_eq!(q.pop(&g), Some(ids[2]));
+        assert_eq!(q.pop(&g), None);
+        assert_eq!(q.rebucketed, 0, "no repairs, no healing");
+    }
+
+    #[test]
+    fn scc_queue_shares_a_bucket_within_one_scc() {
+        // a → b with a back edge b → a: one component, one bucket, FIFO
+        // within it; a downstream flow c drains strictly after.
+        let (mut g, ids) = ordered_graph(3, &[(0, 1), (1, 2)]);
+        assert!(g.add_use_dedup(ids[1], ids[0]), "close the cycle");
+        assert_eq!(g.same_component(ids[0], ids[1]), Some(true));
+        let mut q = SccQueue::new();
+        for &i in &[1usize, 2, 0] {
+            push_live(&mut q, &g, ids[i]);
+        }
+        assert_eq!(q.pop(&g), Some(ids[1]), "FIFO within the SCC bucket");
+        assert_eq!(q.pop(&g), Some(ids[0]));
+        assert_eq!(q.pop(&g), Some(ids[2]), "downstream flow drains last");
+        assert_eq!(q.pop(&g), None);
     }
 
     #[test]
     fn scc_queue_pop_bucket_batches_an_antichain_of_independent_buckets() {
-        // Priorities: flow 0 → bucket 0, flow 1 → bucket 1, flow 2 →
-        // bucket 2, with a single condensation edge 0 → 1. Buckets 0 and 2
-        // are independent (batched together); bucket 1 depends on 0 and
-        // must wait for the next round.
+        // 0 → 1 and an unrelated 2: buckets 0 and 2 are mutually ready and
+        // batch into one round; bucket 1 waits for its predecessor.
+        let (g, ids) = ordered_graph(3, &[(0, 1)]);
         let mut q = SccQueue::new();
-        q.apply(vec![0, 1, 2], 3, Some(vec![pred_edge(0, 1)]));
-        q.push(FlowId::from_index(1));
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(2));
-        assert_eq!(
-            q.pop_bucket(),
-            vec![FlowId::from_index(0), FlowId::from_index(2)]
-        );
-        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(1)]);
-        assert!(q.pop_bucket().is_empty());
+        for &i in &[1usize, 0, 2] {
+            push_live(&mut q, &g, ids[i]);
+        }
+        let mut round = q.pop_bucket(&g);
+        round.sort();
+        assert_eq!(round, vec![ids[0], ids[2]]);
+        assert_eq!(q.pop_bucket(&g), vec![ids[1]]);
+        assert!(q.pop_bucket(&g).is_empty());
+        assert_eq!(q.antichain_rounds, 2);
+        assert_eq!(q.antichain_batched, 3, "one multi-bucket round happened");
     }
 
     #[test]
     fn scc_queue_antichain_serializes_chains_without_transitive_edges() {
-        // A chain 0 → 1 → 2 with only the *adjacent* condensation edges:
-        // bucket 2 has no direct edge from 0, yet it must not share 0's
-        // round while 1 is still queued (readiness, not pairwise
-        // edge-absence) — otherwise every chain element downstream of the
-        // frontier is re-processed once per round.
-        let mut edges = vec![pred_edge(0, 1), pred_edge(1, 2)];
-        edges.sort_unstable();
+        // A chain 0 → 1 → 2 with only the *adjacent* edges: bucket 2 has no
+        // direct edge from 0, yet it must not share 0's round while 1 is
+        // still queued (readiness, not pairwise edge-absence).
+        let (g, ids) = ordered_graph(3, &[(0, 1), (1, 2)]);
         let mut q = SccQueue::new();
-        q.apply(vec![0, 1, 2], 3, Some(edges));
-        for i in [2usize, 0, 1] {
-            q.push(FlowId::from_index(i));
+        for &i in &[2usize, 0, 1] {
+            push_live(&mut q, &g, ids[i]);
         }
-        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(0)]);
-        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(1)]);
-        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(2)]);
+        assert_eq!(q.pop_bucket(&g), vec![ids[0]]);
+        assert_eq!(q.pop_bucket(&g), vec![ids[1]]);
+        assert_eq!(q.pop_bucket(&g), vec![ids[2]]);
         // Once the chain's upstream is at fixpoint, a later bucket *can*
-        // share a round with an unrelated one: re-queue 2 alongside an
-        // independent bucket 1... but with 1 empty this time 2 is ready.
-        // (Clear the attempt backoff the singleton rounds above armed —
-        // production rounds drain it one round at a time.)
+        // share a round with an unrelated one. (Clear the attempt backoff
+        // the singleton rounds above armed — production rounds drain it one
+        // round at a time.)
         q.antichain_backoff = 0;
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(2));
+        push_live(&mut q, &g, ids[0]);
+        push_live(&mut q, &g, ids[2]);
+        let mut round = q.pop_bucket(&g);
+        round.sort();
         assert_eq!(
-            q.pop_bucket(),
-            vec![FlowId::from_index(0), FlowId::from_index(2)],
+            round,
+            vec![ids[0], ids[2]],
             "bucket 2's predecessor 1 is idle, so 0 (unrelated) and 2 batch"
         );
     }
 
     #[test]
-    fn scc_queue_dynamic_edges_block_readiness_until_recompute() {
+    fn scc_queue_dynamic_edges_block_readiness_immediately() {
         // Buckets 0 and 2 start independent; a dynamically discovered edge
         // 0 → 2 (fan-out wiring mid-solve) must stop 2 from sharing 0's
-        // round even though the condensation list predates the edge.
+        // round the moment it is inserted — the online order's in-edge
+        // lists are live, so there is no recompute lag and no dirty window.
+        let (mut g, ids) = ordered_graph(3, &[(0, 1)]);
+        assert!(g.add_use_dedup(ids[0], ids[2]));
         let mut q = SccQueue::new();
-        q.apply(vec![0, 1, 2], 3, Some(vec![pred_edge(0, 1)]));
-        q.note_dynamic_edge(FlowId::from_index(0), FlowId::from_index(2));
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(2));
-        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(0)]);
-        assert_eq!(q.pop_bucket(), vec![FlowId::from_index(2)]);
-        // A fresh apply() clears the dynamic log (the new edge list is
-        // authoritative): with no 0 → 2 edge the buckets batch again.
-        q.apply(vec![0, 1, 2], 3, Some(vec![pred_edge(0, 1)]));
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(2));
-        assert_eq!(
-            q.pop_bucket(),
-            vec![FlowId::from_index(0), FlowId::from_index(2)]
-        );
-    }
-
-    /// In debug builds a len/bucket desync is caught loudly by the
-    /// `debug_assert` in `first_nonempty_bucket` — not by an out-of-range
-    /// `head[self.scan]` index panic.
-    #[cfg(debug_assertions)]
-    #[test]
-    #[should_panic(expected = "every bucket is empty")]
-    fn scc_queue_desynced_len_is_caught_by_the_debug_assert() {
-        let mut q = SccQueue::new();
-        q.apply(vec![0, 1], 2, None);
-        q.push(FlowId::from_index(0));
-        q.len = 3; // simulate the desync the bounds check defends against
-        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
-        let _ = q.pop();
-    }
-
-    /// In release builds the same desync degrades gracefully: the scan is
-    /// bounds-checked, `pop`/`pop_bucket` report the queue as drained, and
-    /// `len` resyncs to the truth.
-    #[cfg(not(debug_assertions))]
-    #[test]
-    fn scc_queue_desynced_len_returns_empty_instead_of_panicking() {
-        let mut q = SccQueue::new();
-        q.apply(vec![0, 1], 2, None);
-        q.push(FlowId::from_index(0));
-        q.len = 3;
-        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
-        assert_eq!(q.pop(), None, "desynced pop resyncs instead of panicking");
-        assert_eq!(q.len, 0, "len resynced to the truth");
-        q.len = 5;
-        assert!(q.pop_bucket().is_empty());
-        assert_eq!(q.len, 0);
+        push_live(&mut q, &g, ids[0]);
+        push_live(&mut q, &g, ids[2]);
+        assert_eq!(q.pop_bucket(&g), vec![ids[0]]);
+        assert_eq!(q.pop_bucket(&g), vec![ids[2]]);
     }
 
     #[test]
-    fn scc_queue_rebucket_migrates_queued_flows() {
+    fn scc_queue_heals_entries_staled_by_an_order_repair() {
+        // Queue b under its current label, then insert c → b where c sits
+        // above b: the repair relocates b''s component while it is queued.
+        // The pop must hand b out exactly once, re-bucketed under its live
+        // label, and count the heal.
+        let (mut g, ids) = ordered_graph(3, &[(0, 1)]);
         let mut q = SccQueue::new();
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(1));
-        // A recompute reverses the priorities; both queued flows migrate.
-        let migrated = q.apply(vec![1, 0], 2, None);
-        assert_eq!(migrated, 2);
-        assert_eq!(q.pop(), Some(FlowId::from_index(1)));
-        assert_eq!(q.pop(), Some(FlowId::from_index(0)));
+        push_live(&mut q, &g, ids[1]); // b, label as of now
+        push_live(&mut q, &g, ids[2]); // c
+        let stale = g.live_label(ids[1]);
+        assert!(g.add_use_dedup(ids[2], ids[1]), "violating edge: c above b");
+        assert!(g.order_stats().unwrap().repairs >= 1, "the insert repaired");
+        assert_ne!(g.live_label(ids[1]), stale, "b''s component moved");
+        let mut popped = Vec::new();
+        while let Some(f) = q.pop(&g) {
+            popped.push(f);
+        }
+        popped.sort();
+        assert_eq!(popped, vec![ids[1], ids[2]], "each flow pops exactly once");
+        assert!(q.rebucketed >= 1, "the stale entry was healed");
+        g.assert_valid_order();
     }
 
     #[test]
@@ -2245,8 +2126,8 @@ mod tests {
     #[should_panic(expected = "resident in two priority buckets")]
     fn scc_queue_rejects_duplicate_residency() {
         let mut q = SccQueue::new();
-        q.push(FlowId::from_index(0));
-        q.push(FlowId::from_index(0));
+        q.push(FlowId::from_index(0), 1, false);
+        q.push(FlowId::from_index(0), 2, true);
     }
 
     #[test]

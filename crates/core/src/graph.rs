@@ -15,6 +15,17 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 const NO_SPILL: u32 = u32::MAX;
 
+/// Linked-list sentinel of the online order structure.
+const NO_NODE: u32 = u32::MAX;
+
+/// Initial label spacing of the online order: appended components are this
+/// far apart, so midpoint insertion has ~32 levels of headroom before a
+/// local relabel is needed.
+const LABEL_STRIDE: u64 = 1 << 32;
+
+/// Target minimum gap a local relabel re-establishes between neighbours.
+const RELABEL_MIN_GAP: u64 = 1 << 16;
+
 /// CSR-style adjacency shared by every flow for one edge kind.
 #[derive(Clone, Debug, Default)]
 pub struct EdgePool {
@@ -199,6 +210,701 @@ pub struct SccInfo {
     pub cyclic_flows: u32,
 }
 
+/// Cumulative maintenance counters of the online order structure —
+/// the bounded order-repair work that replaced the PR 2 batch condensation
+/// recomputes (surfaced through [`crate::SchedulerStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrderStats {
+    /// Live strongly connected components (including singletons).
+    pub comps: usize,
+    /// Live flows sitting in components of size ≥ 2.
+    pub cyclic_flows: usize,
+    /// Size of the largest component.
+    pub max_scc_size: usize,
+    /// Order-violating edge insertions repaired in place.
+    pub repairs: u64,
+    /// Components relocated by those repairs (the affected-region mass).
+    pub comps_moved: u64,
+    /// Component unions performed by cycle collapses.
+    pub merges: u64,
+    /// Components whose label was rewritten by a local/global relabel
+    /// (gap exhaustion of the list-labeling scheme).
+    pub relabels: u64,
+}
+
+/// Online topological order and SCC maintenance over the PVPG's
+/// value-carrying (use + observe) edges — the Pearce–Kelly style
+/// replacement for the PR 2 batch condensation recomputes.
+///
+/// Every flow is assigned an exact order position the moment it is created
+/// (mid-solve fragments are *anchored* just below the invoke flow that
+/// discovered them, which makes the argument/return linking edges
+/// order-consistent by construction), and every inserted value edge either
+/// already respects the order (one comparison) or triggers an in-place
+/// repair of the affected region:
+///
+/// * components are union-find sets; the current order is a doubly-linked
+///   list of component representatives carrying sparse `u64` labels
+///   (list-labeling: midpoint insertion, local respacing on gap
+///   exhaustion), so "s before t" is one label comparison at any time;
+/// * a violating edge `s → t` (`label(s) ≥ label(t)`) starts a *bounded
+///   bidirectional* search — forward from `t` and backward from `s`,
+///   expanded in lockstep and restricted to the `[label(t), label(s)]`
+///   window — and relocates whichever side exhausts first (the smaller
+///   affected region), Pearce–Kelly style;
+/// * when the searches meet, the edge closes a cycle: the nodes on the
+///   `t ⇝ s` paths are collapsed into one component, and the remaining
+///   upstream/downstream region is re-packed into the vacated label slots
+///   (upstream, merged component, downstream — the PK pooled reorder
+///   extended with contraction).
+///
+/// The structure therefore exposes, at *all* times: an exact
+/// condensation-topological priority per flow (`label_of`), exact SCC
+/// membership (`same_component` / `component_size`), and the current
+/// condensation predecessors of any component (`component_blocked`) — which
+/// is what lets the scheduler give mid-solve fragments exact priorities,
+/// the adaptive flip start from a current condensation, and the parallel
+/// solver batch antichains while fragments instantiate.
+///
+/// Out-edges are *not* duplicated here: forward searches walk the graph's
+/// own CSR pools through the component member lists. Only the in-edge
+/// adjacency (needed by the backward search and the readiness queries) is
+/// kept, as an intrusive arena.
+#[derive(Clone, Debug)]
+pub struct OnlineTopo {
+    /// Union-find parent per flow (path-halved in mutating contexts).
+    parent: Vec<u32>,
+    /// Component size, valid at representatives.
+    csize: Vec<u32>,
+    /// Order label, valid at representatives; strictly increasing along
+    /// every cross-component value edge.
+    label: Vec<u64>,
+    /// Doubly-linked list of representatives in ascending label order.
+    ord_next: Vec<u32>,
+    ord_prev: Vec<u32>,
+    ord_head: u32,
+    ord_tail: u32,
+    /// Circular list threading the member flows of each component
+    /// (singletons self-loop; unions splice in O(1)).
+    member_next: Vec<u32>,
+    /// Per-flow head into `in_arena` (value-edge predecessors).
+    in_head: Vec<u32>,
+    /// `(source flow, next)` in-edge nodes.
+    in_arena: Vec<(u32, u32)>,
+    /// Anchor flow: when set, new flows are placed immediately before the
+    /// anchor's component instead of at the end of the order.
+    anchor: u32,
+    /// Search stamps (per flow; compared against `stamp`).
+    fwd_mark: Vec<u32>,
+    bwd_mark: Vec<u32>,
+    stamp: u32,
+    /// Scratch buffers reused across repairs.
+    fwd_stack: Vec<u32>,
+    bwd_stack: Vec<u32>,
+    fwd_seen: Vec<u32>,
+    bwd_seen: Vec<u32>,
+    /// Live component count.
+    comps: usize,
+    /// Live flows in components of size ≥ 2.
+    cyclic_flows: usize,
+    /// Largest component seen.
+    max_scc_size: usize,
+    repairs: u64,
+    comps_moved: u64,
+    merges: u64,
+    relabels: u64,
+}
+
+impl OnlineTopo {
+    fn new() -> Self {
+        OnlineTopo {
+            parent: Vec::new(),
+            csize: Vec::new(),
+            label: Vec::new(),
+            ord_next: Vec::new(),
+            ord_prev: Vec::new(),
+            ord_head: NO_NODE,
+            ord_tail: NO_NODE,
+            member_next: Vec::new(),
+            in_head: Vec::new(),
+            in_arena: Vec::new(),
+            anchor: NO_NODE,
+            fwd_mark: Vec::new(),
+            bwd_mark: Vec::new(),
+            stamp: 0,
+            fwd_stack: Vec::new(),
+            bwd_stack: Vec::new(),
+            fwd_seen: Vec::new(),
+            bwd_seen: Vec::new(),
+            comps: 0,
+            cyclic_flows: 0,
+            max_scc_size: 0,
+            repairs: 0,
+            comps_moved: 0,
+            merges: 0,
+            relabels: 0,
+        }
+    }
+
+    /// Representative of `x`'s component, with path halving.
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let p = self.parent[x as usize];
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Read-only representative lookup (shared contexts: priority queries,
+    /// readiness checks). Trees stay shallow — unions are by size and the
+    /// mutating paths compress.
+    fn find_ro(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// The live order label of `f`'s component.
+    pub(crate) fn label_of(&self, f: FlowId) -> u64 {
+        self.label[self.find_ro(f.0) as usize]
+    }
+
+    /// Whether `f` sits in a component of size ≥ 2 (a genuine value cycle).
+    pub(crate) fn in_cycle(&self, f: FlowId) -> bool {
+        self.csize[self.find_ro(f.0) as usize] >= 2
+    }
+
+    /// Whether `a` and `b` share a strongly connected component.
+    pub(crate) fn same_component(&self, a: FlowId, b: FlowId) -> bool {
+        self.find_ro(a.0) == self.find_ro(b.0)
+    }
+
+    /// Size of `f`'s component.
+    pub(crate) fn component_size(&self, f: FlowId) -> usize {
+        self.csize[self.find_ro(f.0) as usize] as usize
+    }
+
+    /// The maintenance counters (see [`OrderStats`]).
+    pub(crate) fn stats(&self) -> OrderStats {
+        OrderStats {
+            comps: self.comps,
+            cyclic_flows: self.cyclic_flows,
+            max_scc_size: self.max_scc_size,
+            repairs: self.repairs,
+            comps_moved: self.comps_moved,
+            merges: self.merges,
+            relabels: self.relabels,
+        }
+    }
+
+    /// Whether any live condensation predecessor of the component holding
+    /// `member` satisfies `blocked` (applied to the predecessor's label).
+    /// Predecessors are read off the member flows' in-edge lists, so the
+    /// answer reflects every edge inserted so far — including ones added
+    /// since any queue snapshot. At most `budget` in-edge entries are
+    /// examined; past the budget the component conservatively reports
+    /// blocked.
+    pub(crate) fn component_blocked(
+        &self,
+        member: FlowId,
+        budget: usize,
+        mut blocked: impl FnMut(u64) -> bool,
+    ) -> bool {
+        let rep = self.find_ro(member.0);
+        let own = self.label[rep as usize];
+        let mut examined = 0usize;
+        let mut m = rep;
+        loop {
+            let mut e = self.in_head[m as usize];
+            while e != NO_NODE {
+                let (src, next) = self.in_arena[e as usize];
+                examined += 1;
+                if examined > budget {
+                    return true; // over budget: conservatively not ready
+                }
+                let l = self.label[self.find_ro(src) as usize];
+                if l != own && blocked(l) {
+                    return true;
+                }
+                e = next;
+            }
+            m = self.member_next[m as usize];
+            if m == rep {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Appends a new singleton component for the next flow index: at the
+    /// end of the order, or — when an anchor is set — immediately before
+    /// the anchor's component (the exact position a fragment discovered by
+    /// an invoke belongs: after the arguments, before the invoke).
+    fn add_flow(&mut self) {
+        let i = self.parent.len() as u32;
+        self.parent.push(i);
+        self.csize.push(1);
+        self.label.push(0);
+        self.ord_next.push(NO_NODE);
+        self.ord_prev.push(NO_NODE);
+        self.member_next.push(i);
+        self.in_head.push(NO_NODE);
+        self.fwd_mark.push(0);
+        self.bwd_mark.push(0);
+        self.comps += 1;
+        self.max_scc_size = self.max_scc_size.max(1);
+        if self.anchor != NO_NODE {
+            let ra = self.find(self.anchor);
+            let prev = self.ord_prev[ra as usize];
+            self.place_after(prev, i);
+        } else {
+            self.place_after(self.ord_tail, i);
+        }
+    }
+
+    /// Links the unlinked node `x` directly after `a` (`NO_NODE` = at the
+    /// head) and assigns it a label strictly between its new neighbours,
+    /// making room via a local relabel when the gap is exhausted.
+    fn place_after(&mut self, a: u32, x: u32) {
+        loop {
+            let (lo, b) = if a == NO_NODE {
+                (0u64, self.ord_head)
+            } else {
+                (self.label[a as usize], self.ord_next[a as usize])
+            };
+            if b == NO_NODE {
+                if lo > u64::MAX - LABEL_STRIDE {
+                    self.global_relabel();
+                    continue;
+                }
+                self.link_with_label(a, b, x, lo + LABEL_STRIDE);
+                return;
+            }
+            let hi = self.label[b as usize];
+            if hi - lo >= 2 {
+                self.link_with_label(a, b, x, lo + (hi - lo) / 2);
+                return;
+            }
+            self.make_room_after(a);
+        }
+    }
+
+    fn link_with_label(&mut self, a: u32, b: u32, x: u32, label: u64) {
+        self.label[x as usize] = label;
+        self.ord_prev[x as usize] = a;
+        self.ord_next[x as usize] = b;
+        if a == NO_NODE {
+            self.ord_head = x;
+        } else {
+            self.ord_next[a as usize] = x;
+        }
+        if b == NO_NODE {
+            self.ord_tail = x;
+        } else {
+            self.ord_prev[b as usize] = x;
+        }
+    }
+
+    fn unlink(&mut self, x: u32) {
+        let p = self.ord_prev[x as usize];
+        let n = self.ord_next[x as usize];
+        if p == NO_NODE {
+            self.ord_head = n;
+        } else {
+            self.ord_next[p as usize] = n;
+        }
+        if n == NO_NODE {
+            self.ord_tail = p;
+        } else {
+            self.ord_prev[n as usize] = p;
+        }
+        self.ord_prev[x as usize] = NO_NODE;
+        self.ord_next[x as usize] = NO_NODE;
+    }
+
+    /// Re-establishes a usable gap after `a` by respacing a doubling window
+    /// of its successors (the list-labeling relabel step); falls back to a
+    /// global renumber near the label-space ceiling.
+    fn make_room_after(&mut self, a: u32) {
+        let base = if a == NO_NODE { 0 } else { self.label[a as usize] };
+        let mut nodes: Vec<u32> = Vec::with_capacity(16);
+        let mut cur = if a == NO_NODE {
+            self.ord_head
+        } else {
+            self.ord_next[a as usize]
+        };
+        let mut want = 8usize;
+        loop {
+            while nodes.len() < want && cur != NO_NODE {
+                nodes.push(cur);
+                cur = self.ord_next[cur as usize];
+            }
+            if cur == NO_NODE {
+                // The window reaches the tail: unbounded space above.
+                let needed = (nodes.len() as u64 + 2).saturating_mul(LABEL_STRIDE);
+                if base > u64::MAX - needed {
+                    self.global_relabel();
+                    return;
+                }
+                for (i, &nd) in nodes.iter().enumerate() {
+                    self.label[nd as usize] = base + (i as u64 + 1) * LABEL_STRIDE;
+                }
+                self.relabels += nodes.len() as u64;
+                return;
+            }
+            let span = self.label[cur as usize] - base;
+            if span >= (nodes.len() as u64 + 1) * RELABEL_MIN_GAP {
+                let stride = span / (nodes.len() as u64 + 1);
+                for (i, &nd) in nodes.iter().enumerate() {
+                    self.label[nd as usize] = base + (i as u64 + 1) * stride;
+                }
+                self.relabels += nodes.len() as u64;
+                return;
+            }
+            want *= 2;
+        }
+    }
+
+    /// Renumbers every live component at [`LABEL_STRIDE`] spacing (rare:
+    /// label-space exhaustion only).
+    fn global_relabel(&mut self) {
+        let mut lab = 0u64;
+        let mut cur = self.ord_head;
+        while cur != NO_NODE {
+            lab += LABEL_STRIDE;
+            self.label[cur as usize] = lab;
+            self.relabels += 1;
+            cur = self.ord_next[cur as usize];
+        }
+    }
+
+    /// Records the value edge `s → t` and repairs the order if it violates
+    /// it (see the type docs for the algorithm).
+    fn insert_edge(&mut self, s: FlowId, t: FlowId, uses: &EdgePool, observes: &EdgePool) {
+        // In-edge first, so the backward searches and readiness queries of
+        // this very repair (and everything after) see it.
+        let idx = self.in_arena.len() as u32;
+        assert!(idx != NO_NODE, "in-edge arena overflow");
+        self.in_arena.push((s.0, self.in_head[t.0 as usize]));
+        self.in_head[t.0 as usize] = idx;
+        let rs = self.find(s.0);
+        let rt = self.find(t.0);
+        if rs == rt || self.label[rs as usize] < self.label[rt as usize] {
+            return;
+        }
+        self.repair(rs, rt, uses, observes);
+    }
+
+    /// Expands one forward node: pushes every unvisited successor component
+    /// of `x` within the window onto `stack`/`seen`. Returns `true` if a
+    /// cycle was detected (the search touched `rs` or a backward-marked
+    /// component).
+    fn expand_fwd(
+        &mut self,
+        x: u32,
+        hi: u64,
+        uses: &EdgePool,
+        observes: &EdgePool,
+        stack: &mut Vec<u32>,
+        seen: &mut Vec<u32>,
+    ) -> bool {
+        let stamp = self.stamp;
+        let mut cycle = false;
+        let mut m = x;
+        loop {
+            for pool in [uses, observes] {
+                let mut cur = pool.cursor(FlowId(m));
+                while let Some(w) = pool.next(&mut cur) {
+                    let rw = self.find(w.0);
+                    if self.fwd_mark[rw as usize] == stamp || self.label[rw as usize] > hi {
+                        continue;
+                    }
+                    if self.bwd_mark[rw as usize] == stamp {
+                        cycle = true;
+                    }
+                    self.fwd_mark[rw as usize] = stamp;
+                    stack.push(rw);
+                    seen.push(rw);
+                }
+            }
+            m = self.member_next[m as usize];
+            if m == x {
+                break;
+            }
+        }
+        cycle
+    }
+
+    /// Expands one backward node: pushes every unvisited predecessor
+    /// component of `x` within the window. Returns `true` on cycle.
+    fn expand_bwd(
+        &mut self,
+        x: u32,
+        lo: u64,
+        stack: &mut Vec<u32>,
+        seen: &mut Vec<u32>,
+    ) -> bool {
+        let stamp = self.stamp;
+        let mut cycle = false;
+        let mut m = x;
+        loop {
+            let mut e = self.in_head[m as usize];
+            while e != NO_NODE {
+                let (src, next) = self.in_arena[e as usize];
+                e = next;
+                let ru = self.find(src);
+                if self.bwd_mark[ru as usize] == stamp || self.label[ru as usize] < lo {
+                    continue;
+                }
+                if self.fwd_mark[ru as usize] == stamp {
+                    cycle = true;
+                }
+                self.bwd_mark[ru as usize] = stamp;
+                stack.push(ru);
+                seen.push(ru);
+            }
+            m = self.member_next[m as usize];
+            if m == x {
+                break;
+            }
+        }
+        cycle
+    }
+
+    /// Repairs the order after inserting a violating edge whose endpoints'
+    /// components are `rs → rt` with `label(rs) ≥ label(rt)`.
+    fn repair(&mut self, rs: u32, rt: u32, uses: &EdgePool, observes: &EdgePool) {
+        self.repairs += 1;
+        let hi = self.label[rs as usize];
+        let lo = self.label[rt as usize];
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut fwd_stack = std::mem::take(&mut self.fwd_stack);
+        let mut bwd_stack = std::mem::take(&mut self.bwd_stack);
+        let mut fwd_seen = std::mem::take(&mut self.fwd_seen);
+        let mut bwd_seen = std::mem::take(&mut self.bwd_seen);
+        fwd_stack.clear();
+        bwd_stack.clear();
+        fwd_seen.clear();
+        bwd_seen.clear();
+        self.fwd_mark[rt as usize] = stamp;
+        fwd_stack.push(rt);
+        fwd_seen.push(rt);
+        self.bwd_mark[rs as usize] = stamp;
+        bwd_stack.push(rs);
+        bwd_seen.push(rs);
+        // Lockstep bidirectional expansion: the side that exhausts first is
+        // the smaller affected region and the one that moves. Once a cycle
+        // is detected both searches run to completion (the collapse needs
+        // the full forward and backward regions; both stay bounded by the
+        // label window).
+        let mut cycle = false;
+        let move_fwd = loop {
+            if !cycle && fwd_stack.is_empty() {
+                break true;
+            }
+            if !cycle && bwd_stack.is_empty() {
+                break false;
+            }
+            if cycle && fwd_stack.is_empty() && bwd_stack.is_empty() {
+                break true; // unused in the cycle case
+            }
+            if let Some(x) = fwd_stack.pop() {
+                cycle |= self.expand_fwd(x, hi, uses, observes, &mut fwd_stack, &mut fwd_seen);
+            }
+            if !cycle && fwd_stack.is_empty() {
+                break true;
+            }
+            if let Some(x) = bwd_stack.pop() {
+                cycle |= self.expand_bwd(x, lo, &mut bwd_stack, &mut bwd_seen);
+            }
+        };
+        if cycle {
+            self.collapse(&fwd_seen, &bwd_seen);
+        } else if move_fwd {
+            // Forward region complete and s unreachable: shift it (in
+            // relative order) to directly after rs. Every node of it moves
+            // strictly *up*, above label(rs), so edges from unvisited
+            // in-window nodes stay satisfied.
+            fwd_seen.sort_unstable_by_key(|&x| self.label[x as usize]);
+            for &x in &fwd_seen {
+                self.unlink(x);
+            }
+            let mut cursor = rs;
+            for &x in &fwd_seen {
+                self.place_after(cursor, x);
+                cursor = x;
+            }
+            self.comps_moved += fwd_seen.len() as u64;
+        } else {
+            // Backward region complete: shift it (in relative order) to
+            // directly before rt — strictly *down*, below label(rt).
+            bwd_seen.sort_unstable_by_key(|&x| self.label[x as usize]);
+            for &x in &bwd_seen {
+                self.unlink(x);
+            }
+            let mut cursor = self.ord_prev[rt as usize];
+            for &x in &bwd_seen {
+                self.place_after(cursor, x);
+                cursor = x;
+            }
+            self.comps_moved += bwd_seen.len() as u64;
+        }
+        self.fwd_stack = fwd_stack;
+        self.bwd_stack = bwd_stack;
+        self.fwd_seen = fwd_seen;
+        self.bwd_seen = bwd_seen;
+    }
+
+    /// Collapses the cycle the searches found. Components marked by *both*
+    /// searches lie on a `t ⇝ s` path and merge into one; the vacated
+    /// label slots are re-occupied in the PK pooled style extended with
+    /// contraction: the strictly-upstream components take the *lowest*
+    /// slots (they only ever move down — safe, because any unvisited
+    /// predecessor of them sits below the window), the strictly-downstream
+    /// components take the *highest* slots (they only move up — safe
+    /// symmetrically), and the merged component takes the slot just below
+    /// the downstream block (its unvisited predecessors are below the
+    /// window and its unvisited successors above it, so any slot between
+    /// the blocks is valid). Slots left over from the contraction simply
+    /// fall out of use.
+    fn collapse(&mut self, fwd_seen: &[u32], bwd_seen: &[u32]) {
+        let stamp = self.stamp;
+        // Slots: every visited component, in ascending label order.
+        let mut slots: Vec<u32> = Vec::with_capacity(fwd_seen.len() + bwd_seen.len());
+        slots.extend_from_slice(fwd_seen);
+        slots.extend(
+            bwd_seen
+                .iter()
+                .copied()
+                .filter(|&x| self.fwd_mark[x as usize] != stamp),
+        );
+        slots.sort_unstable_by_key(|&x| self.label[x as usize]);
+        let slot_labels: Vec<u64> = slots.iter().map(|&x| self.label[x as usize]).collect();
+        // For each slot, the first non-moved list node after it (computed
+        // before any unlinking; a moved node's list successor is either a
+        // stable node or the next slot in label order).
+        let mut stable_next = vec![NO_NODE; slots.len()];
+        for i in (0..slots.len()).rev() {
+            let nx = self.ord_next[slots[i] as usize];
+            stable_next[i] = if i + 1 < slots.len() && nx == slots[i + 1] {
+                stable_next[i + 1]
+            } else {
+                nx
+            };
+        }
+        // Merge the both-marked components (union by size; the circular
+        // member lists splice in O(1)).
+        let cycle_comps: Vec<u32> = slots
+            .iter()
+            .copied()
+            .filter(|&x| self.fwd_mark[x as usize] == stamp && self.bwd_mark[x as usize] == stamp)
+            .collect();
+        debug_assert!(cycle_comps.len() >= 2, "a collapse merges at least two components");
+        let mut c = cycle_comps[0];
+        let mut singleton_flows = 0usize;
+        let mut total = 0u32;
+        for &x in &cycle_comps {
+            if self.csize[x as usize] == 1 {
+                singleton_flows += 1;
+            }
+            total += self.csize[x as usize];
+        }
+        for &x in &cycle_comps[1..] {
+            let (big, small) = if self.csize[c as usize] >= self.csize[x as usize] {
+                (c, x)
+            } else {
+                (x, c)
+            };
+            self.parent[small as usize] = big;
+            self.csize[big as usize] += self.csize[small as usize];
+            self.member_next.swap(big as usize, small as usize);
+            c = big;
+        }
+        self.merges += cycle_comps.len() as u64 - 1;
+        self.comps -= cycle_comps.len() - 1;
+        self.cyclic_flows += singleton_flows;
+        self.max_scc_size = self.max_scc_size.max(total as usize);
+        // Slot assignment: upstream block at the bottom, downstream block
+        // at the top, the merged component directly below the downstream
+        // block. `(slot index, occupant)`, ascending by construction.
+        let mut upstream: Vec<u32> = bwd_seen
+            .iter()
+            .copied()
+            .filter(|&x| self.fwd_mark[x as usize] != stamp)
+            .collect();
+        upstream.sort_unstable_by_key(|&x| self.label[x as usize]);
+        let mut downstream: Vec<u32> = fwd_seen
+            .iter()
+            .copied()
+            .filter(|&x| self.bwd_mark[x as usize] != stamp)
+            .collect();
+        downstream.sort_unstable_by_key(|&x| self.label[x as usize]);
+        let total_slots = slots.len();
+        let down_base = total_slots - downstream.len();
+        let mut assignments: Vec<(usize, u32)> = Vec::with_capacity(upstream.len() + 1 + downstream.len());
+        assignments.extend(upstream.iter().copied().enumerate());
+        assignments.push((down_base - 1, c));
+        assignments.extend(
+            downstream
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(k, x)| (down_base + k, x)),
+        );
+        for &x in slots.iter() {
+            self.unlink(x);
+        }
+        for &(i, x) in &assignments {
+            let before = stable_next[i];
+            let prev = if before == NO_NODE {
+                self.ord_tail
+            } else {
+                self.ord_prev[before as usize]
+            };
+            self.link_with_label(prev, before, x, slot_labels[i]);
+        }
+        self.comps_moved += assignments.len() as u64;
+    }
+
+    /// Asserts the full order invariant: along every cross-component value
+    /// edge the source's label is strictly below the target's, and the
+    /// order list is label-sorted. Test/diagnostic helper — O(V + E).
+    fn validate(&self, flow_count: usize, uses: &EdgePool, observes: &EdgePool) {
+        let mut cur = self.ord_head;
+        let mut last = 0u64;
+        let mut listed = 0usize;
+        while cur != NO_NODE {
+            assert!(
+                self.label[cur as usize] > last || listed == 0,
+                "order list is not label-sorted"
+            );
+            last = self.label[cur as usize];
+            listed += 1;
+            cur = self.ord_next[cur as usize];
+        }
+        assert_eq!(listed, self.comps, "order list out of sync with component count");
+        for v in 0..flow_count {
+            let f = FlowId(v as u32);
+            let lf = self.label_of(f);
+            for pool in [uses, observes] {
+                let mut cur = pool.cursor(f);
+                while let Some(t) = pool.next(&mut cur) {
+                    if self.find_ro(f.0) != self.find_ro(t.0) {
+                        assert!(
+                            lf < self.label_of(t),
+                            "value edge {f:?} -> {t:?} violates the online order"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The classification of a branching instruction, used by the paper's
 /// counter metrics (Type Checks / Null Checks / Prim Checks).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -271,6 +977,16 @@ pub struct Pvpg {
     field_sinks: HashMap<FieldId, FlowId>,
     /// Dedup set for dynamically added use edges (field/invoke linking).
     dynamic_use_edges: HashSet<(FlowId, FlowId)>,
+    /// Online topological order / SCC maintenance over the value-carrying
+    /// edges, kept current through every flow and edge mutation. Enabled by
+    /// the engine for the schedulers that read priorities
+    /// ([`Pvpg::enable_online_order`]); `None` for the FIFO oracle and the
+    /// reference solver, which must not pay for it.
+    topo: Option<OnlineTopo>,
+    /// Value edges added while a construction batch was open (static-field
+    /// and unsafe-sink wiring): the online order absorbs them at
+    /// [`Pvpg::seal_batch`], when its searches can walk the sealed pools.
+    topo_deferred: Vec<(FlowId, FlowId)>,
 }
 
 impl Pvpg {
@@ -288,6 +1004,8 @@ impl Pvpg {
             methods: BTreeMap::new(),
             field_sinks: HashMap::new(),
             dynamic_use_edges: HashSet::new(),
+            topo: None,
+            topo_deferred: Vec::new(),
         };
         g.pred_on = g.add_flow(Flow::new(FlowKind::PredOn, None, None));
         g.thrown_sink = g.add_flow(Flow::new(FlowKind::ThrownSink, None, None));
@@ -295,10 +1013,16 @@ impl Pvpg {
         g
     }
 
-    /// Adds a flow and returns its id.
+    /// Adds a flow and returns its id. Under the online order the flow is
+    /// assigned an exact order position immediately: at the end of the
+    /// order, or at the current fragment anchor (see
+    /// [`Pvpg::set_fragment_anchor`]).
     pub fn add_flow(&mut self, flow: Flow) -> FlowId {
         let id = FlowId::from_index(self.flows.len());
         self.flows.push(flow);
+        if let Some(topo) = self.topo.as_mut() {
+            topo.add_flow();
+        }
         id
     }
 
@@ -347,6 +1071,16 @@ impl Pvpg {
         if self.dynamic_use_edges.insert((s, t)) {
             let n = self.flows.len();
             self.uses.push_spill(s, t, n);
+            if self.uses.pending.is_empty() && self.observes.pending.is_empty() {
+                if let Some(topo) = self.topo.as_mut() {
+                    topo.insert_edge(s, t, &self.uses, &self.observes);
+                }
+            } else if self.topo.is_some() {
+                // A construction batch is open (static-field / unsafe
+                // wiring happens mid-build): the order absorbs the edge
+                // at seal time, together with the batch.
+                self.topo_deferred.push((s, t));
+            }
             true
         } else {
             false
@@ -365,12 +1099,24 @@ impl Pvpg {
 
     /// Seals a construction batch: every pending edge whose source is one of
     /// the flows created since `first_flow` is frozen into CSR storage.
-    /// Called once per method fragment, right after construction.
+    /// Called once per method fragment, right after construction. The online
+    /// order (when enabled) absorbs the batch's value edges here — after the
+    /// seal, so its searches can walk the CSR pools.
     pub fn seal_batch(&mut self, first_flow: usize) {
         let n = self.flows.len();
+        let feed = self
+            .topo
+            .is_some()
+            .then(|| (self.uses.pending.clone(), self.observes.pending.clone()));
         self.uses.seal(first_flow, n);
         self.preds.seal(first_flow, n);
         self.observes.seal(first_flow, n);
+        if let (Some(topo), Some((u, o))) = (self.topo.as_mut(), feed) {
+            let deferred = std::mem::take(&mut self.topo_deferred);
+            for (s, t) in deferred.into_iter().chain(u).chain(o) {
+                topo.insert_edge(s, t, &self.uses, &self.observes);
+            }
+        }
     }
 
     /// Iterates `f`'s use-edge successors.
@@ -425,35 +1171,183 @@ impl Pvpg {
         (self.uses.len(), self.preds.len(), self.observes.len())
     }
 
-    /// The inter-bucket edges of the PVPG under a given per-flow priority
-    /// assignment, packed as sorted deduplicated
-    /// `(target_priority << 32) | source_priority` pairs — the predecessor
-    /// relation backing the parallel solver's antichain rounds. Extracted
-    /// *lazily* (only when a round could actually batch, at most once per
-    /// condensation epoch): folding this O(E) pass into every recompute
-    /// was measured to double recompute cost and dominate fan-out
-    /// parallel wall time. Flows beyond `priority` use `fallback` (the
-    /// provisional priority of flows created since the last recompute).
-    pub fn bucket_pred_edges(&self, priority: &[u32], fallback: u32) -> Vec<u64> {
-        let mut edges: Vec<u64> = Vec::new();
-        let prio_of =
-            |i: usize| priority.get(i).copied().unwrap_or(fallback) as u64;
-        for v in 0..self.flows.len() {
-            let from = FlowId(v as u32);
-            let p = prio_of(v);
-            for pool in [&self.uses, &self.observes] {
-                let mut cur = pool.cursor(from);
-                while let Some(t) = pool.next(&mut cur) {
-                    let q = prio_of(t.index());
-                    if p != q {
-                        edges.push((q << 32) | p);
+    /// Switches on online topological order maintenance (see the
+    /// `OnlineTopo` type in this module): every existing flow is appended
+    /// in index order,
+    /// every existing value edge is absorbed, and from here on each
+    /// `add_flow` / edge insertion keeps the order and the SCC partition
+    /// exact. Idempotent. Must not be called while a construction batch is
+    /// open. Costs a few nanoseconds per subsequent edge insertion, so the
+    /// engine only enables it for the schedulers that read priorities — the
+    /// FIFO oracle and the reference solver skip it.
+    pub fn enable_online_order(&mut self) {
+        if self.topo.is_some() {
+            return;
+        }
+        // Absorb the existing graph in one pass: a single Tarjan
+        // condensation seeds the union-find, member lists, and labels
+        // (priority-spaced, so incremental insertion has full headroom),
+        // and one edge sweep builds the in-edge arena. This is the same
+        // O(V + E) the adaptive flip used to pay for its lazy priority
+        // computation — feeding the edges through `insert_edge` instead
+        // would re-discover every back edge with a repair cascade.
+        let n = self.flows.len();
+        let mut topo = OnlineTopo::new();
+        if n > 0 {
+            let info = self.compute_sccs();
+            // One representative per component: the first member seen.
+            let mut rep_of_comp = vec![NO_NODE; info.count as usize];
+            topo.parent = vec![0; n];
+            topo.csize = vec![0; n];
+            topo.label = vec![0; n];
+            topo.ord_next = vec![NO_NODE; n];
+            topo.ord_prev = vec![NO_NODE; n];
+            topo.member_next = vec![NO_NODE; n];
+            topo.in_head = vec![NO_NODE; n];
+            topo.fwd_mark = vec![0; n];
+            topo.bwd_mark = vec![0; n];
+            for v in 0..n {
+                let comp = info.comp[v] as usize;
+                let rep = rep_of_comp[comp];
+                if rep == NO_NODE {
+                    rep_of_comp[comp] = v as u32;
+                    topo.parent[v] = v as u32;
+                    topo.csize[v] = 1;
+                    topo.member_next[v] = v as u32;
+                } else {
+                    topo.parent[v] = rep;
+                    topo.csize[rep as usize] += 1;
+                    // Splice v into the rep's circular member list.
+                    topo.member_next[v] = topo.member_next[rep as usize];
+                    topo.member_next[rep as usize] = v as u32;
+                }
+            }
+            // Link the representatives in priority order with spaced labels.
+            let mut order: Vec<u32> = rep_of_comp;
+            order.sort_unstable_by_key(|&r| info.priority[r as usize]);
+            let mut prev = NO_NODE;
+            for (i, &rep) in order.iter().enumerate() {
+                topo.label[rep as usize] = (i as u64 + 1) * LABEL_STRIDE;
+                topo.ord_prev[rep as usize] = prev;
+                if prev == NO_NODE {
+                    topo.ord_head = rep;
+                } else {
+                    topo.ord_next[prev as usize] = rep;
+                }
+                prev = rep;
+            }
+            topo.ord_tail = prev;
+            topo.comps = info.count as usize;
+            topo.cyclic_flows = info.cyclic_flows as usize;
+            topo.max_scc_size = (info.max_size as usize).max(usize::from(n > 0));
+            for v in 0..n {
+                let f = FlowId(v as u32);
+                for pool in [&self.uses, &self.observes] {
+                    let mut cur = pool.cursor(f);
+                    while let Some(t) = pool.next(&mut cur) {
+                        let idx = topo.in_arena.len() as u32;
+                        assert!(idx != NO_NODE, "in-edge arena overflow");
+                        topo.in_arena.push((v as u32, topo.in_head[t.index()]));
+                        topo.in_head[t.index()] = idx;
                     }
                 }
             }
         }
-        edges.sort_unstable();
-        edges.dedup();
-        edges
+        self.topo = Some(topo);
+    }
+
+    /// Whether the online order is being maintained.
+    pub fn online_order_enabled(&self) -> bool {
+        self.topo.is_some()
+    }
+
+    /// Sets (or clears) the fragment anchor of the online order: while set,
+    /// new flows are placed immediately *before* the anchor flow's
+    /// component instead of at the end of the order. The engine anchors
+    /// mid-solve fragment construction at the discovering invoke flow, so a
+    /// callee lands exactly between the call's arguments and its invoke —
+    /// the position where the argument/return linking edges are
+    /// order-consistent without any repair. No-op when the online order is
+    /// disabled.
+    pub fn set_fragment_anchor(&mut self, anchor: Option<FlowId>) {
+        if let Some(topo) = self.topo.as_mut() {
+            topo.anchor = anchor.map_or(NO_NODE, |f| f.0);
+        }
+    }
+
+    /// The live scheduling priority of `f`: its component's current order
+    /// label. Exact at all times — this is what replaced the provisional
+    /// bucket adoption of the batch-recompute scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the online order is not enabled.
+    pub fn live_label(&self, f: FlowId) -> u64 {
+        self.topo
+            .as_ref()
+            .expect("online order not enabled")
+            .label_of(f)
+    }
+
+    /// The current order label of `f`, if the online order is enabled.
+    pub fn order_key(&self, f: FlowId) -> Option<u64> {
+        self.topo.as_ref().map(|t| t.label_of(f))
+    }
+
+    /// Whether `f` currently sits in a strongly connected component of
+    /// size ≥ 2 (`false` when the online order is disabled).
+    pub fn flow_in_cycle(&self, f: FlowId) -> bool {
+        self.topo.as_ref().is_some_and(|t| t.in_cycle(f))
+    }
+
+    /// Whether `a` and `b` currently share a strongly connected component
+    /// (`None` when the online order is disabled).
+    pub fn same_component(&self, a: FlowId, b: FlowId) -> Option<bool> {
+        self.topo.as_ref().map(|t| t.same_component(a, b))
+    }
+
+    /// The current size of `f`'s strongly connected component (`None` when
+    /// the online order is disabled).
+    pub fn component_size(&self, f: FlowId) -> Option<usize> {
+        self.topo.as_ref().map(|t| t.component_size(f))
+    }
+
+    /// The online order's maintenance counters (`None` when disabled).
+    pub fn order_stats(&self) -> Option<OrderStats> {
+        self.topo.as_ref().map(|t| t.stats())
+    }
+
+    /// Whether any live condensation predecessor of `member`'s component
+    /// satisfies `blocked` — the parallel solver's antichain readiness
+    /// query, answered from the in-edge lists the online order maintains
+    /// (exact as of the last inserted edge; no extraction step, no
+    /// staleness window). At most `budget` in-edge entries are examined;
+    /// past the budget the component conservatively reports blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the online order is not enabled.
+    pub fn component_blocked(
+        &self,
+        member: FlowId,
+        budget: usize,
+        blocked: impl FnMut(u64) -> bool,
+    ) -> bool {
+        self.topo
+            .as_ref()
+            .expect("online order not enabled")
+            .component_blocked(member, budget, blocked)
+    }
+
+    /// Asserts the online order invariant over the whole graph (label-sorted
+    /// order list; every cross-component value edge goes label-upward).
+    /// O(V + E) — a test and diagnostics helper, also the "exact priorities
+    /// at all times" regression oracle. No-op when the online order is
+    /// disabled; must not be called while a construction batch is open.
+    pub fn assert_valid_order(&self) {
+        if let Some(topo) = &self.topo {
+            topo.validate(self.flows.len(), &self.uses, &self.observes);
+        }
     }
 
     /// Computes the strongly connected components of the PVPG over the use
@@ -690,6 +1584,165 @@ mod tests {
         let info = g.compute_sccs();
         assert!(info.priority[a.index()] < info.priority[b.index()]);
         assert_eq!(info.count as usize, g.flow_count());
+    }
+
+    fn phi(g: &mut Pvpg) -> FlowId {
+        g.add_flow(Flow::new(FlowKind::Phi, None, None))
+    }
+
+    #[test]
+    fn online_order_labels_ascend_along_edges() {
+        let mut g = Pvpg::new();
+        g.enable_online_order();
+        let first = g.flow_count();
+        let a = phi(&mut g);
+        let b = phi(&mut g);
+        let c = phi(&mut g);
+        g.add_use(a, b);
+        g.add_observe(b, c);
+        g.seal_batch(first);
+        assert!(g.order_key(a) < g.order_key(b));
+        assert!(g.order_key(b) < g.order_key(c));
+        g.assert_valid_order();
+        let stats = g.order_stats().unwrap();
+        assert_eq!(stats.comps, g.flow_count());
+        assert_eq!(stats.repairs, 0, "creation-order edges need no repair");
+    }
+
+    #[test]
+    fn online_order_repairs_violating_dynamic_edges() {
+        // Flows in creation order a, b with the edge b → a inserted
+        // dynamically: the repair must reorder them, exactly.
+        let mut g = Pvpg::new();
+        g.enable_online_order();
+        let first = g.flow_count();
+        let a = phi(&mut g);
+        let b = phi(&mut g);
+        g.seal_batch(first);
+        assert!(g.order_key(a) < g.order_key(b));
+        assert!(g.add_use_dedup(b, a));
+        assert!(g.order_key(b) < g.order_key(a), "the repair reordered b before a");
+        g.assert_valid_order();
+        let stats = g.order_stats().unwrap();
+        assert_eq!(stats.repairs, 1);
+        assert!(stats.comps_moved >= 1);
+        assert_eq!(stats.merges, 0);
+    }
+
+    #[test]
+    fn online_order_collapses_cycles_into_one_component() {
+        // a → b → c sealed, then c → a dynamically: one 3-flow SCC, with
+        // an upstream u → a and downstream c → d staying ordered around it.
+        let mut g = Pvpg::new();
+        g.enable_online_order();
+        let first = g.flow_count();
+        let u = phi(&mut g);
+        let a = phi(&mut g);
+        let b = phi(&mut g);
+        let c = phi(&mut g);
+        let d = phi(&mut g);
+        g.add_use(u, a);
+        g.add_use(a, b);
+        g.add_observe(b, c); // cycles may span use and observe edges
+        g.add_use(c, d);
+        g.seal_batch(first);
+        assert!(g.add_use_dedup(c, a));
+        for (x, y) in [(a, b), (b, c), (a, c)] {
+            assert_eq!(g.same_component(x, y), Some(true));
+        }
+        assert_eq!(g.same_component(u, a), Some(false));
+        assert_eq!(g.same_component(c, d), Some(false));
+        assert_eq!(g.component_size(a), Some(3));
+        assert!(g.flow_in_cycle(b) && !g.flow_in_cycle(u) && !g.flow_in_cycle(d));
+        assert!(g.order_key(u) < g.order_key(a));
+        assert!(g.order_key(c) < g.order_key(d));
+        g.assert_valid_order();
+        let stats = g.order_stats().unwrap();
+        assert_eq!(stats.merges, 2, "three components united");
+        assert_eq!(stats.cyclic_flows, 3);
+        assert_eq!(stats.max_scc_size, 3);
+        assert_eq!(stats.comps, g.flow_count() - 2);
+        // Growing the SCC later keeps membership and order exact.
+        assert!(g.add_use_dedup(d, b));
+        assert_eq!(g.component_size(d), Some(4));
+        assert!(g.flow_in_cycle(d));
+        g.assert_valid_order();
+    }
+
+    #[test]
+    fn online_order_anchored_flows_sit_before_their_anchor() {
+        // The engine anchors mid-solve fragments at the discovering invoke:
+        // new flows must land directly below the anchor, so the fragment's
+        // argument/return wiring is order-consistent without repairs.
+        let mut g = Pvpg::new();
+        g.enable_online_order();
+        let first = g.flow_count();
+        let arg = phi(&mut g);
+        let invoke = phi(&mut g);
+        g.add_use(arg, invoke);
+        g.seal_batch(first);
+        g.set_fragment_anchor(Some(invoke));
+        let param = phi(&mut g);
+        let ret = phi(&mut g);
+        g.set_fragment_anchor(None);
+        assert!(g.order_key(arg) < g.order_key(param));
+        assert!(g.order_key(param) < g.order_key(ret));
+        assert!(g.order_key(ret) < g.order_key(invoke));
+        // The canonical linking edges are forward — no repairs needed.
+        assert!(g.add_use_dedup(arg, param));
+        assert!(g.add_use_dedup(ret, invoke));
+        assert_eq!(g.order_stats().unwrap().repairs, 0);
+        g.assert_valid_order();
+    }
+
+    #[test]
+    fn online_order_survives_dense_insertions_at_one_gap() {
+        // Hammer one gap (every flow anchored before the same target) until
+        // the list-labeling scheme must relabel; the order stays exact.
+        let mut g = Pvpg::new();
+        g.enable_online_order();
+        let anchor = phi(&mut g);
+        let mut prev = None;
+        for _ in 0..200 {
+            g.set_fragment_anchor(Some(anchor));
+            let f = phi(&mut g);
+            g.set_fragment_anchor(None);
+            assert!(g.order_key(f) < g.order_key(anchor));
+            if let Some(p) = prev {
+                // Later insertions land closer to the anchor.
+                assert!(g.order_key(p) < g.order_key(f));
+            }
+            prev = Some(f);
+        }
+        assert!(
+            g.order_stats().unwrap().relabels > 0,
+            "200 insertions into one gap must exhaust midpoints"
+        );
+        g.assert_valid_order();
+    }
+
+    #[test]
+    fn enable_online_order_absorbs_an_existing_graph() {
+        // Enabling on an already-built graph (the engine enables before
+        // bootstrap, but the structure must not depend on that).
+        let mut g = Pvpg::new();
+        let first = g.flow_count();
+        let a = phi(&mut g);
+        let b = phi(&mut g);
+        let c = phi(&mut g);
+        g.add_use(b, c);
+        g.add_use(c, b); // pre-existing cycle
+        g.add_use(c, a); // pre-existing violation of creation order
+        g.seal_batch(first);
+        assert!(g.order_key(a).is_none(), "disabled until requested");
+        g.enable_online_order();
+        assert_eq!(g.same_component(b, c), Some(true));
+        assert!(g.order_key(c) < g.order_key(a));
+        g.assert_valid_order();
+        // Idempotent.
+        let stats = g.order_stats().unwrap();
+        g.enable_online_order();
+        assert_eq!(g.order_stats().unwrap(), stats);
     }
 
     #[test]

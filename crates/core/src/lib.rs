@@ -94,7 +94,7 @@ pub use compare::compare;
 pub use config::{AnalysisConfig, SchedulerKind, SolverKind, DEFAULT_NARROW_JOIN_WIDTH};
 pub use error::AnalysisError;
 pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId, MAX_FLOW_COUNT};
-pub use graph::{CheckCategory, IfRecord, MethodGraph, Pvpg, SccInfo};
+pub use graph::{CheckCategory, IfRecord, MethodGraph, OrderStats, Pvpg, SccInfo};
 pub use lattice::{TypeSet, ValueState};
 pub use metrics::{compute_metrics, Metrics, SchedulerStats};
 pub use query::{CallGraphDelta, CallGraphQuery};

@@ -58,47 +58,87 @@ impl fmt::Display for Metrics {
 }
 
 /// Statistics of the SCC-aware priority scheduler, embedded in
-/// [`crate::SolveStats`]. All zero under the FIFO scheduler and the
-/// reference solver.
+/// [`crate::SolveStats`]. All zero under the forced FIFO scheduler and the
+/// reference solver (which never maintain the online order).
+///
+/// Two kinds of fields live here, explicitly separated:
+///
+/// * **Session-cumulative** — condensation snapshots and maintenance totals
+///   that accumulate monotonically across every solve of a session
+///   (everything not listed as per-solve below, plus the `*_total` pop
+///   counters).
+/// * **Per-solve** — [`SchedulerStats::adaptive_pops`] and
+///   [`SchedulerStats::adaptive_re_pops`] are re-based at the start of each
+///   `solve()`, and [`SchedulerStats::flip_at_step`] is relative to the
+///   solve that flipped; a *resumed* solve therefore reports its own
+///   behaviour, never residue from the prior solve. (The flip itself stays
+///   sticky: `flips` is cumulative and at most 1 per session.)
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
-    /// SCCs in the PVPG at the last condensation recompute.
+    /// Live strongly connected components of the PVPG (including
+    /// singletons) under the online order.
     pub scc_count: usize,
-    /// Flows sitting in SCCs of size ≥ 2 at the last recompute (the cyclic
-    /// region mass the priority ordering localizes).
+    /// Live flows sitting in SCCs of size ≥ 2 (the cyclic region mass the
+    /// priority ordering localizes).
     pub cyclic_flows: usize,
-    /// Size of the largest SCC at the last recompute.
+    /// Size of the largest SCC.
     pub max_scc_size: usize,
-    /// Condensation recomputations (1 at solve start + one per tripped
-    /// dirty-counter batch).
-    pub scc_recomputes: u64,
-    /// Worklist steps taken on flows inside non-trivial SCCs — with
-    /// `steps` this yields the steps-per-SCC profile of the cyclic regions.
+    /// Order-violating edge insertions repaired in place by the online
+    /// order (the bounded work that replaced the PR 2–4 batch condensation
+    /// recomputes; those reported as `scc_recomputes`, which no longer
+    /// exist).
+    pub order_repairs: u64,
+    /// Components relocated by those repairs — the total affected-region
+    /// mass, bounded per repair by the smaller side of the bidirectional
+    /// search.
+    pub order_comps_moved: u64,
+    /// Component unions performed by cycle collapses.
+    pub scc_merges: u64,
+    /// Components relabeled by list-labeling gap maintenance.
+    pub order_relabels: u64,
+    /// Worklist steps taken on flows inside non-trivial SCCs while the SCC
+    /// queue was active — with `steps` this yields the steps-per-SCC
+    /// profile of the cyclic regions.
     pub steps_in_cycles: u64,
-    /// Queued flows migrated between priority buckets across recomputes.
+    /// Queued flows re-bucketed because an order repair relocated their
+    /// component while they sat in the queue (the pop paths self-heal
+    /// stale entries; this is the bounded replacement for the old
+    /// wholesale bucket migration at recompute time).
     pub rebucketed_flows: u64,
     /// Adaptive-scheduler FIFO→SCC flips (0 when the re-enqueue rate never
     /// tripped the detector, or under a forced scheduler). At most 1 per
     /// session: the flip is sticky — once a workload has demonstrated
     /// re-processing, resumed solves stay on the SCC queue.
     pub flips: u64,
-    /// Cumulative worklist-step count at the most recent flip (0 when no
-    /// flip happened) — how long the FIFO phase ran before the re-push rate
-    /// tripped.
+    /// Worklist steps *into the solve that flipped* at which the flip
+    /// occurred (0 when no flip happened). An event record: it keeps its
+    /// value on later solves of the same session.
     pub flip_at_step: u64,
-    /// Worklist dequeues observed by the adaptive flip detector while in
-    /// the FIFO phase (0 under forced schedulers).
+    /// **Per-solve**: worklist dequeues observed by the adaptive flip
+    /// detector during the most recent solve's FIFO phase (0 under forced
+    /// schedulers and for solves after the flip).
     pub adaptive_pops: u64,
-    /// Of [`SchedulerStats::adaptive_pops`], how many dequeued a flow that
-    /// had already been processed at least once — every re-enqueue is
-    /// observed when it drains, so this is the numerator of the re-enqueue
-    /// rate the flip decision is based on.
+    /// **Per-solve**: of [`SchedulerStats::adaptive_pops`], how many
+    /// dequeued a flow that had already been processed at least once —
+    /// every re-enqueue is observed when it drains, so this is the
+    /// numerator of the re-enqueue rate the flip decision is based on.
     pub adaptive_re_pops: u64,
-    /// Parallel rounds that fell back to a singleton bucket because
-    /// pending structural changes (`dirty > 0`) made the antichain
-    /// readiness check untrustworthy — how much multi-bucket batching the
-    /// round scheduler conservatively declined (0 for sequential solves
-    /// and FIFO rounds).
+    /// Session-cumulative total behind [`SchedulerStats::adaptive_pops`].
+    pub adaptive_pops_total: u64,
+    /// Session-cumulative total behind
+    /// [`SchedulerStats::adaptive_re_pops`].
+    pub adaptive_re_pops_total: u64,
+    /// Parallel SCC rounds taken (each drains at least one bucket).
+    pub antichain_rounds: u64,
+    /// Total buckets drained by those rounds — strictly greater than
+    /// [`SchedulerStats::antichain_rounds`] exactly when multi-bucket
+    /// antichain batching happened.
+    pub antichain_batched_buckets: u64,
+    /// Parallel rounds that declined antichain batching because pending
+    /// structural changes made readiness untrustworthy. Structurally **0**
+    /// since the online-order scheduler (PR 5): readiness is answered from
+    /// live predecessor lists, so there is no dirty window to skip on.
+    /// Retained so captures and regression tests can assert the guarantee.
     pub antichain_dirty_round_skips: u64,
 }
 

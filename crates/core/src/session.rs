@@ -7,7 +7,12 @@
 //! rebuilding it. By the monotone-resume invariant (documented at the top of
 //! `engine.rs`) the resumed fixpoint is bit-identical to a fresh analysis
 //! over the union of all roots — only cheaper, which the trajectory
-//! harness's `resume` rung measures.
+//! harness's `resume` rung measures. The scheduler's topological order is
+//! part of the carried state: it is maintained online through every graph
+//! mutation, so a resumed solve starts from current priorities instead of
+//! recomputing a condensation, and per-solve scheduler statistics are
+//! re-based per solve (see [`crate::SchedulerStats`] for the per-solve vs
+//! session-cumulative split).
 //!
 //! Sessions are assembled with a typed builder:
 //!
@@ -328,9 +333,9 @@ impl<'p> AnalysisSession<'p> {
         }
         if self.solves > 0 && self.pending_roots.is_empty() {
             // Already saturated with no new roots: the worklist is empty, so
-            // running the solver would only pay for a condensation recompute
-            // and a view refresh. Skip both — this is what makes re-solving
-            // an up-to-date session genuinely cheap.
+            // running the solver would only pay for a view refresh. Skip it —
+            // this is what makes re-solving an up-to-date session genuinely
+            // cheap.
             self.solves += 1;
             self.last_solve_steps = 0;
             self.stats.solves = self.solves;

@@ -219,3 +219,74 @@ fn resume_noop_solve_is_free_and_identical() {
     let fresh = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
     assert_results_identical(&bench.program, &fresh, &resumed, "resume-noop");
 }
+
+#[test]
+fn resumed_solves_report_per_solve_scheduler_stats() {
+    // Satellite regression (PR 5): per-solve scheduler statistics must not
+    // leak across session resumes. Phase 1 flips on the fan-out regime;
+    // the resumed solve stays on the SCC queue (sticky flip) but its
+    // per-solve adaptive counters must be *its own* (zero — no FIFO phase
+    // ran), while the cumulative totals and the flip event record persist.
+    let spec = BenchmarkSpec::new("resume-stats", Suite::DaCapo, 60, 0.0)
+        .with_shared_sink(100, 64);
+    let bench = build_benchmark(&spec);
+    let mut session = AnalysisSession::builder(&bench.program)
+        .skipflow() // Adaptive is the default
+        .roots(bench.roots.iter().copied())
+        .build()
+        .unwrap();
+    let first = session.solve().stats().scheduler.clone();
+    assert_eq!(first.flips, 1, "phase 1 flips on the fan-out regime");
+    assert!(first.adaptive_pops > 0 && first.adaptive_re_pops > 0);
+    assert_eq!(first.adaptive_pops_total, first.adaptive_pops);
+    assert!(
+        first.flip_at_step > 0 && first.flip_at_step < session.last_solve_steps(),
+        "flip_at_step is relative to the flipping solve"
+    );
+
+    let extra = pick_spread_roots(&bench.program, &bench.roots, 8);
+    assert!(!extra.is_empty());
+    session.add_roots(extra.iter().copied()).unwrap();
+    let second = session.solve().stats().scheduler.clone();
+    assert!(session.last_solve_steps() > 0, "the resume did real work");
+    assert_eq!(second.flips, 1, "the flip is sticky, not repeated");
+    assert_eq!(
+        (second.adaptive_pops, second.adaptive_re_pops),
+        (0, 0),
+        "a post-flip solve has no FIFO phase: per-solve counters are its own"
+    );
+    assert_eq!(
+        (second.adaptive_pops_total, second.adaptive_re_pops_total),
+        (first.adaptive_pops_total, first.adaptive_re_pops_total),
+        "cumulative totals persist unchanged"
+    );
+    assert_eq!(second.flip_at_step, first.flip_at_step, "flip event record persists");
+
+    // An *unflipped* adaptive session: the per-solve pop counters of a tiny
+    // resume must reflect that solve alone, not the first solve's residue,
+    // while the totals accumulate across both.
+    let spec = BenchmarkSpec::new("resume-stats-acyclic", Suite::DaCapo, 120, 0.2);
+    let bench = build_benchmark(&spec);
+    let mut session = AnalysisSession::builder(&bench.program)
+        .skipflow()
+        .roots(bench.roots.iter().copied())
+        .build()
+        .unwrap();
+    let first = session.solve().stats().scheduler.clone();
+    assert_eq!(first.flips, 0, "the acyclic corpus never flips");
+    assert!(first.adaptive_pops > 0);
+    let extra = pick_spread_roots(&bench.program, &bench.roots, 2);
+    session.add_roots(extra.iter().copied()).unwrap();
+    let second = session.solve().stats().scheduler.clone();
+    let resume_steps = session.last_solve_steps();
+    assert!(
+        second.adaptive_pops <= resume_steps,
+        "per-solve pops ({}) must be bounded by the resume's own steps ({resume_steps})",
+        second.adaptive_pops
+    );
+    assert_eq!(
+        second.adaptive_pops_total,
+        first.adaptive_pops_total + second.adaptive_pops,
+        "totals accumulate across solves"
+    );
+}
