@@ -32,7 +32,8 @@
 //! binary with `--scheduler fifo`.
 
 use skipflow_core::{
-    analyze, AnalysisConfig, AnalysisResult, AnalysisSession, SchedulerKind, SolverKind,
+    analyze, AnalysisConfig, AnalysisResult, AnalysisSession, CancelToken, SchedulerKind,
+    SolverKind,
 };
 use skipflow_ir::MethodId;
 use skipflow_synth::{build_benchmark, Benchmark, BenchmarkSpec, Suite};
@@ -110,6 +111,13 @@ pub struct WorkloadRecord {
     /// only) — the "delta is no longer slower than Reference on
     /// narrow-state corpora" guard.
     pub delta_reference_wall_ratio: Option<f64>,
+    /// Armed-guard vs unarmed solve wall-time ratio from the same paired
+    /// protocol (largest ladder rung of a default capture only): a
+    /// `solve_interruptible` run carrying a never-tripped cancel token
+    /// against the identical solve with no guard. The PR 6 interrupt
+    /// machinery promises the strided poll costs ≤ 1 % wall time — this is
+    /// the number that guard is judged on.
+    pub interrupt_overhead_wall_ratio: Option<f64>,
 }
 
 /// The ladder rungs: doubling method counts at fixed shape. The largest
@@ -289,6 +297,7 @@ pub fn run_resume(force_fifo: bool) -> Vec<WorkloadRecord> {
                 runs: vec![fresh, incremental],
                 adaptive_fifo_wall_ratio: None,
                 delta_reference_wall_ratio: None,
+                interrupt_overhead_wall_ratio: None,
             }
         })
         .collect()
@@ -487,6 +496,66 @@ pub fn measure_paired_wall_ratio(
     }
 }
 
+/// Median per-pair wall-time ratio of an *armed* interruptible solve to an
+/// unarmed one, by the same paired protocol as
+/// [`measure_paired_wall_ratio`]: both sides build a fresh session over the
+/// benchmark roots and drive it with `solve_interruptible`, but side A
+/// passes a cancel token that never trips (arming the per-step interrupt
+/// guard) while side B passes `None` (the guard stays a single `Option`
+/// test per step). The ratio therefore isolates exactly the cost of the
+/// strided cancel/budget polling the PR 6 acceptance bound (≤ 1 % wall on
+/// the largest ladder rung) is about.
+pub fn measure_paired_interrupt_overhead(
+    bench: &Benchmark,
+    config: &AnalysisConfig,
+    pairs: usize,
+) -> f64 {
+    let config = config
+        .clone()
+        .with_reflective_roots(bench.reflective_roots.iter().copied());
+    let token = CancelToken::new();
+    let timed = |cancel: Option<&CancelToken>| {
+        let mut session = AnalysisSession::builder(&bench.program)
+            .config(config.clone())
+            .roots(bench.roots.iter().copied())
+            .build()
+            .expect("benchmark roots are valid");
+        let start = Instant::now();
+        let outcome = session
+            .solve_interruptible(cancel)
+            .expect("no capacity error on a benchmark corpus");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            !outcome.is_interrupted(),
+            "a never-tripped token must not interrupt"
+        );
+        wall
+    };
+    // Warm-ups, one per side.
+    let _ = timed(Some(&token));
+    let _ = timed(None);
+    let mut ratios: Vec<f64> = (0..pairs.max(1))
+        .map(|i| {
+            if i % 2 == 0 {
+                let armed = timed(Some(&token));
+                let unarmed = timed(None);
+                armed / unarmed
+            } else {
+                let unarmed = timed(None);
+                let armed = timed(Some(&token));
+                armed / unarmed
+            }
+        })
+        .collect();
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let n = ratios.len();
+    if n % 2 == 1 {
+        ratios[n / 2]
+    } else {
+        (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0
+    }
+}
+
 fn run_scaling_family(
     specs: &[BenchmarkSpec],
     kind: &'static str,
@@ -523,6 +592,11 @@ fn run_scaling_family(
                     48,
                 )
             });
+            // The PR 6 cancel-check overhead guard: armed vs unarmed
+            // interruptible solve on the largest ladder rung only.
+            let interrupt_overhead_wall_ratio = (paired && i + 1 == specs.len()).then(|| {
+                measure_paired_interrupt_overhead(&bench, &AnalysisConfig::skipflow(), 48)
+            });
             WorkloadRecord {
                 name: spec.name.clone(),
                 kind,
@@ -530,6 +604,7 @@ fn run_scaling_family(
                 runs,
                 adaptive_fifo_wall_ratio,
                 delta_reference_wall_ratio,
+                interrupt_overhead_wall_ratio,
             }
         })
         .collect()
@@ -566,6 +641,7 @@ pub fn run_table1() -> Vec<WorkloadRecord> {
                 runs,
                 adaptive_fifo_wall_ratio: None,
                 delta_reference_wall_ratio: None,
+                interrupt_overhead_wall_ratio: None,
             }
         })
         .collect()
@@ -655,7 +731,7 @@ pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str
         .unwrap_or(1);
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"skipflow-bench-trajectory/v4\",");
+    let _ = writeln!(out, "  \"schema\": \"skipflow-bench-trajectory/v5\",");
     let _ = writeln!(out, "  \"pr\": \"{}\",", json_escape(pr));
     let _ = writeln!(out, "  \"created_unix\": {unix},");
     let _ = writeln!(out, "  \"host_threads\": {threads},");
@@ -928,6 +1004,27 @@ fn render_summary_json(workloads: &[WorkloadRecord], baseline: Option<&str>) -> 
         "    \"narrow_join_delta_not_slower_than_reference\": {},",
         json_opt_bool(narrow_vs_reference)
     );
+    // Interrupt-machinery guard (PR 6): arming the per-step interrupt
+    // guard with a never-tripped cancel token must cost at most 1 % wall
+    // time on the largest ladder rung — the strided poll is the only
+    // difference between the two sides of the paired measurement.
+    let interrupt_overhead_ok = workloads
+        .iter()
+        .filter(|w| w.kind == "ladder")
+        .max_by_key(|w| w.generated_methods)
+        .and_then(|w| {
+            let ratio = w.interrupt_overhead_wall_ratio?;
+            let _ = writeln!(
+                out,
+                "    \"largest_ladder_rung_interrupt_check_overhead_wall\": {ratio:.4},"
+            );
+            Some(ratio <= 1.01)
+        });
+    let _ = writeln!(
+        out,
+        "    \"cancel_check_overhead_within_1pct\": {},",
+        json_opt_bool(interrupt_overhead_ok)
+    );
     // Resume rungs: the incremental re-solve must reach the same fixpoint
     // with fewer steps than the fresh union run it extends. Tri-state like
     // the other guards: null when no resume workload was measured.
@@ -992,6 +1089,11 @@ mod tests {
                 2,
             )),
             delta_reference_wall_ratio: Some(1.0),
+            interrupt_overhead_wall_ratio: Some(measure_paired_interrupt_overhead(
+                &bench,
+                &AnalysisConfig::skipflow(),
+                2,
+            )),
             runs: vec![
                 measure_run(&bench, &AnalysisConfig::skipflow(), 1),
                 measure_run(
@@ -1038,9 +1140,12 @@ mod tests {
         let wall = w.runs[0].wall_ms;
         let steps = w.runs[0].steps;
         let doc = render_json("test", &[w], None);
-        assert!(doc.contains("\"schema\": \"skipflow-bench-trajectory/v4\""));
+        assert!(doc.contains("\"schema\": \"skipflow-bench-trajectory/v5\""));
         assert!(doc.contains("\"ladder_rung_tiny_adaptive_wall_vs_fifo\""));
         assert!(doc.contains("\"largest_ladder_rung\": \"rung-tiny\""));
+        // The PR 6 overhead guard renders its measured ratio and verdict…
+        assert!(doc.contains("\"largest_ladder_rung_interrupt_check_overhead_wall\""), "{doc}");
+        assert!(!doc.contains("\"cancel_check_overhead_within_1pct\": null"), "{doc}");
         assert!(doc.contains("\"results_identical_to_reference\": true"));
         assert!(doc.contains("\"results_identical_across_solvers\": true"));
         assert!(doc.contains("largest_ladder_rung_step_reduction_vs_fifo"));
@@ -1091,9 +1196,12 @@ mod tests {
             runs: vec![fresh, inc],
             adaptive_fifo_wall_ratio: None,
             delta_reference_wall_ratio: None,
+            interrupt_overhead_wall_ratio: None,
         };
         let doc = render_json("test", &[w], None);
         assert!(doc.contains("\"resume_incremental_fewer_steps\": true"), "{doc}");
+        // …and renders as an unjudged (null) guard when never measured.
+        assert!(doc.contains("\"cancel_check_overhead_within_1pct\": null"), "{doc}");
         assert!(doc.contains("\"resume_results_identical\": true"), "{doc}");
         assert!(doc.contains("\"resume_resume_tiny\""), "{doc}");
         // The step gate covers resume rungs through their fresh-union row.

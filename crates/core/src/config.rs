@@ -14,6 +14,7 @@
 //! inside the engine).
 
 use skipflow_ir::{FieldId, MethodId};
+use std::time::Duration;
 
 /// How the delta solvers order their worklist.
 ///
@@ -122,6 +123,17 @@ pub struct AnalysisConfig {
     pub(crate) narrow_join_width: usize,
     /// Safety valve for the fixpoint iteration; `None` means unbounded.
     pub(crate) max_steps: Option<u64>,
+    /// Per-solve worklist-step budget; exceeding it *interrupts* the solve
+    /// (a resumable checkpoint, unlike the assert-based `max_steps` valve).
+    pub(crate) step_budget: Option<u64>,
+    /// Per-solve wall-clock budget.
+    pub(crate) wall_budget: Option<Duration>,
+    /// Estimated-footprint budget in bytes (session-cumulative: the PVPG
+    /// only grows).
+    pub(crate) memory_budget: Option<usize>,
+    /// Deterministic fault-injection plan (test builds only).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fault_plan: crate::fault::FaultPlan,
 }
 
 /// Default [`AnalysisConfig::narrow_join_width`]: states up to one word wide
@@ -146,6 +158,11 @@ impl AnalysisConfig {
             scheduler: SchedulerKind::Adaptive,
             narrow_join_width: DEFAULT_NARROW_JOIN_WIDTH,
             max_steps: None,
+            step_budget: None,
+            wall_budget: None,
+            memory_budget: None,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: crate::fault::FaultPlan::default(),
         }
     }
 
@@ -212,6 +229,45 @@ impl AnalysisConfig {
     /// bound to fail fast on engine bugs; production runs leave it `None`.
     pub fn with_max_steps(mut self, max_steps: impl Into<Option<u64>>) -> Self {
         self.max_steps = max_steps.into();
+        self
+    }
+
+    /// Sets (or clears, with `None`) the per-solve worklist-step budget.
+    /// Unlike [`AnalysisConfig::with_max_steps`] (an assert-based fail-fast
+    /// valve for tests), exhausting a step budget is not an error: the solve
+    /// returns [`SolveOutcome::Interrupted`](crate::SolveOutcome) with a
+    /// queryable partial snapshot, and the next solve resumes — so
+    /// repeatedly solving under a budget of `k` advances the fixpoint `k`
+    /// steps at a time until it completes.
+    pub fn with_step_budget(mut self, budget: impl Into<Option<u64>>) -> Self {
+        self.step_budget = budget.into();
+        self
+    }
+
+    /// Sets (or clears, with `None`) the per-solve wall-clock budget. The
+    /// deadline is checked at the engine's bounded stride, so the overshoot
+    /// past the budget is at most one stride of steps.
+    pub fn with_wall_budget(mut self, budget: impl Into<Option<Duration>>) -> Self {
+        self.wall_budget = budget.into();
+        self
+    }
+
+    /// Sets (or clears, with `None`) the memory budget in bytes, compared
+    /// against the engine's cheap footprint *estimate* (flow arena + edge
+    /// pools — the structures that grow with the analysis), not an allocator
+    /// measurement. The PVPG only grows, so once tripped, only a raised
+    /// budget lets a resume make progress.
+    pub fn with_memory_budget(mut self, budget: impl Into<Option<usize>>) -> Self {
+        self.memory_budget = budget.into();
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (see [`crate::fault`]).
+    /// Only compiled under the `fault-inject` feature; production builds
+    /// have no injection hooks.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -324,6 +380,21 @@ impl AnalysisConfig {
         self.max_steps
     }
 
+    /// The per-solve worklist-step budget, if any.
+    pub fn step_budget(&self) -> Option<u64> {
+        self.step_budget
+    }
+
+    /// The per-solve wall-clock budget, if any.
+    pub fn wall_budget(&self) -> Option<Duration> {
+        self.wall_budget
+    }
+
+    /// The estimated-footprint budget in bytes, if any.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
     /// A short human-readable label (used by the bench harness).
     pub fn label(&self) -> &'static str {
         match (self.predicates, self.primitives) {
@@ -393,6 +464,28 @@ mod tests {
         let c = c.with_narrow_join_width(0).with_scheduler(SchedulerKind::SccPriority);
         assert_eq!(c.narrow_join_width(), 0);
         assert_eq!(c.scheduler(), SchedulerKind::SccPriority);
+    }
+
+    #[test]
+    fn budget_knobs_set_and_clear() {
+        let c = AnalysisConfig::skipflow();
+        assert_eq!(c.step_budget(), None);
+        assert_eq!(c.wall_budget(), None);
+        assert_eq!(c.memory_budget(), None);
+        let c = c
+            .with_step_budget(100)
+            .with_wall_budget(Duration::from_millis(50))
+            .with_memory_budget(1 << 20);
+        assert_eq!(c.step_budget(), Some(100));
+        assert_eq!(c.wall_budget(), Some(Duration::from_millis(50)));
+        assert_eq!(c.memory_budget(), Some(1 << 20));
+        let c = c
+            .with_step_budget(None)
+            .with_wall_budget(None)
+            .with_memory_budget(None);
+        assert_eq!(c.step_budget(), None);
+        assert_eq!(c.wall_budget(), None);
+        assert_eq!(c.memory_budget(), None);
     }
 
     #[test]

@@ -222,19 +222,69 @@
 //! (and the step count, which the trajectory harness's `resume` rung
 //! measures) differs. `tests/session_resume.rs` enforces the identity
 //! differentially across every solver × scheduler combination.
+//!
+//! # Interrupt safety
+//!
+//! The monotone-resume invariant makes *any* between-steps state a valid
+//! checkpoint, which is what lets a solve stop early (budgets, the
+//! cooperative [`crate::CancelToken`]) and resume later with zero special
+//! machinery:
+//!
+//! * **Why stopping mid-solve is sound.** The scheduling invariant is that
+//!   an enabled flow with a non-empty pending delta is queued (except
+//!   transiently *inside* a step). The engine only ever checks its
+//!   interrupt guard ([`Engine::poll_interrupt`]) at points where no step
+//!   is open — the top of the sequential/reference loops, the top of a
+//!   parallel round, and between phase-B applies (where the not-yet-applied
+//!   outputs are discarded and their flows re-enqueued, restoring the
+//!   invariant before returning). So an interrupted engine is
+//!   indistinguishable from one that was handed a larger worklist: every
+//!   propagated fact is a fact of the least fixpoint (monotonicity — the
+//!   partial result is a sound under-approximation), and the next
+//!   [`Engine::run_solver`] simply keeps draining.
+//! * **What survives an interrupt.** Everything, because nothing is torn
+//!   down: the pending deltas (`delta ⊑ in_state` still holds), the
+//!   `queued` residency/processed/worked bits, the live online topological
+//!   order and its union-find condensation, the sticky adaptive flip (and
+//!   its cleared-per-solve window), the saturation and subscriber
+//!   registries, and the cumulative counters. The resumed solve re-bases
+//!   its per-solve statistics exactly like a resume after completion.
+//! * **Budget semantics.** The step budget is per-solve (`steps` executed
+//!   since this `run_solver` call) and checked *exactly*, before every
+//!   step, so an interrupt-at-`k` sweep is deterministic; the cancel
+//!   token, wall clock, and memory estimate are polled every
+//!   [`INTERRUPT_CHECK_STRIDE`] steps (the first poll of a solve always
+//!   checks, so a pre-tripped token or zero budget interrupts before any
+//!   work). Overshoot past a wall/memory budget is bounded by one stride.
+//! * **Worker panics don't poison.** Phase A of the parallel solver is
+//!   read-only; each per-flow step runs under `catch_unwind`, so a
+//!   panicking worker costs exactly its round: the round's prospective
+//!   outputs are discarded, the batch's consumed `needs_full` flags are
+//!   restored, and every batch flow is re-enqueued — the graph is
+//!   untouched and the scheduling invariant holds. The engine then marks
+//!   itself degraded (subsequent solves dispatch sequentially, where the
+//!   panic will either reproduce attributably or not at all) and surfaces
+//!   [`AnalysisError::WorkerPanicked`].
+//!
+//! `tests/interrupt_resume.rs` (and, with `--features fault-inject`,
+//! `tests/fault_injection.rs`) enforce all of this differentially:
+//! interrupt at every `k`, resume, and require bit-identical results to an
+//! uninterrupted solve across every solver × scheduler combination.
 
 use crate::build::{build_method_graph, BuildOutput};
 use crate::compare::compare;
 use crate::config::{AnalysisConfig, SchedulerKind, SolverKind};
-use crate::error::AnalysisError;
-use crate::flow::{FlowId, FlowKind, SiteId, MAX_FLOW_COUNT};
+use crate::error::{AnalysisError, WorkerPanic};
+use crate::flow::{Flow, FlowId, FlowKind, SiteId, MAX_FLOW_COUNT};
 use crate::graph::Pvpg;
+use crate::interrupt::{CancelToken, Completeness, InterruptReason};
 use crate::lattice::{TypeSet, ValueState};
-use crate::metrics::SchedulerStats;
+use crate::metrics::{InterruptStats, SchedulerStats};
 use crate::report::{AnalysisResult, ReachableSet, SolveStats};
 use skipflow_ir::{BitSet, MethodId, Program, TypeId, TypeRef};
 use std::collections::{BTreeMap, VecDeque};
-use std::time::Duration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Bit 0 of [`Engine::queued`]: the flow is resident in the worklist.
 const QUEUED: u8 = 1;
@@ -311,6 +361,63 @@ const ANTICHAIN_PRED_BUDGET: usize = 512;
 /// re-processing storm. Forced-FIFO parallel keeps the PR 1 whole-worklist
 /// rounds.
 const ADAPTIVE_ROUND_CAP: usize = 512;
+
+/// Worklist steps between polls of the cancel token / wall clock / memory
+/// estimate. The step budget is *not* strided — it is one integer compare
+/// against a precomputed end value, checked before every step, so
+/// interrupt-at-`k` sweeps are exact. 1024 keeps the non-budget checks (an
+/// atomic load, an `Instant::now`) far below 1% of wall time even on the
+/// cheapest steps (the BENCH guard `cancel_check_overhead_within_1pct`
+/// measures this on the 32000-flow rung), while bounding the response
+/// latency to a trip at ~a thousand steps — microseconds, not seconds.
+const INTERRUPT_CHECK_STRIDE: u64 = 1024;
+
+/// How a solver loop ended: fixpoint reached, or stopped early at a valid
+/// checkpoint (see the module docs, "Interrupt safety").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SolveEnd {
+    /// The worklist drained: the least fixpoint over all added roots.
+    Complete,
+    /// A budget or the cancel token stopped the solve between steps.
+    Interrupted(InterruptReason),
+}
+
+/// A phase-A prospective output: `(flow, new output, consumed delta
+/// snapshot, full-step flag)` — see [`Engine::compute_step`].
+type StepOut = (FlowId, ValueState, Option<ValueState>, bool);
+
+/// Best-effort stringification of a caught panic payload (the standard
+/// `&str` / `String` payloads; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-solve interrupt guard, armed by [`Engine::run_solver`] only when a
+/// budget is configured or a cancel token was passed — budget-less solves
+/// skip the whole machinery on one `Option` test per step.
+struct InterruptGuard {
+    cancel: Option<CancelToken>,
+    /// Absolute `Engine::steps` value at which the per-solve step budget is
+    /// exhausted (`steps at solve start + budget`).
+    step_end: Option<u64>,
+    /// The configured step budget, for reason reporting.
+    step_budget: u64,
+    wall_budget: Option<Duration>,
+    memory_budget: Option<usize>,
+    /// When this solve started (the wall budget is per-solve).
+    started: Instant,
+    /// Absolute `Engine::steps` value of the next strided poll. Initialized
+    /// to the solve-start step count so the *first* poll always does the
+    /// full check: a pre-tripped token or zero wall/memory budget
+    /// interrupts before any step runs.
+    next_check_at: u64,
+}
 
 /// The SCC-aware priority worklist over the live online order (see the
 /// module docs, "Scheduling").
@@ -451,7 +558,12 @@ impl SccQueue {
     /// in-edge lists — exact as of the last inserted edge, so dynamically
     /// wired predecessors (fan-out readers acquiring the field sink
     /// mid-solve) block batching immediately, with no recompute lag.
-    fn bucket_ready(&self, g: &Pvpg, sample: FlowId, label: u64, taken: &[u64]) -> bool {
+    /// Takes the graph mutably because an exhausted predecessor budget
+    /// triggers the lazy in-edge dedup ([`Pvpg::component_blocked`]): the
+    /// duplicate accumulation that exhausted the budget is compacted on the
+    /// spot, so the *next* readiness check of the same component sees the
+    /// deduplicated list instead of conservatively blocking forever.
+    fn bucket_ready(&self, g: &mut Pvpg, sample: FlowId, label: u64, taken: &[u64]) -> bool {
         !g.component_blocked(sample, ANTICHAIN_PRED_BUDGET, |p| {
             p != label && (taken.contains(&p) || self.buckets.contains_key(&p))
         })
@@ -466,7 +578,7 @@ impl SccQueue {
     /// predecessor lists are maintained online, batching keeps working
     /// while fragments instantiate — the `dirty > 0` singleton fallback of
     /// the batch-recompute scheduler is gone.
-    fn pop_bucket(&mut self, g: &Pvpg) -> Vec<FlowId> {
+    fn pop_bucket(&mut self, g: &mut Pvpg) -> Vec<FlowId> {
         let mut batch = Vec::new();
         // Frontier rounds drain the whole fresh tier at once (the PR 1
         // FIFO round shape — fresh flows have no useful relative order and
@@ -672,6 +784,22 @@ pub(crate) struct Engine<'p> {
     /// building fragments and the session surfaces the error
     /// ([`crate::AnalysisSession::try_solve`]).
     overflow: Option<AnalysisError>,
+    /// The active solve's interrupt guard (`None` on budget-less,
+    /// token-less solves — the common case pays one `Option` test per step).
+    guard: Option<InterruptGuard>,
+    /// Set when a parallel phase-A worker panicked: the session stays
+    /// usable, but all subsequent solves dispatch sequentially (module
+    /// docs, "Interrupt safety").
+    degraded: bool,
+    /// Whether the most recent solve ended interrupted (drives the
+    /// `resumed_after_interrupt` statistic on the next solve).
+    last_interrupted: bool,
+    /// Cumulative interrupt/panic statistics (session-lifetime, like
+    /// `steps`).
+    interrupt_stats: InterruptStats,
+    /// Deterministic fault-injection triggers (test builds only).
+    #[cfg(feature = "fault-inject")]
+    fault: crate::fault::FaultState,
     sched_stats: SchedulerStats,
     steps: u64,
     full_join_steps: u64,
@@ -711,6 +839,8 @@ impl<'p> Engine<'p> {
         {
             g.enable_online_order();
         }
+        #[cfg(feature = "fault-inject")]
+        let config_fault_plan = config.fault_plan.clone();
         Engine {
             program,
             config,
@@ -730,6 +860,12 @@ impl<'p> Engine<'p> {
             adaptive_base: (0, 0),
             narrow_join,
             overflow: None,
+            guard: None,
+            degraded: false,
+            last_interrupted: false,
+            interrupt_stats: InterruptStats::default(),
+            #[cfg(feature = "fault-inject")]
+            fault: crate::fault::FaultState::new(config_fault_plan),
             sched_stats: SchedulerStats::default(),
             steps: 0,
             full_join_steps: 0,
@@ -851,13 +987,19 @@ impl<'p> Engine<'p> {
         self.sync_queued();
     }
 
-    /// Runs the configured solver until the current worklist is drained.
-    /// Per-solve statistics (the adaptive pop counters, `flip_at_step`) are
-    /// re-based here, and the flip detector's sliding window is cleared, so
-    /// a resumed solve reports its own behaviour instead of residue from
-    /// the prior solve — while the cumulative `*_total` counters and the
-    /// sticky flip keep accumulating across the session.
-    pub(crate) fn run_solver(&mut self) {
+    /// Runs the configured solver until the current worklist is drained —
+    /// or until a budget / the `cancel` token stops it at a checkpoint
+    /// (module docs, "Interrupt safety"). Per-solve statistics (the
+    /// adaptive pop counters, `flip_at_step`) are re-based here, and the
+    /// flip detector's sliding window is cleared, so a resumed solve
+    /// reports its own behaviour instead of residue from the prior solve —
+    /// while the cumulative `*_total` counters and the sticky flip keep
+    /// accumulating across the session. A solve after a worker panic
+    /// dispatches sequentially regardless of the configured solver.
+    pub(crate) fn run_solver(
+        &mut self,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SolveEnd, AnalysisError> {
         self.solve_start_steps = self.steps;
         match &mut self.flip {
             Some(tracker) => {
@@ -871,11 +1013,117 @@ impl<'p> Engine<'p> {
                 self.sched_stats.adaptive_re_pops = 0;
             }
         }
-        match self.config.solver {
-            SolverKind::Sequential => self.solve_sequential(),
-            SolverKind::Parallel { threads } => self.solve_parallel(threads.max(1)),
-            SolverKind::Reference => self.solve_reference(),
+        if self.last_interrupted {
+            self.last_interrupted = false;
+            self.interrupt_stats.resumed_after_interrupt += 1;
         }
+        self.arm_guard(cancel);
+        let end = match self.config.solver {
+            SolverKind::Sequential => Ok(self.solve_sequential()),
+            // A degraded session keeps working, sequentially: phase A of
+            // the parallel solver computes exactly the sequential steps, so
+            // the fixpoint is identical — only the panic risk (and the
+            // speedup) is gone.
+            SolverKind::Parallel { .. } if self.degraded => Ok(self.solve_sequential()),
+            SolverKind::Parallel { threads } => self.solve_parallel(threads.max(1)),
+            SolverKind::Reference => Ok(self.solve_reference()),
+        };
+        self.guard = None;
+        if let Ok(SolveEnd::Interrupted(_)) = end {
+            self.last_interrupted = true;
+            self.interrupt_stats.interrupts += 1;
+        }
+        end
+    }
+
+    /// Arms the per-solve interrupt guard: `None` (the common, zero-cost
+    /// case) unless a budget is configured or a token was passed.
+    fn arm_guard(&mut self, cancel: Option<&CancelToken>) {
+        let cfg = &self.config;
+        let wanted = cancel.is_some()
+            || cfg.step_budget.is_some()
+            || cfg.wall_budget.is_some()
+            || cfg.memory_budget.is_some();
+        self.guard = wanted.then(|| InterruptGuard {
+            cancel: cancel.cloned(),
+            step_end: cfg.step_budget.map(|b| self.steps.saturating_add(b)),
+            step_budget: cfg.step_budget.unwrap_or(0),
+            wall_budget: cfg.wall_budget,
+            memory_budget: cfg.memory_budget,
+            started: Instant::now(),
+            next_check_at: self.steps,
+        });
+    }
+
+    /// The interrupt check, called only between steps / rounds (never with
+    /// a step open). The step budget is an exact compare every call; the
+    /// token, wall clock, and memory estimate are polled every
+    /// [`INTERRUPT_CHECK_STRIDE`] steps, with the first poll of a solve
+    /// always checking (so a pre-tripped token interrupts before step one).
+    #[inline]
+    fn poll_interrupt(&mut self) -> Option<InterruptReason> {
+        let steps = self.steps;
+        #[cfg(feature = "fault-inject")]
+        if let Some(reason) = self.fault.poll_step(steps) {
+            return Some(reason);
+        }
+        let guard = self.guard.as_mut()?;
+        if let Some(end) = guard.step_end {
+            if steps >= end {
+                return Some(InterruptReason::StepBudget {
+                    budget: guard.step_budget,
+                });
+            }
+        }
+        if steps < guard.next_check_at {
+            return None;
+        }
+        guard.next_check_at = steps.saturating_add(INTERRUPT_CHECK_STRIDE);
+        if guard.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Some(InterruptReason::Cancelled);
+        }
+        if let Some(budget) = guard.wall_budget {
+            if guard.started.elapsed() >= budget {
+                return Some(InterruptReason::WallBudget { budget });
+            }
+        }
+        let budget_bytes = guard.memory_budget?;
+        let estimated_bytes = self.memory_estimate();
+        if estimated_bytes > budget_bytes {
+            return Some(InterruptReason::MemoryBudget {
+                budget_bytes,
+                estimated_bytes,
+            });
+        }
+        None
+    }
+
+    /// A cheap O(1) estimate of the engine's dominant heap footprint: the
+    /// flow table plus the edge arrays (8 bytes per edge endpoint pair).
+    /// Deliberately a proxy — exact accounting would mean walking every
+    /// `ValueState` — but it is monotone in the quantities that actually
+    /// grow without bound (flows and edges), which is what a memory budget
+    /// guards against.
+    pub(crate) fn memory_estimate(&self) -> usize {
+        let (use_edges, pred_edges, obs_edges) = self.g.edge_counts();
+        self.g.flow_count() * std::mem::size_of::<Flow>()
+            + (use_edges + pred_edges + obs_edges) * 8
+    }
+
+    /// Whether the worklist has pending work. An empty worklist (with no
+    /// open capacity error) means the engine is at its fixpoint; non-empty
+    /// means the last solve was interrupted (or never run).
+    pub(crate) fn worklist_is_empty(&self) -> bool {
+        match &self.worklist {
+            Worklist::Fifo(q) => q.is_empty(),
+            Worklist::Scc(q) => q.len == 0,
+        }
+    }
+
+    /// Whether a parallel worker has panicked this session (all further
+    /// solves dispatch sequentially).
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Worklist steps executed so far (cumulative across solves).
@@ -932,6 +1180,8 @@ impl<'p> Engine<'p> {
             scheduler.order_comps_moved = os.comps_moved;
             scheduler.scc_merges = os.merges;
             scheduler.order_relabels = os.relabels;
+            scheduler.in_edge_dedups = os.in_dedups;
+            scheduler.in_edges_pruned = os.in_edges_pruned;
         }
         if let Worklist::Scc(q) = &self.worklist {
             scheduler.rebucketed_flows = q.rebucketed;
@@ -949,6 +1199,7 @@ impl<'p> Engine<'p> {
             obs_edges,
             solves,
             scheduler,
+            interrupt: self.interrupt_stats,
             duration,
         }
     }
@@ -1535,17 +1786,25 @@ impl<'p> Engine<'p> {
 
     // ---- solvers ----------------------------------------------------------
 
-    pub(crate) fn solve_sequential(&mut self) {
+    pub(crate) fn solve_sequential(&mut self) -> SolveEnd {
         // No solve-start condensation pass: the online order is maintained
         // through every graph mutation (and carried across session
         // resumes), so the SCC queue reads exact priorities at all times.
         loop {
+            // Interrupts are only taken while work remains: an exhausted
+            // budget races a drained worklist in favour of completion.
+            if self.worklist_is_empty() {
+                return SolveEnd::Complete;
+            }
+            if let Some(reason) = self.poll_interrupt() {
+                return SolveEnd::Interrupted(reason);
+            }
             self.maybe_flip();
             let next = match &mut self.worklist {
                 Worklist::Fifo(q) => q.pop_front(),
                 Worklist::Scc(q) => q.pop(&self.g),
             };
-            let Some(f) = next else { break };
+            let Some(f) = next else { return SolveEnd::Complete };
             self.note_dequeued(f);
             self.process(f);
         }
@@ -1565,8 +1824,14 @@ impl<'p> Engine<'p> {
     /// while independent buckets stop serializing phase A; under FIFO a
     /// round drains the entire worklist (the PR 1 behaviour). An adaptive
     /// run may flip between rounds.
-    pub(crate) fn solve_parallel(&mut self, threads: usize) {
+    pub(crate) fn solve_parallel(&mut self, threads: usize) -> Result<SolveEnd, AnalysisError> {
         loop {
+            if self.worklist_is_empty() {
+                return Ok(SolveEnd::Complete);
+            }
+            if let Some(reason) = self.poll_interrupt() {
+                return Ok(SolveEnd::Interrupted(reason));
+            }
             self.maybe_flip();
             let adaptive_fifo = self.flip.is_some();
             let batch: Vec<FlowId> = match &mut self.worklist {
@@ -1579,11 +1844,13 @@ impl<'p> Engine<'p> {
                     q.drain(..n).collect()
                 }
                 Worklist::Fifo(q) => q.drain(..).collect(),
-                Worklist::Scc(q) => q.pop_bucket(&self.g),
+                Worklist::Scc(q) => q.pop_bucket(&mut self.g),
             };
             if batch.is_empty() {
-                break;
+                return Ok(SolveEnd::Complete);
             }
+            #[cfg(feature = "fault-inject")]
+            self.fault.begin_round();
             for f in &batch {
                 self.note_dequeued(*f);
             }
@@ -1600,44 +1867,98 @@ impl<'p> Engine<'p> {
                     flow.enabled && std::mem::take(&mut flow.needs_full)
                 })
                 .collect();
-            // Phase A: compute prospective outputs in parallel (read-only).
-            type StepOut = (FlowId, ValueState, Option<ValueState>, bool);
+            // Phase A: compute prospective outputs in parallel (read-only;
+            // each per-flow step is panic-isolated under `catch_unwind` —
+            // see [`Engine::guarded_step`] and the module docs).
             // Spawning a thread scope costs tens of microseconds per round;
             // below ~512 flows the per-flow delta computation is cheaper
             // done inline (antichain rounds regularly sit in the 64–400
             // range, where spawning used to *lose* 10× wall time).
-            let outputs: Vec<StepOut> = if threads <= 1 || batch.len() < 512 {
-                batch
-                    .iter()
-                    .zip(&full_flags)
-                    .filter_map(|(f, &full)| self.compute_step(*f, full))
-                    .collect()
-            } else {
-                let chunk = batch.len().div_ceil(threads);
-                let engine = &*self;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = batch
-                        .chunks(chunk)
-                        .zip(full_flags.chunks(chunk))
-                        .map(|(flows, fulls)| {
-                            scope.spawn(move || {
-                                flows
-                                    .iter()
-                                    .zip(fulls)
-                                    .filter_map(|(f, &full)| engine.compute_step(*f, full))
-                                    .collect::<Vec<_>>()
+            let computed: Result<Vec<StepOut>, (FlowId, String)> =
+                if threads <= 1 || batch.len() < 512 {
+                    batch
+                        .iter()
+                        .zip(&full_flags)
+                        .filter_map(|(f, &full)| self.guarded_step(*f, full).transpose())
+                        .collect()
+                } else {
+                    let chunk = batch.len().div_ceil(threads);
+                    let engine = &*self;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = batch
+                            .chunks(chunk)
+                            .zip(full_flags.chunks(chunk))
+                            .map(|(flows, fulls)| {
+                                scope.spawn(move || {
+                                    flows
+                                        .iter()
+                                        .zip(fulls)
+                                        .filter_map(|(f, &full)| {
+                                            engine.guarded_step(*f, full).transpose()
+                                        })
+                                        .collect::<Result<Vec<_>, _>>()
+                                })
                             })
-                        })
-                        .collect();
-                    handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
-                })
+                            .collect();
+                        let mut outs = Vec::new();
+                        let mut panicked: Option<(FlowId, String)> = None;
+                        for h in handles {
+                            // The per-flow `catch_unwind` means a worker
+                            // thread itself never unwinds.
+                            match h.join().expect("worker panics are caught per flow") {
+                                Ok(mut chunk_outs) => outs.append(&mut chunk_outs),
+                                // Keep the first panic in batch order.
+                                Err(p) => panicked = panicked.or(Some(p)),
+                            }
+                        }
+                        match panicked {
+                            Some(p) => Err(p),
+                            None => Ok(outs),
+                        }
+                    })
+                };
+            let outputs = match computed {
+                Ok(outputs) => outputs,
+                Err((flow, message)) => {
+                    // Roll the round back. Phase A is read-only, so the
+                    // graph is untouched: discarding the prospective
+                    // outputs, restoring the consumed full-step flags, and
+                    // re-enqueueing the whole batch restores the scheduling
+                    // invariant exactly as of the round start — strictly
+                    // cheaper than a delta rollback, which would also have
+                    // to undo successor joins.
+                    for (f, &full) in batch.iter().zip(&full_flags) {
+                        if full {
+                            self.g.flow_mut(*f).needs_full = true;
+                        }
+                        self.enqueue(*f);
+                    }
+                    self.degraded = true;
+                    self.interrupt_stats.worker_panics += 1;
+                    return Err(AnalysisError::WorkerPanicked {
+                        flow,
+                        payload: WorkerPanic::new(message),
+                    });
+                }
             };
             // Phase B: apply sequentially in batch order. Each flow's delta
             // is reduced by exactly the part phase A consumed — input that
             // arrived *during* phase B (from applying earlier flows) stays
             // pending and re-queues the flow for the next round.
             let scc_round = matches!(self.worklist, Worklist::Scc(_));
-            for (f, out_new, consumed, full) in outputs {
+            let mut pending = outputs.into_iter().peekable();
+            let interrupted = loop {
+                if pending.peek().is_none() {
+                    break None;
+                }
+                // Mid-round checkpoint: each phase-B apply is exactly one
+                // sequential step, so stopping between applies is stopping
+                // between steps (the step budget stays exact-at-k even
+                // when `k` lands inside a round).
+                if let Some(reason) = self.poll_interrupt() {
+                    break Some(reason);
+                }
+                let (f, out_new, consumed, full) = pending.next().expect("peeked above");
                 self.mark_worked(f);
                 self.steps += 1;
                 if scc_round && self.g.flow_in_cycle(f) {
@@ -1665,8 +1986,37 @@ impl<'p> Engine<'p> {
                     .delta
                     .remove(consumed.as_ref().unwrap_or(&out_new));
                 self.apply_out(f, out_new);
+            };
+            if let Some(reason) = interrupted {
+                // Discard the un-applied outputs and re-enqueue their
+                // flows: nothing was removed from their deltas, so the
+                // checkpoint is exactly "a smaller round happened".
+                for (f, _, _, full) in pending {
+                    if full {
+                        self.g.flow_mut(f).needs_full = true;
+                    }
+                    self.enqueue(f);
+                }
+                return Ok(SolveEnd::Interrupted(reason));
             }
         }
+    }
+
+    /// One panic-isolated phase-A step: [`Engine::compute_step`] under
+    /// `catch_unwind`, so a panicking step costs its round instead of
+    /// poisoning the session (module docs, "Interrupt safety").
+    /// `AssertUnwindSafe` is justified precisely because the closure is
+    /// read-only: a caught panic leaves no half-written engine state to
+    /// observe.
+    fn guarded_step(&self, f: FlowId, full: bool) -> Result<Option<StepOut>, (FlowId, String)> {
+        catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-inject")]
+            if self.fault.take_worker_panic() {
+                panic!("{} (flow {f:?})", crate::fault::INJECTED_PANIC_MARKER);
+            }
+            self.compute_step(f, full)
+        }))
+        .map_err(|payload| (f, panic_message(&*payload)))
     }
 
     /// Phase A of the parallel solver: what [`Engine::process`] would
@@ -1677,11 +2027,7 @@ impl<'p> Engine<'p> {
     /// With `full` set (the narrow-join fast path), the output is
     /// recomputed from the whole input and the consumed snapshot is the
     /// current delta, so phase B removes exactly what this step covered.
-    fn compute_step(
-        &self,
-        f: FlowId,
-        full: bool,
-    ) -> Option<(FlowId, ValueState, Option<ValueState>, bool)> {
+    fn compute_step(&self, f: FlowId, full: bool) -> Option<StepOut> {
         let flow = self.g.flow(f);
         if !flow.enabled {
             return None;
@@ -1719,14 +2065,21 @@ impl<'p> Engine<'p> {
     /// from its entire input and re-joins the entire output into every
     /// successor. Kept as the differential-testing oracle and the perf
     /// baseline the trajectory harness compares against.
-    pub(crate) fn solve_reference(&mut self) {
+    pub(crate) fn solve_reference(&mut self) -> SolveEnd {
         // [`Engine::new`] forces the FIFO worklist for the reference solver.
         let Worklist::Fifo(_) = &self.worklist else {
             unreachable!("reference solver always runs FIFO");
         };
         loop {
             let Worklist::Fifo(q) = &mut self.worklist else { unreachable!() };
-            let Some(f) = q.pop_front() else { break };
+            if q.is_empty() {
+                return SolveEnd::Complete;
+            }
+            if let Some(reason) = self.poll_interrupt() {
+                return SolveEnd::Interrupted(reason);
+            }
+            let Worklist::Fifo(q) = &mut self.worklist else { unreachable!() };
+            let Some(f) = q.pop_front() else { return SolveEnd::Complete };
             self.note_dequeued(f);
             self.process_reference(f);
         }
@@ -1751,8 +2104,14 @@ impl<'p> Engine<'p> {
     }
 
     /// Consumes the engine into an owned [`AnalysisResult`] (zero-copy: the
-    /// PVPG moves out).
-    pub(crate) fn finish(self, elapsed: Duration, solves: u64) -> AnalysisResult {
+    /// PVPG moves out). The session supplies the completeness tag — the
+    /// engine cannot know about roots still pending a solve.
+    pub(crate) fn finish(
+        self,
+        elapsed: Duration,
+        solves: u64,
+        completeness: Completeness,
+    ) -> AnalysisResult {
         let stats = self.stats_snapshot(elapsed, solves);
         AnalysisResult::new(
             self.g,
@@ -1760,6 +2119,7 @@ impl<'p> Engine<'p> {
             self.instantiated,
             self.config,
             stats,
+            completeness,
         )
     }
 }
@@ -2008,16 +2368,16 @@ mod tests {
     fn scc_queue_pop_bucket_batches_an_antichain_of_independent_buckets() {
         // 0 → 1 and an unrelated 2: buckets 0 and 2 are mutually ready and
         // batch into one round; bucket 1 waits for its predecessor.
-        let (g, ids) = ordered_graph(3, &[(0, 1)]);
+        let (mut g, ids) = ordered_graph(3, &[(0, 1)]);
         let mut q = SccQueue::new();
         for &i in &[1usize, 0, 2] {
             push_live(&mut q, &g, ids[i]);
         }
-        let mut round = q.pop_bucket(&g);
+        let mut round = q.pop_bucket(&mut g);
         round.sort();
         assert_eq!(round, vec![ids[0], ids[2]]);
-        assert_eq!(q.pop_bucket(&g), vec![ids[1]]);
-        assert!(q.pop_bucket(&g).is_empty());
+        assert_eq!(q.pop_bucket(&mut g), vec![ids[1]]);
+        assert!(q.pop_bucket(&mut g).is_empty());
         assert_eq!(q.antichain_rounds, 2);
         assert_eq!(q.antichain_batched, 3, "one multi-bucket round happened");
     }
@@ -2027,14 +2387,14 @@ mod tests {
         // A chain 0 → 1 → 2 with only the *adjacent* edges: bucket 2 has no
         // direct edge from 0, yet it must not share 0's round while 1 is
         // still queued (readiness, not pairwise edge-absence).
-        let (g, ids) = ordered_graph(3, &[(0, 1), (1, 2)]);
+        let (mut g, ids) = ordered_graph(3, &[(0, 1), (1, 2)]);
         let mut q = SccQueue::new();
         for &i in &[2usize, 0, 1] {
             push_live(&mut q, &g, ids[i]);
         }
-        assert_eq!(q.pop_bucket(&g), vec![ids[0]]);
-        assert_eq!(q.pop_bucket(&g), vec![ids[1]]);
-        assert_eq!(q.pop_bucket(&g), vec![ids[2]]);
+        assert_eq!(q.pop_bucket(&mut g), vec![ids[0]]);
+        assert_eq!(q.pop_bucket(&mut g), vec![ids[1]]);
+        assert_eq!(q.pop_bucket(&mut g), vec![ids[2]]);
         // Once the chain's upstream is at fixpoint, a later bucket *can*
         // share a round with an unrelated one. (Clear the attempt backoff
         // the singleton rounds above armed — production rounds drain it one
@@ -2042,7 +2402,7 @@ mod tests {
         q.antichain_backoff = 0;
         push_live(&mut q, &g, ids[0]);
         push_live(&mut q, &g, ids[2]);
-        let mut round = q.pop_bucket(&g);
+        let mut round = q.pop_bucket(&mut g);
         round.sort();
         assert_eq!(
             round,
@@ -2062,8 +2422,8 @@ mod tests {
         let mut q = SccQueue::new();
         push_live(&mut q, &g, ids[0]);
         push_live(&mut q, &g, ids[2]);
-        assert_eq!(q.pop_bucket(&g), vec![ids[0]]);
-        assert_eq!(q.pop_bucket(&g), vec![ids[2]]);
+        assert_eq!(q.pop_bucket(&mut g), vec![ids[0]]);
+        assert_eq!(q.pop_bucket(&mut g), vec![ids[2]]);
     }
 
     #[test]

@@ -4,14 +4,23 @@
 //! methods, reflective roots/fields, unsafe fields, and the solver
 //! configuration — against the program *before* the engine runs, so malformed
 //! input surfaces as a typed [`AnalysisError`] instead of an index panic deep
-//! inside the fixpoint iteration.
+//! inside the fixpoint iteration. Mid-solve failures (graph capacity, a
+//! panicked parallel worker) surface through the same type; every variant's
+//! `Display` message states what happened *and* what the caller can do about
+//! it, and [`std::error::Error::source`] exposes the wrapped panic payload
+//! of [`AnalysisError::WorkerPanicked`] so `anyhow`-style chains print it.
 
+use crate::flow::FlowId;
+use crate::interrupt::InterruptReason;
 use skipflow_ir::{FieldId, MethodId};
 use std::fmt;
 
-/// An invalid analysis input, reported by
+/// An analysis failure: invalid input reported by
 /// [`SessionBuilder::build`](crate::SessionBuilder::build) and
-/// [`AnalysisSession::add_roots`](crate::AnalysisSession::add_roots).
+/// [`AnalysisSession::add_roots`](crate::AnalysisSession::add_roots), or a
+/// mid-solve condition reported by
+/// [`AnalysisSession::try_solve`](crate::AnalysisSession::try_solve) /
+/// [`AnalysisSession::solve_interruptible`](crate::AnalysisSession::solve_interruptible).
 ///
 /// Marked `#[non_exhaustive]`: future sessions may validate more inputs
 /// without a breaking change, so downstream matches need a wildcard arm.
@@ -19,6 +28,16 @@ use std::fmt;
 #[non_exhaustive]
 pub enum AnalysisError {
     /// A root (or reflective root) method id does not exist in the program.
+    ///
+    /// ```
+    /// use skipflow_core::AnalysisError;
+    /// use skipflow_ir::MethodId;
+    /// let e = AnalysisError::UnknownMethod { method: MethodId::from_index(7), method_count: 3 };
+    /// assert_eq!(
+    ///     e.to_string(),
+    ///     "root method m7 does not exist (program has 3 methods; valid ids are 0..3)"
+    /// );
+    /// ```
     UnknownMethod {
         /// The offending id.
         method: MethodId,
@@ -26,6 +45,16 @@ pub enum AnalysisError {
         method_count: usize,
     },
     /// A reflective or unsafe field id does not exist in the program.
+    ///
+    /// ```
+    /// use skipflow_core::AnalysisError;
+    /// use skipflow_ir::FieldId;
+    /// let e = AnalysisError::UnknownField { field: FieldId::from_index(4), field_count: 2 };
+    /// assert_eq!(
+    ///     e.to_string(),
+    ///     "field f4 does not exist (program has 2 fields; valid ids are 0..2)"
+    /// );
+    /// ```
     UnknownField {
         /// The offending id.
         field: FieldId,
@@ -33,6 +62,15 @@ pub enum AnalysisError {
         field_count: usize,
     },
     /// `SolverKind::Parallel` was configured with zero worker threads.
+    ///
+    /// ```
+    /// use skipflow_core::AnalysisError;
+    /// assert_eq!(
+    ///     AnalysisError::ZeroThreads.to_string(),
+    ///     "SolverKind::Parallel requires at least one worker thread (use threads: 1 for a \
+    ///      sequential-equivalent run)"
+    /// );
+    /// ```
     ZeroThreads,
     /// The PVPG grew to the `FlowId` capacity limit. Flow indices are stored
     /// as `u32` with `u32::MAX` reserved as the intrusive-list sentinel
@@ -40,41 +78,156 @@ pub enum AnalysisError {
     /// [`crate::MAX_FLOW_COUNT`] flows; at that point the engine stops
     /// building new fragments and reports this error instead of silently
     /// corrupting the scheduler's intrusive lists.
+    ///
+    /// ```
+    /// use skipflow_core::AnalysisError;
+    /// let e = AnalysisError::TooManyFlows { flows: 4_294_967_294, limit: 4_294_967_294 };
+    /// assert_eq!(
+    ///     e.to_string(),
+    ///     "the analysis graph reached 4294967294 flows, the FlowId capacity limit \
+    ///      (4294967294); shrink the program or split the analysis across sessions"
+    /// );
+    /// ```
     TooManyFlows {
         /// Flows in the PVPG when the limit was hit.
         flows: usize,
         /// The hard flow-count capacity ([`crate::MAX_FLOW_COUNT`]).
         limit: usize,
     },
+    /// A budget (or a pre-tripped cancel token) stopped a solve that was
+    /// driven through the completion-only API
+    /// ([`AnalysisSession::try_solve`](crate::AnalysisSession::try_solve) /
+    /// [`solve`](crate::AnalysisSession::solve)). The session is *not*
+    /// poisoned: the checkpoint is retained and
+    /// [`solve_interruptible`](crate::AnalysisSession::solve_interruptible)
+    /// resumes it (and hands out the partial snapshot this API cannot).
+    ///
+    /// ```
+    /// use skipflow_core::{AnalysisError, InterruptReason};
+    /// let e = AnalysisError::Interrupted { reason: InterruptReason::StepBudget { budget: 64 } };
+    /// assert_eq!(
+    ///     e.to_string(),
+    ///     "solve interrupted: step budget exhausted (64 steps); resume with \
+    ///      solve_interruptible() to continue from the checkpoint"
+    /// );
+    /// ```
+    Interrupted {
+        /// What stopped the solve.
+        reason: InterruptReason,
+    },
+    /// A phase-A worker of the parallel solver panicked. The round's
+    /// uncommitted work was discarded and its flows re-enqueued (phase A is
+    /// read-only, so the graph is untouched), and the session is marked
+    /// degraded: it stays fully usable, but subsequent solves run
+    /// sequentially. The panic payload is preserved and also exposed via
+    /// [`std::error::Error::source`].
+    ///
+    /// ```
+    /// use skipflow_core::{AnalysisError, FlowId, WorkerPanic};
+    /// use std::error::Error as _;
+    /// let e = AnalysisError::WorkerPanicked {
+    ///     flow: FlowId::from_index(12),
+    ///     payload: WorkerPanic::new("index out of bounds"),
+    /// };
+    /// assert_eq!(
+    ///     e.to_string(),
+    ///     "a parallel worker panicked while processing flow fl12; the round was \
+    ///      rolled back and the session degraded to sequential solving — re-solve to \
+    ///      continue (payload: index out of bounds)"
+    /// );
+    /// assert_eq!(e.source().unwrap().to_string(), "index out of bounds");
+    /// ```
+    WorkerPanicked {
+        /// The flow whose phase-A step panicked.
+        flow: FlowId,
+        /// The stringified panic payload (the wrapped source error).
+        payload: WorkerPanic,
+    },
 }
+
+/// A parallel worker's panic payload, preserved as the source error behind
+/// [`AnalysisError::WorkerPanicked`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    message: String,
+}
+
+impl WorkerPanic {
+    /// Wraps a stringified panic payload.
+    pub fn new(message: impl Into<String>) -> Self {
+        WorkerPanic {
+            message: message.into(),
+        }
+    }
+
+    /// The panic message (`"non-string panic payload"` when the payload was
+    /// not a string).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::UnknownMethod { method, method_count } => write!(
                 f,
-                "root method {method:?} does not exist (program has {method_count} methods)"
+                "root method {method:?} does not exist (program has {method_count} methods; \
+                 valid ids are 0..{method_count})"
             ),
             AnalysisError::UnknownField { field, field_count } => write!(
                 f,
-                "field {field:?} does not exist (program has {field_count} fields)"
+                "field {field:?} does not exist (program has {field_count} fields; \
+                 valid ids are 0..{field_count})"
             ),
-            AnalysisError::ZeroThreads => {
-                write!(f, "SolverKind::Parallel requires at least one worker thread")
-            }
+            AnalysisError::ZeroThreads => write!(
+                f,
+                "SolverKind::Parallel requires at least one worker thread (use threads: 1 \
+                 for a sequential-equivalent run)"
+            ),
             AnalysisError::TooManyFlows { flows, limit } => write!(
                 f,
-                "the analysis graph reached {flows} flows, the FlowId capacity limit ({limit})"
+                "the analysis graph reached {flows} flows, the FlowId capacity limit \
+                 ({limit}); shrink the program or split the analysis across sessions"
+            ),
+            AnalysisError::Interrupted { reason } => write!(
+                f,
+                "solve interrupted: {reason}; resume with solve_interruptible() to \
+                 continue from the checkpoint"
+            ),
+            AnalysisError::WorkerPanicked { flow, payload } => write!(
+                f,
+                "a parallel worker panicked while processing flow {flow:?}; the round was \
+                 rolled back and the session degraded to sequential solving — re-solve to \
+                 continue (payload: {payload})"
             ),
         }
     }
 }
 
-impl std::error::Error for AnalysisError {}
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            // The only variant that wraps another error: the preserved
+            // worker-panic payload.
+            AnalysisError::WorkerPanicked { payload, .. } => Some(payload),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error as _;
 
     #[test]
     fn display_is_informative() {
@@ -90,5 +243,57 @@ mod tests {
             limit: 4_294_967_294,
         };
         assert!(e.to_string().contains("capacity limit"), "{e}");
+    }
+
+    #[test]
+    fn every_message_is_actionable_and_source_wraps_the_panic() {
+        // Each variant names the remedy, not just the failure.
+        let cases: Vec<(AnalysisError, &str)> = vec![
+            (
+                AnalysisError::UnknownMethod {
+                    method: MethodId::from_index(1),
+                    method_count: 1,
+                },
+                "valid ids are",
+            ),
+            (
+                AnalysisError::UnknownField {
+                    field: FieldId::from_index(1),
+                    field_count: 1,
+                },
+                "valid ids are",
+            ),
+            (AnalysisError::ZeroThreads, "threads: 1"),
+            (
+                AnalysisError::TooManyFlows { flows: 9, limit: 9 },
+                "split the analysis",
+            ),
+            (
+                AnalysisError::Interrupted {
+                    reason: InterruptReason::Cancelled,
+                },
+                "solve_interruptible",
+            ),
+            (
+                AnalysisError::WorkerPanicked {
+                    flow: FlowId::from_index(3),
+                    payload: WorkerPanic::new("boom"),
+                },
+                "re-solve",
+            ),
+        ];
+        for (e, remedy) in &cases {
+            let msg = e.to_string();
+            assert!(msg.contains(remedy), "{msg:?} lacks remedy {remedy:?}");
+        }
+        // `source` is None everywhere except the panic wrapper.
+        for (e, _) in &cases {
+            match e {
+                AnalysisError::WorkerPanicked { .. } => {
+                    assert_eq!(e.source().unwrap().to_string(), "boom");
+                }
+                _ => assert!(e.source().is_none(), "{e}"),
+            }
+        }
     }
 }

@@ -30,7 +30,13 @@ impl FlowId {
         self.0 as usize
     }
 
-    pub(crate) fn from_index(i: usize) -> Self {
+    /// Builds a `FlowId` from a dense arena index (tests and tools; real
+    /// ids come from the engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics at the [`MAX_FLOW_COUNT`] capacity limit.
+    pub fn from_index(i: usize) -> Self {
         // `< u32::MAX`, not `<=`: the sentinel index must never become a
         // real flow id (see [`MAX_FLOW_COUNT`]).
         assert!(i < u32::MAX as usize, "flow id overflow (index {i} collides with NO_FLOW)");

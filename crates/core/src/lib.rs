@@ -37,6 +37,22 @@
 //! One-shot callers can keep using the [`analyze`] convenience wrapper (a
 //! build-solve-finish session in one call).
 //!
+//! ## Interruptible solves
+//!
+//! Long solves can be stopped at a clean checkpoint and resumed later:
+//! budgets on the configuration ([`AnalysisConfig::with_step_budget`],
+//! [`AnalysisConfig::with_wall_budget`],
+//! [`AnalysisConfig::with_memory_budget`]) and a cooperative [`CancelToken`]
+//! interrupt [`AnalysisSession::solve_interruptible`], which returns
+//! [`SolveOutcome::Interrupted`] carrying a *partial* snapshot — a sound
+//! under-approximation tagged [`Completeness::Partial`]. The next solve
+//! resumes from the exact checkpoint, and the eventually completed fixpoint
+//! is bit-identical to an uninterrupted run (the monotone-resume
+//! invariant). Parallel solves additionally isolate worker panics: a
+//! panicked round is rolled back, surfaced as
+//! [`AnalysisError::WorkerPanicked`], and the session degrades to
+//! sequential solving while staying fully usable.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -81,8 +97,11 @@ mod config;
 pub mod dot;
 mod engine;
 mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod flow;
 mod graph;
+mod interrupt;
 pub mod lattice;
 pub mod metrics;
 mod query;
@@ -92,11 +111,12 @@ pub mod shrink;
 
 pub use compare::compare;
 pub use config::{AnalysisConfig, SchedulerKind, SolverKind, DEFAULT_NARROW_JOIN_WIDTH};
-pub use error::AnalysisError;
+pub use error::{AnalysisError, WorkerPanic};
 pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId, MAX_FLOW_COUNT};
 pub use graph::{CheckCategory, IfRecord, MethodGraph, OrderStats, Pvpg, SccInfo};
+pub use interrupt::{CancelToken, Completeness, InterruptReason, SolveOutcome};
 pub use lattice::{TypeSet, ValueState};
-pub use metrics::{compute_metrics, Metrics, SchedulerStats};
+pub use metrics::{compute_metrics, InterruptStats, Metrics, SchedulerStats};
 pub use query::{CallGraphDelta, CallGraphQuery};
 pub use report::{
     AnalysisResult, AnalysisSnapshot, CallEdge, CallSiteInfo, ReachableSet, SolveStats,

@@ -140,6 +140,31 @@ pub struct SchedulerStats {
     /// live predecessor lists, so there is no dirty window to skip on.
     /// Retained so captures and regression tests can assert the guarantee.
     pub antichain_dirty_round_skips: u64,
+    /// Lazy in-edge dedup passes run by the antichain readiness query when
+    /// its predecessor budget was exhausted (duplicate in-edge entries
+    /// accumulate through cycle collapses and fan-in wiring; the dedup
+    /// keeps them from permanently starving readiness detection).
+    pub in_edge_dedups: u64,
+    /// In-edge entries pruned by those passes (duplicates of an already
+    /// seen predecessor component, plus intra-component entries).
+    pub in_edges_pruned: u64,
+}
+
+/// Interrupt, resume, and worker-panic counters of a session, embedded in
+/// [`crate::SolveStats`]. Session-cumulative, like `steps`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InterruptStats {
+    /// Solves that ended at a checkpoint instead of the fixpoint (budget
+    /// exhausted or cancel token tripped — see
+    /// [`crate::SolveOutcome::Interrupted`]).
+    pub interrupts: u64,
+    /// Solves that resumed after an interrupted one (for a session that
+    /// always runs to completion this stays 0).
+    pub resumed_after_interrupt: u64,
+    /// Parallel phase-A worker panics caught and rolled back (each one
+    /// degraded the session to sequential solving —
+    /// [`crate::AnalysisError::WorkerPanicked`]).
+    pub worker_panics: u64,
 }
 
 /// Computes the counter metrics from a finished analysis (any

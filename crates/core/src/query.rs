@@ -9,12 +9,24 @@
 //! comparisons (`SkipFlow ⊆ PTA ⊆ RTA ⊆ CHA`) and reporting tools can be
 //! written once against `&dyn CallGraphQuery` / `impl CallGraphQuery`.
 
+use crate::interrupt::Completeness;
 use crate::report::{AnalysisResult, AnalysisSnapshot};
 use skipflow_ir::MethodId;
 
 /// Queries over a computed call graph, implemented by every analysis in the
 /// precision ladder.
 pub trait CallGraphQuery {
+    /// Whether the answers describe a reached fixpoint
+    /// ([`Completeness::Complete`], the default — CHA/RTA/PTA always run to
+    /// completion) or the checkpoint of an interrupted solve
+    /// ([`Completeness::Partial`]): a sound under-approximation where every
+    /// reported method/edge is real but more may be discovered by resuming.
+    /// Refinement comparisons against a partial graph are only meaningful
+    /// in the `partial ⊆ complete` direction.
+    fn completeness(&self) -> Completeness {
+        Completeness::Complete
+    }
+
     /// Whether `m` is reachable from the roots.
     fn is_reachable(&self, m: MethodId) -> bool;
 
@@ -78,6 +90,10 @@ impl CallGraphDelta {
 }
 
 impl CallGraphQuery for AnalysisSnapshot<'_> {
+    fn completeness(&self) -> Completeness {
+        AnalysisSnapshot::completeness(self)
+    }
+
     fn is_reachable(&self, m: MethodId) -> bool {
         AnalysisSnapshot::is_reachable(self, m)
     }
@@ -100,6 +116,10 @@ impl CallGraphQuery for AnalysisSnapshot<'_> {
 }
 
 impl CallGraphQuery for AnalysisResult {
+    fn completeness(&self) -> Completeness {
+        AnalysisResult::completeness(self)
+    }
+
     fn is_reachable(&self, m: MethodId) -> bool {
         AnalysisResult::is_reachable(self, m)
     }

@@ -17,8 +17,9 @@
 use crate::config::AnalysisConfig;
 use crate::flow::{CallKind, FlowKind, SiteId};
 use crate::graph::Pvpg;
+use crate::interrupt::Completeness;
 use crate::lattice::ValueState;
-use crate::metrics::{compute_metrics, Metrics, SchedulerStats};
+use crate::metrics::{compute_metrics, InterruptStats, Metrics, SchedulerStats};
 use skipflow_ir::{BitSet, BlockId, MethodId, Program, TypeId};
 use std::time::Duration;
 
@@ -51,6 +52,9 @@ pub struct SolveStats {
     pub solves: u64,
     /// SCC-scheduler statistics (zero under FIFO / reference).
     pub scheduler: SchedulerStats,
+    /// Interrupt / resume / worker-panic counters (all zero for a session
+    /// that never hit a budget, cancel token, or panicking worker).
+    pub interrupt: InterruptStats,
     /// Wall-clock analysis time (cumulative across session resumes).
     pub duration: Duration,
 }
@@ -128,6 +132,7 @@ pub struct AnalysisSnapshot<'a> {
     instantiated: &'a BitSet,
     config: &'a AnalysisConfig,
     stats: &'a SolveStats,
+    completeness: Completeness,
 }
 
 impl<'a> AnalysisSnapshot<'a> {
@@ -137,6 +142,7 @@ impl<'a> AnalysisSnapshot<'a> {
         instantiated: &'a BitSet,
         config: &'a AnalysisConfig,
         stats: &'a SolveStats,
+        completeness: Completeness,
     ) -> Self {
         AnalysisSnapshot {
             graph,
@@ -144,7 +150,17 @@ impl<'a> AnalysisSnapshot<'a> {
             instantiated,
             config,
             stats,
+            completeness,
         }
+    }
+
+    /// Whether this view is a reached fixpoint
+    /// ([`Completeness::Complete`]) or the checkpoint of an interrupted
+    /// solve ([`Completeness::Partial`]). Partial answers are sound
+    /// under-approximations: everything reported reachable/live *is*, but
+    /// further propagation may add more.
+    pub fn completeness(&self) -> Completeness {
+        self.completeness
     }
 
     /// The PVPG (for advanced inspection and the bench harness).
@@ -385,6 +401,7 @@ pub struct AnalysisResult {
     instantiated: BitSet,
     config: AnalysisConfig,
     stats: SolveStats,
+    completeness: Completeness,
 }
 
 impl AnalysisResult {
@@ -394,6 +411,7 @@ impl AnalysisResult {
         instantiated: BitSet,
         config: AnalysisConfig,
         mut stats: SolveStats,
+        completeness: Completeness,
     ) -> Self {
         stats.flows = graph.flow_count();
         AnalysisResult {
@@ -402,6 +420,7 @@ impl AnalysisResult {
             instantiated,
             config,
             stats,
+            completeness,
         }
     }
 
@@ -413,7 +432,14 @@ impl AnalysisResult {
             &self.instantiated,
             &self.config,
             &self.stats,
+            self.completeness,
         )
+    }
+
+    /// Whether this result is a reached fixpoint or an interrupted
+    /// checkpoint; see [`AnalysisSnapshot::completeness`].
+    pub fn completeness(&self) -> Completeness {
+        self.completeness
     }
 
     /// The final PVPG (for advanced inspection and the bench harness).

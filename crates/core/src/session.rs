@@ -36,12 +36,23 @@
 //! assert!(snapshot.is_reachable(main));
 //! ```
 //!
+//! Solves are *interruptible*: budgets on the configuration
+//! ([`AnalysisConfig::with_step_budget`] and friends) and a cooperative
+//! [`crate::CancelToken`] stop a solve at a clean checkpoint instead of the
+//! fixpoint. [`AnalysisSession::solve_interruptible`] surfaces the
+//! checkpoint as [`crate::SolveOutcome::Interrupted`] carrying a *partial*
+//! snapshot — a sound under-approximation whose queries are tagged
+//! [`crate::Completeness::Partial`] — and the next solve resumes exactly
+//! where the interrupted one stopped. By the monotone-resume invariant the
+//! eventually completed fixpoint is bit-identical to an uninterrupted run.
+//!
 //! The one-shot [`analyze`] free function remains as a thin convenience
 //! wrapper over a single-solve session.
 
 use crate::config::{AnalysisConfig, SchedulerKind, SolverKind};
-use crate::engine::Engine;
+use crate::engine::{Engine, SolveEnd};
 use crate::error::AnalysisError;
+use crate::interrupt::{CancelToken, Completeness, SolveOutcome};
 use crate::report::{AnalysisResult, AnalysisSnapshot, ReachableSet, SolveStats};
 use skipflow_ir::{BitSet, FieldId, MethodId, Program};
 use std::time::{Duration, Instant};
@@ -309,21 +320,76 @@ impl<'p> AnalysisSession<'p> {
     /// # Panics
     ///
     /// Panics if the configured `max_steps` bound is exceeded (the
-    /// fail-fast valve for engine bugs in tests), and if the PVPG hits the
-    /// `FlowId` capacity limit — use [`AnalysisSession::try_solve`] to
-    /// receive the latter as a structured [`AnalysisError::TooManyFlows`]
-    /// instead.
+    /// fail-fast valve for engine bugs in tests), and on every condition
+    /// [`AnalysisSession::try_solve`] reports as an error — graph-capacity
+    /// exhaustion, an exhausted budget, or a panicked parallel worker. Use
+    /// [`try_solve`](AnalysisSession::try_solve) (or
+    /// [`solve_interruptible`](AnalysisSession::solve_interruptible) for
+    /// budgeted runs) to receive those as structured values instead.
     pub fn solve(&mut self) -> AnalysisSnapshot<'_> {
         self.try_solve()
             .unwrap_or_else(|e| panic!("analysis aborted: {e}"))
     }
 
-    /// [`AnalysisSession::solve`], reporting graph-capacity exhaustion as a
-    /// structured error: if the PVPG reaches the `FlowId` limit
-    /// ([`crate::MAX_FLOW_COUNT`]) mid-solve, the engine stops building
-    /// fragments and this returns [`AnalysisError::TooManyFlows`] — the
-    /// incomplete fixpoint is never surfaced as a result.
+    /// [`AnalysisSession::solve`], reporting mid-solve conditions as
+    /// structured errors instead of panicking:
+    ///
+    /// * [`AnalysisError::TooManyFlows`] — the PVPG reached the `FlowId`
+    ///   limit ([`crate::MAX_FLOW_COUNT`]); the engine stopped building
+    ///   fragments and the incomplete fixpoint is never surfaced as `Ok`.
+    /// * [`AnalysisError::Interrupted`] — a configured budget ran out. This
+    ///   completion-only API cannot hand out a partial snapshot, but the
+    ///   checkpoint is retained:
+    ///   [`solve_interruptible`](AnalysisSession::solve_interruptible)
+    ///   resumes (and exposes the partial state).
+    /// * [`AnalysisError::WorkerPanicked`] — a parallel phase-A worker
+    ///   panicked; the round was rolled back and the session degraded to
+    ///   sequential solving. Re-solving continues from the checkpoint.
     pub fn try_solve(&mut self) -> Result<AnalysisSnapshot<'_>, AnalysisError> {
+        match self.solve_inner(None)? {
+            SolveEnd::Complete => Ok(self.snapshot()),
+            SolveEnd::Interrupted(reason) => Err(AnalysisError::Interrupted { reason }),
+        }
+    }
+
+    /// Runs the solver under the configured budgets and an optional
+    /// cooperative cancel token, surfacing an interrupted solve as a value
+    /// instead of an error.
+    ///
+    /// Returns [`SolveOutcome::Completed`] when the least fixpoint was
+    /// reached, or [`SolveOutcome::Interrupted`] when a budget ran out or
+    /// `cancel` tripped. The partial snapshot inside `Interrupted` is a
+    /// sound under-approximation of the fixpoint — everything it reports
+    /// reachable/live *is* — and its queries are tagged
+    /// [`Completeness::Partial`](crate::Completeness::Partial). Calling any
+    /// solve method again resumes from the exact checkpoint; by the
+    /// monotone-resume invariant the eventually completed fixpoint is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// The token is level-triggered: a tripped token interrupts before the
+    /// first step, so [`CancelToken::reset`] it before resuming. Budgets
+    /// are per solve call — a step budget of `k` lets each resume advance
+    /// up to `k` further steps.
+    ///
+    /// Hard failures still surface as errors: [`AnalysisError::TooManyFlows`]
+    /// and [`AnalysisError::WorkerPanicked`] (after which the session stays
+    /// usable — degraded to sequential solving — and re-solving continues).
+    pub fn solve_interruptible(
+        &mut self,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SolveOutcome<'_>, AnalysisError> {
+        match self.solve_inner(cancel)? {
+            SolveEnd::Complete => Ok(SolveOutcome::Completed(self.snapshot())),
+            SolveEnd::Interrupted(reason) => Ok(SolveOutcome::Interrupted {
+                reason,
+                partial: self.snapshot(),
+            }),
+        }
+    }
+
+    /// The shared solve driver: saturation fast path, root handoff, solver
+    /// run, view refresh.
+    fn solve_inner(&mut self, cancel: Option<&CancelToken>) -> Result<SolveEnd, AnalysisError> {
         // A capacity error is sticky: the engine stopped building fragments
         // mid-solve, so the incomplete fixpoint must keep being reported as
         // the error — in particular the saturated-no-op early return below
@@ -331,30 +397,34 @@ impl<'p> AnalysisSession<'p> {
         if let Some(e) = self.engine.capacity_error() {
             return Err(e.clone());
         }
-        if self.solves > 0 && self.pending_roots.is_empty() {
+        if self.solves > 0 && self.pending_roots.is_empty() && self.engine.worklist_is_empty() {
             // Already saturated with no new roots: the worklist is empty, so
             // running the solver would only pay for a view refresh. Skip it —
             // this is what makes re-solving an up-to-date session genuinely
-            // cheap.
+            // cheap. (After an interrupt the worklist is non-empty, so a
+            // resume never takes this path.)
             self.solves += 1;
             self.last_solve_steps = 0;
             self.stats.solves = self.solves;
-            return Ok(self.snapshot());
+            return Ok(SolveEnd::Complete);
         }
         let start = Instant::now();
         let steps_before = self.engine.steps();
         let pending = std::mem::take(&mut self.pending_roots);
         self.engine.add_roots(&pending);
-        self.engine.run_solver();
+        let end = self.engine.run_solver(cancel);
         if let Some(e) = self.engine.capacity_error() {
             return Err(e.clone());
         }
+        // Refresh the views on every other outcome — including an
+        // interrupt or a caught worker panic: the graph is consistent at
+        // the checkpoint and the partial state must be queryable.
         self.total_duration += start.elapsed();
         self.solves += 1;
         self.last_solve_steps = self.engine.steps() - steps_before;
         self.reachable = self.engine.reachable_set();
         self.stats = self.engine.stats_snapshot(self.total_duration, self.solves);
-        Ok(self.snapshot())
+        end
     }
 
     /// A cheap borrowed view of the current state (empty before the first
@@ -367,14 +437,30 @@ impl<'p> AnalysisSession<'p> {
             self.engine.instantiated_bits(),
             self.engine.config(),
             &self.stats,
+            self.completeness(),
         )
+    }
+
+    /// Whether the current state is a reached fixpoint over every accepted
+    /// root ([`Completeness::Complete`]) or a checkpoint — interrupted
+    /// solve, roots pending, capacity error, or nothing solved yet
+    /// ([`Completeness::Partial`]). This is the tag every snapshot and
+    /// result taken from the session carries.
+    pub fn completeness(&self) -> Completeness {
+        if self.is_up_to_date() {
+            Completeness::Complete
+        } else {
+            Completeness::Partial
+        }
     }
 
     /// Consumes the session into an owned [`AnalysisResult`] (the PVPG moves
     /// out; nothing is copied). Roots still pending a solve are *not*
-    /// reflected — call [`AnalysisSession::solve`] first.
+    /// reflected — call [`AnalysisSession::solve`] first. The result keeps
+    /// the session's [`completeness`](AnalysisSession::completeness) tag.
     pub fn into_result(self) -> AnalysisResult {
-        self.engine.finish(self.total_duration, self.solves)
+        let completeness = self.completeness();
+        self.engine.finish(self.total_duration, self.solves, completeness)
     }
 
     /// The program under analysis.
@@ -392,12 +478,22 @@ impl<'p> AnalysisSession<'p> {
         &self.roots
     }
 
-    /// Whether all accepted roots have been solved in (false once the
-    /// engine hit the `FlowId` capacity limit — the fixpoint is incomplete).
+    /// Whether all accepted roots have been solved in. False once the
+    /// engine hit the `FlowId` capacity limit, and after an interrupted
+    /// solve until a resume drains the remaining work — in both cases the
+    /// fixpoint is incomplete.
     pub fn is_up_to_date(&self) -> bool {
         self.solves > 0
             && self.pending_roots.is_empty()
+            && self.engine.worklist_is_empty()
             && self.engine.capacity_error().is_none()
+    }
+
+    /// Whether a caught worker panic degraded the session to sequential
+    /// solving (see [`AnalysisError::WorkerPanicked`]). A degraded session
+    /// stays fully usable; the parallel solver is simply bypassed.
+    pub fn is_degraded(&self) -> bool {
+        self.engine.is_degraded()
     }
 
     /// Completed [`AnalysisSession::solve`] calls.

@@ -15,10 +15,19 @@
 //!   --compare             also run the PTA baseline and print deltas
 //!   --metrics             print the Table 1 counter metrics
 //!   --dead-code           print per-method dead-code reports
+//!   --budget-steps N      stop after N worklist steps, report the partial state
+//!   --budget-ms N         stop after N milliseconds, report the partial state
+//!
+//! A budgeted `analyze` that runs out prints the checkpoint tagged
+//! `[partial]` and exits 0 — the partial state is a sound
+//! under-approximation, not a failure.
 
-use skipflow::analysis::{AnalysisConfig, AnalysisSession, AnalysisSnapshot, CallGraphQuery};
+use skipflow::analysis::{
+    AnalysisConfig, AnalysisSession, AnalysisSnapshot, CallGraphQuery, Completeness,
+};
 use skipflow::ir::{encode, frontend, printer, MethodId, Program};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// CLI failure modes: *usage* errors (bad subcommand / malformed
 /// invocation) get the usage text; *run* errors — bad input files, unknown
@@ -52,6 +61,7 @@ const USAGE: &str = "usage:
   skipflow compile <src> -o <out.sfbc>
   skipflow analyze <src|sfbc> [--config skipflow|pta|predicates-only|primitives-only]
                               [--root Cls.m]... [--compare] [--metrics] [--dead-code]
+                              [--budget-steps N] [--budget-ms N]
   skipflow shrink  <src|sfbc> -o <out.sfbc> [--root Cls.m]...
   skipflow run      <src|sfbc> [--seed N] [--max-steps N]
   skipflow dot      <src|sfbc> --method Cls.m
@@ -195,16 +205,32 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let program = load_program(input)?;
     let roots = resolve_roots(&program, &flag_values(args, "--root"))?;
 
-    let config = match flag_value(args, "--config").unwrap_or("skipflow") {
+    let mut config = match flag_value(args, "--config").unwrap_or("skipflow") {
         "skipflow" => AnalysisConfig::skipflow(),
         "pta" => AnalysisConfig::baseline_pta(),
         "predicates-only" => AnalysisConfig::predicates_only(),
         "primitives-only" => AnalysisConfig::primitives_only(),
         other => return Err(format!("unknown config {other:?}")),
     };
+    if let Some(n) = flag_value(args, "--budget-steps") {
+        let n = n.parse::<u64>().map_err(|_| "bad --budget-steps (expected a step count)")?;
+        config = config.with_step_budget(n);
+    }
+    if let Some(ms) = flag_value(args, "--budget-ms") {
+        let ms = ms.parse::<u64>().map_err(|_| "bad --budget-ms (expected milliseconds)")?;
+        config = config.with_wall_budget(Duration::from_millis(ms));
+    }
 
     let mut session = session_for(&program, config.clone(), &roots)?;
-    let result = solve_cli(&mut session)?;
+    // Budgets stop the solve at a checkpoint; that is a reportable partial
+    // state (exit 0), not a failure.
+    let outcome = session
+        .solve_interruptible(None)
+        .map_err(|e| format!("analysis failed: {e}"))?;
+    if let Some(reason) = outcome.interrupt_reason() {
+        println!("analysis interrupted: {reason}; reporting the partial state");
+    }
+    let result = outcome.snapshot();
     print_analysis(&program, &result, args);
 
     if has_flag(args, "--compare") && config.label() != "PTA" {
@@ -229,8 +255,12 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 
 fn print_analysis(program: &Program, result: &AnalysisSnapshot<'_>, args: &[String]) {
     let stats = result.stats();
+    let partial = match result.completeness() {
+        Completeness::Partial => " [partial]",
+        Completeness::Complete => "",
+    };
     println!(
-        "{}: {} reachable methods ({} flows, {} use / {} pred / {} observe edges, {} steps, {:?})",
+        "{}{partial}: {} reachable methods ({} flows, {} use / {} pred / {} observe edges, {} steps, {:?})",
         result.config().label(),
         result.reachable_methods().len(),
         stats.flows,

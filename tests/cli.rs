@@ -198,6 +198,53 @@ fn errors_are_reported_cleanly() {
 }
 
 #[test]
+fn analyze_budget_steps_reports_partial_state_and_exits_zero() {
+    let dir = tmpdir("budget");
+    let src_path = dir.join("app.sf");
+    std::fs::write(&src_path, SRC).unwrap();
+
+    // A zero-step budget interrupts before the first step: the CLI reports
+    // the (empty) checkpoint tagged [partial] and exits 0 — an exhausted
+    // budget is a reportable state, not a failure.
+    let out = bin()
+        .args(["analyze", src_path.to_str().unwrap(), "--budget-steps", "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("analysis interrupted"), "{text}");
+    assert!(text.contains("step budget exhausted"), "{text}");
+    assert!(text.contains("[partial]"), "{text}");
+
+    // A generous budget completes: no interrupt line, no partial tag.
+    let out = bin()
+        .args(["analyze", src_path.to_str().unwrap(), "--budget-steps", "1000000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("interrupted"), "{text}");
+    assert!(!text.contains("[partial]"), "{text}");
+
+    // Same for a generous wall budget.
+    let out = bin()
+        .args(["analyze", src_path.to_str().unwrap(), "--budget-ms", "60000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("[partial]"), "{text}");
+
+    // Malformed budget values are one-line errors.
+    let out = bin()
+        .args(["analyze", src_path.to_str().unwrap(), "--budget-steps", "lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget-steps"));
+}
+
+#[test]
 fn unknown_root_names_are_one_line_errors_not_panics() {
     let dir = tmpdir("badroot");
     let src = dir.join("app.sf");
