@@ -1,6 +1,6 @@
 //! The perf-trajectory binary: runs the synth ladder, the fan-out rungs,
-//! and the table1 corpus, and writes a `BENCH_PR<n>.json` record for the
-//! repository's performance history.
+//! the resume and serve families, and the table1 corpus, and writes a
+//! `BENCH_PR<n>.json` record for the repository's performance history.
 //!
 //! ```text
 //! cargo run --release -p skipflow-bench --bin trajectory -- \
@@ -36,8 +36,8 @@
 //!   corpus, so the gate is machine-independent (wall time is not).
 
 use skipflow_bench::trajectory::{
-    parse_baseline_steps, parse_baseline_workloads, render_json, run_fanout, run_ladder,
-    run_resume, run_table1,
+    parse_baseline_steps, parse_baseline_workloads, render_json_with_serve, run_fanout,
+    run_ladder, run_resume, run_serve, run_table1,
 };
 
 /// Maximum tolerated step-count growth versus the committed capture.
@@ -73,20 +73,38 @@ fn main() {
 
     eprintln!("running ladder…");
     let mut workloads = run_ladder(force_fifo, !skip_paired);
+    let mut serve = Vec::new();
     if !ladder_only {
         eprintln!("running fan-out rungs…");
         workloads.extend(run_fanout(force_fifo));
         eprintln!("running resume rungs…");
         workloads.extend(run_resume(force_fifo));
+        // The serve family post-dates the pre-change capture mode: a
+        // `--scheduler fifo` document emulates the solver before the server
+        // existed, so it carries no serve block.
+        if !force_fifo {
+            eprintln!("running serve family…");
+            serve = run_serve();
+        }
         if !skip_table1 {
             eprintln!("running table1 corpus…");
             workloads.extend(run_table1());
         }
     }
 
-    let json = render_json(&pr, &workloads, baseline.as_deref());
+    let json = render_json_with_serve(&pr, &workloads, &serve, baseline.as_deref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    // Human-readable recap of the serve family on stdout.
+    for s in &serve {
+        println!(
+            "{:<12} {:<5} coalescing {:>5.1} roots/batch, {:>9.0} queries/s during solve, \
+             publication latency {:>7.2} ms",
+            s.name, s.scheduler, s.coalescing_ratio, s.queries_per_sec_during_solve,
+            s.publication_latency_ms
+        );
+    }
 
     // Human-readable recap of the scaling families on stdout.
     println!(

@@ -17,6 +17,13 @@
 //!   (`SkipFlow`/`sequential`, the row the step gate checks) next to the
 //!   *incremental* re-solve (`SkipFlow-resume`): same results, far fewer
 //!   steps.
+//! * **serve** — the analysis-server workload: an in-process
+//!   `skipflow_server::Registry` session measured for batch coalescing
+//!   (queued roots per writer batch), sustained query throughput while a
+//!   solve is in flight (the lock-free epoch publication's headline
+//!   number), and epoch publication latency (roots accepted → settled
+//!   epoch visible). Serve records live in their own JSON block with their
+//!   own schema; the step gate never reads them.
 //! * **table1** — the full 35-benchmark corpus under PTA and SkipFlow,
 //!   sequential solver, mirroring the paper's evaluation.
 //!
@@ -300,6 +307,171 @@ pub fn run_resume(force_fifo: bool) -> Vec<WorkloadRecord> {
                 interrupt_overhead_wall_ratio: None,
             }
         })
+        .collect()
+}
+
+/// One measured serve workload (one scheduler over the serve rung).
+#[derive(Clone, Debug)]
+pub struct ServeRecord {
+    /// Workload name (`serve-2000`).
+    pub name: String,
+    /// Scheduler label (`adaptive` / `scc` / `fifo`).
+    pub scheduler: String,
+    /// Roots accepted across the coalescing phase.
+    pub roots_queued: u64,
+    /// Writer batches those roots were coalesced into.
+    pub batches: u64,
+    /// `roots_queued / batches` — > 1 means the writer coalesced queued
+    /// registrations into shared solves.
+    pub coalescing_ratio: f64,
+    /// Epochs published across all three phases.
+    pub epochs_published: u64,
+    /// Of those, interrupted (partial) checkpoints — 0 with no batch budget.
+    pub partial_epochs: u64,
+    /// Snapshot queries answered by the reader threads during the in-flight
+    /// solve of the throughput phase.
+    pub queries_total: u64,
+    /// Those queries per second — served lock-free from the last published
+    /// epoch while the writer solved.
+    pub queries_per_sec_during_solve: f64,
+    /// Median roots-accepted → settled-epoch-visible wall time over the
+    /// latency phase's single-root batches.
+    pub publication_latency_ms: f64,
+}
+
+/// The serve rung: ladder shape at moderate size, so one batch solve is
+/// long enough to overlap queries with but short enough to repeat.
+fn serve_spec() -> BenchmarkSpec {
+    BenchmarkSpec::new("serve-2000", Suite::DaCapo, 2000, 0.2).with_fanout(8)
+}
+
+/// Measures the analysis-server workload for one scheduler, entirely
+/// in-process (no TCP): phase 1 registers roots one at a time while the
+/// writer is mid-solve and reads the coalescing counters; phase 2 hammers
+/// the published snapshot from reader threads for the duration of a full
+/// batch solve; phase 3 times single-root batch → settled-epoch publication.
+fn measure_serve(scheduler: SchedulerKind) -> ServeRecord {
+    use skipflow_core::CallGraphQuery as _;
+    use skipflow_server::{Registry, ServerConfig};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let bench = build_benchmark(&serve_spec());
+    let config = AnalysisConfig::skipflow()
+        .with_scheduler(scheduler)
+        .with_reflective_roots(bench.reflective_roots.iter().copied());
+    let program = Arc::new(bench.program);
+    let mut spread =
+        skipflow_synth::pick_spread_roots(&program, &bench.roots, 48).into_iter();
+    let registry = Registry::new(ServerConfig::default());
+    let flush = |name: &str| {
+        registry
+            .flush(name, Duration::from_secs(120))
+            .expect("serve bench flush")
+    };
+
+    // Phase 1 — coalescing: the first root keeps the writer busy while the
+    // rest are registered one request at a time; the writer drains them in
+    // far fewer batches than requests.
+    let h = registry.open("coalesce", program.clone(), config.clone()).expect("open");
+    registry.add_roots("coalesce", bench.roots.clone()).expect("roots");
+    let mut queued = bench.roots.len() as u64;
+    for root in spread.by_ref().take(32) {
+        registry.add_roots("coalesce", vec![root]).expect("roots");
+        queued += 1;
+    }
+    flush("coalesce");
+    let batches = h.batches().max(1);
+    let coalescing_ratio = queued as f64 / batches as f64;
+    let mut epochs_published = h.epochs_published();
+    let mut partial_epochs = h.partial_epochs();
+    registry.evict("coalesce").expect("evict");
+
+    // Phase 2 — sustained query throughput during an in-flight solve: the
+    // readers only count queries answered between the roots being accepted
+    // and the flush returning, i.e. while the writer is actually solving.
+    let h = registry.open("qps", program.clone(), config.clone()).expect("open");
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let h = h.clone();
+            let stop = stop.clone();
+            let served = served.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Relaxed) {
+                    let ep = h.published();
+                    std::hint::black_box(ep.snapshot.reachable_count());
+                    served.fetch_add(1, Relaxed);
+                }
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    registry.add_roots("qps", bench.roots.clone()).expect("roots");
+    flush("qps");
+    let solve_secs = start.elapsed().as_secs_f64();
+    stop.store(true, Relaxed);
+    for r in readers {
+        r.join().expect("reader");
+    }
+    let queries_total = served.load(Relaxed);
+    let queries_per_sec_during_solve = queries_total as f64 / solve_secs.max(1e-9);
+    epochs_published += h.epochs_published();
+    partial_epochs += h.partial_epochs();
+    registry.evict("qps").expect("evict");
+
+    // Phase 3 — publication latency: sequential single-root batches against
+    // an already-saturated session; each flush waits for the settled epoch,
+    // so the wall time is accept → publish. Median over the batches.
+    let _ = registry.open("latency", program.clone(), config.clone()).expect("open");
+    registry.add_roots("latency", bench.roots.clone()).expect("roots");
+    flush("latency");
+    let mut latencies: Vec<f64> = spread
+        .take(8)
+        .map(|root| {
+            let start = Instant::now();
+            registry.add_roots("latency", vec![root]).expect("roots");
+            flush("latency");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let publication_latency_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies[latencies.len() / 2]
+    };
+    let h = registry.get("latency").expect("latency session");
+    epochs_published += h.epochs_published();
+    partial_epochs += h.partial_epochs();
+    registry.shutdown_all();
+
+    ServeRecord {
+        name: serve_spec().name,
+        scheduler: match scheduler {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::SccPriority => "scc",
+            SchedulerKind::Adaptive => "adaptive",
+        }
+        .to_string(),
+        roots_queued: queued,
+        batches,
+        coalescing_ratio,
+        epochs_published,
+        partial_epochs,
+        queries_total,
+        queries_per_sec_during_solve,
+        publication_latency_ms,
+    }
+}
+
+/// Runs the serve family under all three schedulers.
+pub fn run_serve() -> Vec<ServeRecord> {
+    [SchedulerKind::Adaptive, SchedulerKind::SccPriority, SchedulerKind::Fifo]
+        .into_iter()
+        .map(measure_serve)
         .collect()
 }
 
@@ -722,6 +894,19 @@ pub fn parse_baseline_workloads(doc: &str) -> Vec<String> {
 /// previously captured pre-change document of the same harness, used for the
 /// headline wall-time comparison on the largest ladder rung.
 pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str>) -> String {
+    render_json_with_serve(pr, workloads, &[], baseline)
+}
+
+/// [`render_json`] plus the serve-family block: serve records have their
+/// own schema (coalescing / throughput / latency, no step counts), so they
+/// render as a separate `"serve"` array the step-gate parser — which only
+/// recognises `rung-` / `fanout-` / `resume-` names — never sees.
+pub fn render_json_with_serve(
+    pr: &str,
+    workloads: &[WorkloadRecord],
+    serve: &[ServeRecord],
+    baseline: Option<&str>,
+) -> String {
     let unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -778,6 +963,31 @@ pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str
         let _ = writeln!(out, "    }}{comma}");
     }
     let _ = writeln!(out, "  ],");
+    if !serve.is_empty() {
+        let _ = writeln!(out, "  \"serve\": [");
+        for (si, s) in serve.iter().enumerate() {
+            let comma = if si + 1 < serve.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"roots_queued\": {}, \
+                 \"batches\": {}, \"coalescing_ratio\": {:.3}, \"epochs_published\": {}, \
+                 \"partial_epochs\": {}, \"queries_total\": {}, \
+                 \"queries_per_sec_during_solve\": {:.1}, \
+                 \"publication_latency_ms\": {:.3}}}{comma}",
+                json_escape(&s.name),
+                json_escape(&s.scheduler),
+                s.roots_queued,
+                s.batches,
+                s.coalescing_ratio,
+                s.epochs_published,
+                s.partial_epochs,
+                s.queries_total,
+                s.queries_per_sec_during_solve,
+                s.publication_latency_ms,
+            );
+        }
+        let _ = writeln!(out, "  ],");
+    }
     out.push_str(&render_summary_json(workloads, baseline));
     let _ = writeln!(out, "}}");
     out
@@ -1207,6 +1417,34 @@ mod tests {
         // The step gate covers resume rungs through their fresh-union row.
         assert_eq!(parse_baseline_workloads(&doc), vec!["resume-tiny".to_string()]);
         assert!(parse_baseline_steps(&doc, "resume-tiny").is_some());
+    }
+
+    #[test]
+    fn serve_block_renders_and_stays_invisible_to_the_step_gate() {
+        let w = tiny_workload();
+        let serve = ServeRecord {
+            name: "serve-2000".to_string(),
+            scheduler: "adaptive".to_string(),
+            roots_queued: 40,
+            batches: 5,
+            coalescing_ratio: 8.0,
+            epochs_published: 12,
+            partial_epochs: 0,
+            queries_total: 90_000,
+            queries_per_sec_during_solve: 1.2e6,
+            publication_latency_ms: 3.25,
+        };
+        let doc = render_json_with_serve("test", &[w], &[serve], None);
+        assert!(doc.contains("\"serve\": ["), "{doc}");
+        assert!(doc.contains("\"coalescing_ratio\": 8.000"), "{doc}");
+        assert!(doc.contains("\"queries_per_sec_during_solve\": 1200000.0"), "{doc}");
+        // The step gate's workload scan must not pick the serve record up.
+        assert_eq!(parse_baseline_workloads(&doc), vec!["rung-tiny".to_string()]);
+        // An empty serve family renders no block at all (pre-change capture
+        // mode), and the two entry points agree on everything else.
+        let w2 = tiny_workload();
+        let doc2 = render_json("test", &[w2], None);
+        assert!(!doc2.contains("\"serve\": ["));
     }
 
     #[test]

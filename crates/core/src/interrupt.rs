@@ -31,6 +31,20 @@ use std::time::Duration;
 /// The token is level-triggered, not an event: it stays tripped until
 /// [`CancelToken::reset`], so a token tripped *before* the first step
 /// interrupts immediately, and re-using a tripped token keeps interrupting.
+///
+/// # Threading
+///
+/// `CancelToken` is `Clone + Send + Sync`, and every clone shares one flag.
+/// The server-grade pattern is one token per solving thread: the solver
+/// thread passes `Some(&token)` to
+/// [`solve_interruptible`](crate::AnalysisSession::solve_interruptible)
+/// while request handlers hold clones and call [`CancelToken::cancel`] from
+/// their own threads; the solve observes the trip within one check stride.
+/// Because the token is level-triggered, the *solving* thread should own the
+/// [`CancelToken::reset`] (typically just before each solve) — resetting
+/// from a requester's thread races a concurrent cancel of the in-flight
+/// solve. All flag accesses are relaxed atomics: the token orders nothing
+/// but itself, which is all cancellation needs.
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
@@ -199,6 +213,31 @@ mod tests {
         let raw: Arc<AtomicBool> = Arc::new(AtomicBool::new(true));
         let from_raw = CancelToken::from(raw);
         assert!(from_raw.is_cancelled());
+    }
+
+    /// The server-grade contract: a token crosses threads freely, a clone
+    /// tripped on one thread is observed as cancelled on another, and the
+    /// solving thread can reset it for the next solve.
+    #[test]
+    fn cancel_token_cross_thread_trip_and_reset() {
+        fn assert_send_sync<T: Send + Sync + Clone + 'static>() {}
+        assert_send_sync::<CancelToken>();
+
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancelling thread");
+        assert!(token.is_cancelled(), "trip from another thread is visible");
+
+        let solver_side = token.clone();
+        std::thread::spawn(move || {
+            assert!(solver_side.is_cancelled(), "cancelled state crosses threads");
+            solver_side.reset();
+        })
+        .join()
+        .expect("resetting thread");
+        assert!(!token.is_cancelled(), "reset from another thread is visible");
     }
 
     #[test]

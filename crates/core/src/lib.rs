@@ -53,6 +53,13 @@
 //! [`AnalysisError::WorkerPanicked`], and the session degrades to
 //! sequential solving while staying fully usable.
 //!
+//! For serving, [`AnalysisSession::owned_snapshot`] clones the current
+//! state into an [`OwnedSnapshot`] — an `Arc`-backed, `Send + Sync`,
+//! cheaply clonable form of the fixpoint that reader threads can query
+//! (it implements [`CallGraphQuery`]) while the session keeps solving.
+//! The `skipflow-server` crate builds its epoch-based publication and
+//! multi-session registry on exactly this primitive.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -119,6 +126,7 @@ pub use lattice::{TypeSet, ValueState};
 pub use metrics::{compute_metrics, InterruptStats, Metrics, SchedulerStats};
 pub use query::{CallGraphDelta, CallGraphQuery};
 pub use report::{
-    AnalysisResult, AnalysisSnapshot, CallEdge, CallSiteInfo, ReachableSet, SolveStats,
+    AnalysisResult, AnalysisSnapshot, CallEdge, CallSiteInfo, OwnedSnapshot, ReachableSet,
+    SolveStats,
 };
 pub use session::{analyze, AnalysisSession, SessionBuilder};

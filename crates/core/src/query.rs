@@ -10,7 +10,7 @@
 //! written once against `&dyn CallGraphQuery` / `impl CallGraphQuery`.
 
 use crate::interrupt::Completeness;
-use crate::report::{AnalysisResult, AnalysisSnapshot};
+use crate::report::{AnalysisResult, AnalysisSnapshot, OwnedSnapshot};
 use skipflow_ir::MethodId;
 
 /// Queries over a computed call graph, implemented by every analysis in the
@@ -138,6 +138,32 @@ impl CallGraphQuery for AnalysisResult {
 
     fn poly_call_count(&self) -> usize {
         self.snapshot().poly_call_sites()
+    }
+}
+
+impl CallGraphQuery for OwnedSnapshot {
+    fn completeness(&self) -> Completeness {
+        OwnedSnapshot::completeness(self)
+    }
+
+    fn is_reachable(&self, m: MethodId) -> bool {
+        self.result().is_reachable(m)
+    }
+
+    fn reachable_count(&self) -> usize {
+        self.reachable_methods().len()
+    }
+
+    fn reachable_ids(&self) -> Vec<MethodId> {
+        self.reachable_methods().as_slice().to_vec()
+    }
+
+    fn call_edge_count(&self) -> usize {
+        self.view().call_graph_edges().len()
+    }
+
+    fn poly_call_count(&self) -> usize {
+        self.view().poly_call_sites()
     }
 }
 

@@ -368,6 +368,21 @@ impl<'a> AnalysisSnapshot<'a> {
         n
     }
 
+    /// Clones this view into an [`OwnedSnapshot`] suitable for publication
+    /// across threads (the serving seam used by `skipflow-server`). The
+    /// clone copies the PVPG once; every subsequent [`OwnedSnapshot::clone`]
+    /// is an `Arc` bump.
+    pub fn to_owned_snapshot(&self) -> OwnedSnapshot {
+        OwnedSnapshot::from(AnalysisResult::new(
+            self.graph.clone(),
+            self.reachable.clone(),
+            self.instantiated.clone(),
+            self.config.clone(),
+            self.stats.clone(),
+            self.completeness,
+        ))
+    }
+
     /// Renders the call graph as Graphviz `dot` (method-level nodes;
     /// polymorphic sites produce multiple out-edges).
     pub fn call_graph_dot(&self, program: &Program) -> String {
@@ -536,6 +551,68 @@ impl AnalysisResult {
     /// Renders the call graph as Graphviz `dot`.
     pub fn call_graph_dot(&self, program: &Program) -> String {
         self.snapshot().call_graph_dot(program)
+    }
+}
+
+/// An owned, cheaply clonable snapshot for cross-thread publication.
+///
+/// [`AnalysisSnapshot`] borrows a paused session, so it cannot outlive the
+/// solve loop that produced it; a server that answers queries *while* the
+/// next solve runs needs a form it can hand to reader threads. An
+/// `OwnedSnapshot` wraps an [`AnalysisResult`] in an `Arc`:
+///
+/// * building one ([`AnalysisSnapshot::to_owned_snapshot`] or
+///   [`AnalysisSession::owned_snapshot`](crate::AnalysisSession::owned_snapshot))
+///   deep-copies the PVPG once, on the writer's thread;
+/// * cloning one is a reference-count bump, so publication schemes (e.g. the
+///   epoch cell in `skipflow-server`) can hand a clone to every concurrent
+///   reader without blocking or re-copying;
+/// * it is `Send + Sync` and implements [`crate::CallGraphQuery`], and
+///   [`OwnedSnapshot::view`] recovers the full borrowed query surface.
+#[derive(Clone, Debug)]
+pub struct OwnedSnapshot {
+    inner: std::sync::Arc<AnalysisResult>,
+}
+
+impl OwnedSnapshot {
+    /// A borrowed view carrying the full query surface.
+    pub fn view(&self) -> AnalysisSnapshot<'_> {
+        self.inner.snapshot()
+    }
+
+    /// The underlying owned result.
+    pub fn result(&self) -> &AnalysisResult {
+        &self.inner
+    }
+
+    /// Whether the snapshot is a reached fixpoint or an interrupted
+    /// checkpoint; see [`AnalysisSnapshot::completeness`].
+    pub fn completeness(&self) -> Completeness {
+        self.inner.completeness()
+    }
+
+    /// Solver statistics at the time the snapshot was taken.
+    pub fn stats(&self) -> &SolveStats {
+        self.inner.stats()
+    }
+
+    /// The set of reachable methods.
+    pub fn reachable_methods(&self) -> &ReachableSet {
+        self.inner.reachable_methods()
+    }
+
+    /// Whether two handles share the same underlying allocation (used by
+    /// publication tests; cheaper than comparing contents).
+    pub fn ptr_eq(&self, other: &OwnedSnapshot) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl From<AnalysisResult> for OwnedSnapshot {
+    fn from(result: AnalysisResult) -> Self {
+        OwnedSnapshot {
+            inner: std::sync::Arc::new(result),
+        }
     }
 }
 

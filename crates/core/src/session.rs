@@ -53,7 +53,7 @@ use crate::config::{AnalysisConfig, SchedulerKind, SolverKind};
 use crate::engine::{Engine, SolveEnd};
 use crate::error::AnalysisError;
 use crate::interrupt::{CancelToken, Completeness, SolveOutcome};
-use crate::report::{AnalysisResult, AnalysisSnapshot, ReachableSet, SolveStats};
+use crate::report::{AnalysisResult, AnalysisSnapshot, OwnedSnapshot, ReachableSet, SolveStats};
 use skipflow_ir::{BitSet, FieldId, MethodId, Program};
 use std::time::{Duration, Instant};
 
@@ -439,6 +439,22 @@ impl<'p> AnalysisSession<'p> {
             &self.stats,
             self.completeness(),
         )
+    }
+
+    /// Clones the current state into an [`OwnedSnapshot`] that can outlive
+    /// the session and cross threads — the publication primitive a server
+    /// uses to keep answering queries against the last fixpoint while this
+    /// session solves the next one. The clone copies the PVPG once (writer
+    /// cost, off the reader path); see [`AnalysisSnapshot::to_owned_snapshot`].
+    pub fn owned_snapshot(&self) -> OwnedSnapshot {
+        self.snapshot().to_owned_snapshot()
+    }
+
+    /// The engine's memory estimate in bytes (flows plus edge lists) — the
+    /// same figure the `MemoryBudget` interrupt checks, exposed so a session
+    /// registry can enforce a global budget across many sessions.
+    pub fn memory_estimate(&self) -> usize {
+        self.engine.memory_estimate()
     }
 
     /// Whether the current state is a reached fixpoint over every accepted

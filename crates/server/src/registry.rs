@@ -1,0 +1,845 @@
+//! The session registry: many concurrent [`AnalysisSession`]s behind one
+//! admission-controlled, memory-budgeted front door.
+//!
+//! Each open session gets a dedicated **writer thread** that owns the
+//! `AnalysisSession` (sessions borrow their `Program`, so the thread moves
+//! the `Arc<Program>` in and builds the session on its own stack). Clients
+//! never touch the session directly:
+//!
+//! * **Queries** read the last published [`PublishedEpoch`] through the
+//!   lock-free [`EpochCell`] — never blocked by
+//!   an in-flight solve.
+//! * **Root registrations** land in a handle-level queue; the writer drains
+//!   the whole queue into *one* budgeted, cancellable
+//!   [`solve_interruptible`](AnalysisSession::solve_interruptible) batch
+//!   (request coalescing), then publishes a new epoch. A tripped budget
+//!   publishes a [`Completeness::Partial`] epoch and the writer immediately
+//!   resumes with a fresh budget, so publication latency stays bounded while
+//!   the fixpoint still completes.
+//! * **Admission control**: a session cap, a per-session queued-root shed
+//!   threshold, and a global memory budget enforced by evicting idle
+//!   sessions in least-recently-used order (reusing the engine's memory
+//!   estimate). When nothing can be evicted the request is shed with
+//!   [`ServerError::Overloaded`] instead of degrading every session.
+//!
+//! Because the writer drains the queue *before* solving, the session's own
+//! pending-root list is empty at publish time: the completeness tag of every
+//! published epoch is exact for the roots it covers, which is what lets the
+//! stress test assert each `Complete` epoch bit-identical to a fresh union
+//! solve of [`PublishedEpoch::roots`].
+
+use crate::publish::EpochCell;
+use skipflow_core::{
+    AnalysisConfig, AnalysisError, AnalysisSession, CancelToken, Completeness, InterruptReason,
+    OwnedSnapshot, SolveStats,
+};
+use skipflow_ir::{MethodId, Program};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server-side limits and per-batch solve budgets.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently open sessions; further `open`s are shed.
+    pub max_sessions: usize,
+    /// Global memory budget (engine estimates summed across sessions).
+    /// Exceeding it evicts idle sessions LRU-first; if nothing is evictable
+    /// the triggering request is shed.
+    pub memory_budget_bytes: usize,
+    /// Per-session queued-root shed threshold: `roots` requests beyond this
+    /// many not-yet-batched roots are refused.
+    pub max_queued_roots: usize,
+    /// Step budget applied to each coalesced batch solve (`None` = run each
+    /// batch to the fixpoint).
+    pub batch_step_budget: Option<u64>,
+    /// Wall-clock budget applied to each coalesced batch solve.
+    pub batch_wall_budget: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            memory_budget_bytes: 512 << 20,
+            max_queued_roots: 4096,
+            batch_step_budget: None,
+            batch_wall_budget: None,
+        }
+    }
+}
+
+/// Why a registry request was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// No session with that name is open.
+    UnknownSession(String),
+    /// A session with that name is already open.
+    DuplicateSession(String),
+    /// Admission control shed the request (session cap, root-queue cap, or
+    /// memory budget with nothing evictable).
+    Overloaded(String),
+    /// A root id is out of range for the session's program.
+    InvalidRoot {
+        /// The offending id.
+        method: MethodId,
+        /// Methods in the program.
+        method_count: usize,
+    },
+    /// The session hit an unrecoverable analysis error (e.g. flow-capacity
+    /// exhaustion); its last published epoch stays queryable.
+    SessionFailed(String),
+    /// A `flush` wait exceeded its deadline.
+    Timeout(String),
+    /// Session construction was rejected by the analysis layer.
+    Analysis(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownSession(name) => write!(f, "unknown session `{name}`"),
+            ServerError::DuplicateSession(name) => write!(f, "session `{name}` already open"),
+            ServerError::Overloaded(what) => write!(f, "overloaded: {what}"),
+            ServerError::InvalidRoot { method, method_count } => write!(
+                f,
+                "root method m{} does not exist (program has {method_count} methods)",
+                method.index()
+            ),
+            ServerError::SessionFailed(msg) => write!(f, "session failed: {msg}"),
+            ServerError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            ServerError::Analysis(msg) => write!(f, "analysis rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// One published fixpoint: the epoch number, the roots it covers, and the
+/// owned snapshot readers query. `Arc`-published through the epoch cell;
+/// cloning is cheap.
+#[derive(Clone, Debug)]
+pub struct PublishedEpoch {
+    /// Publication sequence number (0 = the empty pre-solve epoch).
+    pub epoch: u64,
+    /// The session roots this fixpoint covers, in acceptance order.
+    pub roots: Vec<MethodId>,
+    /// The queryable fixpoint (or checkpoint, when
+    /// [`PublishedEpoch::is_complete`] is false).
+    pub snapshot: OwnedSnapshot,
+}
+
+impl PublishedEpoch {
+    /// Whether the snapshot is a reached fixpoint over
+    /// [`PublishedEpoch::roots`] (vs. a budget/cancel checkpoint).
+    pub fn is_complete(&self) -> bool {
+        self.snapshot.completeness() == Completeness::Complete
+    }
+}
+
+/// Handle-level mutable state, guarded by one mutex per session.
+///
+/// Lock discipline: the cancel token is tripped/reset only while holding
+/// this lock. The writer checks `shutdown`/`paused` and resets the token
+/// under the same lock it uses to extract a batch, so a cancel or shutdown
+/// that acquires the lock *after* batch extraction reliably trips the
+/// in-flight solve, and one that acquires it *before* is observed directly.
+struct Shared {
+    /// Roots queued by clients, drained wholesale into the next batch.
+    queue: Vec<MethodId>,
+    /// An interrupted batch left worklist entries behind; resume even if no
+    /// new roots arrive.
+    resume: bool,
+    /// A client cancel paused the session; don't resume until new roots or
+    /// a flush arrive.
+    paused: bool,
+    /// The writer is between batch extraction and publication.
+    in_batch: bool,
+    /// Eviction/shutdown requested; the writer exits at the next check.
+    shutdown: bool,
+    /// Engine memory estimate after the last batch.
+    mem_estimate: usize,
+    /// Sticky unrecoverable error (flow capacity); the session stops
+    /// solving but keeps serving its last epoch.
+    failed: Option<String>,
+}
+
+#[derive(Default)]
+struct Counters {
+    epochs_published: AtomicU64,
+    partial_epochs: AtomicU64,
+    queries_served: AtomicU64,
+    batches: AtomicU64,
+    batched_roots: AtomicU64,
+    sheds: AtomicU64,
+}
+
+/// A live session: the publication cell, the root queue, and counters.
+/// Obtained from [`Registry::open`] / [`Registry::get`]; all methods are
+/// safe to call from any thread.
+pub struct SessionHandle {
+    name: String,
+    program: Arc<Program>,
+    cell: EpochCell<PublishedEpoch>,
+    shared: Mutex<Shared>,
+    /// Wakes the writer (new roots, resume, shutdown).
+    wake: Condvar,
+    /// Wakes `flush` waiters after each batch.
+    settled: Condvar,
+    cancel: CancelToken,
+    counters: Counters,
+    /// Milliseconds since registry start of the last client request naming
+    /// this session (the LRU clock for eviction).
+    last_touch_ms: AtomicU64,
+}
+
+impl SessionHandle {
+    /// The session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program under analysis (shared with the writer thread).
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The last published epoch — the lock-free read path. Counts as a
+    /// served query.
+    pub fn published(&self) -> Arc<PublishedEpoch> {
+        self.counters.queries_served.fetch_add(1, SeqCst);
+        self.cell.load()
+    }
+
+    /// The current publication epoch number without loading the snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Epochs published by the writer (excluding the initial empty epoch).
+    pub fn epochs_published(&self) -> u64 {
+        self.counters.epochs_published.load(SeqCst)
+    }
+
+    /// Of [`SessionHandle::epochs_published`], how many carried a partial
+    /// (budget- or cancel-checkpointed) fixpoint.
+    pub fn partial_epochs(&self) -> u64 {
+        self.counters.partial_epochs.load(SeqCst)
+    }
+
+    /// Queries served from published epochs.
+    pub fn queries_served(&self) -> u64 {
+        self.counters.queries_served.load(SeqCst)
+    }
+
+    /// Coalesced batch solves the writer has run.
+    pub fn batches(&self) -> u64 {
+        self.counters.batches.load(SeqCst)
+    }
+
+    /// Roots that arrived through those batches (so
+    /// `batched_roots / batches` is the coalescing ratio).
+    pub fn batched_roots(&self) -> u64 {
+        self.counters.batched_roots.load(SeqCst)
+    }
+
+    /// Requests shed at this session's root-queue cap.
+    pub fn sheds(&self) -> u64 {
+        self.counters.sheds.load(SeqCst)
+    }
+
+    /// The engine memory estimate after the last batch, in bytes.
+    pub fn memory_estimate(&self) -> usize {
+        self.shared.lock().unwrap().mem_estimate
+    }
+
+    /// Queued roots not yet picked up by the writer.
+    pub fn queued_roots(&self) -> usize {
+        self.shared.lock().unwrap().queue.len()
+    }
+
+    /// Trips the cancel token: an in-flight batch checkpoints within one
+    /// stride and the session pauses until new roots or a flush arrive.
+    pub fn cancel(&self) {
+        let mut st = self.shared.lock().unwrap();
+        st.paused = true;
+        // Resume whatever the cancelled batch leaves behind once unpaused.
+        st.resume = true;
+        self.cancel.cancel();
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Whether the session is idle: nothing queued, nothing mid-batch,
+    /// nothing awaiting resume. Idle sessions are eviction candidates.
+    pub fn is_idle(&self) -> bool {
+        let st = self.shared.lock().unwrap();
+        st.queue.is_empty() && !st.in_batch && (!st.resume || st.paused)
+    }
+
+    /// Sticky failure message, if the session hit an unrecoverable error.
+    pub fn failure(&self) -> Option<String> {
+        self.shared.lock().unwrap().failed.clone()
+    }
+
+    fn touch(&self, clock: &Instant) {
+        let ms = clock.elapsed().as_millis() as u64;
+        self.last_touch_ms.store(ms, SeqCst);
+    }
+
+    /// Queues roots for the next coalesced batch. Validation and shedding
+    /// happen in [`Registry::add_roots`].
+    fn enqueue(&self, roots: Vec<MethodId>) {
+        let mut st = self.shared.lock().unwrap();
+        st.queue.extend(roots);
+        st.paused = false;
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Blocks until every queued root has been solved in and the resulting
+    /// epoch published, or `deadline` passes. Returns the settled epoch.
+    fn wait_settled(&self, timeout: Duration) -> Result<Arc<PublishedEpoch>, ServerError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock().unwrap();
+        loop {
+            // A flush un-pauses (re-checked every round so a concurrent
+            // cancel cannot stall the wait): the client explicitly asked
+            // for the fixpoint.
+            if st.paused {
+                st.paused = false;
+                self.wake.notify_all();
+            }
+            if let Some(msg) = &st.failed {
+                return Err(ServerError::SessionFailed(msg.clone()));
+            }
+            if st.queue.is_empty() && !st.in_batch && !st.resume {
+                drop(st);
+                return Ok(self.cell.load());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServerError::Timeout("flush".into()));
+            }
+            let (guard, _) = self.settled.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        let mut st = self.shared.lock().unwrap();
+        st.shutdown = true;
+        self.cancel.cancel();
+        drop(st);
+        self.wake.notify_all();
+        self.settled.notify_all();
+    }
+}
+
+/// A point-in-time copy of one session's observable state, for the `stats`
+/// endpoint.
+#[derive(Clone, Debug)]
+pub struct SessionStats {
+    /// Session name.
+    pub name: String,
+    /// Last published epoch number.
+    pub epoch: u64,
+    /// Completeness of that epoch.
+    pub completeness: Completeness,
+    /// Roots covered by that epoch.
+    pub roots_covered: usize,
+    /// Roots queued but not yet batched.
+    pub queued_roots: usize,
+    /// Engine memory estimate in bytes.
+    pub memory_bytes: usize,
+    /// Solver statistics of the published fixpoint (steps, joins, scheduler
+    /// and interrupt counters).
+    pub solve: SolveStats,
+    /// Coalesced batches run.
+    pub batches: u64,
+    /// Roots those batches carried.
+    pub batched_roots: u64,
+    /// Epochs published (excluding the initial empty epoch).
+    pub epochs_published: u64,
+    /// Published epochs that were partial checkpoints.
+    pub partial_epochs: u64,
+    /// Queries served.
+    pub queries_served: u64,
+    /// Requests shed at the root-queue cap.
+    pub sheds: u64,
+    /// Sticky failure, if any.
+    pub failed: Option<String>,
+}
+
+/// Registry-wide counters for the `stats` endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct RegistryStats {
+    /// Sessions currently open.
+    pub sessions_live: usize,
+    /// Sessions opened since start.
+    pub sessions_opened: u64,
+    /// Sessions evicted (explicitly or by the memory budget).
+    pub sessions_evicted: u64,
+    /// Epochs published across all sessions (excluding initial epochs).
+    pub epochs_published: u64,
+    /// Queries served across all sessions.
+    pub queries_served: u64,
+    /// Coalesced batches run across all sessions.
+    pub batches: u64,
+    /// Roots carried by those batches.
+    pub batched_roots: u64,
+    /// Requests shed by admission control.
+    pub sheds: u64,
+    /// Summed engine memory estimates, in bytes.
+    pub memory_bytes: usize,
+    /// The configured memory budget, in bytes.
+    pub memory_budget_bytes: usize,
+}
+
+struct Entry {
+    handle: Arc<SessionHandle>,
+    writer: Option<JoinHandle<()>>,
+}
+
+/// The multi-session front door: opens sessions, routes roots and queries,
+/// and enforces the admission/eviction policy of its [`ServerConfig`].
+pub struct Registry {
+    cfg: ServerConfig,
+    start: Instant,
+    sessions: Mutex<HashMap<String, Entry>>,
+    opened: AtomicU64,
+    evicted: AtomicU64,
+    shed_total: AtomicU64,
+    /// Evicted sessions' final counters, folded in so registry totals don't
+    /// regress when a session dies.
+    retired_queries: AtomicU64,
+    retired_epochs: AtomicU64,
+    retired_batches: AtomicU64,
+    retired_batched_roots: AtomicU64,
+}
+
+impl Registry {
+    /// A registry with the given limits.
+    pub fn new(cfg: ServerConfig) -> Self {
+        Registry {
+            cfg,
+            start: Instant::now(),
+            sessions: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            retired_queries: AtomicU64::new(0),
+            retired_epochs: AtomicU64::new(0),
+            retired_batches: AtomicU64::new(0),
+            retired_batched_roots: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Opens a session named `name` analyzing `program` under `config`
+    /// (per-batch budgets from the [`ServerConfig`] are applied on top).
+    /// Publishes the empty epoch 0 immediately, spawns the writer thread,
+    /// and returns the handle.
+    pub fn open(
+        &self,
+        name: &str,
+        program: Arc<Program>,
+        config: AnalysisConfig,
+    ) -> Result<Arc<SessionHandle>, ServerError> {
+        let config = self.apply_budgets(config);
+        // Validate eagerly on the caller's thread (and produce the initial
+        // empty snapshot) so `open` reports builder errors synchronously.
+        let initial = AnalysisSession::builder(&program)
+            .config(config.clone())
+            .build()
+            .map_err(|e| ServerError::Analysis(e.to_string()))?
+            .owned_snapshot();
+
+        let mut sessions = self.sessions.lock().unwrap();
+        if sessions.contains_key(name) {
+            return Err(ServerError::DuplicateSession(name.to_string()));
+        }
+        if sessions.len() >= self.cfg.max_sessions {
+            self.shed_total.fetch_add(1, SeqCst);
+            return Err(ServerError::Overloaded(format!(
+                "session cap reached ({} open)",
+                sessions.len()
+            )));
+        }
+        let handle = Arc::new(SessionHandle {
+            name: name.to_string(),
+            program: program.clone(),
+            cell: EpochCell::new(Arc::new(PublishedEpoch {
+                epoch: 0,
+                roots: Vec::new(),
+                snapshot: initial,
+            })),
+            shared: Mutex::new(Shared {
+                queue: Vec::new(),
+                resume: false,
+                paused: false,
+                in_batch: false,
+                shutdown: false,
+                mem_estimate: 0,
+                failed: None,
+            }),
+            wake: Condvar::new(),
+            settled: Condvar::new(),
+            cancel: CancelToken::new(),
+            counters: Counters::default(),
+            last_touch_ms: AtomicU64::new(0),
+        });
+        handle.touch(&self.start);
+        let writer = {
+            let handle = handle.clone();
+            std::thread::Builder::new()
+                .name(format!("skipflow-writer-{name}"))
+                .spawn(move || writer_loop(&handle, &program, config))
+                .expect("spawn writer thread")
+        };
+        self.opened.fetch_add(1, SeqCst);
+        sessions.insert(
+            name.to_string(),
+            Entry { handle: handle.clone(), writer: Some(writer) },
+        );
+        drop(sessions);
+        // Opening a session may push the fleet over the memory budget once
+        // it starts solving; check eagerly so pressure from *existing*
+        // sessions is relieved before this one grows.
+        let _ = self.relieve_memory_pressure(name);
+        Ok(handle)
+    }
+
+    /// The handle for `name`, refreshing its LRU clock.
+    pub fn get(&self, name: &str) -> Result<Arc<SessionHandle>, ServerError> {
+        let sessions = self.sessions.lock().unwrap();
+        let entry = sessions
+            .get(name)
+            .ok_or_else(|| ServerError::UnknownSession(name.to_string()))?;
+        entry.handle.touch(&self.start);
+        Ok(entry.handle.clone())
+    }
+
+    /// Validates and queues roots for `name`'s next coalesced batch,
+    /// shedding at the queue cap and relieving memory pressure afterwards.
+    /// Returns the number of roots queued.
+    pub fn add_roots(&self, name: &str, roots: Vec<MethodId>) -> Result<usize, ServerError> {
+        let handle = self.get(name)?;
+        if let Some(msg) = handle.failure() {
+            return Err(ServerError::SessionFailed(msg));
+        }
+        let method_count = handle.program.method_count();
+        for &m in &roots {
+            if m.index() >= method_count {
+                return Err(ServerError::InvalidRoot { method: m, method_count });
+            }
+        }
+        let queued = handle.queued_roots();
+        if queued + roots.len() > self.cfg.max_queued_roots {
+            handle.counters.sheds.fetch_add(1, SeqCst);
+            self.shed_total.fetch_add(1, SeqCst);
+            return Err(ServerError::Overloaded(format!(
+                "root queue full ({queued} queued, cap {})",
+                self.cfg.max_queued_roots
+            )));
+        }
+        // Relieve pressure *before* enqueueing: if the budget cannot be met
+        // even by evicting idle sessions, the request is shed whole instead
+        // of queueing work the fleet has no room to solve.
+        self.relieve_memory_pressure(name)?;
+        let n = roots.len();
+        handle.enqueue(roots);
+        Ok(n)
+    }
+
+    /// Waits until `name` has no queued or in-flight work and returns its
+    /// settled (complete unless failed/shedding) published epoch.
+    pub fn flush(&self, name: &str, timeout: Duration) -> Result<Arc<PublishedEpoch>, ServerError> {
+        let handle = self.get(name)?;
+        handle.wait_settled(timeout)
+    }
+
+    /// Trips `name`'s cancel token: the in-flight batch (if any) checkpoints
+    /// and publishes a partial epoch; the session pauses until new roots or
+    /// a flush arrive.
+    pub fn cancel(&self, name: &str) -> Result<(), ServerError> {
+        let handle = self.get(name)?;
+        handle.cancel();
+        Ok(())
+    }
+
+    /// Evicts `name`: stops its writer (cancelling any in-flight batch) and
+    /// drops the session. Published epochs held by readers stay valid.
+    pub fn evict(&self, name: &str) -> Result<(), ServerError> {
+        let entry = {
+            let mut sessions = self.sessions.lock().unwrap();
+            sessions
+                .remove(name)
+                .ok_or_else(|| ServerError::UnknownSession(name.to_string()))?
+        };
+        self.retire(entry);
+        Ok(())
+    }
+
+    /// Stops every session (used at server shutdown).
+    pub fn shutdown_all(&self) {
+        let entries: Vec<Entry> = {
+            let mut sessions = self.sessions.lock().unwrap();
+            sessions.drain().map(|(_, e)| e).collect()
+        };
+        for entry in entries {
+            self.retire(entry);
+        }
+    }
+
+    /// Point-in-time registry counters.
+    pub fn stats(&self) -> RegistryStats {
+        let sessions = self.sessions.lock().unwrap();
+        let mut s = RegistryStats {
+            sessions_live: sessions.len(),
+            sessions_opened: self.opened.load(SeqCst),
+            sessions_evicted: self.evicted.load(SeqCst),
+            epochs_published: self.retired_epochs.load(SeqCst),
+            queries_served: self.retired_queries.load(SeqCst),
+            batches: self.retired_batches.load(SeqCst),
+            batched_roots: self.retired_batched_roots.load(SeqCst),
+            sheds: self.shed_total.load(SeqCst),
+            memory_bytes: 0,
+            memory_budget_bytes: self.cfg.memory_budget_bytes,
+        };
+        for entry in sessions.values() {
+            let h = &entry.handle;
+            s.epochs_published += h.epochs_published();
+            s.queries_served += h.queries_served();
+            s.batches += h.batches();
+            s.batched_roots += h.batched_roots();
+            s.memory_bytes += h.memory_estimate();
+        }
+        s
+    }
+
+    /// Point-in-time stats for one session.
+    pub fn session_stats(&self, name: &str) -> Result<SessionStats, ServerError> {
+        let handle = self.get(name)?;
+        let published = handle.cell.load();
+        Ok(SessionStats {
+            name: handle.name.clone(),
+            epoch: published.epoch,
+            completeness: published.snapshot.completeness(),
+            roots_covered: published.roots.len(),
+            queued_roots: handle.queued_roots(),
+            memory_bytes: handle.memory_estimate(),
+            solve: published.snapshot.stats().clone(),
+            batches: handle.batches(),
+            batched_roots: handle.batched_roots(),
+            epochs_published: handle.epochs_published(),
+            partial_epochs: handle.partial_epochs(),
+            queries_served: handle.queries_served(),
+            sheds: handle.sheds(),
+            failed: handle.failure(),
+        })
+    }
+
+    /// Whether a session with this name is currently open. Advisory only —
+    /// another client may open or evict the name between this check and a
+    /// follow-up request; `open` re-checks authoritatively.
+    pub fn contains(&self, name: &str) -> bool {
+        self.sessions.lock().unwrap().contains_key(name)
+    }
+
+    /// Names of the open sessions, sorted.
+    pub fn session_names(&self) -> Vec<String> {
+        let sessions = self.sessions.lock().unwrap();
+        let mut names: Vec<String> = sessions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn apply_budgets(&self, config: AnalysisConfig) -> AnalysisConfig {
+        let mut config = config;
+        if let Some(steps) = self.cfg.batch_step_budget {
+            config = config.with_step_budget(steps);
+        }
+        if let Some(wall) = self.cfg.batch_wall_budget {
+            config = config.with_wall_budget(wall);
+        }
+        config
+    }
+
+    /// While the summed memory estimate exceeds the budget, evict idle
+    /// sessions LRU-first (never `exempt`, the session serving the current
+    /// request). Sheds with [`ServerError::Overloaded`] if pressure remains
+    /// and nothing is evictable.
+    fn relieve_memory_pressure(&self, exempt: &str) -> Result<(), ServerError> {
+        loop {
+            let victim = {
+                let sessions = self.sessions.lock().unwrap();
+                let total: usize = sessions.values().map(|e| e.handle.memory_estimate()).sum();
+                if total <= self.cfg.memory_budget_bytes {
+                    return Ok(());
+                }
+                let name = sessions
+                    .values()
+                    .filter(|e| e.handle.name() != exempt && e.handle.is_idle())
+                    .min_by_key(|e| e.handle.last_touch_ms.load(SeqCst))
+                    .map(|e| e.handle.name.clone());
+                match name {
+                    Some(name) => name,
+                    None => {
+                        self.shed_total.fetch_add(1, SeqCst);
+                        return Err(ServerError::Overloaded(format!(
+                            "memory budget exceeded ({total} > {} bytes) with no idle session to evict",
+                            self.cfg.memory_budget_bytes
+                        )));
+                    }
+                }
+            };
+            // Re-acquires the lock per round so concurrent requests are not
+            // starved while a victim's writer thread winds down.
+            let _ = self.evict(&victim);
+        }
+    }
+
+    fn retire(&self, mut entry: Entry) {
+        entry.handle.signal_shutdown();
+        if let Some(writer) = entry.writer.take() {
+            let _ = writer.join();
+        }
+        let h = &entry.handle;
+        self.evicted.fetch_add(1, SeqCst);
+        self.retired_queries.fetch_add(h.queries_served(), SeqCst);
+        self.retired_epochs.fetch_add(h.epochs_published(), SeqCst);
+        self.retired_batches.fetch_add(h.batches(), SeqCst);
+        self.retired_batched_roots.fetch_add(h.batched_roots(), SeqCst);
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.shutdown_all();
+    }
+}
+
+/// The per-session writer loop: wait for work, drain the queue into one
+/// batch, run a budgeted cancellable solve, publish the epoch.
+fn writer_loop(handle: &SessionHandle, program: &Arc<Program>, config: AnalysisConfig) {
+    let mut session = match AnalysisSession::builder(program).config(config).build() {
+        Ok(s) => s,
+        Err(e) => {
+            // `open` already validated this exact build; record defensively.
+            let mut st = handle.shared.lock().unwrap();
+            st.failed = Some(e.to_string());
+            return;
+        }
+    };
+    loop {
+        // Extract the next batch (and reset the cancel token) under the
+        // shared lock — see the lock-discipline note on `Shared`.
+        let batch = {
+            let mut st = handle.shared.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                let has_work = !st.queue.is_empty() || st.resume;
+                if has_work && !st.paused && st.failed.is_none() {
+                    break;
+                }
+                st = handle.wake.wait(st).unwrap();
+            }
+            st.resume = false;
+            st.in_batch = true;
+            handle.cancel.reset();
+            std::mem::take(&mut st.queue)
+        };
+
+        if !batch.is_empty() {
+            let n = batch.len() as u64;
+            // Ids were validated against this program in `add_roots`.
+            if let Err(e) = session.add_roots(batch) {
+                finish_batch(handle, &session, Some(e.to_string()), false);
+                continue;
+            }
+            handle.counters.batched_roots.fetch_add(n, SeqCst);
+        }
+        handle.counters.batches.fetch_add(1, SeqCst);
+
+        // Mapping to the (Copy) reason releases the outcome's borrow of the
+        // session before the publication below re-borrows it.
+        match session
+            .solve_interruptible(Some(&handle.cancel))
+            .map(|outcome| outcome.interrupt_reason())
+        {
+            Ok(reason) => {
+                publish_from(handle, &session);
+                match reason {
+                    None => finish_batch(handle, &session, None, false),
+                    Some(InterruptReason::Cancelled) => {
+                        // Stay paused (set by `cancel`) with `resume`
+                        // pending; a flush or new roots pick it back up.
+                        finish_batch(handle, &session, None, false)
+                    }
+                    Some(_) => {
+                        // A tripped budget bounds publication latency, not
+                        // total work: resume immediately with the next
+                        // batch's fresh budget.
+                        finish_batch(handle, &session, None, true)
+                    }
+                }
+            }
+            Err(e) => {
+                // Still publish the consistent checkpoint so queries see the
+                // latest sound state.
+                publish_from(handle, &session);
+                match e {
+                    AnalysisError::WorkerPanicked { .. } => {
+                        // The session degraded to sequential solving and
+                        // stays usable; retry the remaining work.
+                        finish_batch(handle, &session, None, true)
+                    }
+                    other => finish_batch(handle, &session, Some(other.to_string()), false),
+                }
+            }
+        }
+    }
+}
+
+fn publish_from(handle: &SessionHandle, session: &AnalysisSession<'_>) {
+    let snapshot = session.owned_snapshot();
+    if snapshot.completeness() == Completeness::Partial {
+        handle.counters.partial_epochs.fetch_add(1, SeqCst);
+    }
+    handle.counters.epochs_published.fetch_add(1, SeqCst);
+    let epoch = handle.cell.epoch() + 1;
+    handle.cell.publish(Arc::new(PublishedEpoch {
+        epoch,
+        roots: session.roots().to_vec(),
+        snapshot,
+    }));
+}
+
+fn finish_batch(
+    handle: &SessionHandle,
+    session: &AnalysisSession<'_>,
+    failed: Option<String>,
+    resume: bool,
+) {
+    let mut st = handle.shared.lock().unwrap();
+    st.in_batch = false;
+    st.mem_estimate = session.memory_estimate();
+    if resume {
+        st.resume = true;
+    }
+    if failed.is_some() {
+        st.failed = failed;
+    }
+    drop(st);
+    handle.settled.notify_all();
+}

@@ -1,0 +1,263 @@
+//! The serving stress test: reader threads query published snapshots while
+//! the writer solves coalesced root batches and other sessions are opened
+//! and evicted, across FIFO × SCC × Adaptive schedulers.
+//!
+//! The correctness contract checked here is the one the server's epoch
+//! publication promises:
+//!
+//! * every published `Complete` epoch is **bit-identical** to a fresh union
+//!   solve of exactly the roots it covers (the monotone-resume invariant,
+//!   observed through the publication seam);
+//! * every published `Partial` epoch (budget/cancel checkpoint) is a sound
+//!   under-approximation of that fresh solve;
+//! * epochs observed by concurrent readers are monotone — publication never
+//!   goes backwards, and readers are never handed a torn snapshot.
+
+use skipflow_core::{analyze, AnalysisConfig, AnalysisResult, Completeness, SchedulerKind};
+use skipflow_ir::{Program, TypeId};
+use skipflow_server::{PublishedEpoch, Registry, ServerConfig};
+use skipflow_synth::{build_benchmark, pick_spread_roots, suites};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Full observable comparison of two analysis results (the same contract as
+/// the workspace-level differential tests): reachable set, instantiated
+/// types, per-method value states, liveness, per-statement states and
+/// enablement, linked call targets, and the counter metrics.
+fn assert_results_identical(program: &Program, a: &AnalysisResult, b: &AnalysisResult, label: &str) {
+    assert_eq!(a.reachable_methods(), b.reachable_methods(), "{label}: reachable sets differ");
+    for t in 0..program.type_count() {
+        let t = TypeId::from_index(t);
+        assert_eq!(a.is_instantiated(t), b.is_instantiated(t), "{label}: instantiated({t:?}) differs");
+    }
+    for &m in a.reachable_methods() {
+        let md = program.method(m);
+        for i in 0..md.param_count() {
+            assert_eq!(
+                a.param_state(m, i),
+                b.param_state(m, i),
+                "{label}: param state {}#{i} differs",
+                program.method_label(m)
+            );
+        }
+        assert_eq!(
+            a.return_state(m),
+            b.return_state(m),
+            "{label}: return state of {} differs",
+            program.method_label(m)
+        );
+        assert_eq!(
+            a.live_blocks(m),
+            b.live_blocks(m),
+            "{label}: liveness of {} differs",
+            program.method_label(m)
+        );
+        if let Some(body) = &md.body {
+            for (bi, block) in body.iter_blocks() {
+                for si in 0..block.stmts.len() {
+                    assert_eq!(
+                        a.stmt_state(m, bi, si),
+                        b.stmt_state(m, bi, si),
+                        "{label}: stmt state {}/{bi:?}/{si} differs",
+                        program.method_label(m)
+                    );
+                    assert_eq!(
+                        a.stmt_enabled(m, bi, si),
+                        b.stmt_enabled(m, bi, si),
+                        "{label}: stmt enablement {}/{bi:?}/{si} differs",
+                        program.method_label(m)
+                    );
+                }
+            }
+        }
+        let sites_a = a.call_sites(m);
+        let sites_b = b.call_sites(m);
+        assert_eq!(sites_a.len(), sites_b.len(), "{label}: site counts differ");
+        for (sa, sb) in sites_a.iter().zip(sites_b.iter()) {
+            assert_eq!(sa.enabled, sb.enabled, "{label}: site enablement differs");
+            let mut ta = sa.targets.clone();
+            let mut tb = sb.targets.clone();
+            ta.sort_unstable();
+            tb.sort_unstable();
+            assert_eq!(ta, tb, "{label}: linked targets differ in {}", program.method_label(m));
+        }
+    }
+    assert_eq!(a.metrics(program), b.metrics(program), "{label}: metrics differ");
+}
+
+/// A published epoch is sound w.r.t. the fresh fixpoint over its roots.
+fn assert_partial_refines(program: &Program, partial: &AnalysisResult, full: &AnalysisResult, label: &str) {
+    assert!(
+        partial.reachable_methods().is_subset(full.reachable_methods()),
+        "{label}: partial epoch reaches methods the fixpoint does not"
+    );
+    for t in 0..program.type_count() {
+        let t = TypeId::from_index(t);
+        if partial.is_instantiated(t) {
+            assert!(full.is_instantiated(t), "{label}: partial epoch instantiates {t:?}, fixpoint does not");
+        }
+    }
+}
+
+const CHURN_SRC: &str = "
+    class Util { static method id(x: int): int { return x; } }
+    class Main { static method main(): void { Util.id(1); return; } }
+";
+
+fn stress(scheduler: SchedulerKind, batch_step_budget: Option<u64>) {
+    let spec = suites::by_name("lusearch").expect("suite benchmark");
+    let bench = build_benchmark(&spec);
+    let mut to_feed = bench.roots.clone();
+    to_feed.extend(pick_spread_roots(&bench.program, &bench.roots, 32));
+    let program = Arc::new(bench.program);
+    let config = AnalysisConfig::skipflow()
+        .with_scheduler(scheduler)
+        .with_reflective_roots(bench.reflective_roots.clone());
+
+    let registry = Arc::new(Registry::new(ServerConfig {
+        batch_step_budget,
+        ..ServerConfig::default()
+    }));
+    let handle = registry.open("main", program.clone(), config.clone()).expect("open");
+
+    // Readers: record every distinct epoch they observe and assert epochs
+    // never go backwards while queries stay answerable mid-solve.
+    let stop = Arc::new(AtomicBool::new(false));
+    let observed: Arc<Mutex<BTreeMap<u64, Arc<PublishedEpoch>>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            let observed = observed.clone();
+            thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(SeqCst) {
+                    let ep = handle.published();
+                    assert!(ep.epoch >= last, "epoch went backwards: {} after {last}", ep.epoch);
+                    last = ep.epoch;
+                    // The snapshot must be queryable regardless of what the
+                    // writer is doing right now.
+                    let view = ep.snapshot.view();
+                    assert_eq!(view.reachable_methods().len(), ep.snapshot.reachable_methods().len());
+                    let _ = view.poly_call_sites();
+                    observed.lock().unwrap().entry(ep.epoch).or_insert(ep);
+                    thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    // Churn: concurrently open, solve, and evict an unrelated session so
+    // registry mutations overlap the main session's solves and queries.
+    let churn = {
+        let registry = registry.clone();
+        thread::spawn(move || {
+            let churn_program =
+                Arc::new(skipflow_ir::frontend::compile(CHURN_SRC).expect("churn source"));
+            for i in 0..5 {
+                let name = format!("victim-{i}");
+                let h = registry
+                    .open(&name, churn_program.clone(), AnalysisConfig::skipflow())
+                    .expect("open churn session");
+                let main = h.program().iter_methods().next().expect("method");
+                registry.add_roots(&name, vec![main]).expect("churn roots");
+                let _ = registry.flush(&name, Duration::from_secs(10));
+                registry.evict(&name).expect("evict churn session");
+            }
+        })
+    };
+
+    // Writer-facing load: feed roots in small bursts (coalesced by the
+    // writer into batches), with flushes interleaved so settled epochs are
+    // reliably observed; exercise cancel once mid-stream.
+    let mut fed: Vec<skipflow_ir::MethodId> = Vec::new();
+    for (i, chunk) in to_feed.chunks(4).enumerate() {
+        fed.extend_from_slice(chunk);
+        registry.add_roots("main", chunk.to_vec()).expect("roots");
+        if i == 3 {
+            registry.cancel("main").expect("cancel");
+        }
+        if i % 3 == 2 {
+            let ep = registry.flush("main", Duration::from_secs(30)).expect("flush");
+            assert!(ep.is_complete(), "flushed epoch must be complete");
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    let final_epoch = registry.flush("main", Duration::from_secs(30)).expect("final flush");
+    assert!(final_epoch.is_complete());
+    assert_eq!(final_epoch.roots.len(), fed.len(), "final epoch covers every accepted root");
+
+    stop.store(true, SeqCst);
+    for r in readers {
+        r.join().expect("reader");
+    }
+    churn.join().expect("churn");
+    observed.lock().unwrap().entry(final_epoch.epoch).or_insert(final_epoch);
+
+    let stats = registry.stats();
+    assert!(stats.sessions_evicted >= 5, "churn sessions were evicted");
+    assert!(stats.epochs_published >= 1);
+    assert!(stats.queries_served > 0);
+    registry.shutdown_all();
+
+    // Verify every observed epoch against a fresh union solve of exactly
+    // the roots it covered. The verification config carries no budgets:
+    // `Complete` epochs must be bit-identical, `Partial` epochs must be
+    // sound under-approximations.
+    let observed = Arc::try_unwrap(observed).expect("readers joined").into_inner().unwrap();
+    let mut complete_epochs = 0u64;
+    let mut partial_epochs = 0u64;
+    for (n, ep) in &observed {
+        if *n == 0 {
+            // Epoch 0 is the empty pre-solve publication.
+            assert!(ep.roots.is_empty());
+            continue;
+        }
+        let fresh = analyze(&program, &ep.roots, &config);
+        let label = format!("{scheduler:?} epoch {n}");
+        match ep.snapshot.completeness() {
+            Completeness::Complete => {
+                complete_epochs += 1;
+                assert_results_identical(&program, &fresh, ep.snapshot.result(), &label);
+            }
+            Completeness::Partial => {
+                partial_epochs += 1;
+                assert_partial_refines(&program, ep.snapshot.result(), &fresh, &label);
+            }
+        }
+    }
+    assert!(complete_epochs >= 1, "at least the settled epochs must be complete");
+    if batch_step_budget.is_some() {
+        assert!(
+            partial_epochs >= 1,
+            "a tight step budget must surface partial epochs (saw {complete_epochs} complete)"
+        );
+    }
+}
+
+#[test]
+fn stress_fifo() {
+    stress(SchedulerKind::Fifo, None);
+}
+
+#[test]
+fn stress_scc() {
+    stress(SchedulerKind::SccPriority, None);
+}
+
+#[test]
+fn stress_adaptive() {
+    stress(SchedulerKind::Adaptive, None);
+}
+
+/// A tight per-batch step budget forces the writer through many
+/// partial-epoch publications on the way to each settled fixpoint; the
+/// partial epochs must refine, and the settled ones stay bit-identical.
+#[test]
+fn stress_adaptive_with_step_budget() {
+    stress(SchedulerKind::Adaptive, Some(96));
+}

@@ -7,6 +7,7 @@
 //! skipflow run      <src.sf|prog.sfbc> [--seed N]   # interpret the program
 //! skipflow dot      <src.sf|prog.sfbc> --method Cls.m
 //! skipflow print    <src.sf|prog.sfbc>              # SSA dump
+//! skipflow serve    [--addr HOST:PORT]              # analysis-as-a-service
 //! ```
 //!
 //! `analyze` options:
@@ -66,7 +67,9 @@ const USAGE: &str = "usage:
   skipflow run      <src|sfbc> [--seed N] [--max-steps N]
   skipflow dot      <src|sfbc> --method Cls.m
   skipflow callgraph <src|sfbc> [--root Cls.m]...
-  skipflow print    <src|sfbc>";
+  skipflow print    <src|sfbc>
+  skipflow serve    [--addr HOST:PORT] [--max-sessions N] [--memory-budget-mb N]
+                    [--batch-steps N] [--batch-ms N]";
 
 fn dispatch(args: &[String]) -> Result<(), CliError> {
     let (cmd, rest) = args
@@ -80,6 +83,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "dot" => cmd_dot(rest),
         "callgraph" => cmd_callgraph(rest),
         "print" => cmd_print(rest),
+        "serve" => cmd_serve(rest),
         other => return Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     };
     run.map_err(CliError::Run)
@@ -358,6 +362,41 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
         }
         None => Err(format!("{method_name} is not reachable; no PVPG fragment exists")),
     }
+}
+
+/// `skipflow serve`: run the analysis server until a client sends
+/// `shutdown` (or the process is killed). Prints the bound address on
+/// stdout — with `--addr host:0` the kernel picks the port, so scripted
+/// clients read the `listening on <addr>` line to find it.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use skipflow::server::{Server, ServerConfig};
+    use std::io::Write as _;
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7411");
+    let mut cfg = ServerConfig::default();
+    if let Some(n) = flag_value(args, "--max-sessions") {
+        cfg.max_sessions = n.parse().map_err(|_| "bad --max-sessions (expected a count)")?;
+    }
+    if let Some(mb) = flag_value(args, "--memory-budget-mb") {
+        let mb: usize = mb.parse().map_err(|_| "bad --memory-budget-mb (expected megabytes)")?;
+        cfg.memory_budget_bytes = mb << 20;
+    }
+    if let Some(n) = flag_value(args, "--batch-steps") {
+        cfg.batch_step_budget =
+            Some(n.parse().map_err(|_| "bad --batch-steps (expected a step count)")?);
+    }
+    if let Some(ms) = flag_value(args, "--batch-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --batch-ms (expected milliseconds)")?;
+        cfg.batch_wall_budget = Some(Duration::from_millis(ms));
+    }
+
+    let server = Server::bind(addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    // Stdout is block-buffered when piped; flush so wrappers that spawn the
+    // server and scrape the port see this line before the first connection.
+    println!("listening on {bound}");
+    std::io::stdout().flush().map_err(|e| format!("cannot flush stdout: {e}"))?;
+    server.run().map_err(|e| format!("server failed: {e}"))
 }
 
 fn cmd_print(args: &[String]) -> Result<(), String> {

@@ -14,7 +14,9 @@
 //!   same engine);
 //! * [`baselines`] — CHA and RTA call-graph construction for comparison;
 //! * [`synth`] — the deterministic benchmark corpus used by the evaluation
-//!   harness.
+//!   harness;
+//! * [`server`] — analysis-as-a-service: a concurrent multi-session server
+//!   with lock-free epoch-based snapshot publication (`skipflow serve`).
 //!
 //! See the `examples/` directory for runnable scenarios, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -22,4 +24,5 @@
 pub use skipflow_baselines as baselines;
 pub use skipflow_core as analysis;
 pub use skipflow_ir as ir;
+pub use skipflow_server as server;
 pub use skipflow_synth as synth;
