@@ -353,8 +353,8 @@ fn serve_spec() -> BenchmarkSpec {
 fn measure_serve(scheduler: SchedulerKind) -> ServeRecord {
     use skipflow_core::CallGraphQuery as _;
     use skipflow_server::{Registry, ServerConfig};
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-    use std::sync::Arc;
+    use skipflow_modelcheck::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+    use skipflow_modelcheck::sync::Arc;
     use std::time::Duration;
 
     let bench = build_benchmark(&serve_spec());

@@ -52,7 +52,7 @@ pub(crate) struct FaultState {
     /// Armed by the parallel solver at the start of the target round; the
     /// first phase-A worker to observe it panics (atomic swap, so exactly
     /// one panic fires even with many workers).
-    pub(crate) panic_armed: std::sync::atomic::AtomicBool,
+    pub(crate) panic_armed: skipflow_modelcheck::sync::atomic::AtomicBool,
     /// Cumulative parallel rounds taken (the index `panic_in_worker_at_round`
     /// refers to).
     pub(crate) rounds: u64,
@@ -91,7 +91,7 @@ impl FaultState {
         if self.plan.panic_in_worker_at_round == Some(round) {
             self.plan.panic_in_worker_at_round = None;
             self.panic_armed
-                .store(true, std::sync::atomic::Ordering::Relaxed);
+                .store(true, skipflow_modelcheck::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -99,6 +99,6 @@ impl FaultState {
     /// arming wins and must panic.
     pub(crate) fn take_worker_panic(&self) -> bool {
         self.panic_armed
-            .swap(false, std::sync::atomic::Ordering::Relaxed)
+            .swap(false, skipflow_modelcheck::sync::atomic::Ordering::Relaxed)
     }
 }

@@ -16,9 +16,9 @@
 //! "Interrupt safety" notes at the top of `engine.rs`.
 
 use crate::report::AnalysisSnapshot;
+use skipflow_modelcheck::sync::atomic::{AtomicBool, Ordering};
+use skipflow_modelcheck::sync::Arc;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// A cooperative cancellation token: a shared flag the solver polls at a

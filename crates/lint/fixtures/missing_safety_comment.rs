@@ -1,0 +1,5 @@
+// Fixture: violates rule 2 only — linted under an allowlisted path, but the
+// unsafe block carries no SAFETY justification.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

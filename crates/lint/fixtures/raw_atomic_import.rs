@@ -1,0 +1,7 @@
+// Fixture: violates rule 3 only — names std::sync::atomic outside the shim
+// (every op still states its ordering, so rule 4 stays quiet).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(n: &AtomicU64) -> u64 {
+    n.fetch_add(1, Ordering::SeqCst)
+}

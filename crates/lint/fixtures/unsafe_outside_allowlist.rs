@@ -1,0 +1,6 @@
+// Fixture: violates rule 1 only — the SAFETY comment is present, but this
+// path is not on the unsafe allowlist.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture prose; the rule under test is the allowlist.
+    unsafe { *p }
+}

@@ -1,0 +1,257 @@
+//! The writer-thread handshake, extracted: queue, pause, resume, cancel,
+//! shutdown, and settle signalling behind one small state machine.
+//!
+//! [`SessionGate`] is the synchronization half of a registry session — the
+//! part that coordinates *client* threads (enqueue work, cancel, flush,
+//! evict) with the single *writer* thread that drains the queue into
+//! coalesced batches. It is generic over the work-item type so the
+//! model-check suite can exhaustively explore the handshake with small
+//! integers instead of dragging the whole analysis engine into the explorer
+//! (`crates/server/tests/model_check.rs`); the registry instantiates it with
+//! [`MethodId`](skipflow_ir::MethodId).
+//!
+//! # Lock discipline
+//!
+//! One mutex guards all gate state. The cancel token is tripped/reset only
+//! while holding it: [`SessionGate::next_batch`] resets the token under the
+//! same lock it uses to extract a batch, so a [`SessionGate::cancel`] that
+//! acquires the lock *after* extraction reliably trips the in-flight solve,
+//! and one that acquires it *before* is observed directly as `paused`. Two
+//! condvars hang off the mutex: `wake` (writer side — new work, unpause,
+//! shutdown) and `settled` (client side — a batch finished, flush waiters
+//! should re-check).
+//!
+//! # Writer contract
+//!
+//! The writer thread loops on [`SessionGate::next_batch`]; every
+//! [`WriterStep::Batch`] (even an empty one — a resume) MUST be answered by
+//! exactly one [`SessionGate::finish_batch`], or `in_batch` stays latched
+//! and flush waiters hang until their deadline. [`WriterStep::Shutdown`]
+//! ends the loop.
+
+use skipflow_core::CancelToken;
+use skipflow_modelcheck::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Gate-level mutable state; see the module docs for the lock discipline.
+struct GateState<T> {
+    /// Work queued by clients, drained wholesale into the next batch.
+    queue: Vec<T>,
+    /// An interrupted batch left work behind; run again even if the queue
+    /// stays empty.
+    resume: bool,
+    /// A client cancel paused the session; don't run until new work or a
+    /// flush arrives.
+    paused: bool,
+    /// The writer is between batch extraction and [`SessionGate::finish_batch`].
+    in_batch: bool,
+    /// Eviction/shutdown requested; the writer exits at its next
+    /// [`SessionGate::next_batch`].
+    shutdown: bool,
+    /// Engine memory estimate reported by the last `finish_batch`.
+    mem_estimate: usize,
+    /// Sticky unrecoverable error; the writer stops batching but the
+    /// session keeps serving its last published state.
+    failed: Option<String>,
+}
+
+/// What the writer thread should do next, from [`SessionGate::next_batch`].
+pub enum WriterStep<T> {
+    /// Exit the writer loop; the session is being evicted or the server is
+    /// shutting down.
+    Shutdown,
+    /// Run one coalesced batch over these items (possibly empty, when only
+    /// a resume was pending). Must be answered by one
+    /// [`SessionGate::finish_batch`].
+    Batch(Vec<T>),
+}
+
+/// How a [`SessionGate::wait_settled`] ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Settle {
+    /// No queued or in-flight work remains; published state is current.
+    Idle,
+    /// The session latched a sticky failure (message attached).
+    Failed(String),
+    /// The deadline passed first.
+    TimedOut,
+}
+
+/// The client/writer handshake for one session: a work queue plus the
+/// pause/resume/cancel/shutdown flags, the wake and settle condvars, and
+/// the cancel token, all behind one mutex.
+pub struct SessionGate<T> {
+    shared: Mutex<GateState<T>>,
+    /// Wakes the writer (new work, unpause, shutdown).
+    wake: Condvar,
+    /// Wakes flush waiters after each batch (and on failure/shutdown).
+    settled: Condvar,
+    cancel: CancelToken,
+}
+
+impl<T> Default for SessionGate<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SessionGate<T> {
+    /// A fresh gate: empty queue, running (not paused), no failure.
+    pub fn new() -> Self {
+        SessionGate {
+            shared: Mutex::new(GateState {
+                queue: Vec::new(),
+                resume: false,
+                paused: false,
+                in_batch: false,
+                shutdown: false,
+                mem_estimate: 0,
+                failed: None,
+            }),
+            wake: Condvar::new(),
+            settled: Condvar::new(),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The cancel token the writer should pass to its interruptible solve.
+    /// Trip it through [`SessionGate::cancel`], not directly — see the lock
+    /// discipline in the module docs.
+    pub fn token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Queues work for the next coalesced batch and un-pauses the session.
+    pub fn enqueue(&self, items: Vec<T>) {
+        let mut st = self.shared.lock().unwrap();
+        st.queue.extend(items);
+        st.paused = false;
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Work queued but not yet extracted into a batch.
+    pub fn queued_len(&self) -> usize {
+        self.shared.lock().unwrap().queue.len()
+    }
+
+    /// Trips the cancel token and pauses the session: an in-flight batch
+    /// checkpoints within one solver stride, and the leftover work stays
+    /// parked (`resume` pending) until new work or a flush un-pauses it.
+    pub fn cancel(&self) {
+        let mut st = self.shared.lock().unwrap();
+        st.paused = true;
+        // Resume whatever the cancelled batch leaves behind once unpaused.
+        st.resume = true;
+        self.cancel.cancel();
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Whether the session is idle: nothing queued, nothing mid-batch,
+    /// nothing awaiting an un-paused resume. Idle sessions are eviction
+    /// candidates.
+    pub fn is_idle(&self) -> bool {
+        let st = self.shared.lock().unwrap();
+        st.queue.is_empty() && !st.in_batch && (!st.resume || st.paused)
+    }
+
+    /// The sticky failure message, if the session failed.
+    pub fn failure(&self) -> Option<String> {
+        self.shared.lock().unwrap().failed.clone()
+    }
+
+    /// Latches a sticky failure from outside the batch cycle (e.g. the
+    /// writer failing to construct its session) and wakes flush waiters so
+    /// they observe it.
+    pub fn fail(&self, msg: String) {
+        let mut st = self.shared.lock().unwrap();
+        st.failed = Some(msg);
+        drop(st);
+        self.settled.notify_all();
+    }
+
+    /// The memory estimate reported by the last finished batch, in bytes.
+    pub fn memory_estimate(&self) -> usize {
+        self.shared.lock().unwrap().mem_estimate
+    }
+
+    /// Writer side: block until there is work (or shutdown), extract the
+    /// whole queue as one batch, and reset the cancel token — all under the
+    /// gate lock, per the module-level discipline. Returns
+    /// [`WriterStep::Shutdown`] when the session is being torn down.
+    pub fn next_batch(&self) -> WriterStep<T> {
+        let mut st = self.shared.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return WriterStep::Shutdown;
+            }
+            let has_work = !st.queue.is_empty() || st.resume;
+            if has_work && !st.paused && st.failed.is_none() {
+                break;
+            }
+            st = self.wake.wait(st).unwrap();
+        }
+        st.resume = false;
+        st.in_batch = true;
+        self.cancel.reset();
+        WriterStep::Batch(std::mem::take(&mut st.queue))
+    }
+
+    /// Writer side: close out the batch opened by the last
+    /// [`WriterStep::Batch`]. `resume` re-arms the gate (budget-interrupted
+    /// work remains), `failed` latches the sticky error; flush waiters are
+    /// woken either way.
+    pub fn finish_batch(&self, mem_estimate: usize, failed: Option<String>, resume: bool) {
+        let mut st = self.shared.lock().unwrap();
+        st.in_batch = false;
+        st.mem_estimate = mem_estimate;
+        if resume {
+            st.resume = true;
+        }
+        if failed.is_some() {
+            st.failed = failed;
+        }
+        drop(st);
+        self.settled.notify_all();
+    }
+
+    /// Client side: block until the gate is idle (un-pausing it — the
+    /// caller explicitly wants the work finished), the session fails, or
+    /// `timeout` passes.
+    pub fn wait_settled(&self, timeout: Duration) -> Settle {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock().unwrap();
+        loop {
+            // Un-pause every round so a concurrent cancel cannot stall the
+            // wait.
+            if st.paused {
+                st.paused = false;
+                self.wake.notify_all();
+            }
+            if let Some(msg) = &st.failed {
+                return Settle::Failed(msg.clone());
+            }
+            if st.queue.is_empty() && !st.in_batch && !st.resume {
+                return Settle::Idle;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Settle::TimedOut;
+            }
+            let (guard, _) = self.settled.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Requests writer exit: trips the cancel token (so an in-flight batch
+    /// checkpoints promptly) and wakes both sides.
+    pub fn signal_shutdown(&self) {
+        let mut st = self.shared.lock().unwrap();
+        st.shutdown = true;
+        self.cancel.cancel();
+        drop(st);
+        self.wake.notify_all();
+        self.settled.notify_all();
+    }
+}

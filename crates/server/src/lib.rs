@@ -86,11 +86,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gate;
 pub mod net;
 pub mod protocol;
 pub mod publish;
 pub mod registry;
 
+pub use gate::{SessionGate, Settle, WriterStep};
 pub use net::{handle_request, Client, Server};
 pub use protocol::{parse_request, Query, Request};
 pub use publish::EpochCell;

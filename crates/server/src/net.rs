@@ -5,14 +5,19 @@ use crate::protocol::{parse_request, Query, Request};
 use crate::registry::{Registry, ServerConfig, ServerError, SessionHandle};
 use skipflow_core::{AnalysisConfig, CallGraphQuery, Completeness, SchedulerKind};
 use skipflow_ir::{frontend, MethodId, Program};
-use std::io::{self, BufRead, BufReader, Write};
+use skipflow_modelcheck::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use skipflow_modelcheck::sync::Arc;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// How long a `flush` request waits before answering `err timeout`.
 const FLUSH_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Upper bound on one request line. Longer lines are answered with
+/// `err proto:` (and the oversized tail discarded) instead of buffering
+/// attacker-controlled amounts of memory; the connection stays usable.
+const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// A bound-but-not-yet-running server. [`Server::run`] blocks until a
 /// client sends `shutdown`.
@@ -80,13 +85,49 @@ fn serve_connection(
     listener_addr: SocketAddr,
 ) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::with_capacity(256);
+    loop {
+        buf.clear();
+        // Read one line with a hard cap: `read_until` on an unbounded
+        // reader would buffer an arbitrarily long malicious line in memory
+        // before we ever saw it.
+        let n = reader
+            .by_ref()
+            .take((MAX_LINE_BYTES + 1) as u64)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            // Clean EOF (an unterminated final line was handled on the
+            // previous iteration).
+            return Ok(());
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        } else if buf.len() > MAX_LINE_BYTES {
+            // Oversized request: skip to the end of the line so the next
+            // request parses from a clean boundary, answer structurally,
+            // and keep serving.
+            discard_to_newline(&mut reader)?;
+            writer.write_all(
+                format!("err proto: request line exceeds {MAX_LINE_BYTES} bytes\n").as_bytes(),
+            )?;
+            writer.flush()?;
+            continue;
+        }
+        // else: truncated input (EOF without a newline) — serve what
+        // arrived; the next iteration returns on the EOF.
+        let line = match std::str::from_utf8(&buf) {
+            Ok(line) => line,
+            Err(_) => {
+                writer.write_all(b"err proto: request is not valid UTF-8\n")?;
+                writer.flush()?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let response = match parse_request(&line) {
+        let response = match parse_request(line) {
             Err(msg) => format!("err proto: {msg}"),
             Ok(Request::Shutdown) => {
                 writer.write_all(b"ok bye\n")?;
@@ -102,7 +143,27 @@ fn serve_connection(
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
-    Ok(())
+}
+
+/// Consumes input through the next `\n` (or EOF) without buffering it —
+/// the tail of an oversized line is discarded in `fill_buf`-sized chunks.
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
 }
 
 /// Executes one parsed request and renders the response line. Split from the

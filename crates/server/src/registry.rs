@@ -28,16 +28,18 @@
 //! stress test assert each `Complete` epoch bit-identical to a fresh union
 //! solve of [`PublishedEpoch::roots`].
 
+use crate::gate::{SessionGate, Settle, WriterStep};
 use crate::publish::EpochCell;
 use skipflow_core::{
-    AnalysisConfig, AnalysisError, AnalysisSession, CancelToken, Completeness, InterruptReason,
-    OwnedSnapshot, SolveStats,
+    AnalysisConfig, AnalysisError, AnalysisSession, Completeness, InterruptReason, OwnedSnapshot,
+    SolveStats,
 };
 use skipflow_ir::{MethodId, Program};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex};
+
+use skipflow_modelcheck::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use skipflow_modelcheck::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -140,33 +142,6 @@ impl PublishedEpoch {
     }
 }
 
-/// Handle-level mutable state, guarded by one mutex per session.
-///
-/// Lock discipline: the cancel token is tripped/reset only while holding
-/// this lock. The writer checks `shutdown`/`paused` and resets the token
-/// under the same lock it uses to extract a batch, so a cancel or shutdown
-/// that acquires the lock *after* batch extraction reliably trips the
-/// in-flight solve, and one that acquires it *before* is observed directly.
-struct Shared {
-    /// Roots queued by clients, drained wholesale into the next batch.
-    queue: Vec<MethodId>,
-    /// An interrupted batch left worklist entries behind; resume even if no
-    /// new roots arrive.
-    resume: bool,
-    /// A client cancel paused the session; don't resume until new roots or
-    /// a flush arrive.
-    paused: bool,
-    /// The writer is between batch extraction and publication.
-    in_batch: bool,
-    /// Eviction/shutdown requested; the writer exits at the next check.
-    shutdown: bool,
-    /// Engine memory estimate after the last batch.
-    mem_estimate: usize,
-    /// Sticky unrecoverable error (flow capacity); the session stops
-    /// solving but keeps serving its last epoch.
-    failed: Option<String>,
-}
-
 #[derive(Default)]
 struct Counters {
     epochs_published: AtomicU64,
@@ -184,12 +159,10 @@ pub struct SessionHandle {
     name: String,
     program: Arc<Program>,
     cell: EpochCell<PublishedEpoch>,
-    shared: Mutex<Shared>,
-    /// Wakes the writer (new roots, resume, shutdown).
-    wake: Condvar,
-    /// Wakes `flush` waiters after each batch.
-    settled: Condvar,
-    cancel: CancelToken,
+    /// The client/writer handshake — queue, pause/resume/cancel/shutdown
+    /// flags, wake and settle condvars (see `gate.rs` for the lock
+    /// discipline).
+    gate: SessionGate<MethodId>,
     counters: Counters,
     /// Milliseconds since registry start of the last client request naming
     /// this session (the LRU clock for eviction).
@@ -253,36 +226,29 @@ impl SessionHandle {
 
     /// The engine memory estimate after the last batch, in bytes.
     pub fn memory_estimate(&self) -> usize {
-        self.shared.lock().unwrap().mem_estimate
+        self.gate.memory_estimate()
     }
 
     /// Queued roots not yet picked up by the writer.
     pub fn queued_roots(&self) -> usize {
-        self.shared.lock().unwrap().queue.len()
+        self.gate.queued_len()
     }
 
     /// Trips the cancel token: an in-flight batch checkpoints within one
     /// stride and the session pauses until new roots or a flush arrive.
     pub fn cancel(&self) {
-        let mut st = self.shared.lock().unwrap();
-        st.paused = true;
-        // Resume whatever the cancelled batch leaves behind once unpaused.
-        st.resume = true;
-        self.cancel.cancel();
-        drop(st);
-        self.wake.notify_all();
+        self.gate.cancel();
     }
 
     /// Whether the session is idle: nothing queued, nothing mid-batch,
     /// nothing awaiting resume. Idle sessions are eviction candidates.
     pub fn is_idle(&self) -> bool {
-        let st = self.shared.lock().unwrap();
-        st.queue.is_empty() && !st.in_batch && (!st.resume || st.paused)
+        self.gate.is_idle()
     }
 
     /// Sticky failure message, if the session hit an unrecoverable error.
     pub fn failure(&self) -> Option<String> {
-        self.shared.lock().unwrap().failed.clone()
+        self.gate.failure()
     }
 
     fn touch(&self, clock: &Instant) {
@@ -290,52 +256,14 @@ impl SessionHandle {
         self.last_touch_ms.store(ms, SeqCst);
     }
 
-    /// Queues roots for the next coalesced batch. Validation and shedding
-    /// happen in [`Registry::add_roots`].
-    fn enqueue(&self, roots: Vec<MethodId>) {
-        let mut st = self.shared.lock().unwrap();
-        st.queue.extend(roots);
-        st.paused = false;
-        drop(st);
-        self.wake.notify_all();
-    }
-
     /// Blocks until every queued root has been solved in and the resulting
-    /// epoch published, or `deadline` passes. Returns the settled epoch.
+    /// epoch published, or the timeout passes. Returns the settled epoch.
     fn wait_settled(&self, timeout: Duration) -> Result<Arc<PublishedEpoch>, ServerError> {
-        let deadline = Instant::now() + timeout;
-        let mut st = self.shared.lock().unwrap();
-        loop {
-            // A flush un-pauses (re-checked every round so a concurrent
-            // cancel cannot stall the wait): the client explicitly asked
-            // for the fixpoint.
-            if st.paused {
-                st.paused = false;
-                self.wake.notify_all();
-            }
-            if let Some(msg) = &st.failed {
-                return Err(ServerError::SessionFailed(msg.clone()));
-            }
-            if st.queue.is_empty() && !st.in_batch && !st.resume {
-                drop(st);
-                return Ok(self.cell.load());
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(ServerError::Timeout("flush".into()));
-            }
-            let (guard, _) = self.settled.wait_timeout(st, deadline - now).unwrap();
-            st = guard;
+        match self.gate.wait_settled(timeout) {
+            Settle::Idle => Ok(self.cell.load()),
+            Settle::Failed(msg) => Err(ServerError::SessionFailed(msg)),
+            Settle::TimedOut => Err(ServerError::Timeout("flush".into())),
         }
-    }
-
-    fn signal_shutdown(&self) {
-        let mut st = self.shared.lock().unwrap();
-        st.shutdown = true;
-        self.cancel.cancel();
-        drop(st);
-        self.wake.notify_all();
-        self.settled.notify_all();
     }
 }
 
@@ -481,18 +409,7 @@ impl Registry {
                 roots: Vec::new(),
                 snapshot: initial,
             })),
-            shared: Mutex::new(Shared {
-                queue: Vec::new(),
-                resume: false,
-                paused: false,
-                in_batch: false,
-                shutdown: false,
-                mem_estimate: 0,
-                failed: None,
-            }),
-            wake: Condvar::new(),
-            settled: Condvar::new(),
-            cancel: CancelToken::new(),
+            gate: SessionGate::new(),
             counters: Counters::default(),
             last_touch_ms: AtomicU64::new(0),
         });
@@ -555,7 +472,8 @@ impl Registry {
         // of queueing work the fleet has no room to solve.
         self.relieve_memory_pressure(name)?;
         let n = roots.len();
-        handle.enqueue(roots);
+        // Validation and shedding above; the gate just queues and wakes.
+        handle.gate.enqueue(roots);
         Ok(n)
     }
 
@@ -708,7 +626,7 @@ impl Registry {
     }
 
     fn retire(&self, mut entry: Entry) {
-        entry.handle.signal_shutdown();
+        entry.handle.gate.signal_shutdown();
         if let Some(writer) = entry.writer.take() {
             let _ = writer.join();
         }
@@ -734,30 +652,16 @@ fn writer_loop(handle: &SessionHandle, program: &Arc<Program>, config: AnalysisC
         Ok(s) => s,
         Err(e) => {
             // `open` already validated this exact build; record defensively.
-            let mut st = handle.shared.lock().unwrap();
-            st.failed = Some(e.to_string());
+            handle.gate.fail(e.to_string());
             return;
         }
     };
     loop {
         // Extract the next batch (and reset the cancel token) under the
-        // shared lock — see the lock-discipline note on `Shared`.
-        let batch = {
-            let mut st = handle.shared.lock().unwrap();
-            loop {
-                if st.shutdown {
-                    return;
-                }
-                let has_work = !st.queue.is_empty() || st.resume;
-                if has_work && !st.paused && st.failed.is_none() {
-                    break;
-                }
-                st = handle.wake.wait(st).unwrap();
-            }
-            st.resume = false;
-            st.in_batch = true;
-            handle.cancel.reset();
-            std::mem::take(&mut st.queue)
+        // gate lock — see the lock-discipline note in `gate.rs`.
+        let batch = match handle.gate.next_batch() {
+            WriterStep::Shutdown => return,
+            WriterStep::Batch(batch) => batch,
         };
 
         if !batch.is_empty() {
@@ -774,7 +678,7 @@ fn writer_loop(handle: &SessionHandle, program: &Arc<Program>, config: AnalysisC
         // Mapping to the (Copy) reason releases the outcome's borrow of the
         // session before the publication below re-borrows it.
         match session
-            .solve_interruptible(Some(&handle.cancel))
+            .solve_interruptible(Some(handle.gate.token()))
             .map(|outcome| outcome.interrupt_reason())
         {
             Ok(reason) => {
@@ -831,15 +735,5 @@ fn finish_batch(
     failed: Option<String>,
     resume: bool,
 ) {
-    let mut st = handle.shared.lock().unwrap();
-    st.in_batch = false;
-    st.mem_estimate = session.memory_estimate();
-    if resume {
-        st.resume = true;
-    }
-    if failed.is_some() {
-        st.failed = failed;
-    }
-    drop(st);
-    handle.settled.notify_all();
+    handle.gate.finish_batch(session.memory_estimate(), failed, resume);
 }

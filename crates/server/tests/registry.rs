@@ -4,7 +4,7 @@
 use skipflow_core::{AnalysisConfig, CallGraphQuery, Completeness};
 use skipflow_ir::frontend::compile;
 use skipflow_server::{handle_request, parse_request, Registry, ServerConfig, ServerError};
-use std::sync::Arc;
+use skipflow_modelcheck::sync::Arc;
 use std::time::Duration;
 
 const SRC: &str = "
@@ -176,7 +176,11 @@ fn protocol_layer_in_process() {
     let q = run("query s completeness");
     assert_eq!(q, "ok partial epoch=0 [partial]");
 
-    assert_eq!(run("roots s App.main"), "ok queued 1 epoch=0");
+    // The epoch tag races the writer (the enqueued root may already have
+    // been solved and published by the time the response is rendered), so
+    // only the queued count is exact.
+    let queued = run("roots s App.main");
+    assert!(queued.starts_with("ok queued 1 epoch="), "{queued}");
     let flushed = run("flush s");
     assert!(flushed.starts_with("ok flushed epoch=") && !flushed.contains("[partial]"), "{flushed}");
 
