@@ -1,6 +1,6 @@
 //! The perf-trajectory binary: runs the synth ladder, the fan-out rungs,
-//! the resume and serve families, and the table1 corpus, and writes a
-//! `BENCH_PR<n>.json` record for the repository's performance history.
+//! the resume, serve, and edit families, and the table1 corpus, and writes
+//! a `BENCH_PR<n>.json` record for the repository's performance history.
 //!
 //! ```text
 //! cargo run --release -p skipflow-bench --bin trajectory -- \
@@ -36,7 +36,7 @@
 //!   corpus, so the gate is machine-independent (wall time is not).
 
 use skipflow_bench::trajectory::{
-    parse_baseline_steps, parse_baseline_workloads, render_json_with_serve, run_fanout,
+    parse_baseline_steps, parse_baseline_workloads, render_json_document, run_edits, run_fanout,
     run_ladder, run_resume, run_serve, run_table1,
 };
 
@@ -74,17 +74,20 @@ fn main() {
     eprintln!("running ladder…");
     let mut workloads = run_ladder(force_fifo, !skip_paired);
     let mut serve = Vec::new();
+    let mut edits = Vec::new();
     if !ladder_only {
         eprintln!("running fan-out rungs…");
         workloads.extend(run_fanout(force_fifo));
         eprintln!("running resume rungs…");
         workloads.extend(run_resume(force_fifo));
-        // The serve family post-dates the pre-change capture mode: a
-        // `--scheduler fifo` document emulates the solver before the server
-        // existed, so it carries no serve block.
+        // The serve and edit families post-date the pre-change capture
+        // mode: a `--scheduler fifo` document emulates the solver before
+        // the server and retraction existed, so it carries neither block.
         if !force_fifo {
             eprintln!("running serve family…");
             serve = run_serve();
+            eprintln!("running edit family…");
+            edits = run_edits();
         }
         if !skip_table1 {
             eprintln!("running table1 corpus…");
@@ -92,7 +95,7 @@ fn main() {
         }
     }
 
-    let json = render_json_with_serve(&pr, &workloads, &serve, baseline.as_deref());
+    let json = render_json_document(&pr, &workloads, &serve, &edits, baseline.as_deref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
@@ -103,6 +106,16 @@ fn main() {
              publication latency {:>7.2} ms",
             s.name, s.scheduler, s.coalescing_ratio, s.queries_per_sec_during_solve,
             s.publication_latency_ms
+        );
+    }
+
+    // Human-readable recap of the edit family on stdout.
+    for e in &edits {
+        println!(
+            "{:<16} {} mutations / {} solves: invalidated {} methods / {} flows, \
+             re-derive {} steps vs fresh {} ({:.2}x), {:.1} ms",
+            e.name, e.script_steps, e.solve_points, e.invalidated_methods, e.invalidated_flows,
+            e.rederive_steps, e.fresh_steps, e.rederive_fresh_ratio, e.wall_ms
         );
     }
 

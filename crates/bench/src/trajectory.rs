@@ -24,6 +24,14 @@
 //!   number), and epoch publication latency (roots accepted → settled
 //!   epoch visible). Serve records live in their own JSON block with their
 //!   own schema; the step gate never reads them.
+//! * **edit** — the non-monotone incrementality workload: a seeded
+//!   [`skipflow_synth::build_edit_script`] stream of root additions, root
+//!   *retractions*, and method-body *edits* driven through one
+//!   [`AnalysisSession`], measuring the invalidated region (methods and
+//!   flows reset by the DRed-style over-delete) and the re-derive steps
+//!   against a fresh solve of the script's final configuration — whose
+//!   fixpoint the session must match exactly. Edit records live in their
+//!   own JSON block like serve records; the step gate never reads them.
 //! * **table1** — the full 35-benchmark corpus under PTA and SkipFlow,
 //!   sequential solver, mirroring the paper's evaluation.
 //!
@@ -475,6 +483,175 @@ pub fn run_serve() -> Vec<ServeRecord> {
         .collect()
 }
 
+/// One measured edit-script workload: a seeded non-monotone operation
+/// stream (root adds/retracts, body disables/restores, interleaved solve
+/// points) driven through a single session, with the invalidation volume
+/// and the re-derive-vs-fresh step comparison of the *final* fixpoint.
+#[derive(Clone, Debug)]
+pub struct EditRecord {
+    /// Workload name (`edit-rung-2000`).
+    pub name: String,
+    /// Concrete methods the generator emitted.
+    pub generated_methods: usize,
+    /// Mutation operations in the script (solve points not counted).
+    pub script_steps: usize,
+    /// Solve points in the script (≥ 2: the initial solve and the final).
+    pub solve_points: usize,
+    /// Solved-in roots the script retracted (pending removals not counted).
+    pub retractions: u64,
+    /// Method-body edits the script applied (disables + restores).
+    pub edits: u64,
+    /// Methods whose PVPG fragments the taint closures deactivated — the
+    /// cumulative over-delete region of the DRed-style invalidation.
+    pub invalidated_methods: u64,
+    /// Flows reset to bottom by those invalidations.
+    pub invalidated_flows: u64,
+    /// Worklist steps spent re-deriving after invalidations, summed over
+    /// the script.
+    pub rederive_steps: u64,
+    /// Worklist steps of one fresh solve of the script's final
+    /// configuration (surviving roots under the final mask).
+    pub fresh_steps: u64,
+    /// `rederive_steps / fresh_steps` — how much re-derivation the whole
+    /// non-monotone stream cost relative to solving its end state once.
+    pub rederive_fresh_ratio: f64,
+    /// Wall-clock time for the whole script (every solve point included).
+    pub wall_ms: f64,
+}
+
+/// The edit rungs (one ladder-shaped, one fan-out-shaped, the same sizes
+/// as the resume rungs) with their script seeds.
+pub fn edit_specs() -> Vec<(BenchmarkSpec, u64)> {
+    vec![
+        (
+            BenchmarkSpec::new("edit-rung-2000", Suite::DaCapo, 2000, 0.2).with_fanout(8),
+            0xED17_0001,
+        ),
+        (
+            BenchmarkSpec::new("edit-fanout-200", Suite::DaCapo, 60, 0.0)
+                .with_shared_sink(200, 128),
+            0xED17_0002,
+        ),
+    ]
+}
+
+/// Mutation operations per edit script.
+pub const EDIT_SCRIPT_STEPS: usize = 24;
+
+/// Roots moved per add/retract batch of an edit script.
+pub const EDIT_SCRIPT_CHURN: usize = 4;
+
+/// Drives the seeded edit script over `bench` through one session and
+/// measures it (see [`EditRecord`]). Panics if the session's final
+/// fixpoint diverges from a fresh solve of the script's final
+/// configuration on the precision guards — the bit-level identity is
+/// enforced by `tests/edit_scripts.rs`, but a perf document must never be
+/// produced from diverging runs.
+pub fn measure_edits(
+    name: &str,
+    bench: &Benchmark,
+    seed: u64,
+    steps: usize,
+    churn: usize,
+    config: &AnalysisConfig,
+) -> EditRecord {
+    use skipflow_core::MethodEdit;
+    use skipflow_synth::{build_edit_script, EditOp};
+
+    let config = config
+        .clone()
+        .with_reflective_roots(bench.reflective_roots.iter().copied());
+    let script = build_edit_script(bench, seed, steps, churn);
+    let script_steps = script.ops.iter().filter(|op| !matches!(op, EditOp::Solve)).count();
+    let solve_points = script.ops.len() - script_steps;
+
+    let start = Instant::now();
+    let mut session = AnalysisSession::builder(&bench.program)
+        .config(config.clone())
+        .roots(bench.roots.iter().copied())
+        .build()
+        .expect("benchmark roots are valid");
+    for op in &script.ops {
+        match op {
+            EditOp::AddRoots(batch) => {
+                session.add_roots(batch.iter().copied()).expect("script adds are valid");
+            }
+            EditOp::RetractRoots(batch) => {
+                session
+                    .retract_roots(batch.iter().copied())
+                    .expect("script retracts current roots");
+            }
+            EditOp::DisableMethod(m) => {
+                session
+                    .apply_edit(*m, MethodEdit::DisableBody)
+                    .expect("script disables concrete methods");
+            }
+            EditOp::RestoreMethod(m) => {
+                session
+                    .apply_edit(*m, MethodEdit::RestoreBody)
+                    .expect("script restores masked methods");
+            }
+            EditOp::Solve => {
+                session.solve();
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let inv = session.snapshot().stats().invalidation;
+    let result = session.into_result();
+
+    // The fresh oracle of the script's end state: surviving roots under the
+    // final mask, never having seen the intermediate configurations.
+    let oracle_config = config
+        .clone()
+        .with_masked_methods(script.final_masked.iter().copied());
+    let fresh = analyze(&bench.program, &script.final_roots, &oracle_config);
+    assert_eq!(
+        result.reachable_methods(),
+        fresh.reachable_methods(),
+        "edit workload {name}: session diverged from the fresh final fixpoint"
+    );
+    assert_eq!(
+        dead_block_total(&result),
+        dead_block_total(&fresh),
+        "edit workload {name}: dead-block totals diverged"
+    );
+    let fresh_steps = fresh.stats().steps;
+
+    EditRecord {
+        name: name.to_string(),
+        generated_methods: bench.total_methods(),
+        script_steps,
+        solve_points,
+        retractions: inv.retractions,
+        edits: inv.edits,
+        invalidated_methods: inv.invalidated_methods,
+        invalidated_flows: inv.invalidated_flows,
+        rederive_steps: inv.rederive_steps,
+        fresh_steps,
+        rederive_fresh_ratio: inv.rederive_steps as f64 / fresh_steps.max(1) as f64,
+        wall_ms,
+    }
+}
+
+/// Runs the edit rungs under the default (adaptive) configuration.
+pub fn run_edits() -> Vec<EditRecord> {
+    edit_specs()
+        .iter()
+        .map(|(spec, seed)| {
+            let bench = build_benchmark(spec);
+            measure_edits(
+                &spec.name,
+                &bench,
+                *seed,
+                EDIT_SCRIPT_STEPS,
+                EDIT_SCRIPT_CHURN,
+                &AnalysisConfig::skipflow(),
+            )
+        })
+        .collect()
+}
+
 fn dead_block_total(result: &AnalysisResult) -> usize {
     result
         .reachable_methods()
@@ -894,17 +1071,30 @@ pub fn parse_baseline_workloads(doc: &str) -> Vec<String> {
 /// previously captured pre-change document of the same harness, used for the
 /// headline wall-time comparison on the largest ladder rung.
 pub fn render_json(pr: &str, workloads: &[WorkloadRecord], baseline: Option<&str>) -> String {
-    render_json_with_serve(pr, workloads, &[], baseline)
+    render_json_document(pr, workloads, &[], &[], baseline)
 }
 
-/// [`render_json`] plus the serve-family block: serve records have their
-/// own schema (coalescing / throughput / latency, no step counts), so they
-/// render as a separate `"serve"` array the step-gate parser — which only
-/// recognises `rung-` / `fanout-` / `resume-` names — never sees.
+/// [`render_json`] plus the serve-family block, kept for callers that
+/// predate the edit family.
 pub fn render_json_with_serve(
     pr: &str,
     workloads: &[WorkloadRecord],
     serve: &[ServeRecord],
+    baseline: Option<&str>,
+) -> String {
+    render_json_document(pr, workloads, serve, &[], baseline)
+}
+
+/// The full document: scaling workloads plus the serve and edit families.
+/// Serve and edit records have their own schemas (no `SkipFlow`/
+/// `sequential` step rows), so they render as separate `"serve"` /
+/// `"edits"` arrays the step-gate parser — which only recognises `rung-` /
+/// `fanout-` / `resume-` names — never sees.
+pub fn render_json_document(
+    pr: &str,
+    workloads: &[WorkloadRecord],
+    serve: &[ServeRecord],
+    edits: &[EditRecord],
     baseline: Option<&str>,
 ) -> String {
     let unix = std::time::SystemTime::now()
@@ -984,6 +1174,33 @@ pub fn render_json_with_serve(
                 s.queries_total,
                 s.queries_per_sec_during_solve,
                 s.publication_latency_ms,
+            );
+        }
+        let _ = writeln!(out, "  ],");
+    }
+    if !edits.is_empty() {
+        let _ = writeln!(out, "  \"edits\": [");
+        for (ei, e) in edits.iter().enumerate() {
+            let comma = if ei + 1 < edits.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"generated_methods\": {}, \"script_steps\": {}, \
+                 \"solve_points\": {}, \"retractions\": {}, \"edits\": {}, \
+                 \"invalidated_methods\": {}, \"invalidated_flows\": {}, \
+                 \"rederive_steps\": {}, \"fresh_steps\": {}, \
+                 \"rederive_fresh_ratio\": {:.4}, \"wall_ms\": {:.3}}}{comma}",
+                json_escape(&e.name),
+                e.generated_methods,
+                e.script_steps,
+                e.solve_points,
+                e.retractions,
+                e.edits,
+                e.invalidated_methods,
+                e.invalidated_flows,
+                e.rederive_steps,
+                e.fresh_steps,
+                e.rederive_fresh_ratio,
+                e.wall_ms,
             );
         }
         let _ = writeln!(out, "  ],");
@@ -1445,6 +1662,33 @@ mod tests {
         let w2 = tiny_workload();
         let doc2 = render_json("test", &[w2], None);
         assert!(!doc2.contains("\"serve\": ["));
+    }
+
+    #[test]
+    fn edit_block_renders_and_stays_invisible_to_the_step_gate() {
+        let spec = BenchmarkSpec::new("edit-tiny", Suite::DaCapo, 60, 0.2);
+        let bench = build_benchmark(&spec);
+        let rec = measure_edits("edit-tiny", &bench, 7, 12, 2, &AnalysisConfig::skipflow());
+        // The seeded script must actually exercise the non-monotone paths
+        // (the generator's op mix makes a mutation-free 12-step script
+        // impossible), and the measurement must have solved something.
+        assert!(rec.script_steps > 0 && rec.solve_points >= 2);
+        assert!(rec.retractions + rec.edits > 0, "script never invalidated: {rec:?}");
+        assert!(rec.invalidated_flows > 0, "{rec:?}");
+        assert!(rec.fresh_steps > 0);
+        assert!(rec.rederive_fresh_ratio > 0.0);
+
+        let w = tiny_workload();
+        let doc = render_json_document("test", &[w], &[], &[rec], None);
+        assert!(doc.contains("\"edits\": ["), "{doc}");
+        assert!(doc.contains("\"rederive_fresh_ratio\""), "{doc}");
+        // The step gate's workload scan must not pick the edit record up.
+        assert_eq!(parse_baseline_workloads(&doc), vec!["rung-tiny".to_string()]);
+        // An empty edit family renders no block at all (pre-change capture
+        // mode, like serve).
+        let w2 = tiny_workload();
+        let doc2 = render_json_document("test", &[w2], &[], &[], None);
+        assert!(!doc2.contains("\"edits\": ["));
     }
 
     #[test]

@@ -111,6 +111,12 @@ pub struct AnalysisConfig {
     pub(crate) reflective_fields: Vec<FieldId>,
     /// Fields accessed via `Unsafe` (§5).
     pub(crate) unsafe_fields: Vec<FieldId>,
+    /// Methods whose bodies are masked out from the start: the engine marks
+    /// them reachable when discovered but never builds their fragments, as
+    /// if [`MethodEdit::DisableBody`](crate::MethodEdit) had been applied
+    /// before the first solve. This is how a fresh differential oracle
+    /// reproduces the edit state of a long-lived session.
+    pub(crate) masked_methods: Vec<MethodId>,
     /// Solver selection.
     pub(crate) solver: SolverKind,
     /// Worklist scheduling for the delta solvers.
@@ -154,6 +160,7 @@ impl AnalysisConfig {
             reflective_roots: Vec::new(),
             reflective_fields: Vec::new(),
             unsafe_fields: Vec::new(),
+            masked_methods: Vec::new(),
             solver: SolverKind::Sequential,
             scheduler: SchedulerKind::Adaptive,
             narrow_join_width: DEFAULT_NARROW_JOIN_WIDTH,
@@ -316,6 +323,18 @@ impl AnalysisConfig {
         self
     }
 
+    /// Masks method bodies from the start of the session: a masked method is
+    /// marked reachable when discovered (it still appears at call sites and
+    /// in the reachable set) but its fragment is never built — calls to it
+    /// derive nothing, exactly as after
+    /// [`AnalysisSession::apply_edit`](crate::AnalysisSession::apply_edit)
+    /// with [`MethodEdit::DisableBody`](crate::MethodEdit). The differential
+    /// tests use this to build a fresh oracle matching an edited session.
+    pub fn with_masked_methods(mut self, methods: impl IntoIterator<Item = MethodId>) -> Self {
+        self.masked_methods.extend(methods);
+        self
+    }
+
     // ---- accessors --------------------------------------------------------
 
     /// Whether predicate edges are enabled.
@@ -356,6 +375,11 @@ impl AnalysisConfig {
     /// The configured `Unsafe`-accessed fields.
     pub fn unsafe_fields(&self) -> &[FieldId] {
         &self.unsafe_fields
+    }
+
+    /// The methods whose bodies are masked out from the start.
+    pub fn masked_methods(&self) -> &[MethodId] {
+        &self.masked_methods
     }
 
     /// The selected solver.

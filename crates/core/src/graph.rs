@@ -10,7 +10,7 @@
 //! never clones an edge list.
 
 use crate::flow::{CallSite, Flow, FlowId, FlowKind, SiteId};
-use skipflow_ir::{BlockId, FieldId, MethodId, TypeRef};
+use skipflow_ir::{BitSet, BlockId, FieldId, MethodId, TypeRef};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 const NO_SPILL: u32 = u32::MAX;
@@ -630,6 +630,17 @@ impl OnlineTopo {
     /// Re-establishes a usable gap after `a` by respacing a doubling window
     /// of its successors (the list-labeling relabel step); falls back to a
     /// global renumber near the label-space ceiling.
+    ///
+    /// The window is respaced with **exponential gap spreading** rather than
+    /// an even stride: the first gap gets half the reclaimed span, the
+    /// second a quarter, and so on (floored at [`RELABEL_MIN_GAP`]). The
+    /// pressure that triggered this relabel is always in the gap
+    /// immediately after `a` — `place_after(a, _)` bisects exactly there,
+    /// and repair chains land every moved component in it — so giving that
+    /// gap `span/2` instead of `span/(window+1)` buys
+    /// `log2(window+1) − 1` extra insertions per relabeled window, which
+    /// compounds into far fewer relabeled components on the
+    /// repeatedly-subdivided gaps the fan-out workloads produce.
     fn make_room_after(&mut self, a: u32) {
         let base = if a == NO_NODE { 0 } else { self.label[a as usize] };
         let mut nodes: Vec<u32> = Vec::with_capacity(16);
@@ -659,9 +670,23 @@ impl OnlineTopo {
             }
             let span = self.label[cur as usize] - base;
             if span >= (nodes.len() as u64 + 1) * RELABEL_MIN_GAP {
-                let stride = span / (nodes.len() as u64 + 1);
+                // Geometric spreading: each gap takes half the remaining
+                // span, clamped so every node still to place (and the final
+                // gap up to `cur`) keeps at least RELABEL_MIN_GAP. The
+                // guard above guarantees `remaining >= (n - i + 1) * MIN`
+                // at every iteration, so the clamp bounds are well-formed
+                // and the last label lands strictly below `label[cur]`.
+                let n = nodes.len() as u64;
+                let mut lab = base;
+                let mut remaining = span;
                 for (i, &nd) in nodes.iter().enumerate() {
-                    self.label[nd as usize] = base + (i as u64 + 1) * stride;
+                    let after = n - 1 - i as u64;
+                    let gap = (remaining / 2)
+                        .max(RELABEL_MIN_GAP)
+                        .min(remaining - after * RELABEL_MIN_GAP - RELABEL_MIN_GAP);
+                    lab += gap;
+                    remaining -= gap;
+                    self.label[nd as usize] = lab;
                 }
                 self.relabels += nodes.len() as u64;
                 return;
@@ -1187,6 +1212,22 @@ impl Pvpg {
         } else {
             false
         }
+    }
+
+    /// Drops every dynamically discovered use edge with an endpoint in
+    /// `invalidated` from the dedup set, so invalidated wiring is
+    /// re-discoverable: the next `add_use_dedup` for such a pair reports it
+    /// as new again and the caller re-runs its edge-added action
+    /// (`push_state`). The physical CSR/spill edges are append-only and stay
+    /// — a re-added pair stores a duplicate edge, which is harmless (joins
+    /// deduplicate state; the order repair of an existing direction is a
+    /// no-op) and bounded by the number of retraction/edit events. Returns
+    /// how many pairs were dropped.
+    pub fn purge_dynamic_use_edges(&mut self, invalidated: &BitSet) -> usize {
+        let before = self.dynamic_use_edges.len();
+        self.dynamic_use_edges
+            .retain(|&(s, t)| !invalidated.contains(s.index()) && !invalidated.contains(t.index()));
+        before - self.dynamic_use_edges.len()
     }
 
     /// Adds a predicate edge `s ⇝pred t` (construction-time, buffered).
@@ -1824,6 +1865,41 @@ mod tests {
             g.order_stats().unwrap().relabels > 0,
             "200 insertions into one gap must exhaust midpoints"
         );
+        g.assert_valid_order();
+    }
+
+    #[test]
+    fn windowed_relabel_spreads_gaps_geometrically() {
+        // The bounded-window branch of `make_room_after`: the anchor has
+        // enough successors that relabels respace a window *between* nodes
+        // (span clamped by `cur`'s label) instead of walking off the tail.
+        // The geometric spreading must keep every label strictly ordered,
+        // keep the window's successors above the insertion point, and never
+        // disturb nodes beyond the window's clamp. (The churn *drop* is
+        // asserted at workload scale in
+        // `tests/delta_vs_reference.rs::windowed_relabel_churn_stays_low_on_the_fanout_corpus`,
+        // where repair chains produce the repeatedly-subdivided gaps.)
+        let mut g = Pvpg::new();
+        g.enable_online_order();
+        let anchor = phi(&mut g);
+        let tail: Vec<FlowId> = (0..16).map(|_| phi(&mut g)).collect();
+        let mut prev = None;
+        for _ in 0..600 {
+            g.set_fragment_anchor(Some(anchor));
+            let f = phi(&mut g);
+            g.set_fragment_anchor(None);
+            assert!(g.order_key(f) < g.order_key(anchor));
+            if let Some(p) = prev {
+                assert!(g.order_key(p) < g.order_key(f));
+            }
+            prev = Some(f);
+        }
+        assert!(g.order_key(anchor) < g.order_key(tail[0]));
+        for w in tail.windows(2) {
+            assert!(g.order_key(w[0]) < g.order_key(w[1]), "tail order preserved");
+        }
+        let relabels = g.order_stats().unwrap().relabels;
+        assert!(relabels > 0, "600 insertions into one gap must relabel");
         g.assert_valid_order();
     }
 

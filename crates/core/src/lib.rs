@@ -47,7 +47,7 @@
 //! [`SolveOutcome::Interrupted`] carrying a *partial* snapshot — a sound
 //! under-approximation tagged [`Completeness::Partial`]. The next solve
 //! resumes from the exact checkpoint, and the eventually completed fixpoint
-//! is bit-identical to an uninterrupted run (the monotone-resume
+//! is bit-identical to an uninterrupted run (the checkpoint
 //! invariant). Parallel solves additionally isolate worker panics: a
 //! panicked round is rolled back, surfaced as
 //! [`AnalysisError::WorkerPanicked`], and the session degrades to
@@ -123,10 +123,10 @@ pub use flow::{CallKind, CallSite, Flow, FlowId, FlowKind, SiteId, MAX_FLOW_COUN
 pub use graph::{CheckCategory, IfRecord, MethodGraph, OrderStats, Pvpg, SccInfo};
 pub use interrupt::{CancelToken, Completeness, InterruptReason, SolveOutcome};
 pub use lattice::{TypeSet, ValueState};
-pub use metrics::{compute_metrics, InterruptStats, Metrics, SchedulerStats};
+pub use metrics::{compute_metrics, InterruptStats, InvalidationStats, Metrics, SchedulerStats};
 pub use query::{CallGraphDelta, CallGraphQuery};
 pub use report::{
     AnalysisResult, AnalysisSnapshot, CallEdge, CallSiteInfo, OwnedSnapshot, ReachableSet,
     SolveStats,
 };
-pub use session::{analyze, AnalysisSession, SessionBuilder};
+pub use session::{analyze, AnalysisSession, MethodEdit, SessionBuilder};

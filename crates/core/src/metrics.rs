@@ -167,6 +167,34 @@ pub struct InterruptStats {
     pub worker_panics: u64,
 }
 
+/// Retraction / edit invalidation counters of a session, embedded in
+/// [`crate::SolveStats`]. Session-cumulative, like `steps`. All zero for a
+/// session that never called
+/// [`retract_roots`](crate::AnalysisSession::retract_roots) or
+/// [`apply_edit`](crate::AnalysisSession::apply_edit).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationStats {
+    /// Root methods retracted from the engine after having been solved in
+    /// (roots removed while still pending are not counted — nothing was
+    /// derived from them).
+    pub retractions: u64,
+    /// Method-body edits applied ([`crate::MethodEdit`] — each disable and
+    /// each restore counts once).
+    pub edits: u64,
+    /// Methods whose PVPG fragments were deactivated by the taint closure
+    /// (the over-delete region of the DRed-style invalidation; see the
+    /// checkpoint argument in `engine.rs`).
+    pub invalidated_methods: u64,
+    /// Flows reset to bottom by invalidations (fragment flows, killed
+    /// injection sources, and tainted global sinks).
+    pub invalidated_flows: u64,
+    /// Worklist steps spent re-deriving after an invalidation: the steps
+    /// between the first invalidation since the last completed solve and
+    /// the completion of the solve that drained it. The `edit-` trajectory
+    /// family compares this against the fresh-solve step count.
+    pub rederive_steps: u64,
+}
+
 /// Computes the counter metrics from a finished analysis (any
 /// [`AnalysisSnapshot`] view — owned results delegate through
 /// [`crate::AnalysisResult::metrics`]).

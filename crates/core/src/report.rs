@@ -19,7 +19,7 @@ use crate::flow::{CallKind, FlowKind, SiteId};
 use crate::graph::Pvpg;
 use crate::interrupt::Completeness;
 use crate::lattice::ValueState;
-use crate::metrics::{compute_metrics, InterruptStats, Metrics, SchedulerStats};
+use crate::metrics::{compute_metrics, InterruptStats, InvalidationStats, Metrics, SchedulerStats};
 use skipflow_ir::{BitSet, BlockId, MethodId, Program, TypeId};
 use std::time::Duration;
 
@@ -55,6 +55,9 @@ pub struct SolveStats {
     /// Interrupt / resume / worker-panic counters (all zero for a session
     /// that never hit a budget, cancel token, or panicking worker).
     pub interrupt: InterruptStats,
+    /// Retraction / edit invalidation counters (all zero for a session that
+    /// never retracted roots or applied a method edit).
+    pub invalidation: InvalidationStats,
     /// Wall-clock analysis time (cumulative across session resumes).
     pub duration: Duration,
 }

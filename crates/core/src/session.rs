@@ -4,7 +4,7 @@
 //! across calls, so the fixpoint can be *resumed*: after a solve, new entry
 //! points can be added ([`AnalysisSession::add_roots`]) and the next
 //! [`AnalysisSession::solve`] continues from the saturated graph instead of
-//! rebuilding it. By the monotone-resume invariant (documented at the top of
+//! rebuilding it. By the checkpoint invariant (documented at the top of
 //! `engine.rs`) the resumed fixpoint is bit-identical to a fresh analysis
 //! over the union of all roots — only cheaper, which the trajectory
 //! harness's `resume` rung measures. The scheduler's topological order is
@@ -43,8 +43,19 @@
 //! checkpoint as [`crate::SolveOutcome::Interrupted`] carrying a *partial*
 //! snapshot — a sound under-approximation whose queries are tagged
 //! [`crate::Completeness::Partial`] — and the next solve resumes exactly
-//! where the interrupted one stopped. By the monotone-resume invariant the
+//! where the interrupted one stopped. By the checkpoint invariant the
 //! eventually completed fixpoint is bit-identical to an uninterrupted run.
+//!
+//! Sessions are also *non-monotone*: entry points can be removed again
+//! ([`AnalysisSession::retract_roots`]) and method bodies can be edited out
+//! and back ([`AnalysisSession::apply_edit`]). Both run the engine's
+//! DRed-style over-delete + re-derive (the checkpoint argument at the top of
+//! `engine.rs`): the affected region is reset to bottom and the next solve
+//! re-derives it, reaching a fixpoint bit-identical to a fresh analysis of
+//! the surviving roots under the current edit state
+//! ([`AnalysisConfig::with_masked_methods`] reproduces that state for a
+//! fresh oracle). The per-session cost shows up in
+//! [`SolveStats::invalidation`](crate::InvalidationStats).
 //!
 //! The one-shot [`analyze`] free function remains as a thin convenience
 //! wrapper over a single-solve session.
@@ -79,6 +90,26 @@ pub fn analyze(program: &Program, roots: &[MethodId], config: &AnalysisConfig) -
         .unwrap_or_else(|e| panic!("analyze: invalid input: {e}"));
     session.solve();
     session.into_result()
+}
+
+/// A method-level program edit applied to a live session
+/// ([`AnalysisSession::apply_edit`]).
+///
+/// The edit model is deliberately minimal — a body is either present or
+/// absent. That is exactly the granularity the engine's invalidation works
+/// at (method-level DRed; see `engine.rs`), and any statement-level edit can
+/// be expressed as disable + (externally) swap the program + restore in a
+/// future PR. A disabled method stays a discoverable call target, but calls
+/// into it never return, matching a fresh solve under
+/// [`AnalysisConfig::with_masked_methods`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodEdit {
+    /// Masks the method's body out: its fragment is deactivated and every
+    /// fact derived through it is invalidated and re-derived.
+    DisableBody,
+    /// Restores a previously disabled body (monotone: nothing is
+    /// invalidated; the fragment is rebuilt/re-activated and re-wired).
+    RestoreBody,
 }
 
 /// Typed builder for [`AnalysisSession`] (see the module docs for the
@@ -209,6 +240,14 @@ impl<'p> SessionBuilder<'p> {
                 });
             }
         }
+        for &m in config.masked_methods() {
+            if m.index() >= method_count {
+                return Err(AnalysisError::UnknownMethod {
+                    method: m,
+                    method_count,
+                });
+            }
+        }
         let field_count = program.field_count();
         for &f in config.reflective_fields().iter().chain(config.unsafe_fields()) {
             if f.index() >= field_count {
@@ -231,6 +270,7 @@ impl<'p> SessionBuilder<'p> {
             total_duration: Duration::ZERO,
             solves: 0,
             last_solve_steps: 0,
+            dirty: false,
         };
         session.accept_roots(roots);
         Ok(session)
@@ -255,6 +295,10 @@ pub struct AnalysisSession<'p> {
     total_duration: Duration,
     solves: u64,
     last_solve_steps: u64,
+    /// Set by a retraction or edit since the last solve: the published
+    /// views are stale (possibly *over*-approximate until re-derived), so
+    /// the saturated-no-op fast path must not skip the next solve.
+    dirty: bool,
 }
 
 impl std::fmt::Debug for AnalysisSession<'_> {
@@ -310,10 +354,111 @@ impl<'p> AnalysisSession<'p> {
         Ok(self.accept_roots(roots))
     }
 
+    /// The roots already solved into the engine. Invalidation must re-root
+    /// only these: a still-pending root has derived nothing yet, and
+    /// re-rooting it early would leak its region past a later retraction
+    /// that finds it "never solved in".
+    fn solved_roots(&self) -> Vec<MethodId> {
+        self.roots
+            .iter()
+            .copied()
+            .filter(|r| !self.pending_roots.contains(r))
+            .collect()
+    }
+
+    /// Removes entry points from the session — the non-monotone inverse of
+    /// [`AnalysisSession::add_roots`]. Facts derivable only from the
+    /// retracted roots are invalidated (DRed-style over-delete; see
+    /// `engine.rs`), and the next [`solve`](AnalysisSession::solve)
+    /// re-derives to a fixpoint bit-identical to a fresh analysis of the
+    /// surviving root set. Methods that are not currently roots are ignored;
+    /// unknown method ids reject the whole batch. Returns how many roots
+    /// were actually removed.
+    pub fn retract_roots(
+        &mut self,
+        roots: impl IntoIterator<Item = MethodId>,
+    ) -> Result<usize, AnalysisError> {
+        let roots: Vec<MethodId> = roots.into_iter().collect();
+        let method_count = self.program.method_count();
+        for &m in &roots {
+            if m.index() >= method_count {
+                return Err(AnalysisError::UnknownMethod {
+                    method: m,
+                    method_count,
+                });
+            }
+        }
+        let mut removed = 0;
+        let mut removed_solved: Vec<MethodId> = Vec::new();
+        for m in roots {
+            if !self.root_bits.remove(m.index()) {
+                continue;
+            }
+            removed += 1;
+            self.roots.retain(|&r| r != m);
+            if let Some(pos) = self.pending_roots.iter().position(|&r| r == m) {
+                // Never solved in: dropping the pending entry is the whole
+                // retraction (nothing was derived from it).
+                self.pending_roots.remove(pos);
+            } else {
+                removed_solved.push(m);
+            }
+        }
+        if !removed_solved.is_empty() {
+            let solved_survivors = self.solved_roots();
+            self.engine.retract_roots(&removed_solved, &solved_survivors);
+            self.dirty = true;
+        }
+        Ok(removed)
+    }
+
+    /// Applies a method-level edit to the analysed program (see
+    /// [`MethodEdit`]). Disabling a body invalidates everything derived
+    /// through it; restoring is monotone. Either way the next
+    /// [`solve`](AnalysisSession::solve) reaches a fixpoint bit-identical
+    /// to a fresh analysis of the current roots with the current masked set
+    /// ([`AnalysisSession::masked_methods`]). Returns whether the edit
+    /// changed anything (disabling an already-disabled body is a no-op).
+    pub fn apply_edit(
+        &mut self,
+        method: MethodId,
+        edit: MethodEdit,
+    ) -> Result<bool, AnalysisError> {
+        let method_count = self.program.method_count();
+        if method.index() >= method_count {
+            return Err(AnalysisError::UnknownMethod {
+                method,
+                method_count,
+            });
+        }
+        let changed = match edit {
+            MethodEdit::DisableBody => {
+                let solved_survivors = self.solved_roots();
+                self.engine.mask_method(method, &solved_survivors)
+            }
+            MethodEdit::RestoreBody => {
+                let is_root = self.root_bits.contains(method.index())
+                    || self.engine.config().reflective_roots().contains(&method);
+                self.engine.unmask_method(method, is_root)
+            }
+        };
+        if changed {
+            self.dirty = true;
+        }
+        Ok(changed)
+    }
+
+    /// The currently disabled method bodies, in id order — the mask set a
+    /// fresh oracle needs ([`AnalysisConfig::with_masked_methods`]) to
+    /// reproduce this session's edit state.
+    pub fn masked_methods(&self) -> Vec<MethodId> {
+        self.engine.masked_list()
+    }
+
     /// Runs the configured solver to the least fixpoint over everything
     /// added so far and returns a snapshot of the saturated state. On a
     /// session that was already solved, this *resumes*: only the frontier
-    /// the new roots actually change is re-processed (the monotone-resume
+    /// the new roots actually change is re-processed (the checkpoint
     /// invariant; see `engine.rs`). Solving an up-to-date session is a
     /// cheap no-op.
     ///
@@ -363,7 +508,7 @@ impl<'p> AnalysisSession<'p> {
     /// reachable/live *is* — and its queries are tagged
     /// [`Completeness::Partial`](crate::Completeness::Partial). Calling any
     /// solve method again resumes from the exact checkpoint; by the
-    /// monotone-resume invariant the eventually completed fixpoint is
+    /// checkpoint invariant the eventually completed fixpoint is
     /// bit-identical to an uninterrupted run.
     ///
     /// The token is level-triggered: a tripped token interrupts before the
@@ -397,7 +542,11 @@ impl<'p> AnalysisSession<'p> {
         if let Some(e) = self.engine.capacity_error() {
             return Err(e.clone());
         }
-        if self.solves > 0 && self.pending_roots.is_empty() && self.engine.worklist_is_empty() {
+        if self.solves > 0
+            && !self.dirty
+            && self.pending_roots.is_empty()
+            && self.engine.worklist_is_empty()
+        {
             // Already saturated with no new roots: the worklist is empty, so
             // running the solver would only pay for a view refresh. Skip it —
             // this is what makes re-solving an up-to-date session genuinely
@@ -424,6 +573,11 @@ impl<'p> AnalysisSession<'p> {
         self.last_solve_steps = self.engine.steps() - steps_before;
         self.reachable = self.engine.reachable_set();
         self.stats = self.engine.stats_snapshot(self.total_duration, self.solves);
+        // The refreshed views reflect every retraction/edit applied so far
+        // (a completed solve drained the re-derivation; an interrupted one
+        // still published a consistent checkpoint, and stays non-up-to-date
+        // through the non-empty worklist).
+        self.dirty = false;
         end
     }
 
@@ -495,11 +649,14 @@ impl<'p> AnalysisSession<'p> {
     }
 
     /// Whether all accepted roots have been solved in. False once the
-    /// engine hit the `FlowId` capacity limit, and after an interrupted
-    /// solve until a resume drains the remaining work — in both cases the
-    /// fixpoint is incomplete.
+    /// engine hit the `FlowId` capacity limit, after an interrupted solve
+    /// until a resume drains the remaining work, and after a retraction or
+    /// edit until the next solve re-derives — in all three cases the
+    /// published views do not describe the current configuration's
+    /// fixpoint.
     pub fn is_up_to_date(&self) -> bool {
         self.solves > 0
+            && !self.dirty
             && self.pending_roots.is_empty()
             && self.engine.worklist_is_empty()
             && self.engine.capacity_error().is_none()
@@ -608,6 +765,73 @@ mod tests {
         let snap = session.snapshot();
         assert!(snap.reachable_methods().is_empty());
         assert_eq!(snap.stats().solves, 0);
+    }
+
+    #[test]
+    fn retract_roots_matches_a_fresh_solve_of_the_survivors() {
+        let (p, main, extra, a, b) = program_and_methods();
+        let mut session = AnalysisSession::builder(&p)
+            .skipflow()
+            .roots([main, extra])
+            .build()
+            .unwrap();
+        let snap = session.solve();
+        assert!(snap.is_reachable(b));
+
+        assert_eq!(session.retract_roots([extra]).unwrap(), 1);
+        assert!(!session.is_up_to_date());
+        assert_eq!(session.roots(), &[main]);
+        let snap = session.solve();
+        assert!(snap.is_reachable(main) && snap.is_reachable(a));
+        assert!(!snap.is_reachable(extra) && !snap.is_reachable(b));
+        assert!(snap.stats().invalidation.retractions == 1);
+        assert!(snap.stats().invalidation.invalidated_flows > 0);
+        assert!(session.is_up_to_date());
+
+        // Retracting an unknown id rejects the batch; a non-root is a no-op.
+        assert!(session.retract_roots([MethodId::from_index(9_999)]).is_err());
+        assert_eq!(session.retract_roots([extra]).unwrap(), 0);
+
+        let fresh = analyze(&p, &[main], &AnalysisConfig::skipflow());
+        let resumed = session.into_result();
+        assert_eq!(resumed.reachable_methods(), fresh.reachable_methods());
+        assert_eq!(resumed.metrics(&p), fresh.metrics(&p));
+    }
+
+    #[test]
+    fn method_edits_disable_and_restore_a_body() {
+        let (p, main, _, a, _) = program_and_methods();
+        let mut session = AnalysisSession::builder(&p).skipflow().roots([main]).build().unwrap();
+        assert!(session.solve().is_reachable(a));
+
+        // Disable A.go: it stays a discovered call target but the call
+        // never returns, exactly like a fresh solve under the mask.
+        assert!(session.apply_edit(a, MethodEdit::DisableBody).unwrap());
+        assert!(!session.apply_edit(a, MethodEdit::DisableBody).unwrap());
+        assert_eq!(session.masked_methods(), vec![a]);
+        let snap = session.solve();
+        let fresh = analyze(
+            &p,
+            &[main],
+            &AnalysisConfig::skipflow().with_masked_methods([a]),
+        );
+        assert_eq!(
+            snap.reachable_methods(),
+            fresh.snapshot().reachable_methods()
+        );
+        assert_eq!(snap.metrics(&p), fresh.metrics(&p));
+        assert_eq!(snap.stats().invalidation.edits, 1);
+
+        // Restore: back to the unmasked fixpoint.
+        assert!(session.apply_edit(a, MethodEdit::RestoreBody).unwrap());
+        assert!(session.masked_methods().is_empty());
+        let snap = session.solve();
+        let fresh = analyze(&p, &[main], &AnalysisConfig::skipflow());
+        assert_eq!(
+            snap.reachable_methods(),
+            fresh.snapshot().reachable_methods()
+        );
+        assert_eq!(snap.metrics(&p), fresh.metrics(&p));
     }
 
     #[test]

@@ -13,10 +13,14 @@
 //!   the `Arc` out through epoch-pinned slots without ever taking a lock,
 //!   so **queries are never blocked by an in-flight solve**.
 //! * [`registry::Registry`] — many named [`AnalysisSession`]s over shared
-//!   `Arc<Program>`s. One writer thread per session coalesces queued root
-//!   registrations into budgeted, cancellable batch solves; admission
-//!   control sheds on overload and evicts idle sessions LRU-first under a
-//!   global memory budget.
+//!   `Arc<Program>`s. One writer thread per session coalesces queued
+//!   mutations (root adds, root *retractions*, method-body *edits* —
+//!   [`registry::SessionOp`]) into ordered, budgeted, cancellable batch
+//!   solves, publishing exactly one epoch per batch; admission control
+//!   sheds on overload and evicts idle sessions LRU-first under a global
+//!   memory budget. Retraction and edits make **epochs non-monotone**: a
+//!   later epoch may cover fewer roots and reach fewer methods — see
+//!   [`registry::PublishedEpoch`].
 //! * [`net::Server`] — a line-delimited TCP protocol over the registry
 //!   (`skipflow serve` is a thin CLI wrapper around it).
 //!
@@ -25,13 +29,17 @@
 //! ## Protocol grammar
 //!
 //! One request per line, one response line per request. Tokens are
-//! whitespace-separated; session names must be whitespace-free.
+//! whitespace-separated; session names must be whitespace-free. The full
+//! protocol reference — responses, epoch semantics under retraction, the
+//! `[partial]` tag — lives in `docs/PROTOCOL.md` at the repository root.
 //!
 //! ```text
 //! request  := ping | shutdown | sessions
 //!           | stats [<session>]
 //!           | open <session> <source> [<opt>...]
 //!           | roots <session> <root>...
+//!           | retract <session> <root>...
+//!           | edit <session> <root> disable|restore
 //!           | flush <session>
 //!           | cancel <session>
 //!           | evict <session>
@@ -97,6 +105,6 @@ pub use net::{handle_request, Client, Server};
 pub use protocol::{parse_request, Query, Request};
 pub use publish::EpochCell;
 pub use registry::{
-    PublishedEpoch, Registry, RegistryStats, ServerConfig, ServerError, SessionHandle,
+    PublishedEpoch, Registry, RegistryStats, ServerConfig, ServerError, SessionHandle, SessionOp,
     SessionStats,
 };

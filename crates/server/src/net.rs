@@ -3,7 +3,7 @@
 
 use crate::protocol::{parse_request, Query, Request};
 use crate::registry::{Registry, ServerConfig, ServerError, SessionHandle};
-use skipflow_core::{AnalysisConfig, CallGraphQuery, Completeness, SchedulerKind};
+use skipflow_core::{AnalysisConfig, CallGraphQuery, Completeness, MethodEdit, SchedulerKind};
 use skipflow_ir::{frontend, MethodId, Program};
 use skipflow_modelcheck::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use skipflow_modelcheck::sync::Arc;
@@ -231,7 +231,8 @@ fn execute(registry: &Registry, req: Request) -> Result<String, ServerError> {
                 "ok session={} epoch={} roots={} queued={} memory_bytes={} \
                  steps={} flows={} solves={} batches={} batched_roots={} \
                  epochs_published={} partial_epochs={} queries={} sheds={} \
-                 scheduler_flips={} order_repairs={} interrupts={} resumed={} worker_panics={}",
+                 scheduler_flips={} order_repairs={} interrupts={} resumed={} worker_panics={} \
+                 retractions={} edits={} invalidated_flows={} rederive_steps={}",
                 s.name,
                 s.epoch,
                 s.roots_covered,
@@ -251,6 +252,10 @@ fn execute(registry: &Registry, req: Request) -> Result<String, ServerError> {
                 s.solve.interrupt.interrupts,
                 s.solve.interrupt.resumed_after_interrupt,
                 s.solve.interrupt.worker_panics,
+                s.solve.invalidation.retractions,
+                s.solve.invalidation.edits,
+                s.solve.invalidation.invalidated_flows,
+                s.solve.invalidation.rederive_steps,
             );
             if let Some(msg) = &s.failed {
                 line.push_str(&format!(" failed=\"{msg}\""));
@@ -281,6 +286,25 @@ fn execute(registry: &Registry, req: Request) -> Result<String, ServerError> {
                 .collect::<Result<Vec<MethodId>, ServerError>>()?;
             let n = registry.add_roots(&session, ids)?;
             Ok(format!("ok queued {n} epoch={}", handle.epoch()))
+        }
+        Request::Retract { session, roots } => {
+            let handle = registry.get(&session)?;
+            let ids = roots
+                .iter()
+                .map(|spec| resolve_method(handle.program(), spec))
+                .collect::<Result<Vec<MethodId>, ServerError>>()?;
+            let n = registry.retract_roots(&session, ids)?;
+            Ok(format!("ok queued-retract {n} epoch={}", handle.epoch()))
+        }
+        Request::Edit { session, method, edit } => {
+            let handle = registry.get(&session)?;
+            let m = resolve_method(handle.program(), &method)?;
+            registry.edit(&session, m, edit)?;
+            let verb = match edit {
+                MethodEdit::DisableBody => "disable",
+                MethodEdit::RestoreBody => "restore",
+            };
+            Ok(format!("ok queued-edit {verb} m{} epoch={}", m.index(), handle.epoch()))
         }
         Request::Flush { session } => {
             let epoch = registry.flush(&session, FLUSH_TIMEOUT)?;

@@ -34,6 +34,24 @@ pub enum Request {
         /// Root specs: `Cls.m` labels or `#<id>` raw method indices.
         roots: Vec<String>,
     },
+    /// Queue root retractions for the session's next coalesced batch — the
+    /// non-monotone inverse of [`Request::Roots`]. The following epoch may
+    /// cover fewer roots and reach fewer methods than its predecessor.
+    Retract {
+        /// Target session.
+        session: String,
+        /// Root specs: `Cls.m` labels or `#<id>` raw method indices.
+        roots: Vec<String>,
+    },
+    /// Queue a method-body edit for the session's next coalesced batch.
+    Edit {
+        /// Target session.
+        session: String,
+        /// Method spec: `Cls.m` label or `#<id>` raw method index.
+        method: String,
+        /// The edit to apply.
+        edit: skipflow_core::MethodEdit,
+    },
     /// Wait until the session has no pending work; reports the settled epoch.
     Flush {
         /// Target session.
@@ -118,6 +136,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 roots: rest[1..].iter().map(|s| s.to_string()).collect(),
             })
         }
+        "retract" => {
+            need(2, "retract <session> <Cls.m|#id>...")?;
+            Ok(Request::Retract {
+                session: rest[0].to_string(),
+                roots: rest[1..].iter().map(|s| s.to_string()).collect(),
+            })
+        }
+        "edit" => {
+            need(3, "edit <session> <Cls.m|#id> <disable|restore>")?;
+            let edit = match rest[2] {
+                "disable" => skipflow_core::MethodEdit::DisableBody,
+                "restore" => skipflow_core::MethodEdit::RestoreBody,
+                other => return Err(format!("unknown edit `{other}` (disable|restore)")),
+            };
+            Ok(Request::Edit {
+                session: rest[0].to_string(),
+                method: rest[1].to_string(),
+                edit,
+            })
+        }
         "flush" => {
             need(1, "flush <session>")?;
             Ok(Request::Flush { session: rest[0].to_string() })
@@ -179,6 +217,29 @@ mod tests {
             parse_request("roots s1 Main.main #7"),
             Ok(Request::Roots { session: "s1".into(), roots: vec!["Main.main".into(), "#7".into()] })
         );
+        assert_eq!(
+            parse_request("retract s1 Main.main #7"),
+            Ok(Request::Retract {
+                session: "s1".into(),
+                roots: vec!["Main.main".into(), "#7".into()]
+            })
+        );
+        assert_eq!(
+            parse_request("edit s1 App.run disable"),
+            Ok(Request::Edit {
+                session: "s1".into(),
+                method: "App.run".into(),
+                edit: skipflow_core::MethodEdit::DisableBody,
+            })
+        );
+        assert_eq!(
+            parse_request("edit s1 #9 restore"),
+            Ok(Request::Edit {
+                session: "s1".into(),
+                method: "#9".into(),
+                edit: skipflow_core::MethodEdit::RestoreBody,
+            })
+        );
         assert_eq!(parse_request("flush s1"), Ok(Request::Flush { session: "s1".into() }));
         assert_eq!(parse_request("cancel s1"), Ok(Request::Cancel { session: "s1".into() }));
         assert_eq!(parse_request("evict s1"), Ok(Request::Evict { session: "s1".into() }));
@@ -207,6 +268,9 @@ mod tests {
         assert!(parse_request("open s1").unwrap_err().contains("usage"));
         assert!(parse_request("open s1 x.sf badopt").unwrap_err().contains("key=value"));
         assert!(parse_request("roots s1").unwrap_err().contains("usage"));
+        assert!(parse_request("retract s1").unwrap_err().contains("usage"));
+        assert!(parse_request("edit s1 App.run").unwrap_err().contains("usage"));
+        assert!(parse_request("edit s1 App.run delete").unwrap_err().contains("unknown edit"));
         assert!(parse_request("query s1 reachable").unwrap_err().contains("usage"));
         assert!(parse_request("query s1 nope").unwrap_err().contains("unknown query"));
     }

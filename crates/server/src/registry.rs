@@ -9,13 +9,24 @@
 //! * **Queries** read the last published [`PublishedEpoch`] through the
 //!   lock-free [`EpochCell`] — never blocked by
 //!   an in-flight solve.
-//! * **Root registrations** land in a handle-level queue; the writer drains
-//!   the whole queue into *one* budgeted, cancellable
-//!   [`solve_interruptible`](AnalysisSession::solve_interruptible) batch
-//!   (request coalescing), then publishes a new epoch. A tripped budget
-//!   publishes a [`Completeness::Partial`] epoch and the writer immediately
-//!   resumes with a fresh budget, so publication latency stays bounded while
-//!   the fixpoint still completes.
+//! * **Mutations** — root registrations, root *retractions*, and
+//!   method-body *edits* ([`SessionOp`]) — land in a handle-level queue; the
+//!   writer drains the whole queue into *one* ordered batch (request
+//!   coalescing: maximal runs of same-kind root ops collapse into a single
+//!   `add_roots`/`retract_roots` call), applies it, runs one budgeted,
+//!   cancellable [`solve_interruptible`](AnalysisSession::solve_interruptible),
+//!   then publishes a new epoch — exactly one epoch per batch. A tripped
+//!   budget publishes a [`Completeness::Partial`] epoch and the writer
+//!   immediately resumes with a fresh budget, so publication latency stays
+//!   bounded while the fixpoint still completes.
+//!
+//!   Because retraction and edits are non-monotone, **epochs are not
+//!   monotone either**: a later epoch may cover fewer roots and reach fewer
+//!   methods than an earlier one. Each epoch is internally consistent — a
+//!   `Complete` epoch is bit-identical to a fresh solve of exactly
+//!   [`PublishedEpoch::roots`] under [`PublishedEpoch::masked`] — but
+//!   clients comparing answers *across* epochs must key them by
+//!   [`PublishedEpoch::epoch`], never assume set inclusion.
 //! * **Admission control**: a session cap, a per-session queued-root shed
 //!   threshold, and a global memory budget enforced by evicting idle
 //!   sessions in least-recently-used order (reusing the engine's memory
@@ -31,8 +42,8 @@
 use crate::gate::{SessionGate, Settle, WriterStep};
 use crate::publish::EpochCell;
 use skipflow_core::{
-    AnalysisConfig, AnalysisError, AnalysisSession, Completeness, InterruptReason, OwnedSnapshot,
-    SolveStats,
+    AnalysisConfig, AnalysisError, AnalysisSession, Completeness, InterruptReason, MethodEdit,
+    OwnedSnapshot, SolveStats,
 };
 use skipflow_ir::{MethodId, Program};
 use std::collections::HashMap;
@@ -120,15 +131,36 @@ impl fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
-/// One published fixpoint: the epoch number, the roots it covers, and the
-/// owned snapshot readers query. `Arc`-published through the epoch cell;
-/// cloning is cheap.
+/// One queued session mutation, applied by the writer in arrival order.
+/// Runs of same-kind root ops are coalesced into one session call; the
+/// relative order of adds, retracts, and edits is preserved exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionOp {
+    /// Register an entry point ([`AnalysisSession::add_roots`]).
+    AddRoot(MethodId),
+    /// Remove an entry point ([`AnalysisSession::retract_roots`]).
+    RetractRoot(MethodId),
+    /// Apply a method-body edit ([`AnalysisSession::apply_edit`]).
+    Edit(MethodId, MethodEdit),
+}
+
+/// One published fixpoint: the epoch number, the configuration it covers
+/// (roots + masked bodies), and the owned snapshot readers query.
+/// `Arc`-published through the epoch cell; cloning is cheap.
+///
+/// Epochs are **not monotone** across retractions and edits — see the
+/// module docs. A `Complete` epoch is the exact fixpoint of
+/// (`roots`, `masked`); nothing relates it to the previous epoch's sets.
 #[derive(Clone, Debug)]
 pub struct PublishedEpoch {
     /// Publication sequence number (0 = the empty pre-solve epoch).
     pub epoch: u64,
     /// The session roots this fixpoint covers, in acceptance order.
     pub roots: Vec<MethodId>,
+    /// The method bodies masked out by edits when this fixpoint was
+    /// published, in id order — the mask a fresh oracle needs
+    /// ([`AnalysisConfig::with_masked_methods`]) to reproduce it.
+    pub masked: Vec<MethodId>,
     /// The queryable fixpoint (or checkpoint, when
     /// [`PublishedEpoch::is_complete`] is false).
     pub snapshot: OwnedSnapshot,
@@ -162,7 +194,7 @@ pub struct SessionHandle {
     /// The client/writer handshake — queue, pause/resume/cancel/shutdown
     /// flags, wake and settle condvars (see `gate.rs` for the lock
     /// discipline).
-    gate: SessionGate<MethodId>,
+    gate: SessionGate<SessionOp>,
     counters: Counters,
     /// Milliseconds since registry start of the last client request naming
     /// this session (the LRU clock for eviction).
@@ -213,8 +245,8 @@ impl SessionHandle {
         self.counters.batches.load(SeqCst)
     }
 
-    /// Roots that arrived through those batches (so
-    /// `batched_roots / batches` is the coalescing ratio).
+    /// Mutations (root adds, retractions, edits) that arrived through those
+    /// batches (so `batched_roots / batches` is the coalescing ratio).
     pub fn batched_roots(&self) -> u64 {
         self.counters.batched_roots.load(SeqCst)
     }
@@ -229,7 +261,8 @@ impl SessionHandle {
         self.gate.memory_estimate()
     }
 
-    /// Queued roots not yet picked up by the writer.
+    /// Queued mutations (root adds, retractions, edits) not yet picked up
+    /// by the writer.
     pub fn queued_roots(&self) -> usize {
         self.gate.queued_len()
     }
@@ -384,11 +417,12 @@ impl Registry {
         let config = self.apply_budgets(config);
         // Validate eagerly on the caller's thread (and produce the initial
         // empty snapshot) so `open` reports builder errors synchronously.
-        let initial = AnalysisSession::builder(&program)
+        let initial_session = AnalysisSession::builder(&program)
             .config(config.clone())
             .build()
-            .map_err(|e| ServerError::Analysis(e.to_string()))?
-            .owned_snapshot();
+            .map_err(|e| ServerError::Analysis(e.to_string()))?;
+        let initial_masked = initial_session.masked_methods();
+        let initial = initial_session.owned_snapshot();
 
         let mut sessions = self.sessions.lock().unwrap();
         if sessions.contains_key(name) {
@@ -407,6 +441,7 @@ impl Registry {
             cell: EpochCell::new(Arc::new(PublishedEpoch {
                 epoch: 0,
                 roots: Vec::new(),
+                masked: initial_masked,
                 snapshot: initial,
             })),
             gate: SessionGate::new(),
@@ -448,22 +483,47 @@ impl Registry {
     /// shedding at the queue cap and relieving memory pressure afterwards.
     /// Returns the number of roots queued.
     pub fn add_roots(&self, name: &str, roots: Vec<MethodId>) -> Result<usize, ServerError> {
+        self.enqueue_ops(name, roots, SessionOp::AddRoot)
+    }
+
+    /// Validates and queues root retractions for `name`'s next batch — the
+    /// non-monotone inverse of [`Registry::add_roots`]; same shed policy.
+    /// Returns the number of retractions queued.
+    pub fn retract_roots(&self, name: &str, roots: Vec<MethodId>) -> Result<usize, ServerError> {
+        self.enqueue_ops(name, roots, SessionOp::RetractRoot)
+    }
+
+    /// Validates and queues a method-body edit for `name`'s next batch.
+    pub fn edit(&self, name: &str, method: MethodId, edit: MethodEdit) -> Result<(), ServerError> {
+        self.enqueue_ops(name, vec![method], |m| SessionOp::Edit(m, edit))?;
+        Ok(())
+    }
+
+    /// Shared mutation path: validates method ids, applies the queue-cap
+    /// shed policy, relieves memory pressure, and enqueues one op per
+    /// method (the writer preserves arrival order across op kinds).
+    fn enqueue_ops(
+        &self,
+        name: &str,
+        methods: Vec<MethodId>,
+        to_op: impl Fn(MethodId) -> SessionOp,
+    ) -> Result<usize, ServerError> {
         let handle = self.get(name)?;
         if let Some(msg) = handle.failure() {
             return Err(ServerError::SessionFailed(msg));
         }
         let method_count = handle.program.method_count();
-        for &m in &roots {
+        for &m in &methods {
             if m.index() >= method_count {
                 return Err(ServerError::InvalidRoot { method: m, method_count });
             }
         }
         let queued = handle.queued_roots();
-        if queued + roots.len() > self.cfg.max_queued_roots {
+        if queued + methods.len() > self.cfg.max_queued_roots {
             handle.counters.sheds.fetch_add(1, SeqCst);
             self.shed_total.fetch_add(1, SeqCst);
             return Err(ServerError::Overloaded(format!(
-                "root queue full ({queued} queued, cap {})",
+                "mutation queue full ({queued} queued, cap {})",
                 self.cfg.max_queued_roots
             )));
         }
@@ -471,9 +531,9 @@ impl Registry {
         // even by evicting idle sessions, the request is shed whole instead
         // of queueing work the fleet has no room to solve.
         self.relieve_memory_pressure(name)?;
-        let n = roots.len();
+        let n = methods.len();
         // Validation and shedding above; the gate just queues and wakes.
-        handle.gate.enqueue(roots);
+        handle.gate.enqueue(methods.into_iter().map(to_op).collect());
         Ok(n)
     }
 
@@ -666,8 +726,8 @@ fn writer_loop(handle: &SessionHandle, program: &Arc<Program>, config: AnalysisC
 
         if !batch.is_empty() {
             let n = batch.len() as u64;
-            // Ids were validated against this program in `add_roots`.
-            if let Err(e) = session.add_roots(batch) {
+            // Ids were validated against this program at enqueue time.
+            if let Err(e) = apply_batch(&mut session, batch) {
                 finish_batch(handle, &session, Some(e.to_string()), false);
                 continue;
             }
@@ -715,6 +775,48 @@ fn writer_loop(handle: &SessionHandle, program: &Arc<Program>, config: AnalysisC
     }
 }
 
+/// Applies one drained queue as an ordered batch: maximal runs of same-kind
+/// root ops collapse into one `add_roots`/`retract_roots` call, edits apply
+/// in place. Order across kinds is preserved exactly — `add a, retract a`
+/// and `retract a, add a` are different programs.
+fn apply_batch(
+    session: &mut AnalysisSession<'_>,
+    ops: Vec<SessionOp>,
+) -> Result<(), AnalysisError> {
+    let mut i = 0;
+    while i < ops.len() {
+        match ops[i] {
+            SessionOp::AddRoot(_) => {
+                let run: Vec<MethodId> = ops[i..]
+                    .iter()
+                    .map_while(|op| match op {
+                        SessionOp::AddRoot(m) => Some(*m),
+                        _ => None,
+                    })
+                    .collect();
+                i += run.len();
+                session.add_roots(run)?;
+            }
+            SessionOp::RetractRoot(_) => {
+                let run: Vec<MethodId> = ops[i..]
+                    .iter()
+                    .map_while(|op| match op {
+                        SessionOp::RetractRoot(m) => Some(*m),
+                        _ => None,
+                    })
+                    .collect();
+                i += run.len();
+                session.retract_roots(run)?;
+            }
+            SessionOp::Edit(m, edit) => {
+                i += 1;
+                session.apply_edit(m, edit)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 fn publish_from(handle: &SessionHandle, session: &AnalysisSession<'_>) {
     let snapshot = session.owned_snapshot();
     if snapshot.completeness() == Completeness::Partial {
@@ -725,6 +827,7 @@ fn publish_from(handle: &SessionHandle, session: &AnalysisSession<'_>) {
     handle.cell.publish(Arc::new(PublishedEpoch {
         epoch,
         roots: session.roots().to_vec(),
+        masked: session.masked_methods(),
         snapshot,
     }));
 }

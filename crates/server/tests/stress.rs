@@ -5,9 +5,10 @@
 //! The correctness contract checked here is the one the server's epoch
 //! publication promises:
 //!
-//! * every published `Complete` epoch is **bit-identical** to a fresh union
-//!   solve of exactly the roots it covers (the monotone-resume invariant,
-//!   observed through the publication seam);
+//! * every published `Complete` epoch is **bit-identical** to a fresh solve
+//!   of exactly the configuration it covers — its roots under its mask (the
+//!   checkpoint invariant, observed through the publication seam; the
+//!   retraction and edit streams make successive epochs non-monotone);
 //! * every published `Partial` epoch (budget/cancel checkpoint) is a sound
 //!   under-approximation of that fresh solve;
 //! * epochs observed by concurrent readers are monotone — publication never
@@ -112,6 +113,10 @@ fn stress(scheduler: SchedulerKind, batch_step_budget: Option<u64>) {
     let bench = build_benchmark(&spec);
     let mut to_feed = bench.roots.clone();
     to_feed.extend(pick_spread_roots(&bench.program, &bench.roots, 32));
+    // Concrete non-root methods for the edit stream (disabled/restored
+    // while roots are still being fed).
+    let edit_victims = pick_spread_roots(&bench.program, &to_feed, 2);
+    assert_eq!(edit_victims.len(), 2, "need two editable methods");
     let program = Arc::new(bench.program);
     let config = AnalysisConfig::skipflow()
         .with_scheduler(scheduler)
@@ -173,13 +178,34 @@ fn stress(scheduler: SchedulerKind, batch_step_budget: Option<u64>) {
 
     // Writer-facing load: feed roots in small bursts (coalesced by the
     // writer into batches), with flushes interleaved so settled epochs are
-    // reliably observed; exercise cancel once mid-stream.
+    // reliably observed; exercise cancel once mid-stream, plus a
+    // non-monotone stream of retractions and method edits riding along.
     let mut fed: Vec<skipflow_ir::MethodId> = Vec::new();
     for (i, chunk) in to_feed.chunks(4).enumerate() {
         fed.extend_from_slice(chunk);
         registry.add_roots("main", chunk.to_vec()).expect("roots");
+        if i == 2 {
+            // Retract the very first fed root: later epochs cover fewer
+            // roots than earlier ones — publication is non-monotone.
+            let retracted = fed.remove(0);
+            registry.retract_roots("main", vec![retracted]).expect("retract");
+        }
         if i == 3 {
             registry.cancel("main").expect("cancel");
+        }
+        if i == 4 {
+            registry
+                .edit("main", edit_victims[0], skipflow_core::MethodEdit::DisableBody)
+                .expect("disable edit");
+        }
+        if i == 6 {
+            registry
+                .edit("main", edit_victims[0], skipflow_core::MethodEdit::RestoreBody)
+                .expect("restore edit");
+            // The second victim stays disabled through the final epoch.
+            registry
+                .edit("main", edit_victims[1], skipflow_core::MethodEdit::DisableBody)
+                .expect("disable edit 2");
         }
         if i % 3 == 2 {
             let ep = registry.flush("main", Duration::from_secs(30)).expect("flush");
@@ -189,7 +215,12 @@ fn stress(scheduler: SchedulerKind, batch_step_budget: Option<u64>) {
     }
     let final_epoch = registry.flush("main", Duration::from_secs(30)).expect("final flush");
     assert!(final_epoch.is_complete());
-    assert_eq!(final_epoch.roots.len(), fed.len(), "final epoch covers every accepted root");
+    assert_eq!(final_epoch.roots.len(), fed.len(), "final epoch covers every surviving root");
+    assert_eq!(
+        final_epoch.masked,
+        vec![edit_victims[1]],
+        "final epoch carries the still-disabled body"
+    );
 
     stop.store(true, SeqCst);
     for r in readers {
@@ -204,10 +235,11 @@ fn stress(scheduler: SchedulerKind, batch_step_budget: Option<u64>) {
     assert!(stats.queries_served > 0);
     registry.shutdown_all();
 
-    // Verify every observed epoch against a fresh union solve of exactly
-    // the roots it covered. The verification config carries no budgets:
-    // `Complete` epochs must be bit-identical, `Partial` epochs must be
-    // sound under-approximations.
+    // Verify every observed epoch against a fresh solve of exactly the
+    // configuration it covered — its roots *and* its masked bodies: each
+    // epoch is the fixpoint of the edit prefix it absorbed, nothing more.
+    // The verification config carries no budgets: `Complete` epochs must be
+    // bit-identical, `Partial` epochs must be sound under-approximations.
     let observed = Arc::try_unwrap(observed).expect("readers joined").into_inner().unwrap();
     let mut complete_epochs = 0u64;
     let mut partial_epochs = 0u64;
@@ -217,7 +249,8 @@ fn stress(scheduler: SchedulerKind, batch_step_budget: Option<u64>) {
             assert!(ep.roots.is_empty());
             continue;
         }
-        let fresh = analyze(&program, &ep.roots, &config);
+        let oracle_config = config.clone().with_masked_methods(ep.masked.iter().copied());
+        let fresh = analyze(&program, &ep.roots, &oracle_config);
         let label = format!("{scheduler:?} epoch {n}");
         match ep.snapshot.completeness() {
             Completeness::Complete => {

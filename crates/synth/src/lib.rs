@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod edits;
 mod generator;
 mod spec;
 pub mod suites;
 
+pub use edits::{build_edit_script, EditOp, EditScript};
 pub use generator::{build, build_benchmark, Benchmark};
 pub use spec::{BenchmarkSpec, GuardKind, GuardMix, Suite};
 

@@ -110,6 +110,38 @@ fn delta_solvers_match_reference_on_the_shared_sink_fanout_corpus() {
 }
 
 #[test]
+fn windowed_relabel_churn_stays_low_on_the_fanout_corpus() {
+    // The list-labeling relabel churn the fan-out corpus provokes: repairs
+    // keep relocating components into the same repeatedly-subdivided gap,
+    // so the relabel policy decides whether churn stays proportional to the
+    // repairs or blows up. Exponential gap spreading (half the reclaimed
+    // span goes to the gap under insertion pressure) keeps this workload at
+    // ~35.6k relabeled components; the previous even-stride respacing
+    // needed ~63.9k, and the gap widens with scale (fanout-400: ~139k vs
+    // ~351k). Steps are unaffected — relabeling preserves relative order,
+    // so the scheduler drains identically.
+    let spec = BenchmarkSpec::new("fanout-200", Suite::DaCapo, 60, 0.0).with_shared_sink(200, 128);
+    let bench = build_benchmark(&spec);
+    let scc = analyze(
+        &bench.program,
+        &bench.roots,
+        &AnalysisConfig::skipflow().with_scheduler(SchedulerKind::SccPriority),
+    );
+    let sched = &scc.stats().scheduler;
+    assert!(
+        sched.order_relabels > 0,
+        "the fan-out corpus must exercise the relabel path"
+    );
+    assert!(
+        sched.order_relabels <= 45_000,
+        "relabel churn regressed: {} relabeled components (geometric spreading \
+         keeps this workload at ~35.6k; even-stride needed ~63.9k)",
+        sched.order_relabels
+    );
+    scc.graph().assert_valid_order();
+}
+
+#[test]
 fn scc_priorities_survive_mid_solve_fragment_instantiation() {
     // Fragments are built *during* solving (virtual dispatch discovers
     // methods), so the online order must keep the condensation exact as

@@ -1,0 +1,411 @@
+//! Differential validation of non-monotone incrementality: after any
+//! sequence of root retractions and method-body edits, re-solving the
+//! session must be **bit-identical** (reachable set, instantiated types,
+//! per-flow states, liveness, linked targets, metrics) to a fresh analysis
+//! of the *surviving* root set under the *current* mask — across the full
+//! solver × scheduler matrix, through interrupted re-derivations, and under
+//! seeded random edit scripts. This is the weakened checkpoint argument
+//! documented at the top of `crates/core/src/engine.rs`.
+
+use skipflow::analysis::{
+    analyze, AnalysisConfig, AnalysisSession, MethodEdit, SchedulerKind, SolveOutcome, SolverKind,
+};
+use skipflow::ir::MethodId;
+use skipflow::synth::{
+    build_benchmark, build_edit_script, pick_spread_roots, suites, Benchmark, BenchmarkSpec,
+    EditOp, Suite,
+};
+
+mod common;
+use common::assert_results_identical;
+
+/// The solver × scheduler × narrow-join matrix (the reference solver
+/// ignores both knobs, so it appears once) — the same coverage the
+/// monotone-resume tests use.
+fn solver_matrix() -> Vec<(SolverKind, SchedulerKind, usize)> {
+    let default_width = AnalysisConfig::skipflow().narrow_join_width();
+    vec![
+        (SolverKind::Sequential, SchedulerKind::Fifo, default_width),
+        (SolverKind::Sequential, SchedulerKind::SccPriority, default_width),
+        (SolverKind::Sequential, SchedulerKind::Adaptive, default_width),
+        (SolverKind::Sequential, SchedulerKind::Fifo, 0),
+        (SolverKind::Sequential, SchedulerKind::Fifo, usize::MAX),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::Fifo, default_width),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::SccPriority, default_width),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::Adaptive, default_width),
+        (SolverKind::Reference, SchedulerKind::Fifo, default_width),
+    ]
+}
+
+fn bench() -> Benchmark {
+    build_benchmark(&BenchmarkSpec::new("edits", Suite::DaCapo, 60, 0.2))
+}
+
+/// The fresh oracle for a session state: a one-shot analysis of `roots`
+/// with `masked` bodies masked from the start.
+fn fresh_oracle(
+    bench: &Benchmark,
+    config: &AnalysisConfig,
+    roots: &[MethodId],
+    masked: &[MethodId],
+) -> skipflow::analysis::AnalysisResult {
+    analyze(
+        &bench.program,
+        roots,
+        &config.clone().with_masked_methods(masked.iter().copied()),
+    )
+}
+
+#[test]
+fn retraction_matches_fresh_solve_of_survivors_across_matrix() {
+    let bench = bench();
+    let extra = pick_spread_roots(&bench.program, &bench.roots, 3);
+    assert!(!extra.is_empty());
+    for (solver, scheduler, width) in solver_matrix() {
+        let config = AnalysisConfig::skipflow()
+            .with_solver(solver)
+            .with_scheduler(scheduler)
+            .with_narrow_join_width(width);
+        let label = format!("retract {solver:?}/{scheduler:?}/w{width}");
+
+        let mut session = AnalysisSession::builder(&bench.program)
+            .config(config.clone())
+            .roots(bench.roots.iter().copied())
+            .roots(extra.iter().copied())
+            .build()
+            .expect("valid roots");
+        session.solve();
+
+        // Retract the extras again: the surviving fixpoint must equal a
+        // fresh solve that never saw them.
+        let removed = session.retract_roots(extra.iter().copied()).unwrap();
+        assert_eq!(removed, extra.len(), "{label}");
+        assert!(!session.is_up_to_date(), "{label}");
+        session.solve();
+        let inv = session.snapshot().stats().invalidation;
+        assert_eq!(inv.retractions, extra.len() as u64, "{label}");
+        assert!(inv.invalidated_flows > 0, "{label}");
+        assert!(inv.rederive_steps > 0, "{label}");
+        let retracted = session.into_result();
+        let fresh = fresh_oracle(&bench, &config, &bench.roots, &[]);
+        assert_results_identical(&bench.program, &fresh, &retracted, &label);
+    }
+}
+
+#[test]
+fn edits_match_fresh_solve_under_the_mask_across_matrix() {
+    let bench = bench();
+    // Edit a method that is actually load-bearing: a reachable concrete
+    // non-root method from the baseline solve.
+    let probe = analyze(&bench.program, &bench.roots, &AnalysisConfig::skipflow());
+    let victim = *probe
+        .reachable_methods()
+        .iter()
+        .find(|&&m| bench.program.method(m).body.is_some() && !bench.roots.contains(&m))
+        .expect("a reachable non-root method");
+    for (solver, scheduler, width) in solver_matrix() {
+        let config = AnalysisConfig::skipflow()
+            .with_solver(solver)
+            .with_scheduler(scheduler)
+            .with_narrow_join_width(width);
+        let label = format!("edit {solver:?}/{scheduler:?}/w{width}");
+
+        let mut session = AnalysisSession::builder(&bench.program)
+            .config(config.clone())
+            .roots(bench.roots.iter().copied())
+            .build()
+            .expect("valid roots");
+        session.solve();
+
+        // Disable → the fixpoint of the masked program.
+        assert!(session.apply_edit(victim, MethodEdit::DisableBody).unwrap(), "{label}");
+        session.solve();
+        {
+            let masked_now = session.masked_methods();
+            assert_eq!(masked_now, vec![victim], "{label}");
+            let fresh = fresh_oracle(&bench, &config, &bench.roots, &masked_now);
+            let snap = session.snapshot();
+            assert_eq!(
+                snap.reachable_methods(),
+                fresh.reachable_methods(),
+                "{label}: masked reachable sets differ"
+            );
+            assert_eq!(
+                snap.metrics(&bench.program),
+                fresh.metrics(&bench.program),
+                "{label}: masked metrics differ"
+            );
+        }
+
+        // Restore → bit-identical to a session that never edited.
+        assert!(session.apply_edit(victim, MethodEdit::RestoreBody).unwrap(), "{label}");
+        session.solve();
+        assert!(session.masked_methods().is_empty(), "{label}");
+        let edited = session.into_result();
+        assert_eq!(edited.stats().invalidation.edits, 2, "{label}");
+        let fresh = fresh_oracle(&bench, &config, &bench.roots, &[]);
+        assert_results_identical(&bench.program, &fresh, &edited, &label);
+    }
+}
+
+#[test]
+fn interrupted_rederive_resumes_to_the_retracted_fixpoint() {
+    let bench = bench();
+    let extra = pick_spread_roots(&bench.program, &bench.roots, 3);
+    for (solver, scheduler) in [
+        (SolverKind::Sequential, SchedulerKind::Fifo),
+        (SolverKind::Sequential, SchedulerKind::SccPriority),
+        (SolverKind::Parallel { threads: 4 }, SchedulerKind::Adaptive),
+    ] {
+        let config = AnalysisConfig::skipflow()
+            .with_solver(solver)
+            .with_scheduler(scheduler);
+        let budgeted = config.clone().with_step_budget(97u64);
+        let label = format!("interrupted rederive {solver:?}/{scheduler:?}");
+
+        let mut session = AnalysisSession::builder(&bench.program)
+            .config(budgeted)
+            .roots(bench.roots.iter().copied())
+            .roots(extra.iter().copied())
+            .build()
+            .expect("valid roots");
+        let mut guard = 0;
+        while !matches!(
+            session.solve_interruptible(None).expect("no hard failure"),
+            SolveOutcome::Completed(_)
+        ) {
+            guard += 1;
+            assert!(guard < 10_000, "{label}: budgeted solve never completed");
+        }
+
+        session.retract_roots(extra.iter().copied()).unwrap();
+        // The re-derivation itself is interrupted every 97 steps; each
+        // resume continues from the checkpoint, and the drained fixpoint
+        // must still equal the fresh survivors-only solve.
+        let mut interrupts = 0;
+        while !matches!(
+            session.solve_interruptible(None).expect("no hard failure"),
+            SolveOutcome::Completed(_)
+        ) {
+            interrupts += 1;
+            assert!(interrupts < 10_000, "{label}: re-derive never completed");
+        }
+        assert!(interrupts > 0, "{label}: budget never fired during re-derive");
+        let retracted = session.into_result();
+        let fresh = fresh_oracle(&bench, &config, &bench.roots, &[]);
+        assert_results_identical(&bench.program, &fresh, &retracted, &label);
+    }
+}
+
+/// Applies one [`EditOp`] to a live session, mirroring it in the model.
+fn apply_op(
+    session: &mut AnalysisSession<'_>,
+    roots: &mut Vec<MethodId>,
+    masked: &mut Vec<MethodId>,
+    op: &EditOp,
+) {
+    match op {
+        EditOp::AddRoots(batch) => {
+            session.add_roots(batch.iter().copied()).unwrap();
+            roots.extend(batch.iter().copied());
+        }
+        EditOp::RetractRoots(batch) => {
+            let removed = session.retract_roots(batch.iter().copied()).unwrap();
+            assert_eq!(removed, batch.len());
+            roots.retain(|r| !batch.contains(r));
+        }
+        EditOp::DisableMethod(m) => {
+            assert!(session.apply_edit(*m, MethodEdit::DisableBody).unwrap());
+            masked.push(*m);
+        }
+        EditOp::RestoreMethod(m) => {
+            assert!(session.apply_edit(*m, MethodEdit::RestoreBody).unwrap());
+            masked.retain(|x| x != m);
+        }
+        EditOp::Solve => unreachable!("solve points are handled by the driver"),
+    }
+}
+
+/// Fault-injected variant (`--features fault-inject`): the same random
+/// edit-script driver, but with a deterministic [`FaultPlan`] cancelling a
+/// solve mid-script (and, on the parallel solver, crashing a worker). The
+/// interrupted / degraded session must still converge to the fresh oracle
+/// at every solve point — invalidation and interruption compose.
+#[cfg(feature = "fault-inject")]
+mod fault_sweep {
+    use super::*;
+    use skipflow::analysis::fault::{FaultPlan, INJECTED_PANIC_MARKER};
+    use skipflow::analysis::AnalysisError;
+    use std::sync::Once;
+
+    /// Silences expected injected panics (same helper as
+    /// `tests/fault_injection.rs`), delegating real failures onward.
+    fn install_quiet_panic_hook() {
+        static QUIET: Once = Once::new();
+        QUIET.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains(INJECTED_PANIC_MARKER))
+                    .or_else(|| {
+                        info.payload()
+                            .downcast_ref::<&str>()
+                            .map(|s| s.contains(INJECTED_PANIC_MARKER))
+                    })
+                    .unwrap_or(false);
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Seeded fault-index generator for the sweep.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn run_script_under_plan(
+        bench: &Benchmark,
+        seed: u64,
+        solver: SolverKind,
+        scheduler: SchedulerKind,
+        plan: FaultPlan,
+        label: &str,
+    ) {
+        let script = build_edit_script(bench, seed, 10, 2);
+        let config = AnalysisConfig::skipflow()
+            .with_solver(solver)
+            .with_scheduler(scheduler);
+        let mut session = AnalysisSession::builder(&bench.program)
+            .config(config.clone().with_fault_plan(plan))
+            .roots(bench.roots.iter().copied())
+            .build()
+            .expect("valid roots");
+        let mut roots = bench.roots.clone();
+        let mut masked: Vec<MethodId> = Vec::new();
+        for (i, op) in script.ops.iter().enumerate() {
+            if let EditOp::Solve = op {
+                let mut spins = 0;
+                loop {
+                    match session.solve_interruptible(None) {
+                        Ok(SolveOutcome::Completed(_)) => break,
+                        Ok(SolveOutcome::Interrupted { .. }) => {}
+                        // A crashed worker rolls its round back and degrades
+                        // the session to sequential solving; keep going.
+                        Err(AnalysisError::WorkerPanicked { .. }) => {}
+                        Err(e) => panic!("{label} op {i}: unexpected error {e}"),
+                    }
+                    spins += 1;
+                    assert!(spins < 10_000, "{label} op {i}: solve never completed");
+                }
+                let fresh = fresh_oracle(bench, &config, &roots, &masked);
+                let snap = session.snapshot();
+                assert_eq!(
+                    snap.reachable_methods(),
+                    fresh.reachable_methods(),
+                    "{label} op {i}: reachable sets differ"
+                );
+                assert_eq!(
+                    snap.metrics(&bench.program),
+                    fresh.metrics(&bench.program),
+                    "{label} op {i}: metrics differ"
+                );
+            } else {
+                apply_op(&mut session, &mut roots, &mut masked, op);
+            }
+        }
+        let finished = session.into_result();
+        let fresh = fresh_oracle(bench, &config, &roots, &masked);
+        assert_results_identical(&bench.program, &fresh, &finished, &format!("{label} final"));
+    }
+
+    #[test]
+    fn edit_scripts_survive_injected_interrupts_and_worker_panics() {
+        install_quiet_panic_hook();
+        let bench = build_benchmark(&suites::by_name("lusearch").unwrap());
+        let mut state = 0xed17_5eedu64;
+        for (seed, solver, scheduler) in [
+            (21u64, SolverKind::Sequential, SchedulerKind::Fifo),
+            (22, SolverKind::Sequential, SchedulerKind::Adaptive),
+            (23, SolverKind::Parallel { threads: 4 }, SchedulerKind::SccPriority),
+        ] {
+            for round in 0..3u32 {
+                // A cancel somewhere in the script's cumulative step range;
+                // on the parallel solver, also an injected worker panic.
+                let plan = FaultPlan {
+                    cancel_at_step: Some(lcg(&mut state) % 4000),
+                    panic_in_worker_at_round: matches!(solver, SolverKind::Parallel { .. })
+                        .then(|| lcg(&mut state) % 8),
+                    ..FaultPlan::none()
+                };
+                let label = format!(
+                    "fault script seed {seed} {solver:?}/{scheduler:?} round {round} ({plan:?})"
+                );
+                run_script_under_plan(&bench, seed, solver, scheduler, plan, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_edit_scripts_match_fresh_solves_at_every_solve_point() {
+    let bench = build_benchmark(&suites::by_name("lusearch").unwrap());
+    for (seed, solver, scheduler) in [
+        (11u64, SolverKind::Sequential, SchedulerKind::Fifo),
+        (12, SolverKind::Sequential, SchedulerKind::SccPriority),
+        (13, SolverKind::Sequential, SchedulerKind::Adaptive),
+        (14, SolverKind::Parallel { threads: 4 }, SchedulerKind::SccPriority),
+        (15, SolverKind::Reference, SchedulerKind::Fifo),
+    ] {
+        let script = build_edit_script(&bench, seed, 14, 2);
+        let config = AnalysisConfig::skipflow()
+            .with_solver(solver)
+            .with_scheduler(scheduler);
+        let mut session = AnalysisSession::builder(&bench.program)
+            .config(config.clone())
+            .roots(bench.roots.iter().copied())
+            .build()
+            .expect("valid roots");
+        let mut roots = bench.roots.clone();
+        let mut masked: Vec<MethodId> = Vec::new();
+        for (i, op) in script.ops.iter().enumerate() {
+            if let EditOp::Solve = op {
+                let label = format!("script seed {seed} {solver:?}/{scheduler:?} op {i}");
+                let fresh = fresh_oracle(&bench, &config, &roots, &masked);
+                let snap = session.solve();
+                assert_eq!(
+                    snap.reachable_methods(),
+                    fresh.reachable_methods(),
+                    "{label}: reachable sets differ"
+                );
+                assert_eq!(
+                    snap.metrics(&bench.program),
+                    fresh.metrics(&bench.program),
+                    "{label}: metrics differ"
+                );
+            } else {
+                apply_op(&mut session, &mut roots, &mut masked, op);
+            }
+        }
+        // Full observable comparison at the end of the script.
+        let mut final_roots = roots.clone();
+        let mut expect_roots = script.final_roots.clone();
+        final_roots.sort();
+        expect_roots.sort();
+        assert_eq!(final_roots, expect_roots);
+        let finished = session.into_result();
+        let fresh = fresh_oracle(&bench, &config, &roots, &masked);
+        assert_results_identical(
+            &bench.program,
+            &fresh,
+            &finished,
+            &format!("script seed {seed} {solver:?}/{scheduler:?} final"),
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! (reachable set, instantiated types, per-flow states, liveness, linked
 //! targets, metrics) to a fresh session over `A ∪ B` — across every
 //! solver × scheduler combination, with and without saturation. This is the
-//! monotone-resume invariant documented at the top of
+//! monotone half of the checkpoint invariant documented at the top of
 //! `crates/core/src/engine.rs`.
 
 use skipflow::analysis::{
